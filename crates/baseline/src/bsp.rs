@@ -1,0 +1,117 @@
+//! Bulk-synchronous supersteps and collectives over the CSP world.
+//!
+//! The BSP discipline — compute, exchange, **global barrier**, repeat — is
+//! exactly the "over constraining operation imposed by barriers" that §2.2
+//! says LCOs relax. Experiment E3 runs the same staged workload under this
+//! module and under LCO dataflow chaining and compares completion times as
+//! per-task imbalance grows.
+
+use crate::csp::{Rank, TAG_REDUCE};
+use serde::{de::DeserializeOwned, Serialize};
+
+/// Run `stages` supersteps: at stage `s` the rank executes
+/// `work(s, rank)`, then all ranks barrier before the next stage.
+pub fn supersteps<F: FnMut(usize, &mut Rank)>(rank: &mut Rank, stages: usize, mut work: F) {
+    for s in 0..stages {
+        work(s, rank);
+        rank.barrier();
+    }
+}
+
+/// Reduce `value` to rank 0 with `fold`; returns `Some(total)` on rank 0,
+/// `None` elsewhere. Gather-to-root, each contribution paying the wire.
+pub fn reduce<T, F>(rank: &mut Rank, value: T, fold: F) -> Option<T>
+where
+    T: Serialize + DeserializeOwned,
+    F: Fn(T, T) -> T,
+{
+    let n = rank.world_size();
+    if rank.id() == 0 {
+        let mut acc = value;
+        for _ in 1..n {
+            let (_, v): (usize, T) = rank.recv_t(None, TAG_REDUCE).expect("reduce recv");
+            acc = fold(acc, v);
+        }
+        Some(acc)
+    } else {
+        rank.send_sys_t(0, TAG_REDUCE, &value).expect("reduce send");
+        None
+    }
+}
+
+/// Allreduce: [`reduce`] then broadcast the total back out.
+pub fn allreduce<T, F>(rank: &mut Rank, value: T, fold: F) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: Fn(T, T) -> T,
+{
+    let n = rank.world_size();
+    match reduce(rank, value, fold) {
+        Some(total) => {
+            for r in 1..n {
+                rank.send_sys_t(r, TAG_REDUCE, &total).expect("bcast send");
+            }
+            total
+        }
+        None => {
+            let (_, total): (usize, T) = rank.recv_t(Some(0), TAG_REDUCE).expect("bcast recv");
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::World;
+    use px_core::net::WireModel;
+
+    #[test]
+    fn reduce_sums() {
+        let out = World::run(4, WireModel::instant(), |mut r| {
+            let v = r.id() as u64 + 1;
+            reduce(&mut r, v, |a, b| a + b)
+        });
+        assert_eq!(out[0], Some(10));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn allreduce_broadcasts_total() {
+        let out = World::run(4, WireModel::instant(), |mut r| {
+            let v = r.id() as u64;
+            allreduce(&mut r, v, |a, b| a + b)
+        });
+        assert_eq!(out, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn supersteps_run_in_lockstep() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let max_skew = Arc::new(AtomicUsize::new(0));
+        let stage_counter = Arc::new(AtomicUsize::new(0));
+        let (ms, sc) = (max_skew.clone(), stage_counter.clone());
+        World::run(4, WireModel::instant(), move |mut r| {
+            supersteps(&mut r, 5, |s, _r| {
+                // All ranks must observe the same stage: the counter can
+                // differ by at most world_size within a stage.
+                let seen = sc.fetch_add(1, Ordering::SeqCst);
+                let expect_lo = s * 4;
+                let skew = seen.saturating_sub(expect_lo);
+                ms.fetch_max(skew, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(stage_counter.load(Ordering::SeqCst), 20);
+        assert!(max_skew.load(Ordering::SeqCst) < 4);
+    }
+
+    #[test]
+    fn allreduce_with_max() {
+        let out = World::run(3, WireModel::instant(), |mut r| {
+            let v = (r.id() as i64 - 1) * 7;
+            allreduce(&mut r, v, i64::max)
+        });
+        assert_eq!(out, vec![7, 7, 7]);
+    }
+}

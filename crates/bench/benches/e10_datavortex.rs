@@ -1,0 +1,4 @@
+//! Regenerates the e10_datavortex experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e10_datavortex::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e11_starvation experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e11_starvation::run();
+}

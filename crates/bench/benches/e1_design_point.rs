@@ -1,0 +1,4 @@
+//! Regenerates the e1_design_point experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e1_design_point::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e2_latency_hiding experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e2_latency_hiding::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e3_lco_vs_barrier experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e3_lco_vs_barrier::run();
+}

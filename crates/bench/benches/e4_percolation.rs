@@ -1,0 +1,4 @@
+//! Regenerates the e4_percolation experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e4_percolation::run();
+}

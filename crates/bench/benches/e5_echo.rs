@@ -1,0 +1,4 @@
+//! Regenerates the e5_echo experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e5_echo::run();
+}

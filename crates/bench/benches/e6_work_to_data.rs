@@ -1,0 +1,4 @@
+//! Regenerates the e6_work_to_data experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e6_work_to_data::run();
+}

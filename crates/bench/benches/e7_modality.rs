@@ -1,0 +1,4 @@
+//! Regenerates the e7_modality experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e7_modality::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e8_irregular experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e8_irregular::run();
+}

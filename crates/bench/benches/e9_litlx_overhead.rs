@@ -1,0 +1,4 @@
+//! Regenerates the e9_litlx_overhead experiment table (see DESIGN.md §4, EXPERIMENTS.md).
+fn main() {
+    px_bench::e9_litlx_overhead::run();
+}

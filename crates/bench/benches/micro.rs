@@ -1,0 +1,158 @@
+//! Criterion microbenchmarks quantifying the mechanism overheads that the
+//! DESIGN.md ablations call out: wire serialization, parcel
+//! encode/decode, AGAS resolution (cold / cached / migrated), LCO
+//! operations, thread spawn, and cross-locality parcel round trips.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use px_core::agas::Agas;
+use px_core::gid::{Gid, GidKind, LocalityId};
+use px_core::parcel::{Continuation, Parcel};
+use px_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+
+#[derive(Serialize, Deserialize)]
+struct Payload {
+    pos: [f64; 3],
+    vel: [f64; 3],
+    id: u64,
+    tags: Vec<u32>,
+}
+
+fn sample_payload() -> Payload {
+    Payload {
+        pos: [1.0, 2.0, 3.0],
+        vel: [0.1, 0.2, 0.3],
+        id: 42,
+        tags: vec![1, 2, 3, 4, 5, 6, 7, 8],
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let p = sample_payload();
+    g.bench_function("encode_struct_96B", |b| {
+        b.iter(|| px_wire::to_bytes(black_box(&p)).unwrap())
+    });
+    let bytes = px_wire::to_bytes(&p).unwrap();
+    g.bench_function("decode_struct_96B", |b| {
+        b.iter(|| px_wire::from_bytes::<Payload>(black_box(&bytes)).unwrap())
+    });
+    let big = vec![7u8; 64 * 1024];
+    g.bench_function("encode_64KiB_vec", |b| {
+        b.iter(|| px_wire::to_bytes(black_box(&big)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_parcel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parcel");
+    let payload = px_core::action::Value::encode(&sample_payload()).unwrap();
+    let parcel = Parcel::new(
+        Gid::new(LocalityId(3), GidKind::Data, 99),
+        px_core::action::ActionId::of("bench/action"),
+        payload,
+        Continuation::set(Gid::new(LocalityId(0), GidKind::Lco, 7)),
+    );
+    g.bench_function("encode", |b| b.iter(|| black_box(&parcel).encode()));
+    let bytes = parcel.encode();
+    g.bench_function("decode", |b| {
+        b.iter(|| Parcel::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_agas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agas");
+    let agas = Agas::new(8);
+    let home = Gid::new(LocalityId(3), GidKind::Data, 10);
+    g.bench_function("resolve_birthplace", |b| {
+        b.iter(|| agas.resolve(LocalityId(0), black_box(home)))
+    });
+    let moved = Gid::new(LocalityId(2), GidKind::Data, 11);
+    agas.record_migration(moved, LocalityId(5));
+    agas.resolve(LocalityId(0), moved); // warm the cache
+    g.bench_function("resolve_cached_migrated", |b| {
+        b.iter(|| agas.resolve(LocalityId(0), black_box(moved)))
+    });
+    g.bench_function("resolve_directory_cold", |b| {
+        b.iter_batched(
+            || {
+                agas.invalidate_cache(LocalityId(1), moved);
+            },
+            |_| agas.resolve(LocalityId(1), black_box(moved)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_lco(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lco");
+    use px_core::lco::LcoCore;
+    let gid = Gid::new(LocalityId(0), GidKind::Lco, 1);
+    let v = px_core::action::Value::encode(&1u64).unwrap();
+    g.bench_function("future_trigger", |b| {
+        b.iter_batched(
+            || LcoCore::new_future(gid),
+            |mut f| f.trigger(v.clone()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("and_gate_trigger_x8", |b| {
+        b.iter_batched(
+            || LcoCore::new_and_gate(gid, 8),
+            |mut gate| {
+                for _ in 0..8 {
+                    gate.trigger(px_core::action::Value::unit()).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+struct Ping64;
+impl Action for Ping64 {
+    const NAME: &'static str = "micro/ping64";
+    type Args = u64;
+    type Out = u64;
+    fn execute(_ctx: &mut Ctx<'_>, _t: Gid, v: u64) -> u64 {
+        v
+    }
+}
+
+// The runtime bench needs the action registered; rebuild with it.
+fn bench_runtime_registered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_parcels");
+    g.sample_size(10);
+    let rt = RuntimeBuilder::new(Config::small(2, 1))
+        .register::<Ping64>()
+        .build()
+        .unwrap();
+    g.bench_function("typed_action_rtt", |b| {
+        b.iter(|| {
+            let fut = rt.new_future::<u64>(LocalityId(0));
+            rt.send_action::<Ping64>(
+                Gid::locality_root(LocalityId(1)),
+                7,
+                Continuation::set(fut.gid()),
+            )
+            .unwrap();
+            assert_eq!(rt.wait_future(fut).unwrap(), 7);
+        })
+    });
+    drop(g);
+    rt.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_parcel,
+    bench_agas,
+    bench_lco,
+    bench_runtime_registered
+);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! E2: intrinsic latency hiding (§2.2).
+//!
+//! The claim: "Message-driven computing through parcels … largely
+//! circumvents idle cycles due to blocking on remote access delays."
+//!
+//! Workload: each of `L` localities/ranks processes `T` tasks; a task
+//! needs one remote datum (1 KiB from the neighbor) and then `G` µs of
+//! compute. The ParalleX version issues all fetches split-phase and
+//! computes as values arrive; the CSP version does the MPI-natural thing —
+//! blocking get, then compute — with a zero-cost remote responder
+//! (deliberately generous to the baseline). Sweep the injected wire
+//! latency and watch the blocking model's time grow linearly while the
+//! split-phase model stays near the compute bound.
+
+use crate::table::{f2, ms, print_table};
+use px_baseline::csp::World;
+use px_core::net::WireModel;
+use px_core::prelude::*;
+use px_workloads::synth::spin_for_ns;
+use std::time::{Duration, Instant};
+
+/// Localities / ranks.
+pub const LOCALITIES: usize = 4;
+/// Tasks per locality.
+pub const TASKS: usize = 200;
+/// Compute grain per task, ns.
+pub const GRAIN_NS: u64 = 20_000;
+/// Remote datum size, bytes.
+pub const BLOCK: usize = 1024;
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Injected one-way latency.
+    pub latency: Duration,
+    /// ParalleX makespan.
+    pub px: Duration,
+    /// CSP makespan (max over ranks).
+    pub csp: Duration,
+    /// ParalleX worker busy fraction during the run.
+    pub px_busy: f64,
+    /// csp / px speedup.
+    pub speedup: f64,
+}
+
+/// Run the ParalleX side once; returns (elapsed, busy fraction).
+pub fn run_parallex(latency: Duration) -> (Duration, f64) {
+    run_parallex_n(latency, TASKS)
+}
+
+/// [`run_parallex`] with an explicit per-locality task count.
+pub fn run_parallex_n(latency: Duration, tasks: usize) -> (Duration, f64) {
+    let cfg = Config::small(LOCALITIES, 1).with_latency(latency);
+    let rt = RuntimeBuilder::new(cfg).build().unwrap();
+    // One 1 KiB block per locality, fetched by the neighbor.
+    let blocks: Vec<Gid> = (0..LOCALITIES)
+        .map(|i| rt.new_data_at(LocalityId(i as u16), vec![0xabu8; BLOCK]))
+        .collect();
+    let gate = rt.new_and_gate(LocalityId(0), (LOCALITIES * tasks) as u64);
+    let gate_fut: FutureRef<()> = FutureRef::from_gid(gate);
+
+    let before = rt.stats().total();
+    let t0 = Instant::now();
+    for i in 0..LOCALITIES {
+        let remote = blocks[(i + 1) % LOCALITIES];
+        rt.spawn_at(LocalityId(i as u16), move |ctx| {
+            for _ in 0..tasks {
+                let fut = ctx.fetch_data(remote);
+                ctx.when_future(fut, move |ctx, _bytes: Vec<u8>| {
+                    spin_for_ns(GRAIN_NS);
+                    ctx.trigger_value(gate, px_core::action::Value::unit());
+                });
+            }
+        });
+    }
+    rt.wait_future(gate_fut).unwrap();
+    let elapsed = t0.elapsed();
+    let after = rt.stats().total();
+    let d = after.delta_from(&before);
+    let busy = d.busy_ns as f64 / (d.busy_ns + d.idle_ns).max(1) as f64;
+    rt.shutdown();
+    (elapsed, busy)
+}
+
+/// Run the CSP side once; returns the max rank makespan.
+pub fn run_csp(latency: Duration) -> Duration {
+    run_csp_n(latency, TASKS)
+}
+
+/// [`run_csp`] with an explicit per-rank task count.
+pub fn run_csp_n(latency: Duration, tasks: usize) -> Duration {
+    let model = WireModel {
+        latency,
+        ns_per_byte: 0,
+    };
+    let times = World::run(LOCALITIES, model, move |mut rank| {
+        rank.store_put(0, vec![0xabu8; BLOCK]);
+        rank.barrier();
+        let neighbor = (rank.id() + 1) % rank.world_size();
+        let t0 = Instant::now();
+        for _ in 0..tasks {
+            let _block = rank.store_get(neighbor, 0); // blocking RTT
+            spin_for_ns(GRAIN_NS);
+        }
+        t0.elapsed()
+    });
+    times.into_iter().max().unwrap()
+}
+
+/// Full sweep (median of `reps`).
+pub fn sweep(latencies_us: &[u64], reps: usize) -> Vec<Row> {
+    latencies_us
+        .iter()
+        .map(|&us| {
+            let latency = Duration::from_micros(us);
+            let mut pxs = Vec::new();
+            let mut busys = Vec::new();
+            let mut csps = Vec::new();
+            for _ in 0..reps {
+                let (p, b) = run_parallex(latency);
+                pxs.push(p);
+                busys.push(b);
+                csps.push(run_csp(latency));
+            }
+            pxs.sort();
+            csps.sort();
+            busys.sort_by(f64::total_cmp);
+            let px = pxs[pxs.len() / 2];
+            let csp = csps[csps.len() / 2];
+            Row {
+                latency,
+                px,
+                csp,
+                px_busy: busys[busys.len() / 2],
+                speedup: csp.as_secs_f64() / px.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Print the E2 table.
+pub fn run() -> Vec<Row> {
+    let rows = sweep(&[0, 10, 25, 50, 100], 3);
+    let compute_bound = Duration::from_nanos(TASKS as u64 * GRAIN_NS);
+    println!(
+        "\n[E2] {LOCALITIES} localities × {TASKS} tasks, grain {} µs, block {BLOCK} B; per-locality compute bound = {} ms",
+        GRAIN_NS / 1000,
+        ms(compute_bound),
+    );
+    print_table(
+        "E2 — latency hiding: split-phase parcels vs blocking CSP",
+        &["latency µs", "ParalleX ms", "CSP ms", "PX busy", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.latency.as_micros().to_string(),
+                    ms(r.px),
+                    ms(r.csp),
+                    f2(r.px_busy),
+                    f2(r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test-only variant with few tasks and a large latency: the blocking
+    /// penalty (tasks × 2 × latency) then dwarfs debug-build overhead and
+    /// scheduler noise, so the shape assertion is robust even on a 2-core
+    /// CI host. The printed table uses the finer sweep.
+    fn shape_once() -> Result<(), String> {
+        // 50 tasks × 2 × 500 µs = 50 ms of serialized blocking per rank.
+        let latency = Duration::from_micros(500);
+        let (px_zero, _) = run_parallex_n(Duration::ZERO, 50);
+        let (px_high, _) = run_parallex_n(latency, 50);
+        let csp_zero = run_csp_n(Duration::ZERO, 50);
+        let csp_high = run_csp_n(latency, 50);
+        let csp_delta = csp_high.saturating_sub(csp_zero);
+        let px_delta = px_high.saturating_sub(px_zero);
+        if csp_delta < Duration::from_millis(30) {
+            return Err(format!("CSP must degrade ≥30ms, got {csp_delta:?}"));
+        }
+        if px_delta > csp_delta / 2 {
+            return Err(format!(
+                "ParalleX absorbed too much latency: {px_delta:?} vs CSP {csp_delta:?}"
+            ));
+        }
+        if csp_high.as_secs_f64() / px_high.as_secs_f64() < 1.5 {
+            return Err(format!(
+                "speedup too low: csp {csp_high:?} px {px_high:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn latency_hiding_shape() {
+        let _gate = crate::TIMING_GATE.lock();
+        // Timing comparisons on shared CI hosts are retried: one clean
+        // pass out of three demonstrates the mechanism.
+        let mut last = String::new();
+        for _ in 0..3 {
+            match shape_once() {
+                Ok(()) => return,
+                Err(e) => last = e,
+            }
+        }
+        panic!("{last}");
+    }
+}

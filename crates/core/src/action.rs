@@ -1,0 +1,225 @@
+//! Actions: the first-class units of work carried by parcels.
+//!
+//! §2.2: a parcel carries "an action specifier defining a task to be
+//! applied to that object". Actions are *named* (they live in the global
+//! name space alongside data), and the name is hashed into a stable
+//! [`ActionId`] so both sides of a wire agree on dispatch without
+//! exchanging strings.
+
+use crate::error::{PxError, PxResult};
+use crate::fxmap::{fnv1a, FxHashMap};
+use crate::gid::Gid;
+use crate::runtime::Ctx;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable identifier of an action: FNV-1a of its registered name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ActionId(pub u64);
+
+impl ActionId {
+    /// Derive the id for an action name.
+    #[inline]
+    pub const fn of(name: &str) -> ActionId {
+        ActionId(fnv1a(name.as_bytes()))
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ActionId({:#018x})", self.0)
+    }
+}
+
+/// An immutable, cheaply-cloneable serialized value (parcel payloads, LCO
+/// results). Cloning is an `Arc` bump, so one trigger can feed many
+/// waiting continuations without copying bytes.
+#[derive(Clone, Default)]
+pub struct Value(Arc<[u8]>);
+
+impl Value {
+    /// The unit value (zero bytes).
+    pub fn unit() -> Value {
+        Value(Arc::from(&[][..]))
+    }
+
+    /// Encode a serializable value.
+    pub fn encode<T: Serialize>(v: &T) -> PxResult<Value> {
+        Ok(Value(px_wire::to_bytes(v)?.into()))
+    }
+
+    /// Wrap already-encoded bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Value {
+        Value(bytes.into())
+    }
+
+    /// Decode into a concrete type. The type must match what was encoded —
+    /// the wire format is positional, not self-describing.
+    pub fn decode<T: DeserializeOwned>(&self) -> PxResult<T> {
+        Ok(px_wire::from_bytes(&self.0)?)
+    }
+
+    /// Raw encoded bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Encoded length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the value has no bytes (the unit value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({} bytes)", self.0.len())
+    }
+}
+
+/// A typed action. Implement this trait and register the type with
+/// [`crate::runtime::RuntimeBuilder::register`]; parcels then dispatch to
+/// [`Action::execute`] on the destination locality.
+///
+/// `execute` runs inside an ephemeral PX-thread. It must not block: remote
+/// interaction is expressed by sending further parcels or suspending via
+/// LCO continuations on the [`Ctx`].
+pub trait Action: 'static {
+    /// Globally unique action name (hierarchical by convention,
+    /// e.g. `"nbody/compute_force"`).
+    const NAME: &'static str;
+
+    /// Argument type carried in the parcel payload.
+    type Args: Serialize + DeserializeOwned + Send + 'static;
+
+    /// Result type fed to the parcel's continuation (use `()` for none).
+    type Out: Serialize + DeserializeOwned + Send + 'static;
+
+    /// Apply the action to `target` with `args`.
+    fn execute(ctx: &mut Ctx<'_>, target: Gid, args: Self::Args) -> Self::Out;
+
+    /// The action's stable id (derived from [`Action::NAME`]).
+    #[inline]
+    fn id() -> ActionId {
+        ActionId::of(Self::NAME)
+    }
+}
+
+/// Type-erased handler stored in the registry.
+pub type ErasedHandler =
+    Arc<dyn Fn(&mut Ctx<'_>, Gid, &[u8]) -> PxResult<Value> + Send + Sync + 'static>;
+
+/// Immutable action dispatch table, frozen when the runtime is built so the
+/// parcel fast path does no locking.
+pub struct ActionRegistry {
+    handlers: FxHashMap<u64, (&'static str, ErasedHandler)>,
+}
+
+impl fmt::Debug for ActionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActionRegistry")
+            .field("actions", &self.handlers.len())
+            .finish()
+    }
+}
+
+impl ActionRegistry {
+    pub(crate) fn new() -> Self {
+        Self {
+            handlers: FxHashMap::default(),
+        }
+    }
+
+    /// Register a typed action. Fails on duplicate names (or an FNV
+    /// collision between two distinct names, which is treated the same).
+    pub(crate) fn register<A: Action>(&mut self) -> PxResult<()> {
+        let id = A::id();
+        let handler: ErasedHandler = Arc::new(|ctx, target, payload| {
+            let args: A::Args = px_wire::from_bytes(payload)?;
+            let out = A::execute(ctx, target, args);
+            Value::encode(&out)
+        });
+        if self.handlers.insert(id.0, (A::NAME, handler)).is_some() {
+            return Err(PxError::DuplicateAction(A::NAME));
+        }
+        Ok(())
+    }
+
+    /// Look up a handler by id.
+    #[inline]
+    pub fn get(&self, id: ActionId) -> PxResult<&ErasedHandler> {
+        self.handlers
+            .get(&id.0)
+            .map(|(_, h)| h)
+            .ok_or(PxError::UnknownAction(id))
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn name_of(&self, id: ActionId) -> Option<&'static str> {
+        self.handlers.get(&id.0).map(|(n, _)| *n)
+    }
+
+    /// Number of registered actions.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// True when no actions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_ids_are_stable_and_distinct() {
+        let a = ActionId::of("nbody/compute_force");
+        let b = ActionId::of("nbody/compute_force");
+        let c = ActionId::of("nbody/update_body");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::encode(&(1u32, "x".to_string())).unwrap();
+        let (n, s): (u32, String) = v.decode().unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s, "x");
+    }
+
+    #[test]
+    fn value_clone_shares_bytes() {
+        let v = Value::encode(&vec![0u8; 1024]).unwrap();
+        let w = v.clone();
+        assert_eq!(v.bytes().as_ptr(), w.bytes().as_ptr());
+    }
+
+    #[test]
+    fn unit_value() {
+        let v = Value::unit();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn decode_wrong_type_fails() {
+        let v = Value::encode(&"text".to_string()).unwrap();
+        // A string encodes as len+bytes; decoding as (u64, u64) must fail
+        // (insufficient bytes).
+        let r: PxResult<(u64, u64)> = v.decode();
+        assert!(r.is_err());
+    }
+}

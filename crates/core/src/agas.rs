@@ -1,0 +1,306 @@
+//! The Active Global Address Space: name → locality resolution with
+//! "efficient address translation … in the presence of dynamic object
+//! distribution" (§2.1 requirement; §2.2 "global name space").
+//!
+//! Resolution is **home-based with caching**:
+//!
+//! 1. A GID's default home is its *birthplace* (packed in the GID itself),
+//!    so un-migrated objects resolve with zero lookups.
+//! 2. Objects that migrate get an entry in the sharded **directory**; the
+//!    entry is authoritative.
+//! 3. Each locality keeps a **resolution cache**. Stale cache entries are
+//!    possible immediately after a migration; the parcel layer repairs
+//!    them by *forwarding* the mis-delivered parcel (bounded chase) and
+//!    sending a cache-repair hint to the sender. This mirrors the classic
+//!    home-forwarding AGAS design the ParalleX model assumes.
+//!
+//! The symbolic name service ("hierarchical naming structure") maps
+//! path-style strings (`"/app/mesh/block7"`) to GIDs.
+
+use crate::error::{PxError, PxResult};
+use crate::fxmap::FxHashMap;
+use crate::gid::{Gid, LocalityId};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const DIR_SHARDS: usize = 16;
+
+/// The AGAS service shared by all localities of a runtime.
+pub struct Agas {
+    /// Directory of migrated objects (authoritative). Sharded to keep
+    /// write contention off the resolution fast path.
+    directory: Vec<RwLock<FxHashMap<Gid, LocalityId>>>,
+    /// Per-locality resolution caches.
+    caches: Vec<RwLock<FxHashMap<Gid, LocalityId>>>,
+    /// Symbolic names (global, rarely written).
+    names: RwLock<FxHashMap<String, Gid>>,
+    /// Monotone count of migrations (diagnostics).
+    migrations: AtomicU64,
+}
+
+impl std::fmt::Debug for Agas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Agas")
+            .field("migrations", &self.migrations.load(Ordering::Relaxed))
+            .field("names", &self.names.read().len())
+            .finish()
+    }
+}
+
+impl Agas {
+    /// AGAS for `n` localities.
+    pub fn new(n: usize) -> Self {
+        Agas {
+            directory: (0..DIR_SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            caches: (0..n).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            names: RwLock::new(FxHashMap::default()),
+            migrations: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, gid: Gid) -> &RwLock<FxHashMap<Gid, LocalityId>> {
+        // Cheap mix: sequence low bits spread well already.
+        &self.directory[(gid.0 as usize) & (DIR_SHARDS - 1)]
+    }
+
+    /// Resolve the current owner of `gid` as seen from locality `from`.
+    ///
+    /// `hit_counters` distinguishes cache hits from directory lookups for
+    /// the ablation bench (`micro_agas`).
+    pub fn resolve(&self, from: LocalityId, gid: Gid) -> Resolution {
+        if let Some(&owner) = self.caches[from.0 as usize].read().get(&gid) {
+            return Resolution {
+                owner,
+                source: ResolutionSource::Cache,
+            };
+        }
+        if let Some(&owner) = self.shard(gid).read().get(&gid) {
+            self.caches[from.0 as usize].write().insert(gid, owner);
+            return Resolution {
+                owner,
+                source: ResolutionSource::Directory,
+            };
+        }
+        Resolution {
+            owner: gid.birthplace(),
+            source: ResolutionSource::Birthplace,
+        }
+    }
+
+    /// Authoritative owner (directory, then birthplace) — used by a
+    /// locality that received a parcel for an object it no longer owns.
+    pub fn authoritative_owner(&self, gid: Gid) -> LocalityId {
+        self.shard(gid)
+            .read()
+            .get(&gid)
+            .copied()
+            .unwrap_or_else(|| gid.birthplace())
+    }
+
+    /// Record a migration: `gid` now lives at `to`.
+    pub fn record_migration(&self, gid: Gid, to: LocalityId) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(gid).write();
+        if to == gid.birthplace() {
+            // Back home: the directory entry is redundant.
+            shard.remove(&gid);
+        } else {
+            shard.insert(gid, to);
+        }
+    }
+
+    /// Repair one locality's cache entry (forwarding hint).
+    pub fn repair_cache(&self, at: LocalityId, gid: Gid, owner: LocalityId) {
+        self.caches[at.0 as usize].write().insert(gid, owner);
+    }
+
+    /// Drop a cache entry (used by tests and by explicit frees).
+    pub fn invalidate_cache(&self, at: LocalityId, gid: Gid) {
+        self.caches[at.0 as usize].write().remove(&gid);
+    }
+
+    /// Total migrations recorded.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    // ---- symbolic names ---------------------------------------------------
+
+    /// Bind a hierarchical name to a GID. Names are write-once.
+    pub fn register_name(&self, name: &str, gid: Gid) -> PxResult<()> {
+        let mut names = self.names.write();
+        if names.contains_key(name) {
+            return Err(PxError::DuplicateName(name.to_string()));
+        }
+        names.insert(name.to_string(), gid);
+        Ok(())
+    }
+
+    /// Resolve a hierarchical name.
+    pub fn lookup_name(&self, name: &str) -> PxResult<Gid> {
+        self.names
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| PxError::UnknownName(name.to_string()))
+    }
+
+    /// Remove a name binding, returning the GID it named.
+    pub fn unregister_name(&self, name: &str) -> PxResult<Gid> {
+        self.names
+            .write()
+            .remove(name)
+            .ok_or_else(|| PxError::UnknownName(name.to_string()))
+    }
+
+    /// List names under a prefix (hierarchy browsing).
+    pub fn names_under(&self, prefix: &str) -> Vec<(String, Gid)> {
+        let names = self.names.read();
+        let mut out: Vec<(String, Gid)> = names
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl Agas {
+    /// Resolve with instrumentation: counts cache hits and directory
+    /// lookups on the asking locality (backs the `micro_agas` ablation).
+    pub fn resolve_counted(&self, from: &crate::locality::Locality, gid: Gid) -> LocalityId {
+        let r = self.resolve(from.id, gid);
+        match r.source {
+            ResolutionSource::Cache => {
+                crate::stats::bump!(from.counters.agas_cache_hits);
+            }
+            ResolutionSource::Directory => {
+                crate::stats::bump!(from.counters.agas_directory_lookups);
+            }
+            ResolutionSource::Birthplace => {}
+        }
+        r.owner
+    }
+}
+
+/// Where a resolution came from (for instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionSource {
+    /// Locality cache hit.
+    Cache,
+    /// Directory (migrated object).
+    Directory,
+    /// Default home (never migrated, zero-lookup path).
+    Birthplace,
+}
+
+/// A resolved owner plus its provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The locality believed to own the object.
+    pub owner: LocalityId,
+    /// How the answer was obtained.
+    pub source: ResolutionSource,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gid::GidKind;
+
+    fn gid_at(loc: u16, seq: u64) -> Gid {
+        Gid::new(LocalityId(loc), GidKind::Data, seq)
+    }
+
+    #[test]
+    fn unmigrated_resolves_to_birthplace() {
+        let agas = Agas::new(4);
+        let g = gid_at(2, 100);
+        let r = agas.resolve(LocalityId(0), g);
+        assert_eq!(r.owner, LocalityId(2));
+        assert_eq!(r.source, ResolutionSource::Birthplace);
+    }
+
+    #[test]
+    fn migration_updates_directory_and_caches_on_lookup() {
+        let agas = Agas::new(4);
+        let g = gid_at(2, 100);
+        agas.record_migration(g, LocalityId(3));
+        let r = agas.resolve(LocalityId(0), g);
+        assert_eq!(r.owner, LocalityId(3));
+        assert_eq!(r.source, ResolutionSource::Directory);
+        // Second resolve hits the cache.
+        let r2 = agas.resolve(LocalityId(0), g);
+        assert_eq!(r2.source, ResolutionSource::Cache);
+        assert_eq!(agas.migrations(), 1);
+    }
+
+    #[test]
+    fn migration_back_home_clears_directory() {
+        let agas = Agas::new(4);
+        let g = gid_at(1, 7);
+        agas.record_migration(g, LocalityId(3));
+        agas.record_migration(g, LocalityId(1));
+        assert_eq!(agas.authoritative_owner(g), LocalityId(1));
+    }
+
+    #[test]
+    fn stale_cache_then_repair() {
+        let agas = Agas::new(4);
+        let g = gid_at(0, 50);
+        agas.record_migration(g, LocalityId(1));
+        assert_eq!(agas.resolve(LocalityId(2), g).owner, LocalityId(1));
+        // Object moves again; locality 2's cache is now stale.
+        agas.record_migration(g, LocalityId(3));
+        assert_eq!(
+            agas.resolve(LocalityId(2), g).owner,
+            LocalityId(1),
+            "stale cache answer expected before repair"
+        );
+        agas.repair_cache(LocalityId(2), g, LocalityId(3));
+        let r = agas.resolve(LocalityId(2), g);
+        assert_eq!(r.owner, LocalityId(3));
+        assert_eq!(r.source, ResolutionSource::Cache);
+    }
+
+    #[test]
+    fn symbolic_names() {
+        let agas = Agas::new(1);
+        let g = gid_at(0, 1);
+        agas.register_name("/app/mesh/block0", g).unwrap();
+        assert_eq!(agas.lookup_name("/app/mesh/block0").unwrap(), g);
+        assert!(matches!(
+            agas.register_name("/app/mesh/block0", g),
+            Err(PxError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            agas.lookup_name("/nope"),
+            Err(PxError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn hierarchical_prefix_listing() {
+        let agas = Agas::new(1);
+        agas.register_name("/a/x", gid_at(0, 1)).unwrap();
+        agas.register_name("/a/y", gid_at(0, 2)).unwrap();
+        agas.register_name("/b/z", gid_at(0, 3)).unwrap();
+        let under_a = agas.names_under("/a/");
+        assert_eq!(under_a.len(), 2);
+        assert_eq!(under_a[0].0, "/a/x");
+        let all = agas.names_under("/");
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn unregister() {
+        let agas = Agas::new(1);
+        let g = gid_at(0, 1);
+        agas.register_name("/tmp", g).unwrap();
+        assert_eq!(agas.unregister_name("/tmp").unwrap(), g);
+        assert!(agas.lookup_name("/tmp").is_err());
+        assert!(agas.unregister_name("/tmp").is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for runtime operations.
+
+use crate::action::ActionId;
+use crate::gid::Gid;
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type PxResult<T> = Result<T, PxError>;
+
+/// Errors surfaced by the ParalleX runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PxError {
+    /// A parcel named an action that is not in the registry.
+    UnknownAction(ActionId),
+    /// An action name was registered twice (or two names collided).
+    DuplicateAction(&'static str),
+    /// The target object does not exist at its resolved locality.
+    NoSuchObject(Gid),
+    /// The object exists but is of the wrong kind for the operation.
+    WrongObjectKind(Gid),
+    /// An LCO was triggered twice (single-assignment violation).
+    AlreadyTriggered(Gid),
+    /// Payload (de)serialization failed.
+    Wire(px_wire::WireError),
+    /// The runtime is shutting down and cannot accept work.
+    ShuttingDown,
+    /// A symbolic name was not found in the name service.
+    UnknownName(String),
+    /// A symbolic name was registered twice.
+    DuplicateName(String),
+    /// Echo validation found the value stale; carries the current version.
+    EchoStale {
+        /// Version the reader used.
+        used: u64,
+        /// Version currently at the root.
+        current: u64,
+    },
+    /// Object migration was requested for a non-migratable object.
+    NotMigratable(Gid),
+    /// Configuration rejected at build time.
+    BadConfig(String),
+}
+
+impl fmt::Display for PxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PxError::UnknownAction(id) => write!(f, "unknown action {id:?}"),
+            PxError::DuplicateAction(name) => write!(f, "action {name:?} registered twice"),
+            PxError::NoSuchObject(g) => write!(f, "no such object {g}"),
+            PxError::WrongObjectKind(g) => write!(f, "object {g} has the wrong kind"),
+            PxError::AlreadyTriggered(g) => write!(f, "LCO {g} already triggered"),
+            PxError::Wire(e) => write!(f, "wire format error: {e}"),
+            PxError::ShuttingDown => write!(f, "runtime is shutting down"),
+            PxError::UnknownName(n) => write!(f, "unknown symbolic name {n:?}"),
+            PxError::DuplicateName(n) => write!(f, "symbolic name {n:?} already registered"),
+            PxError::EchoStale { used, current } => {
+                write!(f, "echo value stale: used v{used}, current v{current}")
+            }
+            PxError::NotMigratable(g) => write!(f, "object {g} cannot migrate"),
+            PxError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PxError {}
+
+impl From<px_wire::WireError> for PxError {
+    fn from(e: px_wire::WireError) -> Self {
+        PxError::Wire(e)
+    }
+}

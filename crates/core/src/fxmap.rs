@@ -1,0 +1,148 @@
+//! Fast hashing for GID-keyed maps.
+//!
+//! The perf guide recommends an FxHash-style multiplicative hasher for
+//! integer-keyed hot maps (SipHash costs ~4× more for 8-byte keys and
+//! HashDoS is not a concern inside a runtime). This is a from-scratch
+//! implementation of the same word-at-a-time multiply-rotate scheme used by
+//! rustc's `FxHasher`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word-at-a-time hasher (FxHash scheme).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// 64-bit golden-ratio constant used by the Fx scheme.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the slice, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_word(v as u64);
+        self.add_word((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// FNV-1a over a string — used for stable [`crate::action::ActionId`]
+/// values derived from action names (stable across processes, unlike
+/// `TypeId`).
+#[inline]
+pub const fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_one<T: std::hash::Hash>(v: T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance claim, just a smoke test that nearby
+        // integers spread.
+        let h: Vec<u64> = (0u64..64).map(hash_one).collect();
+        let set: std::collections::HashSet<_> = h.iter().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("parallex"), hash_one("parallex"));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&u64::MAX), Some(&"max"));
+    }
+
+    #[test]
+    fn fnv1a_known_vector() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published vector.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn byte_slices_with_tails() {
+        // 9 bytes exercises the word + tail path.
+        let a = hash_one([1u8, 2, 3, 4, 5, 6, 7, 8, 9].as_slice());
+        let b = hash_one([1u8, 2, 3, 4, 5, 6, 7, 8, 10].as_slice());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! # px-core — the ParalleX execution model
+//!
+//! This crate implements the eight principal semantic elements of ParalleX
+//! as described in §2.2 of *ParalleX: A Study of A New Parallel Computation
+//! Model* (IPPS 2007):
+//!
+//! | Element | Where |
+//! |---|---|
+//! | **Localities** — synchronous domains with compound atomic operations | [`locality`] |
+//! | **Global name space** — first-class named data *and* actions | [`gid`], [`agas`] |
+//! | **Multithreading** — ephemeral PX-threads; suspend→LCO, terminate→parcel | [`runtime::Ctx`], [`sched`] |
+//! | **Parcels** — message-driven computation with continuation specifiers | [`parcel`], [`net`] |
+//! | **Local Control Objects** — futures, dataflow, gates, depleted threads | [`lco`] |
+//! | **Percolation** — prestaging work+data at precious resources | [`percolation`] |
+//! | **Echo** — split-phase copy semantics without global cache coherence | [`echo`] |
+//! | **Parallel processes** — processes spanning localities, quiescence | [`process`] |
+//!
+//! The runtime maps each *locality* onto a private object store plus a pool
+//! of worker OS threads; localities interact **only** through parcels
+//! carried by a wire layer with injectable latency and bandwidth, so the
+//! latency/overhead/starvation phenomena the paper discusses are directly
+//! measurable on commodity hardware.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use px_core::prelude::*;
+//!
+//! // An action: the unit of work a parcel applies to a target object.
+//! struct Square;
+//! impl Action for Square {
+//!     const NAME: &'static str = "examples/square";
+//!     type Args = u64;
+//!     type Out = u64;
+//!     fn execute(_ctx: &mut Ctx<'_>, _target: Gid, n: u64) -> u64 { n * n }
+//! }
+//!
+//! let rt = RuntimeBuilder::new(Config::small(2, 1))
+//!     .register::<Square>()
+//!     .build()
+//!     .unwrap();
+//!
+//! // Create a future LCO, send a parcel whose continuation fills it.
+//! let fut = rt.new_future::<u64>(LocalityId(1));
+//! rt.send_action::<Square>(Gid::locality_root(LocalityId(1)), 12,
+//!                          Continuation::set(fut.gid()));
+//! assert_eq!(fut.wait(&rt).unwrap(), 144);
+//! rt.shutdown();
+//! ```
+//!
+//! PX-threads never block: remote interaction is split-phase. A thread that
+//! needs a remote value either *terminates* into a parcel (work moves to
+//! data) or *suspends* by depositing its continuation in an LCO (a
+//! "depleted thread" in the paper's terminology).
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod agas;
+pub mod echo;
+pub mod error;
+pub mod fxmap;
+pub mod gid;
+pub mod lco;
+pub mod locality;
+pub mod net;
+pub mod parcel;
+pub mod percolation;
+pub mod process;
+pub mod runtime;
+pub mod sched;
+pub mod stats;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::action::{Action, ActionId, Value};
+    pub use crate::error::{PxError, PxResult};
+    pub use crate::gid::{Gid, GidKind, LocalityId};
+    pub use crate::lco::FutureRef;
+    pub use crate::parcel::{Continuation, Parcel};
+    pub use crate::process::ProcessRef;
+    pub use crate::runtime::{Config, Ctx, Runtime, RuntimeBuilder};
+    pub use crate::stats::StatsSnapshot;
+}
+
+pub use action::{Action, ActionId, Value};
+pub use error::{PxError, PxResult};
+pub use gid::{Gid, GidKind, LocalityId};
+pub use lco::FutureRef;
+pub use parcel::{Continuation, Parcel};
+pub use runtime::{Config, Ctx, Runtime, RuntimeBuilder};

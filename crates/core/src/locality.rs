@@ -1,0 +1,287 @@
+//! Localities: the paper's "local physical domain".
+//!
+//! §2.2: "it is the locus of resources that can be guaranteed to operate
+//! synchronously and for which hardware can guarantee compound atomic
+//! operations on local data elements … Within a locality, all
+//! functionality is bounded in space and time."
+//!
+//! Here a locality owns
+//!
+//! * an **object store** mapping GIDs to local first-class objects (data,
+//!   LCOs, echo nodes, processes) — compound atomic operations are
+//!   per-object locks, valid precisely because the objects never escape
+//!   the locality except by explicit migration;
+//! * **run queues**: a general injector, a percolation staging queue, and
+//!   one work-stealing deque per worker;
+//! * a pool of **worker threads** executing ephemeral PX-threads;
+//! * the locality's GID allocator and instrumentation counters.
+//!
+//! Localities interact only through parcels; nothing in this module hands
+//! out references to another locality's store.
+
+use crate::error::{PxError, PxResult};
+use crate::fxmap::FxHashMap;
+use crate::gid::{Gid, GidAllocator, GidKind, LocalityId};
+use crate::lco::LcoCore;
+use crate::sched::Task;
+use crate::stats::LocalityCounters;
+use crossbeam::deque::{Injector, Stealer};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A first-class object resident in a locality's store.
+#[derive(Clone)]
+pub enum Stored {
+    /// Local control object.
+    Lco(Arc<Mutex<LcoCore>>),
+    /// Raw data object (migratable).
+    Data(Arc<RwLock<DataObject>>),
+    /// Echo replica-tree node.
+    Echo(Arc<Mutex<crate::echo::EchoNode>>),
+    /// Parallel-process record.
+    Process(Arc<crate::process::ProcessInner>),
+}
+
+impl std::fmt::Debug for Stored {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stored::Lco(_) => f.write_str("Stored::Lco"),
+            Stored::Data(_) => f.write_str("Stored::Data"),
+            Stored::Echo(_) => f.write_str("Stored::Echo"),
+            Stored::Process(_) => f.write_str("Stored::Process"),
+        }
+    }
+}
+
+/// A mutable byte object with a version counter (bumped on every write, so
+/// experiments can detect lost updates).
+#[derive(Debug, Default, Clone)]
+pub struct DataObject {
+    /// Object payload.
+    pub bytes: Vec<u8>,
+    /// Write count.
+    pub version: u64,
+}
+
+/// Sleep/wake control for a locality's workers.
+#[derive(Debug, Default)]
+pub(crate) struct SleepCtl {
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl SleepCtl {
+    /// Park the calling worker until notified or `timeout` elapses.
+    pub(crate) fn park(&self, timeout: Duration) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut g = self.lock.lock();
+            // Re-check is the caller's job (they loop); bounded park keeps
+            // shutdown and racy pushes safe without a wake protocol.
+            self.cv.wait_for(&mut g, timeout);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wake one parked worker, if any.
+    #[inline]
+    pub(crate) fn wake_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.lock.lock();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Wake every parked worker (shutdown).
+    pub(crate) fn wake_all(&self) {
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
+}
+
+/// One ParalleX locality.
+pub struct Locality {
+    /// This locality's id.
+    pub id: LocalityId,
+    /// General run queue (parcels, injected threads).
+    pub(crate) injector: Injector<Task>,
+    /// Percolation staging buffer: prestaged tasks whose data travelled
+    /// with them; drained at higher priority than the injector.
+    pub(crate) staging: Injector<Task>,
+    /// Stealers for each worker's deque (fixed after boot).
+    pub(crate) stealers: RwLock<Vec<Stealer<Task>>>,
+    store: RwLock<FxHashMap<Gid, Stored>>,
+    /// GID allocator for objects born here.
+    pub alloc: GidAllocator,
+    /// Instrumentation.
+    pub counters: LocalityCounters,
+    pub(crate) sleep: SleepCtl,
+    /// Workers prefer the staging queue (precious-resource policy, E4).
+    pub staged_priority: bool,
+}
+
+impl std::fmt::Debug for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Locality")
+            .field("id", &self.id)
+            .field("objects", &self.store.read().len())
+            .finish()
+    }
+}
+
+impl Locality {
+    /// Create an empty locality.
+    pub fn new(id: LocalityId, staged_priority: bool) -> Self {
+        Locality {
+            id,
+            injector: Injector::new(),
+            staging: Injector::new(),
+            stealers: RwLock::new(Vec::new()),
+            store: RwLock::new(FxHashMap::default()),
+            alloc: GidAllocator::new(id),
+            counters: LocalityCounters::default(),
+            sleep: SleepCtl::default(),
+            staged_priority,
+        }
+    }
+
+    // ---- task ingress ----------------------------------------------------
+
+    /// Enqueue a task on the general run queue and wake a worker.
+    pub(crate) fn push_task(&self, task: Task) {
+        self.injector.push(task);
+        self.sleep.wake_one();
+    }
+
+    /// Enqueue a prestaged task on the staging buffer.
+    pub(crate) fn push_staged(&self, task: Task) {
+        self.staging.push(task);
+        self.sleep.wake_one();
+    }
+
+    // ---- object store ----------------------------------------------------
+
+    /// Insert a pre-built object under a fresh GID of `kind`.
+    pub fn insert(&self, kind: GidKind, build: impl FnOnce(Gid) -> Stored) -> Gid {
+        let gid = self.alloc.alloc(kind);
+        let obj = build(gid);
+        self.store.write().insert(gid, obj);
+        gid
+    }
+
+    /// Insert an object under a caller-chosen GID (migration arrivals).
+    pub fn insert_at(&self, gid: Gid, obj: Stored) {
+        self.store.write().insert(gid, obj);
+    }
+
+    /// Look up any object.
+    pub fn get(&self, gid: Gid) -> Option<Stored> {
+        self.store.read().get(&gid).cloned()
+    }
+
+    /// True if the object is resident here.
+    pub fn contains(&self, gid: Gid) -> bool {
+        self.store.read().contains_key(&gid)
+    }
+
+    /// Remove an object (migration departure or explicit free).
+    pub fn remove(&self, gid: Gid) -> Option<Stored> {
+        self.store.write().remove(&gid)
+    }
+
+    /// Number of resident objects.
+    pub fn object_count(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// Create a future LCO here.
+    pub fn new_future_lco(&self) -> Gid {
+        self.insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_future(gid))))
+        })
+    }
+
+    /// Look up an LCO, with kind checking.
+    pub fn get_lco(&self, gid: Gid) -> PxResult<Arc<Mutex<LcoCore>>> {
+        match self.get(gid) {
+            Some(Stored::Lco(l)) => Ok(l),
+            Some(_) => Err(PxError::WrongObjectKind(gid)),
+            None => Err(PxError::NoSuchObject(gid)),
+        }
+    }
+
+    /// Look up a data object, with kind checking.
+    pub fn get_data(&self, gid: Gid) -> PxResult<Arc<RwLock<DataObject>>> {
+        match self.get(gid) {
+            Some(Stored::Data(d)) => Ok(d),
+            Some(_) => Err(PxError::WrongObjectKind(gid)),
+            None => Err(PxError::NoSuchObject(gid)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_insert_get_remove() {
+        let loc = Locality::new(LocalityId(0), false);
+        let gid = loc.insert(GidKind::Data, |_| {
+            Stored::Data(Arc::new(RwLock::new(DataObject {
+                bytes: vec![1, 2, 3],
+                version: 0,
+            })))
+        });
+        assert!(loc.contains(gid));
+        assert_eq!(loc.object_count(), 1);
+        let d = loc.get_data(gid).unwrap();
+        assert_eq!(d.read().bytes, vec![1, 2, 3]);
+        assert!(loc.remove(gid).is_some());
+        assert!(!loc.contains(gid));
+    }
+
+    #[test]
+    fn kind_mismatch_is_error() {
+        let loc = Locality::new(LocalityId(0), false);
+        let gid = loc.new_future_lco();
+        assert!(matches!(
+            loc.get_data(gid),
+            Err(PxError::WrongObjectKind(_))
+        ));
+        assert!(loc.get_lco(gid).is_ok());
+    }
+
+    #[test]
+    fn missing_object_is_error() {
+        let loc = Locality::new(LocalityId(0), false);
+        let bogus = Gid::new(LocalityId(0), GidKind::Lco, 12345);
+        assert!(matches!(loc.get_lco(bogus), Err(PxError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn gids_are_born_here() {
+        let loc = Locality::new(LocalityId(9), false);
+        let gid = loc.new_future_lco();
+        assert_eq!(gid.birthplace(), LocalityId(9));
+        assert_eq!(gid.kind(), GidKind::Lco);
+    }
+
+    #[test]
+    fn sleep_ctl_wakes_parked_worker() {
+        let ctl = Arc::new(SleepCtl::default());
+        let c2 = ctl.clone();
+        let start = std::time::Instant::now();
+        let h = std::thread::spawn(move || {
+            c2.park(Duration::from_secs(5));
+        });
+        // Give the thread time to park, then wake it well before timeout.
+        std::thread::sleep(Duration::from_millis(20));
+        ctl.wake_all();
+        h.join().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(4));
+    }
+}

@@ -1,0 +1,328 @@
+//! Parcels: message-driven computation with continuation specifiers.
+//!
+//! §2.2: "A parcel includes a destination virtual address of a remote
+//! target object and an action specifier defining a task to be applied to
+//! that object. Additional argument values can be carried by the parcel …
+//! Parcels differ from other such constructs such as active messages in
+//! that it also carries a **continuation specifier** that defines what
+//! happens after the specified action is completed. This allows the locus
+//! of control to migrate across the distributed system."
+//!
+//! A parcel therefore has four parts: destination, action, arguments, and
+//! continuation. The continuation is a small program: a list of steps each
+//! consuming the action's result value.
+
+use crate::action::{ActionId, Value};
+use crate::gid::{Gid, LocalityId};
+use px_wire::{WireReader, WireWriter};
+use serde::{Deserialize, Serialize};
+
+/// One step of a continuation specifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContStep {
+    /// Trigger an LCO with the result value (e.g. fill a future).
+    SetLco(Gid),
+    /// Send a further parcel: apply `action` to `target` with the result
+    /// value as its (already encoded) argument. This is how the locus of
+    /// control migrates: the computation keeps moving without returning.
+    Call {
+        /// Action applied next.
+        action: ActionId,
+        /// Target object of the follow-on parcel.
+        target: Gid,
+    },
+    /// Contribute the result to a reduction LCO (adds rather than assigns).
+    Contribute(Gid),
+}
+
+/// A continuation specifier: zero or more steps, each fed the result of
+/// the parcel's action.
+///
+/// The empty continuation discards the result (fire-and-forget).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Continuation {
+    /// Steps executed in order when the action completes.
+    pub steps: Vec<ContStep>,
+}
+
+impl Continuation {
+    /// The empty (fire-and-forget) continuation.
+    #[inline]
+    pub fn none() -> Continuation {
+        Continuation { steps: Vec::new() }
+    }
+
+    /// Continuation that triggers a single LCO.
+    #[inline]
+    pub fn set(lco: Gid) -> Continuation {
+        Continuation {
+            steps: vec![ContStep::SetLco(lco)],
+        }
+    }
+
+    /// Continuation that chains into another action (control migrates).
+    #[inline]
+    pub fn call(action: ActionId, target: Gid) -> Continuation {
+        Continuation {
+            steps: vec![ContStep::Call { action, target }],
+        }
+    }
+
+    /// Continuation that contributes to a reduction LCO.
+    #[inline]
+    pub fn contribute(lco: Gid) -> Continuation {
+        Continuation {
+            steps: vec![ContStep::Contribute(lco)],
+        }
+    }
+
+    /// Append a step, builder-style.
+    pub fn then(mut self, step: ContStep) -> Continuation {
+        self.steps.push(step);
+        self
+    }
+
+    /// True when the continuation does nothing.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// A parcel: the unit of inter-locality communication and of work-to-data
+/// migration.
+#[derive(Debug, Clone)]
+pub struct Parcel {
+    /// Destination object (resolved to a locality by the AGAS).
+    pub dest: Gid,
+    /// Action applied to the destination.
+    pub action: ActionId,
+    /// Encoded arguments.
+    pub payload: Value,
+    /// What happens with the action's result.
+    pub cont: Continuation,
+    /// Originating locality (provenance, used for AGAS cache-repair hints).
+    pub src: LocalityId,
+    /// Owning parallel process, if any: the spawned thread is accounted to
+    /// this process for termination detection.
+    pub process: Option<Gid>,
+    /// Number of times this parcel has been forwarded after a stale AGAS
+    /// resolution (each hop increments; bounded by the migration rate).
+    pub hops: u8,
+    /// Deliver into the destination's percolation staging buffer instead of
+    /// the general run queue (the prestaging variant of parcels, §2.2:
+    /// percolation "is a variation of parcels but used with hardware as the
+    /// target").
+    pub staged: bool,
+}
+
+impl Parcel {
+    /// Construct a plain parcel.
+    pub fn new(dest: Gid, action: ActionId, payload: Value, cont: Continuation) -> Parcel {
+        Parcel {
+            dest,
+            action,
+            payload,
+            cont,
+            src: LocalityId(0),
+            process: None,
+            hops: 0,
+            staged: false,
+        }
+    }
+
+    /// Encode to wire bytes (header + continuation + payload).
+    ///
+    /// Hand-rolled framing rather than serde: this is the per-message hot
+    /// path, and the continuation list is almost always 0 or 1 steps.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(40 + self.payload.len());
+        w.put_u64(self.dest.0);
+        w.put_u64(self.action.0);
+        w.put_u16(self.src.0);
+        w.put_u8(self.hops);
+        w.put_u8(self.staged as u8);
+        match self.process {
+            None => w.put_u8(0),
+            Some(g) => {
+                w.put_u8(1);
+                w.put_u64(g.0);
+            }
+        }
+        w.put_varint(self.cont.steps.len() as u64);
+        for step in &self.cont.steps {
+            match step {
+                ContStep::SetLco(g) => {
+                    w.put_u8(0);
+                    w.put_u64(g.0);
+                }
+                ContStep::Call { action, target } => {
+                    w.put_u8(1);
+                    w.put_u64(action.0);
+                    w.put_u64(target.0);
+                }
+                ContStep::Contribute(g) => {
+                    w.put_u8(2);
+                    w.put_u64(g.0);
+                }
+            }
+        }
+        w.put_len_bytes(self.payload.bytes());
+        w.into_bytes()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Parcel, px_wire::WireError> {
+        let mut r = WireReader::new(bytes);
+        let dest = Gid(r.get_u64()?);
+        let action = ActionId(r.get_u64()?);
+        let src = LocalityId(r.get_u16()?);
+        let hops = r.get_u8()?;
+        let staged = r.get_u8()? != 0;
+        let process = match r.get_u8()? {
+            0 => None,
+            _ => Some(Gid(r.get_u64()?)),
+        };
+        let n = r.get_varint()? as usize;
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = r.get_u8()?;
+            steps.push(match tag {
+                0 => ContStep::SetLco(Gid(r.get_u64()?)),
+                1 => ContStep::Call {
+                    action: ActionId(r.get_u64()?),
+                    target: Gid(r.get_u64()?),
+                },
+                _ => ContStep::Contribute(Gid(r.get_u64()?)),
+            });
+        }
+        let payload = Value::from_bytes(r.get_len_bytes()?.to_vec());
+        Ok(Parcel {
+            dest,
+            action,
+            payload,
+            cont: Continuation { steps },
+            src,
+            process,
+            hops,
+            staged,
+        })
+    }
+
+    /// Wire size in bytes (without re-encoding).
+    pub fn wire_size(&self) -> usize {
+        let mut n = 8 + 8 + 2 + 1 + 1 + 1; // dest+action+src+hops+staged+proc tag
+        if self.process.is_some() {
+            n += 8;
+        }
+        n += varint_len(self.steps_len() as u64);
+        for step in &self.cont.steps {
+            n += match step {
+                ContStep::SetLco(_) | ContStep::Contribute(_) => 1 + 8,
+                ContStep::Call { .. } => 1 + 16,
+            };
+        }
+        n += varint_len(self.payload.len() as u64) + self.payload.len();
+        n
+    }
+
+    #[inline]
+    fn steps_len(&self) -> usize {
+        self.cont.steps.len()
+    }
+}
+
+#[inline]
+fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gid::GidKind;
+
+    fn sample_parcel() -> Parcel {
+        let mut p = Parcel::new(
+            Gid::new(LocalityId(3), GidKind::Data, 42),
+            ActionId::of("test/action"),
+            Value::encode(&vec![1u64, 2, 3]).unwrap(),
+            Continuation::set(Gid::new(LocalityId(1), GidKind::Lco, 7))
+                .then(ContStep::Call {
+                    action: ActionId::of("test/next"),
+                    target: Gid::new(LocalityId(2), GidKind::Data, 9),
+                })
+                .then(ContStep::Contribute(Gid::new(
+                    LocalityId(0),
+                    GidKind::Lco,
+                    99,
+                ))),
+        );
+        p.src = LocalityId(5);
+        p.process = Some(Gid::new(LocalityId(0), GidKind::Process, 17));
+        p.hops = 2;
+        p.staged = true;
+        p
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample_parcel();
+        let bytes = p.encode();
+        let q = Parcel::decode(&bytes).unwrap();
+        assert_eq!(q.dest, p.dest);
+        assert_eq!(q.action, p.action);
+        assert_eq!(q.src, p.src);
+        assert_eq!(q.hops, p.hops);
+        assert_eq!(q.staged, p.staged);
+        assert_eq!(q.process, p.process);
+        assert_eq!(q.cont, p.cont);
+        assert_eq!(q.payload.bytes(), p.payload.bytes());
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let p = sample_parcel();
+        assert_eq!(p.wire_size(), p.encode().len());
+        let q = Parcel::new(
+            Gid::locality_root(LocalityId(0)),
+            ActionId::of("a"),
+            Value::unit(),
+            Continuation::none(),
+        );
+        assert_eq!(q.wire_size(), q.encode().len());
+    }
+
+    #[test]
+    fn minimal_parcel_roundtrip() {
+        let p = Parcel::new(
+            Gid::locality_root(LocalityId(0)),
+            ActionId::of("noop"),
+            Value::unit(),
+            Continuation::none(),
+        );
+        let q = Parcel::decode(&p.encode()).unwrap();
+        assert!(q.cont.is_none());
+        assert!(q.payload.is_empty());
+        assert_eq!(q.process, None);
+    }
+
+    #[test]
+    fn truncated_parcel_rejected() {
+        let bytes = sample_parcel().encode();
+        assert!(Parcel::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn continuation_builders() {
+        assert!(Continuation::none().is_none());
+        let c = Continuation::set(Gid(1));
+        assert_eq!(c.steps.len(), 1);
+        let c = c.then(ContStep::Contribute(Gid(2)));
+        assert_eq!(c.steps.len(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Parallel processes (§2.2).
+//!
+//! "ParalleX differs from conventional distributed computing languages in
+//! that the notion of parallel processes is not just that there may be
+//! multiple processes being performed concurrently, but rather that each
+//! process may have many parts, either subprocesses or threads, running
+//! concurrently (or in parallel) as well and distributed across many
+//! execution sites. Parallel Processes can be object oriented in that once
+//! instantiated they can have additional messages incident upon them
+//! invoking methods to create new instances in the form of threads (single
+//! locality) or processes (multiple localities)."
+//!
+//! A [`ProcessRef`] names a process; PX-threads and parcels spawned
+//! through it are *accounted* to the process. Termination (quiescence) is
+//! detected with an activity counter that is incremented **before** a
+//! task is dispatched and decremented when it completes — because the
+//! increment happens-before the send, the counter can never be observed at
+//! zero while work is in flight, which is the classic message-counting
+//! termination-detection invariant (Dijkstra–Scholten style, collapsed to
+//! a shared atomic because localities share a process).
+//!
+//! The process holds a *root token* from creation until
+//! [`ProcessRef::finish_root`]; quiescence can therefore not fire while
+//! the creator is still spawning initial work.
+
+use crate::action::{Action, Value};
+use crate::error::PxResult;
+use crate::gid::{Gid, GidKind, LocalityId};
+use crate::lco::FutureRef;
+use crate::parcel::{Continuation, Parcel};
+use crate::runtime::{Ctx, Runtime, RuntimeInner};
+use crate::sched::Task;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared process record (stored at the home locality and in the runtime's
+/// process table).
+pub struct ProcessInner {
+    /// Process name.
+    pub gid: Gid,
+    /// Outstanding activations + the root token.
+    active: AtomicU64,
+    /// Future triggered (with unit) at quiescence.
+    done: Gid,
+    /// Total activations ever accounted (diagnostics).
+    spawned: AtomicU64,
+}
+
+impl std::fmt::Debug for ProcessInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessInner")
+            .field("gid", &self.gid)
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .field("spawned", &self.spawned.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ProcessInner {
+    pub(crate) fn new(gid: Gid, done: Gid) -> Self {
+        ProcessInner {
+            gid,
+            // 1 = the root token held by the creator.
+            active: AtomicU64::new(1),
+            done,
+            spawned: AtomicU64::new(0),
+        }
+    }
+
+    /// Account one dispatched activation.
+    pub(crate) fn task_started(&self) {
+        self.active.fetch_add(1, Ordering::AcqRel);
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one completed activation; triggers the done-future at zero.
+    pub(crate) fn task_done(&self, rt: &Arc<RuntimeInner>) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let home = rt.locality(self.done.birthplace());
+            crate::sched::lco_sys_op(rt, home, self.done, |l| l.trigger(Value::unit()));
+        }
+    }
+
+    /// Outstanding activations (including the root token while held).
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Total activations accounted over the process lifetime.
+    pub fn spawned(&self) -> u64 {
+        self.spawned.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a parallel process.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessRef {
+    gid: Gid,
+    done: Gid,
+}
+
+impl ProcessRef {
+    pub(crate) fn new(gid: Gid, done: Gid) -> Self {
+        ProcessRef { gid, done }
+    }
+
+    /// The process's global name.
+    pub fn gid(&self) -> Gid {
+        self.gid
+    }
+
+    /// Future that fires (unit) at quiescence: no threads or parcels of
+    /// this process remain anywhere in the system.
+    pub fn done_future(&self) -> FutureRef<()> {
+        FutureRef::from_gid(self.done)
+    }
+
+    /// Release the root token. Call after the initial work is spawned;
+    /// until then quiescence cannot trigger.
+    pub fn finish_root(&self, rt: &Runtime) {
+        rt.inner().process_task_done(self.gid);
+    }
+
+    /// As [`ProcessRef::finish_root`] from inside a PX-thread.
+    pub fn finish_root_ctx(&self, ctx: &mut Ctx<'_>) {
+        ctx.rt_inner().process_task_done(self.gid);
+    }
+
+    /// Spawn a PX-thread at `dest` accounted to this process.
+    pub fn spawn_at(
+        &self,
+        rt: &Runtime,
+        dest: LocalityId,
+        f: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
+    ) {
+        let inner = rt.inner();
+        let task = Task::thread(f).with_process(Some(self.gid));
+        inner.send_task(dest, dest, task);
+    }
+
+    /// Send an action parcel accounted to this process.
+    pub fn send_action<A: Action>(
+        &self,
+        rt: &Runtime,
+        target: Gid,
+        args: A::Args,
+        cont: Continuation,
+    ) -> PxResult<()> {
+        let mut p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
+        p.process = Some(self.gid);
+        rt.inner().send_parcel(LocalityId(0), p);
+        Ok(())
+    }
+
+    /// Block the calling OS thread until the process quiesces.
+    pub fn wait(&self, rt: &Runtime) -> PxResult<()> {
+        self.done_future().wait(rt)
+    }
+}
+
+/// Ctx-side process operations (used by PX-threads inside the process).
+impl<'a> Ctx<'a> {
+    /// The process the current PX-thread is accounted to, if any.
+    pub fn current_process(&self) -> Option<Gid> {
+        self.process
+    }
+
+    /// Spawn a PX-thread at `dest` accounted to process `proc` (commonly
+    /// `self.current_process()`; spawns from process threads inherit
+    /// automatically via [`Ctx::spawn`]).
+    pub fn spawn_in_process(
+        &mut self,
+        proc: ProcessRef,
+        dest: LocalityId,
+        f: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
+    ) {
+        let task = Task::thread(f).with_process(Some(proc.gid));
+        self.rt_inner().send_task(self.here(), dest, task);
+    }
+}
+
+/// Create a process homed at `home`. Registered in the runtime's process
+/// table and the home locality's store.
+pub(crate) fn create_process(rt: &Arc<RuntimeInner>, home: LocalityId) -> ProcessRef {
+    let loc = rt.locality(home);
+    let done = loc.new_future_lco();
+    let gid = loc.alloc.alloc(GidKind::Process);
+    let inner = Arc::new(ProcessInner::new(gid, done));
+    loc.insert_at(gid, crate::locality::Stored::Process(inner.clone()));
+    rt.process_table.write().insert(gid, inner);
+    ProcessRef::new(gid, done)
+}
+
+// Process-targeted method invocation: sending an ordinary action parcel
+// whose `dest` is the process GID invokes the action *in the process's
+// context* at its home locality — "messages incident upon them invoking
+// methods". Dispatch happens through the normal parcel path;
+// `ProcessRef::send_action` tags the parcel so spawned children join the
+// process.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gid::GidKind;
+
+    #[test]
+    fn counter_invariant() {
+        let gid = Gid::new(LocalityId(0), GidKind::Process, 1);
+        let done = Gid::new(LocalityId(0), GidKind::Lco, 2);
+        let p = ProcessInner::new(gid, done);
+        assert_eq!(p.active(), 1, "root token held at creation");
+        p.task_started();
+        p.task_started();
+        assert_eq!(p.active(), 3);
+        assert_eq!(p.spawned(), 2);
+    }
+}

@@ -1,0 +1,881 @@
+//! The runtime: configuration, boot, the PX-thread context API, and the
+//! external driver API.
+//!
+//! A [`Runtime`] owns `localities × workers` OS threads plus (when the
+//! wire model is not instant) one delay-line thread. It is built once via
+//! [`RuntimeBuilder`] — the action registry freezes at build so parcel
+//! dispatch never locks — and torn down with [`Runtime::shutdown`] (or on
+//! drop).
+//!
+//! Two views of the same machinery:
+//!
+//! * [`Ctx`] — handed to every PX-thread; split-phase only (never
+//!   blocks): spawns, parcels, LCO events, suspension via depleted
+//!   threads.
+//! * [`Runtime`] — the external driver view; may block
+//!   ([`Runtime::wait_future`], [`crate::lco::FutureRef::wait`]).
+
+use crate::action::{Action, ActionRegistry, Value};
+use crate::agas::Agas;
+use crate::error::{PxError, PxResult};
+use crate::fxmap::FxHashMap;
+use crate::gid::{Gid, GidKind, LocalityId};
+use crate::lco::{CombineFn, ExtSlot, FutureRef, LcoCore, ReduceFn, Waiter};
+use crate::locality::{DataObject, Locality, Stored};
+use crate::net::{Wire, WireModel};
+use crate::parcel::{Continuation, Parcel};
+use crate::process::{ProcessInner, ProcessRef};
+use crate::sched::{sys, Task};
+use crossbeam::deque::Worker as WorkerDeque;
+use parking_lot::{Mutex, RwLock};
+use serde::{de::DeserializeOwned, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of localities (≥ 1).
+    pub localities: usize,
+    /// Worker OS threads per locality (≥ 1).
+    pub workers_per_locality: usize,
+    /// Inter-locality wire model.
+    pub wire: WireModel,
+    /// Localities that drain their percolation staging buffer at top
+    /// priority (the "precious resources" of §2.2).
+    pub accelerators: Vec<LocalityId>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            localities: 4,
+            workers_per_locality: 1,
+            wire: WireModel::instant(),
+            accelerators: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Compact constructor for tests and examples.
+    pub fn small(localities: usize, workers_per_locality: usize) -> Config {
+        Config {
+            localities,
+            workers_per_locality,
+            ..Config::default()
+        }
+    }
+
+    /// Set the wire latency (builder style).
+    pub fn with_latency(mut self, latency: Duration) -> Config {
+        self.wire = WireModel {
+            latency,
+            ..self.wire
+        };
+        self
+    }
+
+    /// Set the wire bandwidth cost in ns/byte (builder style).
+    pub fn with_ns_per_byte(mut self, ns: u64) -> Config {
+        self.wire = WireModel {
+            ns_per_byte: ns,
+            ..self.wire
+        };
+        self
+    }
+
+    /// Mark a locality as a percolation-priority accelerator.
+    pub fn with_accelerator(mut self, loc: LocalityId) -> Config {
+        self.accelerators.push(loc);
+        self
+    }
+
+    fn validate(&self) -> PxResult<()> {
+        if self.localities == 0 || self.localities > u16::MAX as usize {
+            return Err(PxError::BadConfig(format!(
+                "localities must be in 1..=65535, got {}",
+                self.localities
+            )));
+        }
+        if self.workers_per_locality == 0 {
+            return Err(PxError::BadConfig("workers_per_locality must be ≥ 1".into()));
+        }
+        for a in &self.accelerators {
+            if a.0 as usize >= self.localities {
+                return Err(PxError::BadConfig(format!(
+                    "accelerator {a} out of range"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared runtime state (everything workers need).
+pub struct RuntimeInner {
+    /// Configuration the runtime booted with.
+    pub config: Config,
+    /// All localities, indexed by id.
+    pub localities: Arc<Vec<Arc<Locality>>>,
+    /// The global address space service.
+    pub agas: Agas,
+    /// Frozen action dispatch table.
+    pub registry: ActionRegistry,
+    pub(crate) wire: Wire,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) process_table: RwLock<FxHashMap<Gid, Arc<ProcessInner>>>,
+}
+
+impl std::fmt::Debug for RuntimeInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeInner")
+            .field("localities", &self.localities.len())
+            .field("actions", &self.registry.len())
+            .finish()
+    }
+}
+
+impl RuntimeInner {
+    /// Locality by id (panics on out-of-range — ids come from GIDs we
+    /// minted, so out-of-range indicates memory corruption, not input).
+    #[inline]
+    pub fn locality(&self, id: LocalityId) -> &Arc<Locality> {
+        &self.localities[id.0 as usize]
+    }
+}
+
+/// Builds a [`Runtime`]: collect the action registry, validate the
+/// config, boot workers.
+pub struct RuntimeBuilder {
+    config: Config,
+    registry: ActionRegistry,
+    errors: Vec<PxError>,
+}
+
+impl RuntimeBuilder {
+    /// Start building with `config`.
+    pub fn new(config: Config) -> Self {
+        RuntimeBuilder {
+            config,
+            registry: ActionRegistry::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Register a typed action (duplicates are reported at
+    /// [`RuntimeBuilder::build`]).
+    pub fn register<A: Action>(mut self) -> Self {
+        if let Err(e) = self.registry.register::<A>() {
+            self.errors.push(e);
+        }
+        self
+    }
+
+    /// Validate, construct, and boot the runtime.
+    pub fn build(self) -> PxResult<Runtime> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        self.config.validate()?;
+        let n = self.config.localities;
+        let localities: Arc<Vec<Arc<Locality>>> = Arc::new(
+            (0..n)
+                .map(|i| {
+                    let id = LocalityId(i as u16);
+                    let accel = self.config.accelerators.contains(&id);
+                    Arc::new(Locality::new(id, accel))
+                })
+                .collect(),
+        );
+        let wire = Wire::new(self.config.wire, localities.clone());
+        let inner = Arc::new(RuntimeInner {
+            agas: Agas::new(n),
+            registry: self.registry,
+            wire,
+            shutdown: AtomicBool::new(false),
+            process_table: RwLock::new(FxHashMap::default()),
+            localities,
+            config: self.config,
+        });
+
+        // Boot workers: deques and stealers are wired before any thread
+        // starts, so `Locality::stealers` is effectively immutable after.
+        let mut joins = Vec::new();
+        for (li, loc) in inner.localities.iter().enumerate() {
+            let deques: Vec<WorkerDeque<Task>> = (0..inner.config.workers_per_locality)
+                .map(|_| WorkerDeque::new_lifo())
+                .collect();
+            *loc.stealers.write() = deques.iter().map(|d| d.stealer()).collect();
+            for (wi, deque) in deques.into_iter().enumerate() {
+                let rt = inner.clone();
+                joins.push(
+                    std::thread::Builder::new()
+                        .name(format!("px-L{li}-w{wi}"))
+                        .spawn(move || crate::sched::worker_main(rt, li, wi, deque))
+                        .expect("spawn worker"),
+                );
+            }
+        }
+        Ok(Runtime {
+            inner,
+            joins: Mutex::new(Some(joins)),
+        })
+    }
+}
+
+/// The booted runtime (external driver handle).
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    joins: Mutex<Option<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl Runtime {
+    /// Shared state handle (crate-internal plumbing).
+    pub(crate) fn inner(&self) -> &Arc<RuntimeInner> {
+        &self.inner
+    }
+
+    /// Number of localities.
+    pub fn num_localities(&self) -> usize {
+        self.inner.localities.len()
+    }
+
+    /// The active wire model.
+    pub fn wire_model(&self) -> WireModel {
+        self.inner.wire.model()
+    }
+
+    /// Snapshot all locality counters.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        crate::stats::StatsSnapshot {
+            localities: self
+                .inner
+                .localities
+                .iter()
+                .map(|l| l.counters.snapshot())
+                .collect(),
+        }
+    }
+
+    /// Stop accepting work, wake and join all workers, stop the wire.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        let joins = self.joins.lock().take();
+        if let Some(joins) = joins {
+            self.inner.shutdown.store(true, Ordering::Release);
+            for loc in self.inner.localities.iter() {
+                loc.sleep.wake_all();
+            }
+            for j in joins {
+                let _ = j.join();
+            }
+        }
+    }
+
+    // ---- work injection ---------------------------------------------------
+
+    /// Spawn a PX-thread at `dest`.
+    pub fn spawn_at(&self, dest: LocalityId, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        self.inner.send_task(dest, dest, Task::thread(f));
+    }
+
+    /// Send an action parcel (origin is locality 0 by driver convention).
+    pub fn send_action<A: Action>(
+        &self,
+        target: Gid,
+        args: A::Args,
+        cont: Continuation,
+    ) -> PxResult<()> {
+        let p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
+        self.inner.send_parcel(LocalityId(0), p);
+        Ok(())
+    }
+
+    /// Run a closure inside a PX-thread at `dest` and block for its
+    /// result (driver convenience; the result crosses back through a
+    /// channel, not the wire).
+    pub fn run_blocking<T, F>(&self, dest: LocalityId, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Ctx<'_>) -> T + Send + 'static,
+    {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.spawn_at(dest, move |ctx| {
+            let _ = tx.send(f(ctx));
+        });
+        rx.recv().expect("runtime dropped while running closure")
+    }
+
+    // ---- LCOs --------------------------------------------------------------
+
+    /// Create a future LCO at `loc`.
+    pub fn new_future<T: Serialize + DeserializeOwned>(&self, loc: LocalityId) -> FutureRef<T> {
+        FutureRef::from_gid(self.inner.locality(loc).new_future_lco())
+    }
+
+    /// Create an and-gate expecting `n` triggers at `loc`.
+    pub fn new_and_gate(&self, loc: LocalityId, n: u64) -> Gid {
+        self.inner.locality(loc).insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_and_gate(gid, n))))
+        })
+    }
+
+    /// Create a reduction LCO at `loc` over `n` contributions.
+    pub fn new_reduce<T: Serialize + DeserializeOwned>(
+        &self,
+        loc: LocalityId,
+        n: u64,
+        seed: &T,
+        fold: ReduceFn,
+    ) -> PxResult<FutureRef<T>> {
+        let seed = Value::encode(seed)?;
+        let gid = self.inner.locality(loc).insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_reduce(gid, n, seed, fold))))
+        });
+        Ok(FutureRef::from_gid(gid))
+    }
+
+    /// Create a counting semaphore at `loc`.
+    pub fn new_semaphore(&self, loc: LocalityId, permits: u64) -> Gid {
+        self.inner.locality(loc).insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_semaphore(gid, permits))))
+        })
+    }
+
+    /// Trigger any LCO with an encoded value, routed like a parcel.
+    pub fn trigger<T: Serialize>(&self, gid: Gid, value: &T) -> PxResult<()> {
+        let v = Value::encode(value)?;
+        let from = self.inner.locality(LocalityId(0));
+        self.inner.lco_route(from, gid, sys::LCO_SET, v);
+        Ok(())
+    }
+
+    /// Fill a typed future.
+    pub fn set_future<T: Serialize + DeserializeOwned>(
+        &self,
+        fut: FutureRef<T>,
+        value: &T,
+    ) -> PxResult<()> {
+        self.trigger(fut.gid(), value)
+    }
+
+    /// Block until an LCO fires; returns the raw value.
+    pub fn wait_value(&self, gid: Gid) -> PxResult<Value> {
+        let loc = self.inner.locality(gid.birthplace());
+        let lco = loc.get_lco(gid)?;
+        let slot = Arc::new(ExtSlot::default());
+        let acts = lco.lock().add_waiter(Waiter::External(slot.clone()));
+        self.inner.schedule_activations(loc, acts);
+        Ok(slot.wait())
+    }
+
+    /// Block until a typed future fires.
+    pub fn wait_future<T: Serialize + DeserializeOwned>(&self, fut: FutureRef<T>) -> PxResult<T> {
+        self.wait_value(fut.gid())?.decode()
+    }
+
+    /// Block with a timeout; `Ok(None)` on timeout.
+    pub fn wait_future_timeout<T: Serialize + DeserializeOwned>(
+        &self,
+        fut: FutureRef<T>,
+        timeout: Duration,
+    ) -> PxResult<Option<T>> {
+        let gid = fut.gid();
+        let loc = self.inner.locality(gid.birthplace());
+        let lco = loc.get_lco(gid)?;
+        let slot = Arc::new(ExtSlot::default());
+        let acts = lco.lock().add_waiter(Waiter::External(slot.clone()));
+        self.inner.schedule_activations(loc, acts);
+        match slot.wait_timeout(timeout) {
+            Some(v) => Ok(Some(v.decode()?)),
+            None => Ok(None),
+        }
+    }
+
+    // ---- data objects ------------------------------------------------------
+
+    /// Create a data object at `loc`.
+    pub fn new_data_at(&self, loc: LocalityId, bytes: Vec<u8>) -> Gid {
+        self.inner.locality(loc).insert(GidKind::Data, |_| {
+            Stored::Data(Arc::new(RwLock::new(DataObject { bytes, version: 0 })))
+        })
+    }
+
+    /// Read a data object wherever it lives (driver-side shortcut; inside
+    /// PX-threads use parcels or [`Ctx::fetch_data`]).
+    pub fn read_data(&self, gid: Gid) -> PxResult<Vec<u8>> {
+        let owner = self.inner.agas.authoritative_owner(gid);
+        let d = self.inner.locality(owner).get_data(gid)?;
+        let g = d.read();
+        Ok(g.bytes.clone())
+    }
+
+    /// Migrate a data object to `to`. Store move and directory update are
+    /// performed back to back; parcels racing with the move are forwarded
+    /// (bounded chase) by the scheduler.
+    pub fn migrate_data(&self, gid: Gid, to: LocalityId) -> PxResult<()> {
+        if gid.kind() != GidKind::Data {
+            return Err(PxError::NotMigratable(gid));
+        }
+        let from = self.inner.agas.authoritative_owner(gid);
+        if from == to {
+            return Ok(());
+        }
+        let obj = self
+            .inner
+            .locality(from)
+            .remove(gid)
+            .ok_or(PxError::NoSuchObject(gid))?;
+        self.inner.locality(to).insert_at(gid, obj);
+        self.inner.agas.record_migration(gid, to);
+        Ok(())
+    }
+
+    // ---- names & processes -------------------------------------------------
+
+    /// Bind a hierarchical symbolic name.
+    pub fn register_name(&self, name: &str, gid: Gid) -> PxResult<()> {
+        self.inner.agas.register_name(name, gid)
+    }
+
+    /// Resolve a symbolic name.
+    pub fn lookup_name(&self, name: &str) -> PxResult<Gid> {
+        self.inner.agas.lookup_name(name)
+    }
+
+    /// Create a parallel process homed at `home`.
+    pub fn create_process(&self, home: LocalityId) -> ProcessRef {
+        crate::process::create_process(&self.inner, home)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-activation context handed to every PX-thread.
+///
+/// All operations are split-phase: nothing here blocks. A thread needing a
+/// value that is not yet available either *suspends* ([`Ctx::when_ready`] —
+/// its continuation becomes a depleted-thread LCO waiter) or *terminates*
+/// into a parcel ([`Ctx::send`] with a continuation).
+pub struct Ctx<'a> {
+    rt: &'a Arc<RuntimeInner>,
+    loc: &'a Arc<Locality>,
+    local: Option<&'a WorkerDeque<Task>>,
+    pub(crate) process: Option<Gid>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        rt: &'a Arc<RuntimeInner>,
+        loc: &'a Arc<Locality>,
+        local: Option<&'a WorkerDeque<Task>>,
+        process: Option<Gid>,
+    ) -> Self {
+        Ctx {
+            rt,
+            loc,
+            local,
+            process,
+        }
+    }
+
+    /// The locality this thread serves (threads are ephemeral and serve a
+    /// single locality, §2.2).
+    #[inline]
+    pub fn here(&self) -> LocalityId {
+        self.loc.id
+    }
+
+    /// Number of localities in the system.
+    #[inline]
+    pub fn num_localities(&self) -> usize {
+        self.rt.localities.len()
+    }
+
+    /// The current locality object (object store access).
+    #[inline]
+    pub fn locality(&self) -> &Arc<Locality> {
+        self.loc
+    }
+
+    /// Crate-internal runtime access.
+    #[inline]
+    pub(crate) fn rt_inner(&self) -> &Arc<RuntimeInner> {
+        self.rt
+    }
+
+    // ---- spawning ----------------------------------------------------------
+
+    /// Spawn a PX-thread on this locality (LIFO on the local deque — the
+    /// cache-friendly fast path). Inherits the current process.
+    pub fn spawn(&mut self, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        let task = Task::thread(f).with_process(self.process);
+        if let Some(p) = self.process {
+            self.rt.process_task_started(p);
+        }
+        match self.local {
+            Some(deque) => {
+                deque.push(task);
+                self.loc.sleep.wake_one();
+            }
+            None => self.loc.push_task(task),
+        }
+    }
+
+    /// Spawn a PX-thread at another locality (closure transfer paying
+    /// wire latency; for data-bearing work prefer actions + parcels).
+    /// Inherits the current process.
+    pub fn spawn_at(&mut self, dest: LocalityId, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        let task = Task::thread(f).with_process(self.process);
+        self.rt.send_task(self.here(), dest, task);
+    }
+
+    // ---- parcels -----------------------------------------------------------
+
+    /// Send an action parcel: terminate-into-parcel style control
+    /// migration (§2.2: work moves to the data).
+    pub fn send<A: Action>(&mut self, target: Gid, args: A::Args, cont: Continuation) -> PxResult<()> {
+        let mut p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
+        p.process = self.process;
+        self.rt.send_parcel(self.here(), p);
+        Ok(())
+    }
+
+    /// Send an action and obtain a local future for its result.
+    pub fn call<A: Action>(&mut self, target: Gid, args: A::Args) -> PxResult<FutureRef<A::Out>> {
+        let fut = self.new_future::<A::Out>();
+        self.send::<A>(target, args, Continuation::set(fut.gid()))?;
+        Ok(fut)
+    }
+
+    /// Send a raw parcel (advanced; normal code uses [`Ctx::send`]).
+    pub fn send_parcel(&mut self, mut p: Parcel) {
+        p.process = p.process.or(self.process);
+        self.rt.send_parcel(self.here(), p);
+    }
+
+    // ---- LCO creation -------------------------------------------------------
+
+    /// Create a local future.
+    pub fn new_future<T: Serialize + DeserializeOwned>(&mut self) -> FutureRef<T> {
+        FutureRef::from_gid(self.loc.new_future_lco())
+    }
+
+    /// Create a local and-gate over `n` events.
+    pub fn new_and_gate(&mut self, n: u64) -> Gid {
+        self.loc.insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_and_gate(gid, n))))
+        })
+    }
+
+    /// Create a local dataflow template with `n` slots.
+    pub fn new_dataflow(&mut self, n: usize, combine: CombineFn) -> Gid {
+        self.loc.insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_dataflow(gid, n, combine))))
+        })
+    }
+
+    /// Create a local reduction LCO.
+    pub fn new_reduce<T: Serialize + DeserializeOwned>(
+        &mut self,
+        n: u64,
+        seed: &T,
+        fold: ReduceFn,
+    ) -> PxResult<FutureRef<T>> {
+        let seed = Value::encode(seed)?;
+        let gid = self.loc.insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_reduce(gid, n, seed, fold))))
+        });
+        Ok(FutureRef::from_gid(gid))
+    }
+
+    /// Create a local counting semaphore.
+    pub fn new_semaphore(&mut self, permits: u64) -> Gid {
+        self.loc.insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_semaphore(gid, permits))))
+        })
+    }
+
+    // ---- LCO events ----------------------------------------------------------
+
+    /// Trigger an LCO (anywhere) with a typed value.
+    pub fn trigger<T: Serialize>(&mut self, gid: Gid, value: &T) -> PxResult<()> {
+        let v = Value::encode(value)?;
+        self.rt.lco_route(self.loc, gid, sys::LCO_SET, v);
+        Ok(())
+    }
+
+    /// Trigger an LCO with an already-encoded value.
+    pub fn trigger_value(&mut self, gid: Gid, value: Value) {
+        self.rt.lco_route(self.loc, gid, sys::LCO_SET, value);
+    }
+
+    /// Fill a typed future.
+    pub fn set_future<T: Serialize + DeserializeOwned>(
+        &mut self,
+        fut: FutureRef<T>,
+        value: &T,
+    ) -> PxResult<()> {
+        self.trigger(fut.gid(), value)
+    }
+
+    /// Fill dataflow slot `idx` of an LCO (anywhere).
+    pub fn set_slot<T: Serialize>(&mut self, gid: Gid, idx: u32, value: &T) -> PxResult<()> {
+        let v = Value::encode(value)?;
+        if gid.birthplace() == self.here() && self.loc.contains(gid) {
+            crate::sched::lco_sys_op(self.rt, self.loc, gid, |l| {
+                l.trigger_slot(idx as usize, v.clone())
+            });
+        } else {
+            let mut w = px_wire::WireWriter::with_capacity(4 + v.len());
+            w.put_u32(idx);
+            w.put_bytes(v.bytes());
+            let p = Parcel::new(
+                gid,
+                sys::LCO_SET_SLOT,
+                Value::from_bytes(w.into_bytes()),
+                Continuation::none(),
+            );
+            self.rt.send_parcel(self.here(), p);
+        }
+        Ok(())
+    }
+
+    /// Contribute to a reduction LCO (anywhere).
+    pub fn contribute<T: Serialize>(&mut self, gid: Gid, value: &T) -> PxResult<()> {
+        let v = Value::encode(value)?;
+        self.rt.lco_route(self.loc, gid, sys::LCO_CONTRIBUTE, v);
+        Ok(())
+    }
+
+    // ---- suspension (depleted threads) ---------------------------------------
+
+    /// Suspend on an LCO: deposit `f` as a depleted thread, resumed with
+    /// the LCO's value. For a *remote* LCO a local proxy future is created
+    /// and the remote value is pulled with a `__sys/lco_get` parcel — the
+    /// thread itself still suspends locally (threads serve one locality).
+    pub fn when_ready(&mut self, gid: Gid, f: impl FnOnce(&mut Ctx<'_>, Value) + Send + 'static) {
+        if gid.birthplace() == self.here() && self.loc.contains(gid) {
+            let lco = match self.loc.get_lco(gid) {
+                Ok(l) => l,
+                Err(_) => return,
+            };
+            if let Some(p) = self.process {
+                // The suspended continuation is still process work. The
+                // matching completion must be issued by the continuation
+                // itself: when the LCO fires later, the generic waiter
+                // scheduling path has no process context.
+                self.rt.process_task_started(p);
+                let proc = self.process;
+                let acts = lco.lock().add_waiter(Waiter::Depleted(Box::new(
+                    move |ctx: &mut Ctx<'_>, v: Value| {
+                        ctx.process = proc;
+                        f(ctx, v);
+                        if let Some(pg) = proc {
+                            let rt = ctx.rt.clone();
+                            rt.process_task_done(pg);
+                        }
+                    },
+                )));
+                self.rt.schedule_activations(self.loc, acts);
+            } else {
+                let acts = lco
+                    .lock()
+                    .add_waiter(Waiter::Depleted(Box::new(f)));
+                self.rt.schedule_activations(self.loc, acts);
+            }
+        } else {
+            let proxy = self.loc.new_future_lco();
+            let p = Parcel::new(
+                gid,
+                sys::LCO_GET,
+                Value::unit(),
+                Continuation::set(proxy),
+            );
+            self.rt.send_parcel(self.here(), p);
+            self.when_ready(proxy, f);
+        }
+    }
+
+    /// Typed suspension on a future.
+    pub fn when_future<T, F>(&mut self, fut: FutureRef<T>, f: F)
+    where
+        T: Serialize + DeserializeOwned + 'static,
+        F: FnOnce(&mut Ctx<'_>, T) + Send + 'static,
+    {
+        self.when_ready(fut.gid(), move |ctx, v| {
+            if let Ok(t) = v.decode::<T>() {
+                f(ctx, t);
+            }
+        });
+    }
+
+    /// Acquire a semaphore LCO (anywhere); `f` runs when a permit is
+    /// granted. Pair with [`Ctx::release`].
+    pub fn acquire(&mut self, sem: Gid, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        if sem.birthplace() == self.here() && self.loc.contains(sem) {
+            let lco = match self.loc.get_lco(sem) {
+                Ok(l) => l,
+                Err(_) => return,
+            };
+            let acts = lco
+                .lock()
+                .acquire(Waiter::Depleted(Box::new(move |ctx: &mut Ctx<'_>, _| f(ctx))))
+                .unwrap_or_default();
+            self.rt.schedule_activations(self.loc, acts);
+        } else {
+            let proxy = self.loc.new_future_lco();
+            let p = Parcel::new(sem, sys::LCO_ACQUIRE, Value::unit(), Continuation::set(proxy));
+            self.rt.send_parcel(self.here(), p);
+            self.when_ready(proxy, move |ctx, _| f(ctx));
+        }
+    }
+
+    /// Release a semaphore LCO (anywhere).
+    pub fn release(&mut self, sem: Gid) {
+        if sem.birthplace() == self.here() && self.loc.contains(sem) {
+            crate::sched::lco_sys_op(self.rt, self.loc, sem, |l| Ok(l.release()));
+        } else {
+            let p = Parcel::new(sem, sys::LCO_RELEASE, Value::unit(), Continuation::none());
+            self.rt.send_parcel(self.here(), p);
+        }
+    }
+
+    // ---- data objects ---------------------------------------------------------
+
+    /// Create a local data object.
+    pub fn new_data(&mut self, bytes: Vec<u8>) -> Gid {
+        self.loc.insert(GidKind::Data, |_| {
+            Stored::Data(Arc::new(RwLock::new(DataObject { bytes, version: 0 })))
+        })
+    }
+
+    /// Read a *local* data object.
+    pub fn read_local_data(&self, gid: Gid) -> PxResult<Vec<u8>> {
+        let d = self.loc.get_data(gid)?;
+        let g = d.read();
+        Ok(g.bytes.clone())
+    }
+
+    /// Overwrite a *local* data object.
+    pub fn write_local_data(&mut self, gid: Gid, bytes: Vec<u8>) -> PxResult<()> {
+        let d = self.loc.get_data(gid)?;
+        let mut g = d.write();
+        g.bytes = bytes;
+        g.version += 1;
+        Ok(())
+    }
+
+    /// Fetch a possibly-remote data object into a local future
+    /// (data-to-work movement; the comparison point for E6).
+    pub fn fetch_data(&mut self, gid: Gid) -> FutureRef<Vec<u8>> {
+        let fut = self.new_future::<Vec<u8>>();
+        let p = Parcel::new(gid, sys::DATA_GET, Value::unit(), Continuation::set(fut.gid()));
+        self.rt.send_parcel(self.here(), p);
+        fut
+    }
+
+    /// Overwrite a possibly-remote data object; the returned future fires
+    /// (unit) when the write is applied.
+    pub fn store_data(&mut self, gid: Gid, bytes: &Vec<u8>) -> PxResult<FutureRef<()>> {
+        let fut = self.new_future::<()>();
+        let p = Parcel::new(
+            gid,
+            sys::DATA_PUT,
+            Value::encode(bytes)?,
+            Continuation::set(fut.gid()),
+        );
+        self.rt.send_parcel(self.here(), p);
+        Ok(fut)
+    }
+
+    // ---- names ------------------------------------------------------------------
+
+    /// Bind a symbolic name.
+    pub fn register_name(&mut self, name: &str, gid: Gid) -> PxResult<()> {
+        self.rt.agas.register_name(name, gid)
+    }
+
+    /// Resolve a symbolic name.
+    pub fn lookup_name(&self, name: &str) -> PxResult<Gid> {
+        self.rt.agas.lookup_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(Config::small(0, 1).validate().is_err());
+        assert!(Config::small(1, 0).validate().is_err());
+        assert!(Config::small(2, 1)
+            .with_accelerator(LocalityId(5))
+            .validate()
+            .is_err());
+        assert!(Config::small(2, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn boot_and_shutdown() {
+        let rt = RuntimeBuilder::new(Config::small(2, 2)).build().unwrap();
+        assert_eq!(rt.num_localities(), 2);
+        rt.shutdown();
+        rt.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn future_set_and_wait() {
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        let fut = rt.new_future::<u64>(LocalityId(1));
+        rt.set_future(fut, &99).unwrap();
+        assert_eq!(fut.wait(&rt).unwrap(), 99);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawn_runs_on_destination() {
+        let rt = RuntimeBuilder::new(Config::small(3, 1)).build().unwrap();
+        let fut = rt.new_future::<u16>(LocalityId(0));
+        let gid = fut.gid();
+        rt.spawn_at(LocalityId(2), move |ctx| {
+            let here = ctx.here().0;
+            ctx.trigger(gid, &here).unwrap();
+        });
+        assert_eq!(fut.wait(&rt).unwrap(), 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn run_blocking_returns_value() {
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        let v = rt.run_blocking(LocalityId(1), |ctx| ctx.here().0 * 10);
+        assert_eq!(v, 10);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_on_unset_future() {
+        let rt = RuntimeBuilder::new(Config::small(1, 1)).build().unwrap();
+        let fut = rt.new_future::<u8>(LocalityId(0));
+        let r = rt
+            .wait_future_timeout(fut, Duration::from_millis(20))
+            .unwrap();
+        assert!(r.is_none());
+        rt.shutdown();
+    }
+}

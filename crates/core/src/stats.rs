@@ -1,0 +1,244 @@
+//! Instrumentation: the efficiency factors the paper names (§2.1) —
+//! latency exposure, overhead, starvation — made measurable.
+//!
+//! Every locality keeps lock-free counters updated by its workers; a
+//! [`StatsSnapshot`] is a consistent-enough copy for experiment output
+//! (individual counters are exact; cross-counter skew is bounded by the
+//! snapshot interval, which is fine for the ratios the experiments report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-locality counters (all monotone).
+#[derive(Debug, Default)]
+pub struct LocalityCounters {
+    /// Parcels sent from this locality (including forwarded ones).
+    pub parcels_sent: AtomicU64,
+    /// Parcels received and executed here.
+    pub parcels_recv: AtomicU64,
+    /// Parcels that arrived here but had to be forwarded after migration.
+    pub parcels_forwarded: AtomicU64,
+    /// Payload + header bytes sent.
+    pub bytes_sent: AtomicU64,
+    /// PX-threads executed (fresh threads + parcel-spawned threads).
+    pub threads_executed: AtomicU64,
+    /// Depleted threads resumed (suspensions that completed).
+    pub resumes: AtomicU64,
+    /// Tasks stolen from a sibling worker within the locality.
+    pub steals: AtomicU64,
+    /// Times a worker went to sleep with no work (starvation events).
+    pub parks: AtomicU64,
+    /// Nanoseconds workers spent executing tasks.
+    pub busy_ns: AtomicU64,
+    /// Nanoseconds workers spent idle (searching or parked).
+    pub idle_ns: AtomicU64,
+    /// LCO events processed (triggers, contributions, slot fills).
+    pub lco_events: AtomicU64,
+    /// Percolated (prestaged) tasks executed.
+    pub staged_executed: AtomicU64,
+    /// AGAS resolutions served from the local cache.
+    pub agas_cache_hits: AtomicU64,
+    /// AGAS resolutions that consulted the directory.
+    pub agas_directory_lookups: AtomicU64,
+    /// Parcels dropped: unknown action, missing object past the hop
+    /// budget, or malformed payload.
+    pub dead_parcels: AtomicU64,
+    /// PX-threads that panicked (isolated; the worker survives).
+    pub panics: AtomicU64,
+}
+
+macro_rules! bump {
+    ($field:expr) => {{
+        let _ = $field.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+    }};
+    ($field:expr, $n:expr) => {{
+        let _ = $field.fetch_add($n, ::std::sync::atomic::Ordering::Relaxed);
+    }};
+}
+pub(crate) use bump;
+
+impl LocalityCounters {
+    /// Copy current values.
+    pub fn snapshot(&self) -> LocalityStats {
+        LocalityStats {
+            parcels_sent: self.parcels_sent.load(Ordering::Relaxed),
+            parcels_recv: self.parcels_recv.load(Ordering::Relaxed),
+            parcels_forwarded: self.parcels_forwarded.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            threads_executed: self.threads_executed.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            lco_events: self.lco_events.load(Ordering::Relaxed),
+            staged_executed: self.staged_executed.load(Ordering::Relaxed),
+            agas_cache_hits: self.agas_cache_hits.load(Ordering::Relaxed),
+            agas_directory_lookups: self.agas_directory_lookups.load(Ordering::Relaxed),
+            dead_parcels: self.dead_parcels.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`LocalityCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub struct LocalityStats {
+    pub parcels_sent: u64,
+    pub parcels_recv: u64,
+    pub parcels_forwarded: u64,
+    pub bytes_sent: u64,
+    pub threads_executed: u64,
+    pub resumes: u64,
+    pub steals: u64,
+    pub parks: u64,
+    pub busy_ns: u64,
+    pub idle_ns: u64,
+    pub lco_events: u64,
+    pub staged_executed: u64,
+    pub agas_cache_hits: u64,
+    pub agas_directory_lookups: u64,
+    pub dead_parcels: u64,
+    pub panics: u64,
+}
+
+impl LocalityStats {
+    /// Fraction of worker time spent executing (1.0 = no starvation).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+
+    /// Element-wise difference (for interval measurements).
+    pub fn delta_from(&self, earlier: &LocalityStats) -> LocalityStats {
+        LocalityStats {
+            parcels_sent: self.parcels_sent - earlier.parcels_sent,
+            parcels_recv: self.parcels_recv - earlier.parcels_recv,
+            parcels_forwarded: self.parcels_forwarded - earlier.parcels_forwarded,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            threads_executed: self.threads_executed - earlier.threads_executed,
+            resumes: self.resumes - earlier.resumes,
+            steals: self.steals - earlier.steals,
+            parks: self.parks - earlier.parks,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+            idle_ns: self.idle_ns - earlier.idle_ns,
+            lco_events: self.lco_events - earlier.lco_events,
+            staged_executed: self.staged_executed - earlier.staged_executed,
+            agas_cache_hits: self.agas_cache_hits - earlier.agas_cache_hits,
+            agas_directory_lookups: self.agas_directory_lookups
+                - earlier.agas_directory_lookups,
+            dead_parcels: self.dead_parcels - earlier.dead_parcels,
+            panics: self.panics - earlier.panics,
+        }
+    }
+}
+
+/// Runtime-wide snapshot: one entry per locality plus totals.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    /// Per-locality stats, indexed by locality id.
+    pub localities: Vec<LocalityStats>,
+}
+
+impl StatsSnapshot {
+    /// Sum across localities.
+    pub fn total(&self) -> LocalityStats {
+        let mut t = LocalityStats::default();
+        for l in &self.localities {
+            t.parcels_sent += l.parcels_sent;
+            t.parcels_recv += l.parcels_recv;
+            t.parcels_forwarded += l.parcels_forwarded;
+            t.bytes_sent += l.bytes_sent;
+            t.threads_executed += l.threads_executed;
+            t.resumes += l.resumes;
+            t.steals += l.steals;
+            t.parks += l.parks;
+            t.busy_ns += l.busy_ns;
+            t.idle_ns += l.idle_ns;
+            t.lco_events += l.lco_events;
+            t.staged_executed += l.staged_executed;
+            t.agas_cache_hits += l.agas_cache_hits;
+            t.agas_directory_lookups += l.agas_directory_lookups;
+            t.dead_parcels += l.dead_parcels;
+            t.panics += l.panics;
+        }
+        t
+    }
+
+    /// Mean busy fraction across localities (unweighted).
+    pub fn mean_busy_fraction(&self) -> f64 {
+        if self.localities.is_empty() {
+            return 0.0;
+        }
+        self.localities
+            .iter()
+            .map(LocalityStats::busy_fraction)
+            .sum::<f64>()
+            / self.localities.len() as f64
+    }
+
+    /// Interval delta against an earlier snapshot.
+    pub fn delta_from(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            localities: self
+                .localities
+                .iter()
+                .zip(earlier.localities.iter())
+                .map(|(now, then)| now.delta_from(then))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let c = LocalityCounters::default();
+        bump!(c.parcels_sent);
+        bump!(c.parcels_sent);
+        bump!(c.bytes_sent, 100);
+        let s = c.snapshot();
+        assert_eq!(s.parcels_sent, 2);
+        assert_eq!(s.bytes_sent, 100);
+    }
+
+    #[test]
+    fn busy_fraction_bounds() {
+        let mut s = LocalityStats::default();
+        assert_eq!(s.busy_fraction(), 0.0);
+        s.busy_ns = 75;
+        s.idle_ns = 25;
+        assert!((s.busy_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_deltas() {
+        let a = LocalityStats {
+            parcels_sent: 5,
+            busy_ns: 10,
+            ..Default::default()
+        };
+        let b = LocalityStats {
+            parcels_sent: 8,
+            busy_ns: 30,
+            ..Default::default()
+        };
+        let snap = StatsSnapshot {
+            localities: vec![a, b],
+        };
+        assert_eq!(snap.total().parcels_sent, 13);
+        let later = StatsSnapshot {
+            localities: vec![b, b],
+        };
+        let d = later.delta_from(&snap);
+        assert_eq!(d.localities[0].parcels_sent, 3);
+        assert_eq!(d.localities[1].parcels_sent, 0);
+    }
+}

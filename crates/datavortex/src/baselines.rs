@@ -1,0 +1,239 @@
+//! Reference networks for the E10 comparison.
+//!
+//! * [`crossbar`] — an ideal output-queued crossbar: every packet reaches
+//!   its output queue after `port_latency` cycles; each output drains one
+//!   packet per cycle. The lower bound any real switch chases.
+//! * [`torus2d`] — a `k × k` bidirectional 2-D torus with dimension-ordered
+//!   (X then Y) store-and-forward routing and one packet per link per
+//!   cycle, infinite node buffers. The conventional electrical-mesh
+//!   alternative a 2007-era MPP would use.
+
+use crate::traffic::Injection;
+use crate::NetStats;
+use std::collections::VecDeque;
+
+/// Ideal output-queued crossbar: a packet injected at `t` reaches output
+/// `dst` at `t + port_latency`; each output serves one packet per cycle
+/// in arrival order. `deflections` counts queueing events (packets that
+/// had to wait).
+pub fn crossbar(
+    ports: usize,
+    injections: &[Injection],
+    port_latency: u64,
+    max_cycles: u64,
+) -> NetStats {
+    let mut stats = NetStats {
+        injected: injections.len() as u64,
+        ..Default::default()
+    };
+    let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); ports];
+    for i in injections {
+        arrivals[i.dst % ports].push(i.cycle);
+    }
+    for arr in arrivals.iter_mut() {
+        arr.sort_unstable();
+        let mut free_at = 0u64;
+        for &inject in arr.iter() {
+            let at_output = inject + port_latency;
+            let depart = at_output.max(free_at);
+            if depart >= max_cycles {
+                continue;
+            }
+            free_at = depart + 1;
+            if depart > at_output {
+                stats.deflections += 1;
+            }
+            let latency = depart + 1 - inject;
+            stats.latency_sum += latency;
+            stats.latency_max = stats.latency_max.max(latency);
+            stats.delivered += 1;
+            stats.cycles = stats.cycles.max(depart + 1);
+        }
+    }
+    stats
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TorusPacket {
+    dst: usize,
+    injected_at: u64,
+}
+
+/// `k × k` torus, dimension-ordered routing, 1 packet/link/cycle.
+pub fn torus2d(k: usize, injections: &[Injection], max_cycles: u64) -> NetStats {
+    let n = k * k;
+    let mut stats = NetStats {
+        injected: injections.len() as u64,
+        ..Default::default()
+    };
+    // Each node has 4 outgoing link queues: +x, -x, +y, -y.
+    // link index = node * 4 + dir.
+    let mut links: Vec<VecDeque<TorusPacket>> = vec![VecDeque::new(); n * 4];
+    let mut pending: Vec<Injection> = injections.to_vec();
+    pending.sort_by_key(|i| i.cycle);
+    let mut next_inj = 0usize;
+    let mut in_flight = 0u64;
+
+    // Route one hop: which dir from `node` toward `dst` (X first, shortest
+    // way around the ring; ties +).
+    let dir_of = |node: usize, dst: usize| -> usize {
+        let (x, y) = (node % k, node / k);
+        let (dx, dy) = (dst % k, dst / k);
+        if x != dx {
+            let fwd = (dx + k - x) % k;
+            if fwd <= k - fwd {
+                0
+            } else {
+                1
+            }
+        } else {
+            let fwd = (dy + k - y) % k;
+            if fwd <= k - fwd {
+                2
+            } else {
+                3
+            }
+        }
+    };
+    let neighbor = |node: usize, dir: usize| -> usize {
+        let (x, y) = (node % k, node / k);
+        match dir {
+            0 => (x + 1) % k + y * k,
+            1 => (x + k - 1) % k + y * k,
+            2 => x + ((y + 1) % k) * k,
+            _ => x + ((y + k - 1) % k) * k,
+        }
+    };
+
+    for cycle in 0..max_cycles {
+        // Inject.
+        while next_inj < pending.len() && pending[next_inj].cycle == cycle {
+            let i = pending[next_inj];
+            let src = i.src % n;
+            let dst = i.dst % n;
+            let d = dir_of(src, dst);
+            links[src * 4 + d].push_back(TorusPacket {
+                dst,
+                injected_at: cycle,
+            });
+            in_flight += 1;
+            next_inj += 1;
+        }
+        // Each link forwards one packet per cycle into the neighbor.
+        let mut moves: Vec<(usize, TorusPacket)> = Vec::new(); // (arriving node, pkt)
+        for node in 0..n {
+            for dir in 0..4 {
+                if let Some(p) = links[node * 4 + dir].pop_front() {
+                    moves.push((neighbor(node, dir), p));
+                }
+            }
+        }
+        for (node, p) in moves {
+            if node == p.dst {
+                stats.delivered += 1;
+                in_flight -= 1;
+                let lat = cycle + 1 - p.injected_at;
+                stats.latency_sum += lat;
+                stats.latency_max = stats.latency_max.max(lat);
+            } else {
+                let d = dir_of(node, p.dst);
+                let q = &mut links[node * 4 + d];
+                if !q.is_empty() {
+                    stats.deflections += 1; // queueing event
+                }
+                q.push_back(p);
+            }
+        }
+        stats.cycles = cycle + 1;
+        if next_inj == pending.len() && in_flight == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic;
+
+    #[test]
+    fn crossbar_zero_load_latency_is_port_latency() {
+        let inj = vec![traffic::Injection {
+            cycle: 0,
+            src: 1,
+            dst: 5,
+        }];
+        let s = crossbar(16, &inj, 3, 10_000);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.mean_latency(), 4.0); // 3 + 1 service
+    }
+
+    #[test]
+    fn crossbar_output_contention_queues() {
+        // 8 packets to the same output at cycle 0: departures serialize.
+        let inj: Vec<_> = (0..8)
+            .map(|src| traffic::Injection {
+                cycle: 0,
+                src,
+                dst: 9,
+            })
+            .collect();
+        let s = crossbar(16, &inj, 0, 10_000);
+        assert_eq!(s.delivered, 8);
+        assert_eq!(s.latency_max, 8); // last one waits 7 then 1 service
+        assert_eq!(s.deflections, 7);
+    }
+
+    #[test]
+    fn torus_single_hop() {
+        // 4x4 torus: node 0 → node 1 is one hop.
+        let inj = vec![traffic::Injection {
+            cycle: 0,
+            src: 0,
+            dst: 1,
+        }];
+        let s = torus2d(4, &inj, 1_000);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.mean_latency(), 1.0);
+    }
+
+    #[test]
+    fn torus_wraps_shortest_path() {
+        // 0 → 3 on a 4-ring: 1 hop the wrap way.
+        let inj = vec![traffic::Injection {
+            cycle: 0,
+            src: 0,
+            dst: 3,
+        }];
+        let s = torus2d(4, &inj, 1_000);
+        assert_eq!(s.mean_latency(), 1.0);
+    }
+
+    #[test]
+    fn torus_delivers_uniform_load() {
+        let inj = traffic::uniform(16, 0.2, 1_000, 4);
+        let s = torus2d(4, &inj, 100_000);
+        assert_eq!(s.delivered, s.injected);
+    }
+
+    #[test]
+    fn torus_diagonal_distance() {
+        // 0 (0,0) → (2,2) on 4x4 = node 10: 2+2 hops.
+        let inj = vec![traffic::Injection {
+            cycle: 0,
+            src: 0,
+            dst: 10,
+        }];
+        let s = torus2d(4, &inj, 1_000);
+        assert_eq!(s.mean_latency(), 4.0);
+    }
+
+    #[test]
+    fn crossbar_beats_torus_on_latency() {
+        let inj = traffic::uniform(16, 0.3, 2_000, 8);
+        let xb = crossbar(16, &inj, 1, 100_000);
+        let t = torus2d(4, &inj, 100_000);
+        assert!(xb.mean_latency() < t.mean_latency());
+    }
+}

@@ -1,0 +1,74 @@
+//! # px-datavortex — the Data Vortex interconnect study
+//!
+//! §3.2: "The system is assumed to be connected by the innovative Data
+//! Vortex network (invented by Coke Reed, Interactics Holding)." The Data
+//! Vortex is a hierarchical multi-level ring network with **no internal
+//! buffers**: contention is resolved by *deflection* — a packet that
+//! cannot drop toward its destination keeps circulating on its current
+//! cylinder and retries. Its selling points are switching simplicity
+//! (optical-friendly) and gracefully flat latency up to high load.
+//!
+//! This crate implements:
+//!
+//! * [`vortex`] — a synchronous cycle-level Data Vortex: `C = log2(H)+1`
+//!   cylinders of `A angles × H heights`, bit-fixing descent, cylinder
+//!   traffic priority, deflection rings.
+//! * [`baselines`] — an output-queued ideal crossbar and a 2-D torus with
+//!   dimension-ordered routing, under the same synchronous driver, for
+//!   experiment E10's comparison.
+//! * [`traffic`] — uniform and hotspot Bernoulli traffic generators.
+//!
+//! All simulators are deterministic given a seed and report the same
+//! [`NetStats`] (delivered count, mean/p95 latency, deflections).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod traffic;
+pub mod vortex;
+
+/// Statistics common to all network models.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Sum of packet latencies (cycles).
+    pub latency_sum: u64,
+    /// Max packet latency.
+    pub latency_max: u64,
+    /// Deflections (Data Vortex) or queueing events (baselines).
+    pub deflections: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl NetStats {
+    /// Mean delivery latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivered fraction of injected packets.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+
+    /// Sustained throughput: packets per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Traffic generators shared by all network models.
+
+use rand::{Rng, SeedableRng};
+
+/// A packet to inject: `(cycle, source, destination)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Source port.
+    pub src: usize,
+    /// Destination port.
+    pub dst: usize,
+}
+
+/// Bernoulli traffic: each source injects with probability `load` per
+/// cycle; destinations uniform (excluding self).
+pub fn uniform(ports: usize, load: f64, cycles: u64, seed: u64) -> Vec<Injection> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for cycle in 0..cycles {
+        for src in 0..ports {
+            if rng.gen_range(0.0..1.0) < load {
+                let mut dst = rng.gen_range(0..ports - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                out.push(Injection { cycle, src, dst });
+            }
+        }
+    }
+    out
+}
+
+/// Hotspot traffic: as [`uniform`], but a `hot_fraction` of packets target
+/// port 0 (the classic adversarial pattern for blocking networks).
+pub fn hotspot(
+    ports: usize,
+    load: f64,
+    hot_fraction: f64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<Injection> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for cycle in 0..cycles {
+        for src in 0..ports {
+            if rng.gen_range(0.0..1.0) < load {
+                let dst = if rng.gen_range(0.0..1.0) < hot_fraction && src != 0 {
+                    0
+                } else {
+                    let mut d = rng.gen_range(0..ports - 1);
+                    if d >= src {
+                        d += 1;
+                    }
+                    d
+                };
+                out.push(Injection { cycle, src, dst });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_load_calibration() {
+        let inj = uniform(16, 0.5, 2000, 1);
+        let rate = inj.len() as f64 / (16.0 * 2000.0);
+        assert!((rate - 0.5).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    fn no_self_traffic() {
+        for i in uniform(8, 0.8, 500, 2) {
+            assert_ne!(i.src, i.dst);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let inj = hotspot(16, 0.5, 0.5, 2000, 3);
+        let to_zero = inj.iter().filter(|i| i.dst == 0).count() as f64;
+        let frac = to_zero / inj.len() as f64;
+        assert!(frac > 0.4, "hot fraction = {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform(8, 0.3, 100, 7), uniform(8, 0.3, 100, 7));
+    }
+}

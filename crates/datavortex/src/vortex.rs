@@ -1,0 +1,273 @@
+//! The Data Vortex switch, cycle-level.
+//!
+//! Topology: `C = L + 1` concentric *cylinders* (levels), each an `A × H`
+//! grid of nodes (`A` angles around the ring, `H = 2^L` heights). A packet
+//! enters on cylinder 0 and must reach cylinder `L` with its height equal
+//! to its destination; it then exits to the output port at its height.
+//!
+//! Routing is hierarchical bit-fixing: descending from cylinder `ℓ` to
+//! `ℓ+1` fixes bit `L-1-ℓ` of the height to the destination's bit. Every
+//! hop (descend or not) advances one angle. A node holds at most one
+//! packet — there are **no buffers**; if the descent target is occupied,
+//! the packet *deflects*: it stays on its cylinder, advancing angle and
+//! toggling the bit it is trying to fix (so the descent opportunity
+//! recurs with alternating parity, which is how the real Vortex's height
+//! permutation behaves). Cylinder traffic has priority over descending
+//! traffic, the defining Data Vortex arbitration.
+//!
+//! Injection backpressure: a source can inject only when its cylinder-0
+//! node is free; otherwise the packet waits in the source queue (counted
+//! in latency).
+
+use crate::traffic::Injection;
+use crate::NetStats;
+
+/// Configuration of a Data Vortex.
+#[derive(Debug, Clone, Copy)]
+pub struct VortexConfig {
+    /// Height exponent: `H = 2^levels`, cylinders = `levels + 1`.
+    pub levels: u32,
+    /// Angles per cylinder.
+    pub angles: usize,
+}
+
+impl VortexConfig {
+    /// Heights (= output ports).
+    pub fn heights(&self) -> usize {
+        1 << self.levels
+    }
+
+    /// Number of cylinders.
+    pub fn cylinders(&self) -> usize {
+        self.levels as usize + 1
+    }
+
+    /// Total switching nodes.
+    pub fn nodes(&self) -> usize {
+        self.cylinders() * self.angles * self.heights()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: usize,
+    injected_at: u64,
+}
+
+/// One simulated Data Vortex run over an injection schedule.
+///
+/// Runs until all injected packets are delivered or `max_cycles` elapses
+/// (undelivered packets then show up in `delivery_rate < 1`).
+pub fn simulate(cfg: VortexConfig, injections: &[Injection], max_cycles: u64) -> NetStats {
+    let h = cfg.heights();
+    let a = cfg.angles;
+    let cyl = cfg.cylinders();
+    let l = cfg.levels as usize;
+
+    // occupancy[level][angle][height]
+    let mut grid: Vec<Vec<Vec<Option<Packet>>>> = vec![vec![vec![None; h]; a]; cyl];
+    let mut next_grid = grid.clone();
+    let mut stats = NetStats {
+        injected: injections.len() as u64,
+        ..Default::default()
+    };
+
+    // Source queues per input port. Inputs map to (angle, height) pairs of
+    // cylinder 0: port p enters at angle p % a, height p % h.
+    let ports = h; // one logical port per height (paper-style column ports)
+    let mut queues: Vec<std::collections::VecDeque<Packet>> =
+        (0..ports).map(|_| Default::default()).collect();
+    let mut pending = injections.to_vec();
+    pending.sort_by_key(|i| i.cycle);
+    let mut next_inj = 0usize;
+    let mut in_flight = 0u64;
+
+    for cycle in 0..max_cycles {
+        // Enqueue this cycle's injections at their source ports.
+        while next_inj < pending.len() && pending[next_inj].cycle == cycle {
+            let i = pending[next_inj];
+            queues[i.src % ports].push_back(Packet {
+                dst: i.dst % h,
+                injected_at: cycle,
+            });
+            next_inj += 1;
+        }
+
+        for lvl in next_grid.iter_mut() {
+            for col in lvl.iter_mut() {
+                col.fill(None);
+            }
+        }
+
+        // Move bottom cylinder first (exits free nodes), then upper
+        // cylinders, honoring cylinder-priority over descents.
+        // Bottom cylinder: every packet's height already equals dst; exit.
+        for ang in 0..a {
+            for hh in 0..h {
+                if let Some(p) = grid[l][ang][hh].take() {
+                    debug_assert_eq!(p.dst, hh);
+                    stats.delivered += 1;
+                    in_flight -= 1;
+                    let lat = cycle - p.injected_at;
+                    stats.latency_sum += lat;
+                    stats.latency_max = stats.latency_max.max(lat);
+                }
+            }
+        }
+
+        // Upper cylinders top-down is wrong for priority: cylinder ℓ+1's
+        // ring moves must claim nodes before ℓ's descents. Process
+        // descending order of level: first each level's *ring* moves are
+        // placed into next_grid, then (second pass) descents are attempted
+        // against next_grid occupancy.
+        // Pass 1: ring moves for all levels (provisional: every packet
+        // deflects). Record candidates for descent.
+        let mut candidates: Vec<(usize, usize, usize, Packet)> = Vec::new(); // (level, angle, height, pkt)
+        for lvl in 0..=l {
+            for ang in 0..a {
+                for hh in 0..h {
+                    if let Some(p) = grid[lvl][ang][hh] {
+                        candidates.push((lvl, ang, hh, p));
+                    }
+                }
+            }
+        }
+        // Deeper levels claim first (their moves are never blocked by
+        // shallower traffic); within a level, descents are attempted
+        // before deflections are finalized.
+        candidates.sort_by_key(|&(lvl, ang, _, _)| (std::cmp::Reverse(lvl), ang));
+        for (lvl, ang, hh, p) in candidates {
+            let na = (ang + 1) % a;
+            if lvl < l {
+                // Try to fix bit (l - 1 - lvl).
+                let bit = l - 1 - lvl;
+                let want = hh & !(1 << bit) | (((p.dst >> bit) & 1) << bit);
+                // Descend requires prefix bits above `bit` already fixed.
+                let mask_above = !((1usize << (bit + 1)) - 1);
+                let prefix_ok = (hh & mask_above) == (p.dst & mask_above);
+                let descend_ok = prefix_ok && next_grid[lvl + 1][na][want].is_none();
+                if descend_ok {
+                    next_grid[lvl + 1][na][want] = Some(p);
+                    continue;
+                }
+                // Deflect on the ring, toggling the bit being fixed so the
+                // descent can be retried with the other parity.
+                let nh = hh ^ (1 << bit);
+                debug_assert!(next_grid[lvl][na][nh].is_none(), "ring move is a permutation");
+                next_grid[lvl][na][nh] = Some(p);
+                stats.deflections += 1;
+            } else {
+                // Bottom cylinder: rotate toward exit (exit handled at the
+                // top of the next cycle).
+                debug_assert!(next_grid[lvl][na][hh].is_none());
+                next_grid[lvl][na][hh] = Some(p);
+            }
+        }
+
+        // Injection: a port's packet enters cylinder 0 at (angle chosen by
+        // port, height = src port's row) when that node is still free.
+        for (port, q) in queues.iter_mut().enumerate() {
+            if let Some(&p) = q.front() {
+                let ang = port % a;
+                let hh = port % h;
+                if next_grid[0][ang][hh].is_none() {
+                    next_grid[0][ang][hh] = Some(p);
+                    q.pop_front();
+                    in_flight += 1;
+                }
+            }
+        }
+
+        std::mem::swap(&mut grid, &mut next_grid);
+        stats.cycles = cycle + 1;
+        if next_inj == pending.len() && in_flight == 0 && queues.iter().all(|q| q.is_empty()) {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic;
+
+    fn cfg() -> VortexConfig {
+        VortexConfig {
+            levels: 4,
+            angles: 5,
+        } // 16 ports, 5 angles, 80 nodes/cylinder
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cfg();
+        assert_eq!(c.heights(), 16);
+        assert_eq!(c.cylinders(), 5);
+        assert_eq!(c.nodes(), 5 * 5 * 16);
+    }
+
+    #[test]
+    fn single_packet_routes_to_destination() {
+        for dst in 0..16 {
+            let inj = vec![Injection {
+                cycle: 0,
+                src: 3,
+                dst,
+            }];
+            let s = simulate(cfg(), &inj, 10_000);
+            assert_eq!(s.delivered, 1, "dst {dst}");
+            // Zero-load latency: one hop per cylinder plus exit ≈ levels+2.
+            assert!(s.mean_latency() <= 16.0, "dst {dst}: {}", s.mean_latency());
+        }
+    }
+
+    #[test]
+    fn all_packets_delivered_at_moderate_load() {
+        let inj = traffic::uniform(16, 0.2, 2_000, 42);
+        let s = simulate(cfg(), &inj, 50_000);
+        assert_eq!(s.delivered, s.injected, "lost packets");
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let lo = simulate(cfg(), &traffic::uniform(16, 0.05, 3_000, 1), 100_000);
+        let hi = simulate(cfg(), &traffic::uniform(16, 0.6, 3_000, 1), 200_000);
+        assert!(
+            hi.mean_latency() > lo.mean_latency(),
+            "lo {} hi {}",
+            lo.mean_latency(),
+            hi.mean_latency()
+        );
+    }
+
+    #[test]
+    fn deflections_increase_with_load() {
+        let lo = simulate(cfg(), &traffic::uniform(16, 0.05, 3_000, 2), 100_000);
+        let hi = simulate(cfg(), &traffic::uniform(16, 0.6, 3_000, 2), 200_000);
+        let lo_rate = lo.deflections as f64 / lo.delivered.max(1) as f64;
+        let hi_rate = hi.deflections as f64 / hi.delivered.max(1) as f64;
+        assert!(hi_rate > lo_rate, "lo {lo_rate} hi {hi_rate}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let inj = traffic::uniform(16, 0.3, 1_000, 9);
+        let a = simulate(cfg(), &inj, 100_000);
+        let b = simulate(cfg(), &inj, 100_000);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.latency_sum, b.latency_sum);
+        assert_eq!(a.deflections, b.deflections);
+    }
+
+    #[test]
+    fn larger_vortex_still_routes() {
+        let c = VortexConfig {
+            levels: 6,
+            angles: 7,
+        }; // 64 ports
+        let inj = traffic::uniform(64, 0.1, 1_000, 5);
+        let s = simulate(c, &inj, 100_000);
+        assert_eq!(s.delivered, s.injected);
+    }
+}

@@ -1,0 +1,284 @@
+//! One Gilgamesh II chip's PIM fabric as a discrete-event simulation.
+//!
+//! Figure 1's chip is "a heterogeneous multicore subsystem with a dataflow
+//! accelerator and 16 PIM modules, each with 32 MIND nodes". This module
+//! instantiates that structure on `px-sim`: 512 [`MindNodeSim`] components
+//! behind intra-chip links (cheap within a module, pricier across
+//! modules), driven by a parcel dispatcher. It measures what the
+//! message-driven work-queue model (§2.2) predicts: throughput and node
+//! balance as a function of task skew.
+
+use px_sim::{CompId, Component, Histogram, SimCtx, Simulator, Time};
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Paper chip geometry.
+pub const PIM_MODULES: usize = 16;
+/// MIND nodes per module.
+pub const NODES_PER_MODULE: usize = 32;
+/// Nodes per chip.
+pub const NODES_PER_CHIP: usize = PIM_MODULES * NODES_PER_MODULE;
+
+/// A parcel-delivered task for a MIND node.
+#[derive(Debug, Clone, Copy)]
+pub struct MindTask {
+    /// Local memory accesses the task performs.
+    pub mem_ops: u32,
+    /// ALU operations.
+    pub alu_ops: u32,
+}
+
+impl MindTask {
+    /// Service time on a MIND node (one thread context).
+    fn service(&self, near_cycles: Time) -> Time {
+        u64::from(self.mem_ops) * near_cycles + u64::from(self.alu_ops)
+    }
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub enum ChipEv {
+    /// Task arrival at a node.
+    Arrive(MindTask),
+    /// One thread context finished its task.
+    Done,
+}
+
+/// Shared measurement sink for the whole chip.
+#[derive(Debug, Default)]
+pub struct ChipMetrics {
+    /// Tasks retired per node.
+    pub retired: Vec<u64>,
+    /// Busy cycles integrated per node (sum over thread contexts).
+    pub busy: Vec<u64>,
+    /// Queue-depth histogram sampled at arrivals.
+    pub queue_depth: Histogram,
+    /// Completion time of the last task.
+    pub makespan: Time,
+}
+
+/// One MIND node: `threads` in-memory contexts over a task queue.
+pub struct MindNodeSim {
+    idx: usize,
+    threads: usize,
+    near_cycles: Time,
+    active: usize,
+    queue: std::collections::VecDeque<MindTask>,
+    metrics: Rc<RefCell<ChipMetrics>>,
+}
+
+impl Component<ChipEv> for MindNodeSim {
+    fn handle(&mut self, ev: ChipEv, ctx: &mut SimCtx<'_, ChipEv>) {
+        match ev {
+            ChipEv::Arrive(task) => {
+                self.metrics
+                    .borrow_mut()
+                    .queue_depth
+                    .record(self.queue.len() as u64);
+                if self.active < self.threads {
+                    self.start(task, ctx);
+                } else {
+                    self.queue.push_back(task);
+                }
+            }
+            ChipEv::Done => {
+                self.active -= 1;
+                let mut m = self.metrics.borrow_mut();
+                m.retired[self.idx] += 1;
+                m.makespan = m.makespan.max(ctx.now());
+                drop(m);
+                if let Some(task) = self.queue.pop_front() {
+                    self.start(task, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl MindNodeSim {
+    fn start(&mut self, task: MindTask, ctx: &mut SimCtx<'_, ChipEv>) {
+        self.active += 1;
+        let service = task.service(self.near_cycles);
+        self.metrics.borrow_mut().busy[self.idx] += service;
+        ctx.wake_after(service, ChipEv::Done);
+    }
+}
+
+/// Chip-level workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct ChipWorkload {
+    /// Total tasks injected.
+    pub tasks: usize,
+    /// Zipf skew of the node choice (0 = uniform).
+    pub skew: f64,
+    /// Memory accesses per task.
+    pub mem_ops: u32,
+    /// ALU ops per task.
+    pub alu_ops: u32,
+    /// Injection rate: tasks per cycle offered to the chip.
+    pub inject_per_cycle: f64,
+}
+
+/// Result of a chip fabric run.
+#[derive(Debug, Clone)]
+pub struct ChipRunResult {
+    /// Cycles until the last task retired.
+    pub makespan: Time,
+    /// Tasks retired (equals the injected count).
+    pub retired: u64,
+    /// Throughput in tasks per kilocycle.
+    pub tasks_per_kcycle: f64,
+    /// Mean node utilization (busy context-cycles / (threads × makespan)).
+    pub mean_utilization: f64,
+    /// Max/min retired-task ratio across nodes (balance measure; 1.0 =
+    /// perfectly balanced, grows with skew).
+    pub imbalance: f64,
+    /// p95 queue depth observed at arrival.
+    pub queue_p95: f64,
+}
+
+/// Simulate one chip's PIM fabric under `workload`.
+///
+/// Intra-chip routing: module-local arrivals cost `LOCAL_HOP` cycles,
+/// cross-module `CROSS_HOP` (the on-chip interconnect of Figure 1).
+pub fn simulate_chip(workload: ChipWorkload, threads_per_node: usize, seed: u64) -> ChipRunResult {
+    const LOCAL_HOP: Time = 4;
+    const CROSS_HOP: Time = 24;
+    const NEAR_CYCLES: Time = 30;
+
+    let metrics = Rc::new(RefCell::new(ChipMetrics {
+        retired: vec![0; NODES_PER_CHIP],
+        busy: vec![0; NODES_PER_CHIP],
+        queue_depth: Histogram::new(),
+        makespan: 0,
+    }));
+    let mut sim = Simulator::new(seed);
+    for idx in 0..NODES_PER_CHIP {
+        sim.add(MindNodeSim {
+            idx,
+            threads: threads_per_node,
+            near_cycles: NEAR_CYCLES,
+            active: 0,
+            queue: std::collections::VecDeque::new(),
+            metrics: metrics.clone(),
+        });
+    }
+
+    // Zipf CDF over nodes.
+    let weights: Vec<f64> = (1..=NODES_PER_CHIP)
+        .map(|r| 1.0 / (r as f64).powf(workload.skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(NODES_PER_CHIP);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x5eed);
+    let task = MindTask {
+        mem_ops: workload.mem_ops,
+        alu_ops: workload.alu_ops,
+    };
+    // The dispatcher is modeled as scheduled arrivals: task k is injected
+    // at cycle k / rate, routed to a (possibly skewed) node with a hop
+    // delay. Module 0 hosts the dispatcher port.
+    for k in 0..workload.tasks {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let node = cdf.iter().position(|&c| u <= c).unwrap_or(NODES_PER_CHIP - 1);
+        let inject = (k as f64 / workload.inject_per_cycle) as Time;
+        let hop = if node < NODES_PER_MODULE { LOCAL_HOP } else { CROSS_HOP };
+        sim.send_at(inject + hop, CompId(node as u32), ChipEv::Arrive(task));
+    }
+    sim.run();
+
+    let m = metrics.borrow();
+    let retired: u64 = m.retired.iter().sum();
+    let makespan = m.makespan.max(1);
+    let busy_total: u64 = m.busy.iter().sum();
+    let max_r = *m.retired.iter().max().unwrap() as f64;
+    let min_r = (*m.retired.iter().min().unwrap()).max(1) as f64;
+    ChipRunResult {
+        makespan,
+        retired,
+        tasks_per_kcycle: retired as f64 / makespan as f64 * 1000.0,
+        mean_utilization: busy_total as f64
+            / (NODES_PER_CHIP as f64 * threads_per_node as f64 * makespan as f64),
+        imbalance: max_r / min_r,
+        queue_p95: m.queue_depth.p95(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_workload() -> ChipWorkload {
+        ChipWorkload {
+            tasks: 50_000,
+            skew: 0.0,
+            mem_ops: 8,
+            alu_ops: 64,
+            inject_per_cycle: 2.0,
+        }
+    }
+
+    #[test]
+    fn all_tasks_retire() {
+        let r = simulate_chip(base_workload(), 16, 1);
+        assert_eq!(r.retired, 50_000);
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn uniform_load_is_balanced() {
+        let r = simulate_chip(base_workload(), 16, 1);
+        assert!(r.imbalance < 2.0, "imbalance = {}", r.imbalance);
+    }
+
+    #[test]
+    fn skew_degrades_balance_and_throughput() {
+        let uniform = simulate_chip(base_workload(), 16, 1);
+        let skewed = simulate_chip(
+            ChipWorkload {
+                skew: 1.2,
+                ..base_workload()
+            },
+            16,
+            1,
+        );
+        assert!(skewed.imbalance > 4.0 * uniform.imbalance);
+        assert!(skewed.makespan > uniform.makespan);
+    }
+
+    #[test]
+    fn more_threads_raise_throughput_under_load() {
+        let mut w = base_workload();
+        w.inject_per_cycle = 8.0; // saturating
+        let t1 = simulate_chip(w, 1, 2);
+        let t16 = simulate_chip(w, 16, 2);
+        assert!(
+            t16.makespan < t1.makespan,
+            "16 contexts should beat 1: {} vs {}",
+            t16.makespan,
+            t1.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate_chip(base_workload(), 16, 9);
+        let b = simulate_chip(base_workload(), 16, 9);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.retired, b.retired);
+    }
+
+    #[test]
+    fn geometry_constants_match_paper() {
+        assert_eq!(PIM_MODULES, 16);
+        assert_eq!(NODES_PER_MODULE, 32);
+        assert_eq!(NODES_PER_CHIP, 512);
+    }
+}

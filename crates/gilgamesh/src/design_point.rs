@@ -1,0 +1,264 @@
+//! The §3.2 design point, as arithmetic you can sweep.
+//!
+//! The paper pins: 100K compute chips, each with one dataflow accelerator
+//! and 16 PIM modules × 32 MIND nodes, ≈10 TFLOPS per chip, >1 EFLOPS
+//! system peak, and 4 PB of DRAM "Penultimate Store" spread over another
+//! 100K chips. [`DesignPoint::paper_2020`] reproduces those numbers;
+//! everything is a plain field so experiment E1 can sweep chip counts,
+//! node rates, and store sizing.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a Gilgamesh II system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Compute chips in the system.
+    pub compute_chips: u64,
+    /// PIM modules per chip.
+    pub pim_modules_per_chip: u64,
+    /// MIND nodes per PIM module.
+    pub mind_nodes_per_module: u64,
+    /// Sustained FLOPS per MIND node (double precision).
+    pub flops_per_mind_node: f64,
+    /// FLOPS contributed by the dataflow accelerator per chip.
+    pub accelerator_flops_per_chip: f64,
+    /// In-memory hardware thread contexts per MIND node.
+    pub threads_per_mind_node: u64,
+    /// Local memory per MIND node, bytes.
+    pub memory_per_mind_node: u64,
+    /// Penultimate-store chips.
+    pub store_chips: u64,
+    /// DRAM per store chip, bytes.
+    pub store_per_chip: u64,
+    /// Power per compute chip, watts (2020-target envelope).
+    pub watts_per_compute_chip: f64,
+    /// Power per store chip, watts.
+    pub watts_per_store_chip: f64,
+}
+
+const TERA: f64 = 1e12;
+// Storage petabytes are decimal (1 PB = 10^15 bytes), as in the DRAM
+// sizing literature the paper draws on; 4 PB over 100K chips is then an
+// exact 40 GB per store chip.
+const PETA_BYTES: u64 = 1_000_000_000_000_000;
+
+impl DesignPoint {
+    /// The paper's 2020 design point. Splits the ≈10 TF chip as 6.144 TF
+    /// of MIND fabric (512 nodes × 12 GF) + 4.096 TF of dataflow
+    /// accelerator → 10.24 TF/chip and 1.024 EF system peak ("in excess
+    /// of 1 Exaflops", chip "approximately 10 Teraflops"). The paper
+    /// gives only the chip total; the split is our modeling choice,
+    /// recorded here so the derived numbers are auditable.
+    pub fn paper_2020() -> DesignPoint {
+        DesignPoint {
+            compute_chips: 100_000,
+            pim_modules_per_chip: 16,
+            mind_nodes_per_module: 32,
+            flops_per_mind_node: 12.0e9,
+            accelerator_flops_per_chip: 4.096 * TERA,
+            threads_per_mind_node: 16,
+            memory_per_mind_node: 8 << 20, // 8 MiB embedded per node → 4 GiB/chip
+            store_chips: 100_000,
+            store_per_chip: 40_000_000_000, // 40 GB × 100K chips = 4 PB
+            watts_per_compute_chip: 160.0,
+            watts_per_store_chip: 40.0,
+        }
+    }
+
+    /// MIND nodes per chip.
+    pub fn mind_nodes_per_chip(&self) -> u64 {
+        self.pim_modules_per_chip * self.mind_nodes_per_module
+    }
+
+    /// Total MIND nodes in the system.
+    pub fn total_mind_nodes(&self) -> u64 {
+        self.compute_chips * self.mind_nodes_per_chip()
+    }
+
+    /// Peak FLOPS of one chip (MIND fabric + accelerator).
+    pub fn flops_per_chip(&self) -> f64 {
+        self.mind_nodes_per_chip() as f64 * self.flops_per_mind_node
+            + self.accelerator_flops_per_chip
+    }
+
+    /// System peak FLOPS.
+    pub fn system_flops(&self) -> f64 {
+        self.compute_chips as f64 * self.flops_per_chip()
+    }
+
+    /// Embedded (MIND) memory system-wide, bytes.
+    pub fn mind_memory_bytes(&self) -> u64 {
+        self.total_mind_nodes() * self.memory_per_mind_node
+    }
+
+    /// Penultimate-store capacity, bytes.
+    pub fn store_bytes(&self) -> u64 {
+        self.store_chips * self.store_per_chip
+    }
+
+    /// Hardware parallelism: in-memory thread contexts system-wide. The
+    /// §2.1 requirement is "million to billion way parallelism"; this is
+    /// the hardware side of that budget.
+    pub fn hardware_threads(&self) -> u64 {
+        self.total_mind_nodes() * self.threads_per_mind_node
+    }
+
+    /// Total system power, watts.
+    pub fn system_watts(&self) -> f64 {
+        self.compute_chips as f64 * self.watts_per_compute_chip
+            + self.store_chips as f64 * self.watts_per_store_chip
+    }
+
+    /// Energy efficiency, FLOPS per watt.
+    pub fn flops_per_watt(&self) -> f64 {
+        self.system_flops() / self.system_watts()
+    }
+
+    /// Bytes-per-FLOP balance (total memory / peak FLOPS) — the "new
+    /// balance of resources" §2.1 says the model must move toward.
+    pub fn bytes_per_flop(&self) -> f64 {
+        (self.mind_memory_bytes() + self.store_bytes()) as f64 / self.system_flops()
+    }
+
+    /// The derived summary used by the E1 table.
+    pub fn summary(&self) -> DesignSummary {
+        DesignSummary {
+            flops_per_chip: self.flops_per_chip(),
+            system_exaflops: self.system_flops() / 1e18,
+            total_mind_nodes: self.total_mind_nodes(),
+            hardware_threads: self.hardware_threads(),
+            mind_memory_pb: self.mind_memory_bytes() as f64 / PETA_BYTES as f64,
+            store_pb: self.store_bytes() as f64 / PETA_BYTES as f64,
+            system_megawatts: self.system_watts() / 1e6,
+            gflops_per_watt: self.flops_per_watt() / 1e9,
+            bytes_per_flop: self.bytes_per_flop(),
+        }
+    }
+}
+
+/// Derived quantities reported in the design-point table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct DesignSummary {
+    pub flops_per_chip: f64,
+    pub system_exaflops: f64,
+    pub total_mind_nodes: u64,
+    pub hardware_threads: u64,
+    pub mind_memory_pb: f64,
+    pub store_pb: f64,
+    pub system_megawatts: f64,
+    pub gflops_per_watt: f64,
+    pub bytes_per_flop: f64,
+}
+
+/// Checks a configuration against the paper's §3.2 claims; returns the
+/// list of violated claims (empty = design point reproduces the paper).
+pub fn check_paper_claims(dp: &DesignPoint) -> Vec<String> {
+    let mut violations = Vec::new();
+    let s = dp.summary();
+    if s.system_exaflops <= 1.0 {
+        violations.push(format!(
+            "peak must exceed 1 EFLOPS, got {:.3} EF",
+            s.system_exaflops
+        ));
+    }
+    if dp.compute_chips != 100_000 {
+        violations.push(format!("paper uses 100K chips, got {}", dp.compute_chips));
+    }
+    if dp.pim_modules_per_chip != 16 || dp.mind_nodes_per_module != 32 {
+        violations.push(format!(
+            "paper chip is 16 PIM × 32 MIND, got {} × {}",
+            dp.pim_modules_per_chip, dp.mind_nodes_per_module
+        ));
+    }
+    let chip_tf = s.flops_per_chip / TERA;
+    if !(8.0..=12.0).contains(&chip_tf) {
+        violations.push(format!(
+            "paper chip is ≈10 TFLOPS, got {chip_tf:.1} TF"
+        ));
+    }
+    if (s.store_pb - 4.0).abs() > 0.05 {
+        violations.push(format!(
+            "penultimate store must be 4 PB, got {:.2} PB",
+            s.store_pb
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_reproduces_all_claims() {
+        let dp = DesignPoint::paper_2020();
+        let violations = check_paper_claims(&dp);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn chip_is_about_ten_teraflops() {
+        let dp = DesignPoint::paper_2020();
+        let tf = dp.flops_per_chip() / 1e12;
+        assert!((tf - 10.0).abs() < 0.5, "chip = {tf} TF");
+    }
+
+    #[test]
+    fn system_exceeds_exaflops() {
+        let dp = DesignPoint::paper_2020();
+        assert!(dp.system_flops() > 1e18);
+        // "theoretical peak is substantially higher" than 1 EF but the
+        // quoted achievable is ~1 EF: ours is exactly 1.0 EF nominal.
+        assert!(dp.system_flops() < 1.2e18);
+    }
+
+    #[test]
+    fn mind_population() {
+        let dp = DesignPoint::paper_2020();
+        assert_eq!(dp.mind_nodes_per_chip(), 512);
+        assert_eq!(dp.total_mind_nodes(), 51_200_000);
+    }
+
+    #[test]
+    fn store_is_four_petabytes() {
+        let dp = DesignPoint::paper_2020();
+        assert_eq!(dp.store_bytes(), 4_000_000_000_000_000);
+    }
+
+    #[test]
+    fn parallelism_budget_is_near_billion_way() {
+        // §2.1: "million to billion way parallelism … by the end of the
+        // next decade". Hardware threads: 51.2M nodes × 16 = 819M.
+        let dp = DesignPoint::paper_2020();
+        let t = dp.hardware_threads();
+        assert!(t > 100_000_000, "threads = {t}");
+        assert!(t < 2_000_000_000, "threads = {t}");
+    }
+
+    #[test]
+    fn halving_chips_halves_flops() {
+        let mut dp = DesignPoint::paper_2020();
+        let full = dp.system_flops();
+        dp.compute_chips /= 2;
+        assert!((dp.system_flops() - full / 2.0).abs() / full < 1e-12);
+    }
+
+    #[test]
+    fn violations_detected() {
+        let mut dp = DesignPoint::paper_2020();
+        dp.compute_chips = 10; // tiny system
+        let v = check_paper_claims(&dp);
+        assert!(v.iter().any(|m| m.contains("EFLOPS")));
+        assert!(v.iter().any(|m| m.contains("100K")));
+    }
+
+    #[test]
+    fn power_envelope_is_plausible_for_2020_target() {
+        // Sanity: tens of megawatts, single-digit GF/W — consistent with
+        // exascale projections of the era (DARPA exascale studies).
+        let s = DesignPoint::paper_2020().summary();
+        assert!(s.system_megawatts > 5.0 && s.system_megawatts < 50.0);
+        assert!(s.gflops_per_watt > 10.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # px-gilgamesh — the Gilgamesh II architecture study (§3)
+//!
+//! The paper proposes Gilgamesh II as "a ParalleX processing architecture"
+//! and evaluates it as a **design point** for a 2020 technology target:
+//!
+//! > "A single building block element is used to build up this highly
+//! > parallel system. A peak performance in excess of 1 Exaflops is
+//! > achievable with 100K chips. Each Gilgamesh chip is a heterogeneous
+//! > multicore subsystem with a dataflow accelerator and 16 PIM modules,
+//! > each with 32 MIND nodes. Each chip is capable of approximately 10
+//! > Teraflops … a DRAM backing store referred to as the 'Penultimate
+//! > Store' is included on an additional 100K chips for a total memory
+//! > storage of 4 Petabytes."
+//!
+//! This crate makes that paragraph executable:
+//!
+//! * [`design_point`] — the §3.2 arithmetic as a parameterized model
+//!   (experiment E1 regenerates the design-point table and sweeps it);
+//! * [`modality`] — cycle-level models of the chip's **two modalities**:
+//!   the dataflow accelerator (high temporal locality) and the MIND
+//!   processor-in-memory (low temporal locality), plus a conventional
+//!   cached core for reference (experiment E7);
+//! * [`chip`] — a discrete-event simulation (on `px-sim`) of one chip's
+//!   PIM fabric executing a parcel-driven task load, with per-node
+//!   utilization and in-memory-thread statistics.
+
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod design_point;
+pub mod modality;

@@ -1,0 +1,480 @@
+//! The chip's two modalities (§3.2, Figure 1), cycle-level.
+//!
+//! "the architecture is heterogeneous with two computing structures
+//! designed to operate best at the two modalities of operation determined
+//! by degree of temporal locality. At high temporal locality (where cache
+//! hit rates would be highest on conventional processors) a streaming
+//! architecture based on dataflow control concentrates many ALUs … At low
+//! (or no) temporal locality (where cache hit rates would be very poor) an
+//! advanced Processor in Memory architecture called 'MIND' … provide\[s\]
+//! short latencies and very high memory bandwidth with in-memory threads."
+//!
+//! Three execution models consume the same `(address, alu_ops)` task
+//! stream and report cycles:
+//!
+//! * [`CachedCore`] — conventional core: LRU cache, blocking misses to
+//!   far memory, one thread. The reference point.
+//! * [`MindNode`] — PIM: memory is *near* (tens of cycles), and `threads`
+//!   in-memory contexts overlap stalls (round-robin switch-on-miss).
+//! * [`DataflowAccelerator`] — many ALUs stream from a software-managed
+//!   local store; hits cost amortized zero, but a miss stalls the whole
+//!   array for the off-chip latency (no caches, no reactive tolerance —
+//!   it relies on percolation to be fed).
+//!
+//! Experiment E7 sweeps temporal locality θ and shows the crossover the
+//! paper's heterogeneity argument requires: accelerator wins at high θ,
+//! MIND wins at low θ.
+
+/// One unit of work: touch `addr`, then do `alu_ops` operations.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// Address touched.
+    pub addr: u64,
+    /// ALU work attached to the access.
+    pub alu_ops: u32,
+}
+
+/// Build an access stream from addresses with constant attached compute.
+pub fn stream_from_addrs(addrs: &[u64], alu_ops: u32) -> Vec<Access> {
+    addrs.iter().map(|&addr| Access { addr, alu_ops }).collect()
+}
+
+/// Result of running a stream on a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total ALU operations retired.
+    pub ops: u64,
+    /// Memory accesses that hit local storage.
+    pub hits: u64,
+    /// Memory accesses that went far.
+    pub misses: u64,
+}
+
+impl RunResult {
+    /// Operations per cycle — the modality figure of merit.
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Hit rate over the run.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+// Shared LRU tag array used by all three local-storage models.
+#[derive(Debug, Clone)]
+struct Lru {
+    lines: Vec<u64>,
+    cap: usize,
+}
+
+impl Lru {
+    fn new(cap: usize) -> Lru {
+        Lru {
+            lines: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Touch an address; true on hit.
+    fn touch(&mut self, addr: u64) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&a| a == addr) {
+            self.lines.remove(pos);
+            self.lines.insert(0, addr);
+            true
+        } else {
+            self.lines.insert(0, addr);
+            if self.lines.len() > self.cap {
+                self.lines.pop();
+            }
+            false
+        }
+    }
+}
+
+/// Conventional cached core: 1 ALU op/cycle, blocking misses.
+#[derive(Debug, Clone)]
+pub struct CachedCore {
+    /// Cache capacity in lines.
+    pub cache_lines: usize,
+    /// Hit cost, cycles.
+    pub hit_cycles: u64,
+    /// Miss (far memory) cost, cycles.
+    pub miss_cycles: u64,
+}
+
+impl CachedCore {
+    /// A 2007-flavored core: big cache, painful misses.
+    pub fn default_2020() -> CachedCore {
+        CachedCore {
+            cache_lines: 256,
+            hit_cycles: 1,
+            miss_cycles: 400,
+        }
+    }
+
+    /// Run the stream to completion.
+    pub fn run(&self, stream: &[Access]) -> RunResult {
+        let mut lru = Lru::new(self.cache_lines);
+        let mut r = RunResult {
+            cycles: 0,
+            ops: 0,
+            hits: 0,
+            misses: 0,
+        };
+        for a in stream {
+            if lru.touch(a.addr) {
+                r.hits += 1;
+                r.cycles += self.hit_cycles;
+            } else {
+                r.misses += 1;
+                r.cycles += self.miss_cycles; // blocking: nothing overlaps
+            }
+            r.cycles += u64::from(a.alu_ops); // 1 op/cycle
+            r.ops += u64::from(a.alu_ops);
+        }
+        r
+    }
+}
+
+/// MIND processor-in-memory node: near memory + in-memory multithreading.
+#[derive(Debug, Clone)]
+pub struct MindNode {
+    /// Hardware thread contexts.
+    pub threads: usize,
+    /// Local (on-die DRAM row) access cost, cycles.
+    pub near_cycles: u64,
+    /// Non-local access cost (another bank/module), cycles.
+    pub far_cycles: u64,
+    /// Fraction of the address space that is node-local (rest is far).
+    pub local_fraction: f64,
+    /// Row-buffer entries acting as a tiny cache.
+    pub row_buffer_lines: usize,
+}
+
+impl MindNode {
+    /// The modeled MIND node: 16 threads, 30-cycle near memory.
+    pub fn default_2020() -> MindNode {
+        MindNode {
+            threads: 16,
+            near_cycles: 30,
+            far_cycles: 150,
+            local_fraction: 0.9,
+            row_buffer_lines: 8,
+        }
+    }
+
+    /// Run the stream: tasks are dealt round-robin to thread contexts;
+    /// each context serializes its own accesses, contexts overlap each
+    /// other (switch-on-miss). One shared ALU issue port (1 op/cycle)
+    /// models the modest PIM datapath: completion is
+    /// `max(memory-limited, issue-limited)`.
+    pub fn run(&self, stream: &[Access]) -> RunResult {
+        let mut ctx_free_at = vec![0u64; self.threads];
+        let mut lru = Lru::new(self.row_buffer_lines);
+        let mut r = RunResult {
+            cycles: 0,
+            ops: 0,
+            hits: 0,
+            misses: 0,
+        };
+        let mut alu_total = 0u64;
+        for (i, a) in stream.iter().enumerate() {
+            let lat = if lru.touch(a.addr) {
+                r.hits += 1;
+                1
+            } else if (a.addr as f64 / u64::MAX as f64) < self.local_fraction {
+                r.misses += 1;
+                self.near_cycles
+            } else {
+                r.misses += 1;
+                self.far_cycles
+            };
+            let c = i % self.threads;
+            ctx_free_at[c] += lat + u64::from(a.alu_ops);
+            alu_total += u64::from(a.alu_ops);
+            r.ops += u64::from(a.alu_ops);
+        }
+        let mem_limited = ctx_free_at.into_iter().max().unwrap_or(0);
+        r.cycles = mem_limited.max(alu_total); // one shared issue port
+        r
+    }
+}
+
+/// Streaming dataflow accelerator: wide ALU array fed from a local store.
+#[derive(Debug, Clone)]
+pub struct DataflowAccelerator {
+    /// ALUs issuing per cycle when streaming.
+    pub alus: usize,
+    /// Local-store capacity in lines (percolation target).
+    pub local_store_lines: usize,
+    /// Off-chip fill cost on a local-store miss, cycles (stalls the
+    /// array — the accelerator has no latency tolerance of its own).
+    pub offchip_cycles: u64,
+}
+
+impl DataflowAccelerator {
+    /// The modeled accelerator: 64-wide, small local store, far off-chip.
+    pub fn default_2020() -> DataflowAccelerator {
+        DataflowAccelerator {
+            alus: 64,
+            local_store_lines: 256,
+            offchip_cycles: 600,
+        }
+    }
+
+    /// Run the stream: hits stream through the ALU array
+    /// (`alu_ops / alus` cycles, min 1 per access for issue); misses
+    /// stall everything for the off-chip latency.
+    pub fn run(&self, stream: &[Access]) -> RunResult {
+        let mut lru = Lru::new(self.local_store_lines);
+        let mut r = RunResult {
+            cycles: 0,
+            ops: 0,
+            hits: 0,
+            misses: 0,
+        };
+        for a in stream {
+            if lru.touch(a.addr) {
+                r.hits += 1;
+            } else {
+                r.misses += 1;
+                r.cycles += self.offchip_cycles;
+            }
+            r.cycles += (u64::from(a.alu_ops)).div_ceil(self.alus as u64).max(1);
+            r.ops += u64::from(a.alu_ops);
+        }
+        r
+    }
+}
+
+/// One θ-row of the E7 table.
+#[derive(Debug, Clone, Copy)]
+pub struct ModalityRow {
+    /// Temporal-locality parameter of the stream.
+    pub theta: f64,
+    /// Measured LRU hit rate of the stream (256-line reference cache).
+    pub hit_rate: f64,
+    /// Conventional core ops/cycle.
+    pub cached: f64,
+    /// MIND ops/cycle.
+    pub mind: f64,
+    /// Accelerator ops/cycle.
+    pub accel: f64,
+}
+
+/// Run the full modality sweep for experiment E7.
+pub fn modality_sweep(
+    thetas: &[f64],
+    accesses: usize,
+    alu_ops: u32,
+    seed: u64,
+) -> Vec<ModalityRow> {
+    thetas
+        .iter()
+        .map(|&theta| {
+            let mut gen =
+                px_workloads_stream(theta, 1 << 22, 128, seed ^ (theta * 1e6) as u64);
+            let addrs: Vec<u64> = (0..accesses).map(|_| gen.next_addr()).collect();
+            let stream = stream_from_addrs(&addrs, alu_ops);
+            let hit_rate = lru_reference_hit_rate(&addrs, 256);
+            ModalityRow {
+                theta,
+                hit_rate,
+                cached: CachedCore::default_2020().run(&stream).ops_per_cycle(),
+                mind: MindNode::default_2020().run(&stream).ops_per_cycle(),
+                accel: DataflowAccelerator::default_2020()
+                    .run(&stream)
+                    .ops_per_cycle(),
+            }
+        })
+        .collect()
+}
+
+// Local re-implementations so this crate doesn't depend on px-workloads
+// (which would be a cycle: workloads stays dependency-free). Kept
+// byte-compatible with `px_workloads::synth::LocalityStream` semantics.
+use rand::{Rng, SeedableRng};
+
+struct AddrStream {
+    theta: f64,
+    space: u64,
+    working: Vec<u64>,
+    cap: usize,
+    rng: rand::rngs::SmallRng,
+}
+
+fn px_workloads_stream(theta: f64, space: u64, working_set: usize, seed: u64) -> AddrStream {
+    AddrStream {
+        theta,
+        space,
+        working: Vec::with_capacity(working_set),
+        cap: working_set,
+        rng: rand::rngs::SmallRng::seed_from_u64(seed),
+    }
+}
+
+impl AddrStream {
+    fn next_addr(&mut self) -> u64 {
+        let reuse = !self.working.is_empty() && self.rng.gen_range(0.0..1.0) < self.theta;
+        if reuse {
+            let idx = (self.rng.gen_range(0.0f64..1.0).powi(2) * self.working.len() as f64)
+                as usize;
+            let idx = idx.min(self.working.len() - 1);
+            let a = self.working.remove(idx);
+            self.working.insert(0, a);
+            a
+        } else {
+            let a = self.rng.gen_range(0..self.space);
+            self.working.insert(0, a);
+            if self.working.len() > self.cap {
+                self.working.pop();
+            }
+            a
+        }
+    }
+}
+
+fn lru_reference_hit_rate(stream: &[u64], cache_lines: usize) -> f64 {
+    let mut lru = Lru::new(cache_lines);
+    let mut hits = 0usize;
+    for &a in stream {
+        if lru.touch(a) {
+            hits += 1;
+        }
+    }
+    if stream.is_empty() {
+        0.0
+    } else {
+        hits as f64 / stream.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_stream(n: usize) -> Vec<Access> {
+        // 32 addresses reused round-robin: fits every local store.
+        (0..n)
+            .map(|i| Access {
+                addr: (i % 32) as u64,
+                alu_ops: 16,
+            })
+            .collect()
+    }
+
+    fn cold_stream(n: usize) -> Vec<Access> {
+        // Never-repeating addresses: misses everywhere.
+        (0..n)
+            .map(|i| Access {
+                addr: i as u64 * 1_000_003,
+                alu_ops: 16,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cached_core_hit_vs_miss() {
+        let core = CachedCore::default_2020();
+        let hot = core.run(&hot_stream(10_000));
+        let cold = core.run(&cold_stream(10_000));
+        assert!(hot.hit_rate() > 0.99);
+        assert!(cold.hit_rate() < 0.01);
+        assert!(hot.ops_per_cycle() > 5.0 * cold.ops_per_cycle());
+    }
+
+    #[test]
+    fn accelerator_dominates_on_hot_streams() {
+        let hot = hot_stream(10_000);
+        let accel = DataflowAccelerator::default_2020().run(&hot);
+        let mind = MindNode::default_2020().run(&hot);
+        let cached = CachedCore::default_2020().run(&hot);
+        assert!(
+            accel.ops_per_cycle() > 2.0 * mind.ops_per_cycle(),
+            "accel {} vs mind {}",
+            accel.ops_per_cycle(),
+            mind.ops_per_cycle()
+        );
+        assert!(accel.ops_per_cycle() > 2.0 * cached.ops_per_cycle());
+    }
+
+    #[test]
+    fn mind_dominates_on_cold_streams() {
+        let cold = cold_stream(10_000);
+        let accel = DataflowAccelerator::default_2020().run(&cold);
+        let mind = MindNode::default_2020().run(&cold);
+        let cached = CachedCore::default_2020().run(&cold);
+        assert!(
+            mind.ops_per_cycle() > 2.0 * accel.ops_per_cycle(),
+            "mind {} vs accel {}",
+            mind.ops_per_cycle(),
+            accel.ops_per_cycle()
+        );
+        assert!(mind.ops_per_cycle() > 2.0 * cached.ops_per_cycle());
+    }
+
+    #[test]
+    fn sweep_shows_crossover() {
+        let rows = modality_sweep(&[0.05, 0.5, 0.98], 20_000, 16, 7);
+        assert_eq!(rows.len(), 3);
+        // Hit rate rises with theta.
+        assert!(rows[0].hit_rate < rows[2].hit_rate);
+        // MIND wins the cold end, accelerator the hot end.
+        assert!(
+            rows[0].mind > rows[0].accel,
+            "cold end: mind {} vs accel {}",
+            rows[0].mind,
+            rows[0].accel
+        );
+        assert!(
+            rows[2].accel > rows[2].mind,
+            "hot end: accel {} vs mind {}",
+            rows[2].accel,
+            rows[2].mind
+        );
+    }
+
+    #[test]
+    fn mind_threads_tolerate_latency() {
+        // Small attached compute so the shared issue port is not the
+        // bottleneck: the speedup then reflects memory-latency hiding.
+        let cold: Vec<Access> = (0..10_000)
+            .map(|i| Access {
+                addr: i as u64 * 1_000_003,
+                alu_ops: 4,
+            })
+            .collect();
+        let mut one = MindNode::default_2020();
+        one.threads = 1;
+        let mt = MindNode::default_2020().run(&cold);
+        let st = one.run(&cold);
+        assert!(
+            mt.ops_per_cycle() > 5.0 * st.ops_per_cycle(),
+            "multithreading must hide memory latency: {} vs {}",
+            mt.ops_per_cycle(),
+            st.ops_per_cycle()
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = modality_sweep(&[0.5], 5_000, 8, 3);
+        let b = modality_sweep(&[0.5], 5_000, 8, 3);
+        assert_eq!(a[0].cached, b[0].cached);
+        assert_eq!(a[0].mind, b[0].mind);
+        assert_eq!(a[0].accel, b[0].accel);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dataflow-style synchronization constructs.
+//!
+//! §2.3: "Synchronization constructs for data-flow style operations,
+//! leveraging our past studies on EARTH." A [`DataflowNode`] is a typed
+//! builder over the core dataflow-template LCO: declare `n` inputs and a
+//! combining function, wire producers to slots, and suspend a consumer on
+//! the output — "true asynchronous value oriented flow control" (§2.2).
+
+use px_core::action::Value;
+use px_core::error::PxResult;
+use px_core::gid::Gid;
+use px_core::runtime::Ctx;
+use serde::{de::DeserializeOwned, Serialize};
+use std::marker::PhantomData;
+
+/// A typed dataflow template: `n` inputs of `In`, one output of `Out`.
+pub struct DataflowNode<In, Out> {
+    gid: Gid,
+    _in: PhantomData<fn(In)>,
+    _out: PhantomData<fn() -> Out>,
+}
+
+impl<In, Out> Clone for DataflowNode<In, Out> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<In, Out> Copy for DataflowNode<In, Out> {}
+
+impl<In, Out> std::fmt::Debug for DataflowNode<In, Out> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DataflowNode({})", self.gid)
+    }
+}
+
+impl<In, Out> DataflowNode<In, Out>
+where
+    In: Serialize + DeserializeOwned + Send + 'static,
+    Out: Serialize + DeserializeOwned + Send + 'static,
+{
+    /// Create a node with `n` input slots; when all are filled,
+    /// `combine` produces the output value and the node fires.
+    pub fn new(
+        ctx: &mut Ctx<'_>,
+        n: usize,
+        combine: impl Fn(Vec<In>) -> Out + Send + 'static,
+    ) -> DataflowNode<In, Out> {
+        let gid = ctx.new_dataflow(
+            n,
+            Box::new(move |slots: &mut [Option<Value>]| {
+                let inputs: Vec<In> = slots
+                    .iter_mut()
+                    .map(|s| {
+                        s.take()
+                            .expect("all slots filled at fire time")
+                            .decode::<In>()
+                            .expect("dataflow input type mismatch")
+                    })
+                    .collect();
+                Value::encode(&combine(inputs)).expect("dataflow output must encode")
+            }),
+        );
+        DataflowNode {
+            gid,
+            _in: PhantomData,
+            _out: PhantomData,
+        }
+    }
+
+    /// The underlying LCO.
+    pub fn gid(&self) -> Gid {
+        self.gid
+    }
+
+    /// Fill input slot `idx` (from any locality).
+    pub fn put(&self, ctx: &mut Ctx<'_>, idx: u32, value: &In) -> PxResult<()> {
+        ctx.set_slot(self.gid, idx, value)
+    }
+
+    /// Suspend `f` on the node's output.
+    pub fn on_fire(&self, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut Ctx<'_>, Out) + Send + 'static) {
+        ctx.when_ready(self.gid, move |ctx, v| {
+            if let Ok(out) = v.decode::<Out>() {
+                f(ctx, out);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_core::prelude::*;
+
+    #[test]
+    fn three_input_sum_fires_once_filled() {
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        let out = rt.new_future::<u64>(LocalityId(0));
+        let out_gid = out.gid();
+        rt.spawn_at(LocalityId(0), move |ctx| {
+            let node = DataflowNode::<u64, u64>::new(ctx, 3, |ins| ins.iter().sum());
+            node.on_fire(ctx, move |ctx, total| {
+                ctx.trigger(out_gid, &total).unwrap();
+            });
+            // Producers on both localities, filling out of order.
+            let n = node;
+            ctx.spawn_at(LocalityId(1), move |ctx| {
+                n.put(ctx, 2, &300).unwrap();
+            });
+            let n = node;
+            ctx.spawn(move |ctx| {
+                n.put(ctx, 0, &1).unwrap();
+                n.put(ctx, 1, &20).unwrap();
+            });
+        });
+        assert_eq!(out.wait(&rt).unwrap(), 321);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chained_nodes() {
+        // a -> b: b's input is a's output.
+        let rt = RuntimeBuilder::new(Config::small(1, 1)).build().unwrap();
+        let out = rt.new_future::<String>(LocalityId(0));
+        let out_gid = out.gid();
+        rt.spawn_at(LocalityId(0), move |ctx| {
+            let b = DataflowNode::<u64, String>::new(ctx, 1, |ins| format!("result={}", ins[0]));
+            let a = DataflowNode::<u64, u64>::new(ctx, 2, |ins| ins[0] * ins[1]);
+            b.on_fire(ctx, move |ctx, s| {
+                ctx.trigger(out_gid, &s).unwrap();
+            });
+            a.on_fire(ctx, move |ctx, v| {
+                b.put(ctx, 0, &v).unwrap();
+            });
+            a.put(ctx, 0, &6).unwrap();
+            a.put(ctx, 1, &7).unwrap();
+        });
+        assert_eq!(out.wait(&rt).unwrap(), "result=42");
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,63 @@
+//! # px-litlx — LITL-X, the programmer-facing subset of ParalleX
+//!
+//! §2.3 of the paper: "We are working on a prototype programming API,
+//! LITL-X (pronounced 'little-X') … which provides the application
+//! programmers with a powerful set of semantic constructs to organize
+//! parallel computations in a way that hides/manages latency and limits
+//! the effects of overhead." LITL-X extends a TNT-like coarse-grain thread
+//! layer with four families of constructs, each implemented here on the
+//! `px-core` runtime:
+//!
+//! | Paper construct | Module | What it is here |
+//! |---|---|---|
+//! | "launch and manage asynchronous calls … (EARTH … or Cilk)" | [`slots`] | [`slots::SyncSlot`] counters + [`slots::async_invoke`] / [`slots::async_call`] |
+//! | "Percolation of program instruction blocks and data" | [`percolate`] | Percolation directives targeting accelerator localities |
+//! | "Synchronization constructs for data-flow style operations" | [`dataflow`] | Dataflow template builders over LCOs |
+//! | "Atomic sections … using a weak memory consistency model, such as location consistency" | [`atomic`] | [`atomic::AtomicRegion`] + location-consistent [`atomic::LcCell`] |
+//!
+//! "LITL-X is not intended as a final programming language for end users,
+//! but rather a logical testbed to prototype a set of promising concepts
+//! and to test their impact on system performance and efficiency" — the
+//! overhead of every construct is measured by experiment E9
+//! (`e9_litlx_overhead`).
+//!
+//! ## Example: fork–join with a sync slot
+//!
+//! ```
+//! use px_core::prelude::*;
+//! use px_litlx::slots::SyncSlot;
+//!
+//! let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+//! let done = rt.new_future::<u64>(LocalityId(0));
+//! let done_gid = done.gid();
+//!
+//! rt.spawn_at(LocalityId(0), move |ctx| {
+//!     // Three async child threads; the slot fires when all signal.
+//!     let slot = SyncSlot::new(ctx, 3);
+//!     for i in 0..3u16 {
+//!         let s = slot.clone();
+//!         let dest = LocalityId(i % 2);
+//!         ctx.spawn_at(dest, move |ctx| {
+//!             // ... child work ...
+//!             s.signal(ctx);
+//!         });
+//!     }
+//!     slot.on_complete(ctx, move |ctx, _| {
+//!         ctx.trigger(done_gid, &42u64).unwrap();
+//!     });
+//! });
+//! assert_eq!(done.wait(&rt).unwrap(), 42);
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod dataflow;
+pub mod percolate;
+pub mod slots;
+pub mod threads;
+
+pub use atomic::{AtomicRegion, LcCell};
+pub use slots::{async_call, async_invoke, SyncSlot};
+pub use threads::CoarseThreads;

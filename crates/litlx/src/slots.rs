@@ -1,0 +1,180 @@
+//! EARTH-style synchronization slots and asynchronous calls.
+//!
+//! The EARTH model (Theobald '99, cited as the lineage of this construct
+//! in §2.3) attaches a *sync slot* to every fiber: a counter initialized
+//! to the number of inputs the fiber waits for; producers `signal` the
+//! slot and the fiber fires when the count drains. Here a slot wraps an
+//! and-gate LCO, so slots are first-class, addressable, and usable from
+//! any locality.
+
+use px_core::action::Action;
+use px_core::gid::Gid;
+use px_core::lco::FutureRef;
+use px_core::parcel::Continuation;
+use px_core::prelude::Value;
+use px_core::runtime::Ctx;
+use serde::{de::DeserializeOwned, Serialize};
+
+/// A sync slot: fires after `count` signals.
+///
+/// Cloneable and sendable: producers carry a copy, the consumer registers
+/// the continuation with [`SyncSlot::on_complete`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncSlot {
+    gate: Gid,
+}
+
+impl SyncSlot {
+    /// Create a slot expecting `count` signals (created at the calling
+    /// thread's locality, like an EARTH frame slot).
+    pub fn new(ctx: &mut Ctx<'_>, count: u64) -> SyncSlot {
+        SyncSlot {
+            gate: ctx.new_and_gate(count),
+        }
+    }
+
+    /// The underlying and-gate LCO.
+    pub fn gid(&self) -> Gid {
+        self.gate
+    }
+
+    /// Signal the slot (from any locality).
+    pub fn signal(&self, ctx: &mut Ctx<'_>) {
+        ctx.trigger_value(self.gate, Value::unit());
+    }
+
+    /// A continuation specifier that signals this slot — attach it to a
+    /// parcel so action completion counts as the signal.
+    pub fn signal_continuation(&self) -> Continuation {
+        Continuation::set(self.gate)
+    }
+
+    /// Run `f` when the slot drains (suspends the continuation as a
+    /// depleted thread; never blocks).
+    pub fn on_complete(
+        &self,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut Ctx<'_>, Value) + Send + 'static,
+    ) {
+        ctx.when_ready(self.gate, f);
+    }
+}
+
+/// Launch an asynchronous action whose completion signals `slot` — the
+/// EARTH `INVOKE(…, slot)` idiom.
+pub fn async_invoke<A: Action>(
+    ctx: &mut Ctx<'_>,
+    target: Gid,
+    args: A::Args,
+    slot: &SyncSlot,
+) -> px_core::error::PxResult<()> {
+    ctx.send::<A>(target, args, slot.signal_continuation())
+}
+
+/// Launch an asynchronous action and get a future for its result — the
+/// Cilk-flavored spawn/sync idiom the paper also cites.
+pub fn async_call<A: Action>(
+    ctx: &mut Ctx<'_>,
+    target: Gid,
+    args: A::Args,
+) -> px_core::error::PxResult<FutureRef<A::Out>>
+where
+    A::Out: Serialize + DeserializeOwned,
+{
+    ctx.call::<A>(target, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_core::prelude::*;
+
+    struct Add;
+    impl Action for Add {
+        const NAME: &'static str = "litlx-test/add";
+        type Args = (u64, u64);
+        type Out = u64;
+        fn execute(_ctx: &mut Ctx<'_>, _t: Gid, (a, b): (u64, u64)) -> u64 {
+            a + b
+        }
+    }
+
+    fn rt() -> Runtime {
+        RuntimeBuilder::new(Config::small(2, 1))
+            .register::<Add>()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn slot_fires_after_n_signals() {
+        let rt = rt();
+        let done = rt.new_future::<bool>(LocalityId(0));
+        let done_gid = done.gid();
+        rt.spawn_at(LocalityId(0), move |ctx| {
+            let slot = SyncSlot::new(ctx, 4);
+            for _ in 0..4 {
+                let s = slot;
+                ctx.spawn(move |ctx| s.signal(ctx));
+            }
+            slot.on_complete(ctx, move |ctx, _| {
+                ctx.trigger(done_gid, &true).unwrap();
+            });
+        });
+        assert!(done.wait(&rt).unwrap());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn async_invoke_counts_completions() {
+        let rt = rt();
+        let done = rt.new_future::<u8>(LocalityId(0));
+        let done_gid = done.gid();
+        rt.spawn_at(LocalityId(0), move |ctx| {
+            let slot = SyncSlot::new(ctx, 3);
+            for i in 0..3u64 {
+                async_invoke::<Add>(ctx, Gid::locality_root(LocalityId(1)), (i, i), &slot)
+                    .unwrap();
+            }
+            slot.on_complete(ctx, move |ctx, _| {
+                ctx.trigger(done_gid, &7u8).unwrap();
+            });
+        });
+        assert_eq!(done.wait(&rt).unwrap(), 7);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn async_call_returns_value() {
+        let rt = rt();
+        let out = rt.new_future::<u64>(LocalityId(0));
+        let out_gid = out.gid();
+        rt.spawn_at(LocalityId(0), move |ctx| {
+            let fut = async_call::<Add>(ctx, Gid::locality_root(LocalityId(1)), (20, 22)).unwrap();
+            ctx.when_future(fut, move |ctx, v| {
+                ctx.trigger(out_gid, &v).unwrap();
+            });
+        });
+        assert_eq!(out.wait(&rt).unwrap(), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn cross_locality_signal() {
+        let rt = rt();
+        let done = rt.new_future::<bool>(LocalityId(0));
+        let done_gid = done.gid();
+        rt.spawn_at(LocalityId(0), move |ctx| {
+            let slot = SyncSlot::new(ctx, 2);
+            for dest in [LocalityId(0), LocalityId(1)] {
+                let s = slot;
+                ctx.spawn_at(dest, move |ctx| s.signal(ctx));
+            }
+            slot.on_complete(ctx, move |ctx, _| {
+                ctx.trigger(done_gid, &true).unwrap();
+            });
+        });
+        assert!(done.wait(&rt).unwrap());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,105 @@
+//! TNT-style coarse-grain threads.
+//!
+//! §2.3: "A version of LITL-X will be developed by extending the TNT — a
+//! coarse-grain thread layer" (TiNy Threads, the Cyclops-64 thread
+//! virtual machine). TNT's model is a fixed set of coarse threads bound
+//! to hardware thread units, with explicit termination detection. Here a
+//! [`CoarseThreads`] group binds a set of long-lived logical threads to
+//! localities round-robin and detects group termination with a parallel
+//! process — the PX-threads underneath stay ephemeral, which is exactly
+//! the LITL-X layering (coarse API, fine-grain substrate).
+
+use px_core::gid::LocalityId;
+use px_core::process::ProcessRef;
+use px_core::runtime::{Ctx, Runtime};
+
+/// A group of coarse threads with collective termination detection.
+#[derive(Debug, Clone, Copy)]
+pub struct CoarseThreads {
+    proc: ProcessRef,
+}
+
+impl CoarseThreads {
+    /// Launch `n` coarse threads, distributed round-robin over all
+    /// localities; `body(tid, ctx)` runs as each thread's top frame.
+    pub fn launch<F>(rt: &Runtime, n: usize, body: F) -> CoarseThreads
+    where
+        F: Fn(usize, &mut Ctx<'_>) + Send + Sync + 'static,
+    {
+        let proc = rt.create_process(LocalityId(0));
+        let body = std::sync::Arc::new(body);
+        let locs = rt.num_localities();
+        for tid in 0..n {
+            let body = body.clone();
+            let dest = LocalityId((tid % locs) as u16);
+            proc.spawn_at(rt, dest, move |ctx| body(tid, ctx));
+        }
+        proc.finish_root(rt);
+        CoarseThreads { proc }
+    }
+
+    /// The process accounting the group.
+    pub fn process(&self) -> ProcessRef {
+        self.proc
+    }
+
+    /// Block the driver until every coarse thread — and every PX-thread or
+    /// parcel they spawned — has completed (group quiescence).
+    pub fn join(&self, rt: &Runtime) -> px_core::error::PxResult<()> {
+        self.proc.wait(rt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use px_core::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_threads_run_and_join() {
+        let rt = RuntimeBuilder::new(Config::small(3, 1)).build().unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        let group = CoarseThreads::launch(&rt, 10, move |_tid, _ctx| {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        group.join(&rt).unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn join_waits_for_nested_spawns() {
+        let rt = RuntimeBuilder::new(Config::small(2, 2)).build().unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        let group = CoarseThreads::launch(&rt, 4, move |_tid, ctx| {
+            // Each coarse thread forks 5 children; the group must not
+            // report quiescence until they finish too.
+            for _ in 0..5 {
+                let r = r.clone();
+                ctx.spawn(move |_ctx| {
+                    r.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        group.join(&rt).unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 20);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn threads_spread_over_localities() {
+        let rt = RuntimeBuilder::new(Config::small(3, 1)).build().unwrap();
+        let seen = Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        let s = seen.clone();
+        let group = CoarseThreads::launch(&rt, 9, move |_tid, ctx| {
+            s.lock().insert(ctx.here().0);
+        });
+        group.join(&rt).unwrap();
+        assert_eq!(seen.lock().len(), 3, "threads must cover all localities");
+        rt.shutdown();
+    }
+}

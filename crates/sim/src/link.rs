@@ -1,0 +1,142 @@
+//! Latency/bandwidth link model.
+
+use crate::Time;
+
+/// A point-to-point channel with fixed latency, finite bandwidth, and
+/// serialization occupancy.
+///
+/// Transfers observe the store-and-forward rule: a message of `bytes`
+/// submitted at `now` starts transmitting when the link is free, occupies
+/// the link for `ceil(bytes / bytes_per_tick)` ticks, and arrives one
+/// `latency` later:
+///
+/// ```text
+/// start   = max(now, next_free)
+/// finish  = start + ceil(bytes / bytes_per_tick)
+/// arrival = finish + latency
+/// ```
+///
+/// The caller schedules the delivery event at `arrival`; the link just does
+/// the bookkeeping and records utilization.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Propagation delay in ticks.
+    pub latency: Time,
+    /// Serialization rate; `bytes_per_tick == 0` means infinite bandwidth.
+    pub bytes_per_tick: u64,
+    next_free: Time,
+    busy_ticks: Time,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Link {
+    /// New idle link.
+    pub fn new(latency: Time, bytes_per_tick: u64) -> Self {
+        Self {
+            latency,
+            bytes_per_tick,
+            next_free: 0,
+            busy_ticks: 0,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Submit a transfer of `bytes` at time `now`; returns the arrival time
+    /// at the far end and advances the link occupancy.
+    pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        let start = now.max(self.next_free);
+        let ser = if self.bytes_per_tick == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.bytes_per_tick)
+        };
+        self.next_free = start + ser;
+        self.busy_ticks += ser;
+        self.messages += 1;
+        self.bytes += bytes;
+        self.next_free + self.latency
+    }
+
+    /// When the link next becomes free.
+    #[inline]
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total ticks spent serializing.
+    #[inline]
+    pub fn busy_ticks(&self) -> Time {
+        self.busy_ticks
+    }
+
+    /// Messages transferred.
+    #[inline]
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes transferred.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Utilization over `elapsed` ticks (clamped to 1.0).
+    pub fn utilization(&self, elapsed: Time) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.busy_ticks as f64 / elapsed as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_only_link() {
+        let mut l = Link::new(100, 0);
+        assert_eq!(l.transfer(0, 1_000_000), 100);
+        // Infinite bandwidth: no occupancy, next message unaffected.
+        assert_eq!(l.transfer(0, 1_000_000), 100);
+    }
+
+    #[test]
+    fn serialization_occupies_link() {
+        let mut l = Link::new(10, 4); // 4 bytes/tick
+        // 16 bytes → 4 ticks serialize + 10 latency.
+        assert_eq!(l.transfer(0, 16), 14);
+        // Second message must wait for the first to finish serializing.
+        assert_eq!(l.transfer(0, 16), 18);
+        assert_eq!(l.busy_ticks(), 8);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut l = Link::new(0, 1);
+        l.transfer(0, 5); // busy 0..5
+        l.transfer(100, 5); // busy 100..105
+        assert_eq!(l.busy_ticks(), 10);
+        assert!((l.utilization(105) - 10.0 / 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_tick_rounds_up() {
+        let mut l = Link::new(0, 4);
+        assert_eq!(l.transfer(0, 1), 1); // ceil(1/4) = 1 tick
+        assert_eq!(l.transfer(0, 5), 3); // ceil(5/4) = 2 ticks, after 1
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut l = Link::new(1, 8);
+        l.transfer(0, 64);
+        l.transfer(0, 32);
+        assert_eq!(l.messages(), 2);
+        assert_eq!(l.bytes(), 96);
+    }
+}

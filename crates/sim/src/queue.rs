@@ -1,0 +1,155 @@
+//! Event calendar: a binary heap keyed on `(time, seq)`.
+//!
+//! The sequence number makes the ordering total, which makes the simulation
+//! deterministic: two events scheduled for the same tick always fire in the
+//! order they were scheduled.
+
+use crate::{sim::CompId, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event waiting in the calendar.
+#[derive(Debug)]
+pub struct QueuedEvent<E> {
+    /// Delivery time.
+    pub time: Time,
+    /// Schedule-order tiebreaker.
+    pub seq: u64,
+    /// Destination component.
+    pub dst: CompId,
+    /// User payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for QueuedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for QueuedEvent<E> {}
+
+impl<E> PartialOrd for QueuedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for QueuedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, breaking ties by schedule order.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Min-queue of events ordered by `(time, seq)`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueuedEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` for `dst` at absolute time `time`.
+    #[inline]
+    pub fn push(&mut self, time: Time, dst: CompId, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent {
+            time,
+            seq,
+            dst,
+            payload,
+        });
+    }
+
+    /// Remove and return the earliest event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, CompId(0), "c");
+        q.push(10, CompId(0), "a");
+        q.push(20, CompId(0), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, CompId(0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn peek_time_tracks_minimum() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(50, CompId(0), ());
+        q.push(7, CompId(1), ());
+        assert_eq!(q.peek_time(), Some(7));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(50));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, CompId(0), ());
+        q.push(2, CompId(0), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

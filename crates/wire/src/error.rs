@@ -1,0 +1,81 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Errors produced while encoding or decoding the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A LEB128 varint ran past 10 bytes (would overflow u64).
+    VarintOverflow,
+    /// A `bool` byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A `char` scalar value was not a valid Unicode code point.
+    InvalidChar(u32),
+    /// A string payload was not valid UTF-8.
+    InvalidUtf8,
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// A sequence or map was serialized without a known length.
+    UnknownLength,
+    /// Bytes remained after the top-level value was decoded.
+    TrailingBytes(usize),
+    /// A decoded length prefix exceeds the remaining input, so the data is
+    /// corrupt (prevents pathological preallocation).
+    LengthExceedsInput {
+        /// Claimed element count.
+        len: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Error raised from within serde (custom messages).
+    Message(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remain"
+            ),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            WireError::InvalidChar(c) => write!(f, "invalid char scalar {c:#010x}"),
+            WireError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            WireError::InvalidOptionTag(b) => write!(f, "invalid Option tag {b:#04x}"),
+            WireError::UnknownLength => {
+                write!(f, "sequences without a known length are not supported")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::LengthExceedsInput { len, remaining } => write!(
+                f,
+                "length prefix {len} exceeds remaining input ({remaining} bytes)"
+            ),
+            WireError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl serde::ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}

@@ -1,0 +1,173 @@
+//! # px-wire — compact binary wire format for ParalleX parcels
+//!
+//! Parcels in ParalleX carry serialized argument values between localities
+//! (§2.2 of the paper: "Additional argument values can be carried by the
+//! parcel to move prior state to the site of the invoked thread execution").
+//! This crate provides the byte-level encoding used for those payloads:
+//! a small, untagged, little-endian binary format with LEB128
+//! variable-length integers for lengths and enum discriminants.
+//!
+//! The format is implemented as a pair of [`serde`] adapters so any
+//! `Serialize`/`Deserialize` type can ride in a parcel:
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Body { pos: [f64; 3], mass: f64, id: u64 }
+//!
+//! let b = Body { pos: [1.0, 2.0, 3.0], mass: 5.5, id: 42 };
+//! let bytes = px_wire::to_bytes(&b).unwrap();
+//! let back: Body = px_wire::from_bytes(&bytes).unwrap();
+//! assert_eq!(b, back);
+//! ```
+//!
+//! ## Encoding rules
+//!
+//! | Type | Encoding |
+//! |---|---|
+//! | `bool` | one byte, `0` or `1` |
+//! | `u8..u64`, `i8..i64` | fixed-width little-endian |
+//! | `u128`/`i128` | fixed 16 bytes little-endian |
+//! | `f32`/`f64` | IEEE-754 bits, little-endian |
+//! | `char` | `u32` scalar value |
+//! | `str`, `bytes` | LEB128 length + raw bytes |
+//! | `Option` | `0` = None, `1` + value = Some |
+//! | seq/map | LEB128 length + elements (length required) |
+//! | tuple/struct | elements back to back, no framing |
+//! | enum | LEB128 variant index + payload |
+//!
+//! The format is not self-describing: reader and writer must agree on the
+//! schema, which is always true for parcels because the action registry
+//! fixes the argument type on both sides.
+
+#![warn(missing_docs)]
+
+mod buf;
+mod de;
+mod error;
+mod ser;
+
+pub use buf::{WireReader, WireWriter};
+pub use de::{from_bytes, Deserializer};
+pub use error::{WireError, WireResult};
+pub use ser::{to_bytes, to_writer, Serializer};
+
+/// Serialize a value and report the encoded size without keeping the bytes.
+///
+/// Used by instrumentation that needs payload sizes (e.g. the work-to-data
+/// crossover experiment E6) without double-buffering.
+pub fn encoded_size<T: serde::Serialize>(value: &T) -> WireResult<usize> {
+    Ok(to_bytes(value)?.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T>(v: &T) -> T
+    where
+        T: Serialize + for<'a> Deserialize<'a> + PartialEq + std::fmt::Debug,
+    {
+        let bytes = to_bytes(v).expect("serialize");
+        let back: T = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(&back, v);
+        back
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u8);
+        roundtrip(&255u8);
+        roundtrip(&-1i64);
+        roundtrip(&u64::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&u128::MAX);
+        roundtrip(&3.14159f64);
+        roundtrip(&f64::NEG_INFINITY);
+        roundtrip(&'ψ');
+        roundtrip(&"hello parallex".to_string());
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        let bytes = to_bytes(&f64::NAN).unwrap();
+        let back: f64 = from_bytes(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&vec![1u32, 2, 3, 4]);
+        roundtrip(&Vec::<u8>::new());
+        roundtrip(&Some(7u16));
+        roundtrip(&Option::<u16>::None);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        roundtrip(&m);
+        roundtrip(&(1u8, "two".to_string(), 3.0f32));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Msg {
+        Ping,
+        Move { dx: f64, dy: f64 },
+        Batch(Vec<u32>),
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(&Msg::Ping);
+        roundtrip(&Msg::Move { dx: 1.5, dy: -2.5 });
+        roundtrip(&Msg::Batch(vec![9, 8, 7]));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        name: String,
+        inner: Vec<Msg>,
+        flag: Option<bool>,
+    }
+
+    #[test]
+    fn nested_struct_roundtrips() {
+        roundtrip(&Nested {
+            name: "locality-3".into(),
+            inner: vec![Msg::Ping, Msg::Batch(vec![1])],
+            flag: Some(false),
+        });
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&5u32).unwrap();
+        bytes.push(0xff);
+        let r: WireResult<u32> = from_bytes(&bytes);
+        assert!(r.is_err(), "trailing bytes must be an error");
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&"a longer string".to_string()).unwrap();
+        let r: WireResult<String> = from_bytes(&bytes[..bytes.len() - 2]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn encoded_size_matches() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(encoded_size(&v).unwrap(), to_bytes(&v).unwrap().len());
+    }
+
+    #[test]
+    fn compactness_u8_vec() {
+        // A Vec<u8> of length 100 should cost ~1 length byte + 100 payload.
+        let v = vec![0u8; 100];
+        assert_eq!(to_bytes(&v).unwrap().len(), 101);
+    }
+}

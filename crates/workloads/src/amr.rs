@@ -1,0 +1,368 @@
+//! Adaptive mesh refinement: the paper's "directed graphs (adaptive mesh
+//! refinement …)" irregular workload.
+//!
+//! A 2-D quadtree mesh refines where an error estimator exceeds a
+//! threshold and coarsens where it falls well below, producing a
+//! time-varying directed dependency graph: each patch's update depends on
+//! its neighbors at the same or adjacent level. The mesh intentionally
+//! tracks patches in a flat arena with explicit parent/child links so a
+//! distributed driver can partition patches across localities and express
+//! the neighbor dependencies as LCO dataflow.
+
+use serde::{Deserialize, Serialize};
+
+/// A square patch of the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Patch {
+    /// Refinement level (0 = root).
+    pub level: u8,
+    /// Patch coordinates within its level's grid (x, y).
+    pub ix: u32,
+    /// Y coordinate.
+    pub iy: u32,
+    /// Arena index of the parent (self for the root).
+    pub parent: u32,
+    /// True if the patch is currently a leaf (active compute patch).
+    pub active: bool,
+}
+
+impl Patch {
+    /// Patch center in the unit square.
+    pub fn center(&self) -> (f64, f64) {
+        let n = (1u32 << self.level) as f64;
+        (
+            (self.ix as f64 + 0.5) / n,
+            (self.iy as f64 + 0.5) / n,
+        )
+    }
+
+    /// Patch width.
+    pub fn width(&self) -> f64 {
+        1.0 / (1u32 << self.level) as f64
+    }
+}
+
+/// The adaptive mesh: a quadtree forest over the unit square.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// All patches ever created (including deactivated interior ones).
+    pub patches: Vec<Patch>,
+    /// Indices of currently active (leaf) patches.
+    pub active: Vec<u32>,
+    /// Maximum refinement level allowed.
+    pub max_level: u8,
+}
+
+impl Mesh {
+    /// Root-only mesh.
+    pub fn new(max_level: u8) -> Mesh {
+        let root = Patch {
+            level: 0,
+            ix: 0,
+            iy: 0,
+            parent: 0,
+            active: true,
+        };
+        Mesh {
+            patches: vec![root],
+            active: vec![0],
+            max_level,
+        }
+    }
+
+    /// Number of active patches.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// One refinement pass: refine active patches whose estimated error
+    /// exceeds `threshold` (splitting into four children), up to
+    /// `max_level`. The estimator is the max of `error` over a 4×4
+    /// interior sample grid — point-sampling only the center would miss
+    /// features narrower than a coarse patch. Returns the number of
+    /// splits performed.
+    pub fn refine_where<F: Fn(f64, f64) -> f64>(&mut self, error: F, threshold: f64) -> usize {
+        let mut splits = 0;
+        let current: Vec<u32> = self.active.clone();
+        for &pi in &current {
+            let p = self.patches[pi as usize];
+            if !p.active || p.level >= self.max_level {
+                continue;
+            }
+            if Self::patch_error(&p, &error) > threshold {
+                self.split(pi);
+                splits += 1;
+            }
+        }
+        splits
+    }
+
+    /// Max of `error` over a 4×4 interior sample grid of the patch.
+    pub fn patch_error<F: Fn(f64, f64) -> f64>(p: &Patch, error: &F) -> f64 {
+        let w = p.width();
+        let x0 = p.ix as f64 * w;
+        let y0 = p.iy as f64 * w;
+        let mut max = f64::NEG_INFINITY;
+        for sy in 0..4 {
+            for sx in 0..4 {
+                let x = x0 + w * (0.125 + 0.25 * sx as f64);
+                let y = y0 + w * (0.125 + 0.25 * sy as f64);
+                max = max.max(error(x, y));
+            }
+        }
+        max
+    }
+
+    fn split(&mut self, pi: u32) {
+        let p = self.patches[pi as usize];
+        debug_assert!(p.active);
+        self.patches[pi as usize].active = false;
+        for dy in 0..2u32 {
+            for dx in 0..2u32 {
+                let child = Patch {
+                    level: p.level + 1,
+                    ix: p.ix * 2 + dx,
+                    iy: p.iy * 2 + dy,
+                    parent: pi,
+                    active: true,
+                };
+                let idx = self.patches.len() as u32;
+                self.patches.push(child);
+                self.active.push(idx);
+            }
+        }
+        self.active.retain(|&a| a != pi);
+    }
+
+    /// Refine to convergence (or until `max_passes`), returning the number
+    /// of passes executed.
+    pub fn refine_to_convergence<F: Fn(f64, f64) -> f64>(
+        &mut self,
+        error: F,
+        threshold: f64,
+        max_passes: usize,
+    ) -> usize {
+        for pass in 0..max_passes {
+            if self.refine_where(&error, threshold) == 0 {
+                return pass;
+            }
+        }
+        max_passes
+    }
+
+    /// Active-patch neighbor pairs (edges of the dependency graph). Two
+    /// active patches are neighbors when their squares share an edge
+    /// segment; levels may differ by any amount (the driver decides how to
+    /// interpolate).
+    pub fn neighbor_edges(&self) -> Vec<(u32, u32)> {
+        // O(A²) with early box rejection — fine at experiment scale; a
+        // production mesh would bucket by space-filling curve.
+        let mut edges = Vec::new();
+        let act = &self.active;
+        for (i, &a) in act.iter().enumerate() {
+            let pa = self.patches[a as usize];
+            let (ax0, ay0) = (
+                pa.ix as f64 * pa.width(),
+                pa.iy as f64 * pa.width(),
+            );
+            let (ax1, ay1) = (ax0 + pa.width(), ay0 + pa.width());
+            for &b in act.iter().skip(i + 1) {
+                let pb = self.patches[b as usize];
+                let (bx0, by0) = (
+                    pb.ix as f64 * pb.width(),
+                    pb.iy as f64 * pb.width(),
+                );
+                let (bx1, by1) = (bx0 + pb.width(), by0 + pb.width());
+                let eps = 1e-12;
+                let x_touch = (ax1 - bx0).abs() < eps || (bx1 - ax0).abs() < eps;
+                let y_overlap = ay0 < by1 - eps && by0 < ay1 - eps;
+                let y_touch = (ay1 - by0).abs() < eps || (by1 - ay0).abs() < eps;
+                let x_overlap = ax0 < bx1 - eps && bx0 < ax1 - eps;
+                if (x_touch && y_overlap) || (y_touch && x_overlap) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Partition active patches across `n` owners by Morton (Z-order)
+    /// position — spatially compact, the locality-affinity mapping the
+    /// driver uses ("affinity semantics", §2.1).
+    pub fn partition(&self, n: usize) -> Vec<Vec<u32>> {
+        assert!(n > 0);
+        let mut keyed: Vec<(u64, u32)> = self
+            .active
+            .iter()
+            .map(|&a| {
+                let p = &self.patches[a as usize];
+                // Normalize coordinates to the deepest level for a shared
+                // Morton space.
+                let shift = (self.max_level - p.level) as u32;
+                (morton2(p.ix << shift, p.iy << shift), a)
+            })
+            .collect();
+        keyed.sort_unstable();
+        let mut parts = vec![Vec::new(); n];
+        let per = keyed.len().div_ceil(n);
+        for (i, (_, a)) in keyed.into_iter().enumerate() {
+            parts[(i / per).min(n - 1)].push(a);
+        }
+        parts
+    }
+}
+
+/// Interleave a 32-bit pair into a Morton code.
+pub fn morton2(x: u32, y: u32) -> u64 {
+    fn spread(v: u32) -> u64 {
+        let mut v = v as u64;
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+/// A moving-feature error field: a Gaussian ridge along a circle whose
+/// phase advances with `t`, so the refinement pattern is time-varying
+/// (the "time-varying" part of the §2.1 requirement).
+pub fn moving_front_error(t: f64) -> impl Fn(f64, f64) -> f64 {
+    move |x, y| {
+        let cx = 0.5 + 0.3 * (t).cos();
+        let cy = 0.5 + 0.3 * (t).sin();
+        let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+        (-d2 / 0.02).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_mesh() {
+        let m = Mesh::new(4);
+        assert_eq!(m.active_count(), 1);
+        assert_eq!(m.patches[0].center(), (0.5, 0.5));
+    }
+
+    #[test]
+    fn uniform_refinement_quadruples() {
+        let mut m = Mesh::new(3);
+        // Error above threshold everywhere refines every active patch.
+        m.refine_where(|_, _| 1.0, 0.5);
+        assert_eq!(m.active_count(), 4);
+        m.refine_where(|_, _| 1.0, 0.5);
+        assert_eq!(m.active_count(), 16);
+    }
+
+    #[test]
+    fn max_level_respected() {
+        let mut m = Mesh::new(2);
+        let passes = m.refine_to_convergence(|_, _| 1.0, 0.5, 10);
+        assert!(passes <= 3);
+        assert_eq!(m.active_count(), 16); // 4^2
+        assert!(m.patches.iter().all(|p| p.level <= 2));
+    }
+
+    #[test]
+    fn localized_refinement_is_sparse() {
+        let mut m = Mesh::new(6);
+        let err = moving_front_error(0.0);
+        m.refine_to_convergence(&err, 0.2, 10);
+        let full = 4usize.pow(6);
+        assert!(
+            m.active_count() < full / 4,
+            "refinement should be localized: {} of {}",
+            m.active_count(),
+            full
+        );
+        assert!(m.active_count() > 16, "the moving front must be tracked");
+    }
+
+    #[test]
+    fn active_partition_is_exact_cover() {
+        let mut m = Mesh::new(5);
+        let err = moving_front_error(1.0);
+        m.refine_to_convergence(&err, 0.2, 10);
+        let parts = m.partition(4);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, m.active_count());
+        let mut all: Vec<u32> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), m.active_count());
+    }
+
+    #[test]
+    fn neighbor_edges_symmetric_coverage() {
+        let mut m = Mesh::new(3);
+        m.refine_where(|_, _| 1.0, 0.5); // 4 patches
+        let edges = m.neighbor_edges();
+        // 2x2 grid: 4 shared edges.
+        assert_eq!(edges.len(), 4, "edges: {edges:?}");
+    }
+
+    #[test]
+    fn cross_level_neighbors_detected() {
+        let mut m = Mesh::new(3);
+        m.refine_where(|_, _| 1.0, 0.5); // 4 patches
+        // Refine only one patch again: error = 1 strictly inside its box.
+        let target = m.active[0];
+        let p = m.patches[target as usize];
+        let w = p.width();
+        let (x0, y0) = (p.ix as f64 * w, p.iy as f64 * w);
+        m.refine_where(
+            move |x, y| {
+                if x > x0 && x < x0 + w && y > y0 && y < y0 + w {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+            0.5,
+        );
+        assert_eq!(m.active_count(), 7);
+        let edges = m.neighbor_edges();
+        // Each fine patch bordering a coarse patch must appear.
+        assert!(edges.len() >= 8, "edges: {}", edges.len());
+    }
+
+    #[test]
+    fn morton_orders_locally() {
+        assert_eq!(morton2(0, 0), 0);
+        assert_eq!(morton2(1, 0), 1);
+        assert_eq!(morton2(0, 1), 2);
+        assert_eq!(morton2(1, 1), 3);
+        assert!(morton2(2, 2) > morton2(1, 1));
+    }
+
+    #[test]
+    fn time_varying_pattern_moves() {
+        let mut m0 = Mesh::new(5);
+        m0.refine_to_convergence(moving_front_error(0.0), 0.2, 10);
+        let mut m1 = Mesh::new(5);
+        m1.refine_to_convergence(moving_front_error(3.0), 0.2, 10);
+        // Same feature size → similar count, different location.
+        let c0: Vec<(u32, u32, u8)> = m0
+            .active
+            .iter()
+            .map(|&a| {
+                let p = m0.patches[a as usize];
+                (p.ix, p.iy, p.level)
+            })
+            .collect();
+        let c1: Vec<(u32, u32, u8)> = m1
+            .active
+            .iter()
+            .map(|&a| {
+                let p = m1.patches[a as usize];
+                (p.ix, p.iy, p.level)
+            })
+            .collect();
+        assert_ne!(c0, c1, "refinement pattern should move with t");
+    }
+}

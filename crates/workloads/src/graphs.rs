@@ -1,0 +1,209 @@
+//! Scale-free directed graphs: the paper's "semantic nets" workload, used
+//! for graph-traversal experiments over the global name space.
+//!
+//! The generator is preferential-attachment (Barabási–Albert flavored):
+//! heavy-tailed degree distribution, which is what makes traversal load
+//! balancing hard and message-driven work queues shine.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Compressed sparse row directed graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    /// Row offsets, length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Edge targets.
+    pub targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let a = self.offsets[v as usize] as usize;
+        let b = self.offsets[v as usize + 1] as usize;
+        &self.targets[a..b]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut counts = vec![0u32; n + 1];
+        for &(s, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, t) in edges {
+            targets[cursor[s as usize] as usize] = t;
+            cursor[s as usize] += 1;
+        }
+        Graph { offsets, targets }
+    }
+
+    /// Preferential-attachment generator: `n` vertices, each new vertex
+    /// attaching `m` out-edges biased toward high-degree targets.
+    /// Deterministic in `seed`; edges are made bidirectional (two directed
+    /// edges) so BFS reaches the whole component.
+    pub fn scale_free(n: usize, m: usize, seed: u64) -> Graph {
+        assert!(n > m && m >= 1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * n * m);
+        // Repeated-endpoints list: sampling uniformly from it implements
+        // degree-proportional choice.
+        let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+        // Seed clique over m+1 vertices.
+        for i in 0..=(m as u32) {
+            for j in 0..i {
+                edges.push((i, j));
+                edges.push((j, i));
+                endpoints.push(i);
+                endpoints.push(j);
+            }
+        }
+        for v in (m as u32 + 1)..(n as u32) {
+            let mut chosen = Vec::with_capacity(m);
+            while chosen.len() < m {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                if t != v && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            for &t in &chosen {
+                edges.push((v, t));
+                edges.push((t, v));
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Sequential BFS from `root`: returns levels (`u32::MAX` =
+    /// unreached). Reference for the distributed traversal.
+    pub fn bfs(&self, root: u32) -> Vec<u32> {
+        let mut level = vec![u32::MAX; self.len()];
+        level[root as usize] = 0;
+        let mut frontier = vec![root];
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &t in self.neighbors(v) {
+                    if level[t as usize] == u32::MAX {
+                        level[t as usize] = depth;
+                        next.push(t);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        level
+    }
+
+    /// Partition vertices across `n` owners by hashing (the default
+    /// distribution for graph experiments — deliberately affinity-blind,
+    /// which is what stresses remote access).
+    pub fn partition_hash(&self, n: usize) -> Vec<u32> {
+        (0..self.len() as u32)
+            .map(|v| (v.wrapping_mul(0x9e37_79b9) >> 16) % n as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_construction() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn scale_free_shape() {
+        let g = Graph::scale_free(2000, 3, 42);
+        assert_eq!(g.len(), 2000);
+        // Heavy tail: the max degree should far exceed the mean.
+        let mean = g.edges() as f64 / g.len() as f64;
+        let max = (0..g.len() as u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            (max as f64) > 5.0 * mean,
+            "expected heavy tail: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn scale_free_deterministic() {
+        let a = Graph::scale_free(500, 2, 7);
+        let b = Graph::scale_free(500, 2, 7);
+        assert_eq!(a.targets, b.targets);
+        let c = Graph::scale_free(500, 2, 8);
+        assert_ne!(a.targets, c.targets);
+    }
+
+    #[test]
+    fn bfs_reaches_everything() {
+        let g = Graph::scale_free(1000, 2, 3);
+        let levels = g.bfs(0);
+        assert!(levels.iter().all(|&l| l != u32::MAX), "graph is connected");
+        assert_eq!(levels[0], 0);
+        // Small-world: diameter should be modest.
+        let max = levels.iter().max().unwrap();
+        assert!(*max < 20, "diameter too large: {max}");
+    }
+
+    #[test]
+    fn bfs_levels_are_shortest_paths() {
+        // Path graph 0-1-2-3 (bidirectional).
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        );
+        assert_eq!(g.bfs(0), vec![0, 1, 2, 3]);
+        assert_eq!(g.bfs(2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn partition_is_total() {
+        let g = Graph::scale_free(300, 2, 1);
+        let owners = g.partition_hash(5);
+        assert_eq!(owners.len(), 300);
+        assert!(owners.iter().all(|&o| o < 5));
+        // All owners used.
+        let mut seen = [false; 5];
+        for &o in &owners {
+            seen[o as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,26 @@
+//! # px-workloads — workload generators for the ParalleX experiments
+//!
+//! §2.1 of the paper demands "direct support for lightweight processing of
+//! irregular time-varying sparse data structure parallelism such as that
+//! for trees (N-body codes), directed graphs (adaptive mesh refinement,
+//! semantic nets), and particle in cell (magneto hydro dynamics)". This
+//! crate implements exactly those workloads — plus the synthetic kernels
+//! used to sweep latency, imbalance, and temporal locality — as plain
+//! algorithms with **no runtime dependency**, so the ParalleX runtime, the
+//! CSP baseline, and the Gilgamesh simulator can all drive the same code.
+//!
+//! | Module | Workload | Used by |
+//! |---|---|---|
+//! | [`barnes_hut`] | 3-D octree N-body (trees) | E8, `nbody_barnes_hut` example |
+//! | [`amr`] | error-driven adaptive mesh refinement (directed graphs) | E8, `amr_refinement` example |
+//! | [`pic`] | 1-D electrostatic particle-in-cell | E8, `pic_plasma` example |
+//! | [`graphs`] | scale-free semantic-net generator + BFS | E8 extension |
+//! | [`synth`] | imbalance distributions, Zipf skew, temporal-locality streams, calibrated spin-work | E2, E3, E4, E7, E11 |
+
+#![warn(missing_docs)]
+
+pub mod amr;
+pub mod barnes_hut;
+pub mod graphs;
+pub mod pic;
+pub mod synth;

@@ -1,0 +1,232 @@
+//! 1-D electrostatic particle-in-cell: the paper's "particle in cell
+//! (magneto hydro dynamics)" workload class.
+//!
+//! The classic periodic two-stream/Landau setup: particles deposit charge
+//! onto a grid (cloud-in-cell weighting), the field solves Poisson's
+//! equation on the grid (periodic, via direct integration of E from the
+//! charge density), and particles gather the field and push (leapfrog).
+//! The scatter step is the irregular part — particle → cell writes follow
+//! the particles, so a distributed driver gets the same gather/scatter
+//! communication pattern MHD PIC codes fight with.
+
+use serde::{Deserialize, Serialize};
+
+/// A charged particle (unit charge-to-mass ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// Position in `[0, length)`.
+    pub x: f64,
+    /// Velocity.
+    pub v: f64,
+}
+
+/// The PIC system state.
+#[derive(Debug, Clone)]
+pub struct PicState {
+    /// Particles.
+    pub particles: Vec<Particle>,
+    /// Domain length.
+    pub length: f64,
+    /// Grid cells.
+    pub cells: usize,
+    /// Charge density per cell (last deposit).
+    pub rho: Vec<f64>,
+    /// Electric field per cell (last solve).
+    pub efield: Vec<f64>,
+}
+
+impl PicState {
+    /// Two-stream instability initial condition: two counter-streaming
+    /// beams with a small seeded sinusoidal perturbation.
+    pub fn two_stream(n: usize, cells: usize, drift: f64, seed: u64) -> PicState {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let length = 2.0 * std::f64::consts::PI;
+        let particles = (0..n)
+            .map(|i| {
+                let x0 = (i as f64 + 0.5) / n as f64 * length;
+                let x = (x0 + 0.001 * (2.0 * x0).sin()).rem_euclid(length);
+                let beam = if i % 2 == 0 { drift } else { -drift };
+                let v = beam + rng.gen_range(-0.05..0.05);
+                Particle { x, v }
+            })
+            .collect();
+        PicState {
+            particles,
+            length,
+            cells,
+            rho: vec![0.0; cells],
+            efield: vec![0.0; cells],
+        }
+    }
+
+    /// Cell width.
+    pub fn dx(&self) -> f64 {
+        self.length / self.cells as f64
+    }
+
+    /// Deposit charge with cloud-in-cell (linear) weighting. Background
+    /// ions neutralize the mean.
+    pub fn deposit(&mut self) {
+        let dx = self.dx();
+        self.rho.iter_mut().for_each(|r| *r = 0.0);
+        let w = 1.0 / self.particles.len() as f64 * self.cells as f64;
+        for p in &self.particles {
+            let xc = p.x / dx;
+            let i0 = xc.floor() as usize % self.cells;
+            let frac = xc - xc.floor();
+            let i1 = (i0 + 1) % self.cells;
+            self.rho[i0] += w * (1.0 - frac);
+            self.rho[i1] += w * frac;
+        }
+        // Neutralizing background: subtract the mean.
+        let mean = self.rho.iter().sum::<f64>() / self.cells as f64;
+        for r in self.rho.iter_mut() {
+            *r -= mean;
+        }
+    }
+
+    /// Solve for E on the periodic grid: dE/dx = rho, ∑E = 0.
+    pub fn solve_field(&mut self) {
+        let dx = self.dx();
+        let mut e = 0.0;
+        for (i, &r) in self.rho.iter().enumerate() {
+            e += r * dx;
+            self.efield[i] = e;
+        }
+        let mean = self.efield.iter().sum::<f64>() / self.cells as f64;
+        for e in self.efield.iter_mut() {
+            *e -= mean;
+        }
+    }
+
+    /// Gather E at a particle position (linear interpolation).
+    pub fn field_at(&self, x: f64) -> f64 {
+        let dx = self.dx();
+        let xc = x / dx;
+        let i0 = xc.floor() as usize % self.cells;
+        let frac = xc - xc.floor();
+        let i1 = (i0 + 1) % self.cells;
+        self.efield[i0] * (1.0 - frac) + self.efield[i1] * frac
+    }
+
+    /// One full PIC step (deposit → solve → push).
+    pub fn step(&mut self, dt: f64) {
+        self.deposit();
+        self.solve_field();
+        let length = self.length;
+        // Electrons: acceleration = -E.
+        let fields: Vec<f64> = self.particles.iter().map(|p| self.field_at(p.x)).collect();
+        for (p, &e) in self.particles.iter_mut().zip(fields.iter()) {
+            p.v -= e * dt;
+            p.x = (p.x + p.v * dt).rem_euclid(length);
+        }
+    }
+
+    /// Electrostatic field energy `∑ E² dx / 2`.
+    pub fn field_energy(&self) -> f64 {
+        let dx = self.dx();
+        self.efield.iter().map(|e| e * e).sum::<f64>() * dx / 2.0
+    }
+
+    /// Kinetic energy of the particles (per unit weight).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.particles.iter().map(|p| 0.5 * p.v * p.v).sum::<f64>() / self.particles.len() as f64
+    }
+
+    /// Partition particle indices into `n` spatial slabs (the distributed
+    /// decomposition: slab owner also owns the corresponding grid chunk).
+    pub fn partition(&self, n: usize) -> Vec<Vec<u32>> {
+        let mut parts = vec![Vec::new(); n];
+        let w = self.length / n as f64;
+        for (i, p) in self.particles.iter().enumerate() {
+            let s = ((p.x / w) as usize).min(n - 1);
+            parts[s].push(i as u32);
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_conserves_charge() {
+        let mut s = PicState::two_stream(10_000, 64, 1.0, 4);
+        s.deposit();
+        let total: f64 = s.rho.iter().sum();
+        assert!(total.abs() < 1e-9, "net charge must be ~0: {total}");
+    }
+
+    #[test]
+    fn field_has_zero_mean() {
+        let mut s = PicState::two_stream(5_000, 32, 1.0, 4);
+        s.deposit();
+        s.solve_field();
+        let mean: f64 = s.efield.iter().sum::<f64>() / s.efield.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_plasma_stays_quiet() {
+        // No drift and no perturbation → field energy stays tiny.
+        let mut s = PicState::two_stream(8_192, 64, 0.0, 9);
+        for p in s.particles.iter_mut() {
+            p.v = 0.0;
+        }
+        let mut max_e = 0.0f64;
+        for _ in 0..50 {
+            s.step(0.05);
+            max_e = max_e.max(s.field_energy());
+        }
+        assert!(max_e < 1e-3, "quiet start should not self-heat: {max_e}");
+    }
+
+    #[test]
+    fn two_stream_instability_grows() {
+        let mut s = PicState::two_stream(16_384, 64, 1.0, 7);
+        s.deposit();
+        s.solve_field();
+        let e0 = s.field_energy().max(1e-12);
+        for _ in 0..200 {
+            s.step(0.05);
+        }
+        let e1 = s.field_energy();
+        assert!(
+            e1 > e0 * 10.0,
+            "two-stream field energy should grow: {e0} → {e1}"
+        );
+    }
+
+    #[test]
+    fn positions_stay_periodic() {
+        let mut s = PicState::two_stream(1_000, 32, 2.0, 3);
+        for _ in 0..100 {
+            s.step(0.1);
+        }
+        for p in &s.particles {
+            assert!(p.x >= 0.0 && p.x < s.length);
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_particles() {
+        let s = PicState::two_stream(1_000, 32, 1.0, 5);
+        let parts = s.partition(4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1_000);
+        // Uniform positions → roughly even slabs.
+        for part in &parts {
+            assert!(part.len() > 150, "slab too small: {}", part.len());
+        }
+    }
+
+    #[test]
+    fn gather_interpolates_between_cells() {
+        let mut s = PicState::two_stream(100, 4, 0.0, 1);
+        s.efield = vec![0.0, 1.0, 0.0, -1.0];
+        let dx = s.dx();
+        let mid01 = s.field_at(0.5 * dx + 0.0);
+        assert!((mid01 - 0.5).abs() < 1e-9, "{mid01}");
+    }
+}

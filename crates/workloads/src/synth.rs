@@ -1,0 +1,290 @@
+//! Synthetic kernels for the quantitative experiments.
+//!
+//! * [`spin_for_ns`] / [`SpinCalibration`] — calibrated busy-work standing
+//!   in for "compute" with a controllable grain size (E2, E3, E4).
+//! * [`lognormal_work`] — per-task service times with tunable coefficient
+//!   of variation, the imbalance knob for the LCO-vs-barrier experiment
+//!   (E3).
+//! * [`zipf_assign`] — skewed task→locality assignment for the starvation
+//!   experiment (E11).
+//! * [`LocalityStream`] — synthetic address streams with a tunable
+//!   temporal-locality parameter θ for the Gilgamesh two-modality
+//!   experiment (E7): θ→1 reuses a small working set (cache-friendly,
+//!   dataflow-accelerator territory), θ→0 sprays uniformly (PIM
+//!   territory).
+
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Busy-wait for approximately `ns` nanoseconds.
+///
+/// Uses a time check every few iterations; granularity is tens of
+/// nanoseconds, accurate enough for grains ≥ 1 µs (what the experiments
+/// use).
+#[inline]
+pub fn spin_for_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    let target = std::time::Duration::from_nanos(ns);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+/// Measured cost model of `spin_for_ns` on this host (sanity checks in
+/// experiments: confirms the grain knob is honest).
+#[derive(Debug, Clone, Copy)]
+pub struct SpinCalibration {
+    /// Measured nanoseconds for a requested 10 µs spin.
+    pub measured_10us_ns: u64,
+}
+
+impl SpinCalibration {
+    /// Run the calibration (takes ~1 ms).
+    pub fn measure() -> SpinCalibration {
+        // Warm up.
+        spin_for_ns(1_000);
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            spin_for_ns(10_000);
+        }
+        let total = t0.elapsed().as_nanos() as u64;
+        SpinCalibration {
+            measured_10us_ns: total / 100,
+        }
+    }
+
+    /// Relative error vs the requested 10 µs.
+    pub fn relative_error(&self) -> f64 {
+        (self.measured_10us_ns as f64 - 10_000.0).abs() / 10_000.0
+    }
+}
+
+/// `n` lognormal service times with mean ≈ `mean_ns` and coefficient of
+/// variation `cv` (cv = 0 gives exactly-constant work). Deterministic in
+/// `seed`.
+pub fn lognormal_work(n: usize, mean_ns: f64, cv: f64, seed: u64) -> Vec<u64> {
+    assert!(mean_ns > 0.0 && cv >= 0.0);
+    if cv == 0.0 {
+        return vec![mean_ns as u64; n];
+    }
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    // For lognormal: cv² = exp(σ²) − 1; mean = exp(μ + σ²/2).
+    let sigma2 = (1.0 + cv * cv).ln();
+    let sigma = sigma2.sqrt();
+    let mu = mean_ns.ln() - sigma2 / 2.0;
+    (0..n)
+        .map(|_| {
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mu + sigma * z).exp() as u64
+        })
+        .collect()
+}
+
+/// Assign `n` tasks to `k` bins with Zipf(`s`) skew over bins
+/// (s = 0 → uniform; s = 1 → classic Zipf). Deterministic in `seed`.
+pub fn zipf_assign(n: usize, k: usize, s: f64, seed: u64) -> Vec<u32> {
+    assert!(k >= 1);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    // CDF over bins.
+    let weights: Vec<f64> = (1..=k).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            cdf.iter().position(|&c| u <= c).unwrap_or(k - 1) as u32
+        })
+        .collect()
+}
+
+/// Synthetic address-stream generator with tunable temporal locality.
+///
+/// With probability θ the next address is drawn from a small hot working
+/// set (LRU-ordered reuse); with probability 1−θ it is uniform over the
+/// full address space (and is promoted into the working set).
+#[derive(Debug, Clone)]
+pub struct LocalityStream {
+    /// Probability of reusing the working set.
+    pub theta: f64,
+    /// Full address-space size.
+    pub space: u64,
+    working: Vec<u64>,
+    cap: usize,
+    rng: rand::rngs::SmallRng,
+}
+
+impl LocalityStream {
+    /// New stream: `theta` in 0..=1, `space` addresses, working set of
+    /// `working_set` entries.
+    pub fn new(theta: f64, space: u64, working_set: usize, seed: u64) -> LocalityStream {
+        assert!((0.0..=1.0).contains(&theta));
+        assert!(space > 0 && working_set > 0);
+        LocalityStream {
+            theta,
+            space,
+            working: Vec::with_capacity(working_set),
+            cap: working_set,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next address in the stream.
+    pub fn next_addr(&mut self) -> u64 {
+        let reuse = !self.working.is_empty() && self.rng.gen_range(0.0..1.0) < self.theta;
+        if reuse {
+            // Prefer recently used entries (front = most recent).
+            let idx = (self.rng.gen_range(0.0f64..1.0).powi(2) * self.working.len() as f64)
+                as usize;
+            let idx = idx.min(self.working.len() - 1);
+            let a = self.working.remove(idx);
+            self.working.insert(0, a);
+            a
+        } else {
+            let a = self.rng.gen_range(0..self.space);
+            self.working.insert(0, a);
+            if self.working.len() > self.cap {
+                self.working.pop();
+            }
+            a
+        }
+    }
+
+    /// Generate `n` addresses.
+    pub fn take_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_addr()).collect()
+    }
+}
+
+/// Fraction of accesses in `stream` that hit an ideal LRU cache of
+/// `cache_lines` entries (the temporal-locality metric reported by E7).
+pub fn lru_hit_rate(stream: &[u64], cache_lines: usize) -> f64 {
+    if stream.is_empty() {
+        return 0.0;
+    }
+    let mut cache: Vec<u64> = Vec::with_capacity(cache_lines);
+    let mut hits = 0usize;
+    for &a in stream {
+        if let Some(pos) = cache.iter().position(|&c| c == a) {
+            cache.remove(pos);
+            cache.insert(0, a);
+            hits += 1;
+        } else {
+            cache.insert(0, a);
+            if cache.len() > cache_lines {
+                cache.pop();
+            }
+        }
+    }
+    hits as f64 / stream.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_is_roughly_calibrated() {
+        let c = SpinCalibration::measure();
+        assert!(
+            c.relative_error() < 0.5,
+            "spin calibration off by {:.0}%: {:?}",
+            c.relative_error() * 100.0,
+            c
+        );
+    }
+
+    #[test]
+    fn lognormal_mean_and_spread() {
+        let w = lognormal_work(20_000, 10_000.0, 1.0, 42);
+        let mean = w.iter().sum::<u64>() as f64 / w.len() as f64;
+        assert!(
+            (mean - 10_000.0).abs() / 10_000.0 < 0.1,
+            "mean off: {mean}"
+        );
+        let var = w
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / w.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.2, "cv off: {cv}");
+    }
+
+    #[test]
+    fn lognormal_cv_zero_is_constant() {
+        let w = lognormal_work(100, 5_000.0, 0.0, 1);
+        assert!(w.iter().all(|&x| x == 5_000));
+    }
+
+    #[test]
+    fn zipf_skew_orders_bins() {
+        let a = zipf_assign(100_000, 8, 1.2, 3);
+        let mut counts = [0usize; 8];
+        for &b in &a {
+            counts[b as usize] += 1;
+        }
+        // Bin 0 should dominate bin 7 heavily at s = 1.2.
+        assert!(counts[0] > 4 * counts[7], "counts: {counts:?}");
+        // Uniform at s = 0.
+        let u = zipf_assign(100_000, 8, 0.0, 3);
+        let mut ucounts = [0usize; 8];
+        for &b in &u {
+            ucounts[b as usize] += 1;
+        }
+        let max = *ucounts.iter().max().unwrap() as f64;
+        let min = *ucounts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "uniform counts: {ucounts:?}");
+    }
+
+    #[test]
+    fn locality_stream_theta_controls_hit_rate() {
+        let mut hot = LocalityStream::new(0.95, 1 << 20, 64, 9);
+        let mut cold = LocalityStream::new(0.05, 1 << 20, 64, 9);
+        let hot_rate = lru_hit_rate(&hot.take_vec(20_000), 256);
+        let cold_rate = lru_hit_rate(&cold.take_vec(20_000), 256);
+        assert!(
+            hot_rate > 0.8,
+            "hot stream should hit cache: {hot_rate:.3}"
+        );
+        assert!(
+            cold_rate < 0.2,
+            "cold stream should miss cache: {cold_rate:.3}"
+        );
+        assert!(hot_rate > cold_rate + 0.5);
+    }
+
+    #[test]
+    fn locality_stream_monotone_in_theta() {
+        let rates: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&t| {
+                let mut s = LocalityStream::new(t, 1 << 18, 64, 5);
+                lru_hit_rate(&s.take_vec(10_000), 256)
+            })
+            .collect();
+        for w in rates.windows(2) {
+            assert!(
+                w[1] >= w[0] - 0.05,
+                "hit rate should rise with theta: {rates:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_hit_rate_bounds() {
+        assert_eq!(lru_hit_rate(&[], 16), 0.0);
+        let all_same = vec![5u64; 100];
+        assert!(lru_hit_rate(&all_same, 4) > 0.98);
+    }
+}

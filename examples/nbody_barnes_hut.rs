@@ -1,0 +1,125 @@
+//! Barnes–Hut N-body on the ParalleX runtime (the paper's "trees" case).
+//!
+//! Bodies are partitioned over localities; each locality owns an octree
+//! over its bodies. Force evaluation moves *work to data*: a parcel per
+//! (body, locality) computes the partial force where the tree lives, and
+//! per-body reduction LCOs assemble totals. Integration then advances the
+//! bodies and the trees are rebuilt — irregular AND time-varying, as
+//! §2.1 demands.
+//!
+//! ```sh
+//! cargo run --release --example nbody_barnes_hut
+//! ```
+
+use parallex::core::prelude::*;
+use parallex::workloads::barnes_hut::{make_cluster, total_energy, Body, Octree};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BODIES: usize = 256;
+const LOCALITIES: usize = 4;
+const STEPS: usize = 5;
+const THETA: f64 = 0.6;
+const DT: f64 = 1e-3;
+
+// Locality-resident trees (index i is only written/read at locality i).
+static TREES: RwLock<Vec<Option<Octree>>> = RwLock::new(Vec::new());
+
+struct ForceReq;
+impl Action for ForceReq {
+    const NAME: &'static str = "nbody/force_req";
+    type Args = [f64; 3];
+    type Out = [f64; 3];
+    fn execute(ctx: &mut Ctx<'_>, _t: Gid, pos: [f64; 3]) -> [f64; 3] {
+        let trees = TREES.read();
+        match &trees[ctx.here().0 as usize] {
+            Some(tree) => tree.force_on(pos, THETA),
+            None => [0.0; 3],
+        }
+    }
+}
+
+fn main() {
+    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1))
+        .register::<ForceReq>()
+        .build()
+        .expect("boot");
+
+    let mut bodies = make_cluster(BODIES, 42);
+    let e0 = total_energy(&bodies);
+    println!("{BODIES} bodies across {LOCALITIES} localities; initial energy {e0:.6}");
+
+    for step in 0..STEPS {
+        // Rebuild per-locality trees (time-varying structure).
+        {
+            let mut trees = TREES.write();
+            trees.clear();
+            for l in 0..LOCALITIES {
+                let part: Vec<Body> = bodies
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % LOCALITIES == l)
+                    .map(|(_, b)| *b)
+                    .collect();
+                trees.push(Some(Octree::build(&part)));
+            }
+        }
+
+        let t0 = Instant::now();
+        let forces = Arc::new(RwLock::new(vec![[0.0f64; 3]; bodies.len()]));
+        let gate = rt.new_and_gate(LocalityId(0), bodies.len() as u64);
+        let gate_fut: FutureRef<()> = FutureRef::from_gid(gate);
+        for (i, b) in bodies.iter().enumerate() {
+            let owner = LocalityId((i % LOCALITIES) as u16);
+            let pos = b.pos;
+            let forces = forces.clone();
+            rt.spawn_at(owner, move |ctx| {
+                let fold: parallex::core::lco::ReduceFn = Box::new(|a, b| {
+                    let x: [f64; 3] = a.decode().unwrap();
+                    let y: [f64; 3] = b.decode().unwrap();
+                    parallex::core::action::Value::encode(&[
+                        x[0] + y[0],
+                        x[1] + y[1],
+                        x[2] + y[2],
+                    ])
+                    .unwrap()
+                });
+                let red = ctx
+                    .new_reduce(LOCALITIES as u64, &[0.0f64; 3], fold)
+                    .unwrap();
+                for j in 0..LOCALITIES {
+                    ctx.send::<ForceReq>(
+                        Gid::locality_root(LocalityId(j as u16)),
+                        pos,
+                        Continuation::contribute(red.gid()),
+                    )
+                    .unwrap();
+                }
+                let forces = forces.clone();
+                ctx.when_future(red, move |ctx, total: [f64; 3]| {
+                    forces.write()[i] = total;
+                    ctx.trigger_value(gate, parallex::core::action::Value::unit());
+                });
+            });
+        }
+        rt.wait_future(gate_fut).unwrap();
+        let elapsed = t0.elapsed();
+
+        // Leapfrog step.
+        let acc = forces.read().clone();
+        parallex::workloads::barnes_hut::step(&mut bodies, &acc, DT);
+        println!(
+            "step {step}: force phase {:.2} ms ({} parcels)",
+            elapsed.as_secs_f64() * 1e3,
+            BODIES * LOCALITIES
+        );
+    }
+
+    let e1 = total_energy(&bodies);
+    println!(
+        "final energy {e1:.6} (drift {:.3e} over {STEPS} steps)",
+        (e1 - e0).abs()
+    );
+    rt.shutdown();
+}

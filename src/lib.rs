@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the ParalleX workspace.
+//!
+//! See the README for an overview. The interesting crates:
+//! [`px_core`] (the execution model), [`px_litlx`] (the LITL-X API),
+//! [`px_gilgamesh`] (the Gilgamesh II architecture study),
+//! [`px_datavortex`] (the interconnect simulator).
+pub use px_baseline as baseline;
+pub use px_core as core;
+pub use px_datavortex as datavortex;
+pub use px_gilgamesh as gilgamesh;
+pub use px_litlx as litlx;
+pub use px_sim as sim;
+pub use px_wire as wire;
+pub use px_workloads as workloads;

@@ -1,0 +1,226 @@
+//! Workloads on the runtime: physics stays correct when the computation
+//! is distributed through parcels, LCOs, and processes.
+
+use parallex::core::prelude::*;
+use parallex::litlx::{CoarseThreads, LcCell};
+use parallex::workloads::barnes_hut::{direct_forces, make_cluster};
+use parallex::workloads::pic::PicState;
+
+#[test]
+fn distributed_reduce_matches_sequential_sum() {
+    let rt = RuntimeBuilder::new(Config::small(4, 1)).build().unwrap();
+    let n = 1000u64;
+    let fold: parallex::core::lco::ReduceFn = Box::new(|a, b| {
+        let x: u64 = a.decode().unwrap();
+        let y: u64 = b.decode().unwrap();
+        parallex::core::action::Value::encode(&(x + y)).unwrap()
+    });
+    let red = rt.new_reduce(LocalityId(0), n, &0u64, fold).unwrap();
+    for k in 0..n {
+        let red_gid = red.gid();
+        rt.spawn_at(LocalityId((k % 4) as u16), move |ctx| {
+            ctx.contribute(red_gid, &(k + 1)).unwrap();
+        });
+    }
+    assert_eq!(rt.wait_future(red).unwrap(), n * (n + 1) / 2);
+    rt.shutdown();
+}
+
+#[test]
+fn bh_forces_on_runtime_match_direct() {
+    // The E8 harness carries the full distributed implementation; this
+    // test pins its correctness contract at small scale.
+    let bodies = make_cluster(96, 5);
+    let (_, forces) = px_bench_force_phase(&bodies, 2);
+    let direct = direct_forces(&bodies);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (f, d) in forces.iter().zip(direct.iter()) {
+        for k in 0..3 {
+            num += (f[k] - d[k]).powi(2);
+            den += d[k].powi(2);
+        }
+    }
+    let err = (num / den).sqrt();
+    assert!(err < 0.05, "relative RMS error {err}");
+}
+
+// Minimal re-implementation of the E8 force phase against the public API
+// (px-bench is a bench-only crate, not a dependency of the facade tests).
+fn px_bench_force_phase(
+    bodies: &[parallex::workloads::barnes_hut::Body],
+    locs: usize,
+) -> (std::time::Duration, Vec<[f64; 3]>) {
+    use parallex::workloads::barnes_hut::Octree;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    let rt = RuntimeBuilder::new(Config::small(locs, 1)).build().unwrap();
+    let trees: Arc<Vec<RwLock<Option<Octree>>>> =
+        Arc::new((0..locs).map(|_| RwLock::new(None)).collect());
+    for l in 0..locs {
+        let part: Vec<_> = bodies
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % locs == l)
+            .map(|(_, b)| *b)
+            .collect();
+        *trees[l].write() = Some(Octree::build(&part));
+    }
+    let forces = Arc::new(RwLock::new(vec![[0.0f64; 3]; bodies.len()]));
+    let gate = rt.new_and_gate(LocalityId(0), bodies.len() as u64);
+    let gate_fut: FutureRef<()> = FutureRef::from_gid(gate);
+    let t0 = std::time::Instant::now();
+    for (i, b) in bodies.iter().enumerate() {
+        let pos = b.pos;
+        let trees = trees.clone();
+        let forces = forces.clone();
+        rt.spawn_at(LocalityId((i % locs) as u16), move |ctx| {
+            // Work-to-data: each locality computes its tree's partial
+            // force; here expressed with spawn_at + shared accumulator
+            // futures created at the owner.
+            let fold: parallex::core::lco::ReduceFn = Box::new(|a, b| {
+                let x: [f64; 3] = a.decode().unwrap();
+                let y: [f64; 3] = b.decode().unwrap();
+                parallex::core::action::Value::encode(&[x[0] + y[0], x[1] + y[1], x[2] + y[2]])
+                    .unwrap()
+            });
+            let red = ctx.new_reduce(locs as u64, &[0.0f64; 3], fold).unwrap();
+            for j in 0..locs {
+                let trees = trees.clone();
+                let red_gid = red.gid();
+                ctx.spawn_at(LocalityId(j as u16), move |ctx| {
+                    let guard = trees[ctx.here().0 as usize].read();
+                    let f = guard.as_ref().unwrap().force_on(pos, 0.4);
+                    ctx.contribute(red_gid, &f).unwrap();
+                });
+            }
+            let forces = forces.clone();
+            ctx.when_future(red, move |ctx, total: [f64; 3]| {
+                forces.write()[i] = total;
+                ctx.trigger_value(gate, parallex::core::action::Value::unit());
+            });
+        });
+    }
+    rt.wait_future(gate_fut).unwrap();
+    let elapsed = t0.elapsed();
+    let out = forces.read().clone();
+    rt.shutdown();
+    (elapsed, out)
+}
+
+#[test]
+fn pic_charge_conserved_under_distributed_deposit() {
+    let rt = RuntimeBuilder::new(Config::small(3, 1)).build().unwrap();
+    let state = PicState::two_stream(3000, 32, 1.0, 3);
+    let parts = state.partition(3);
+    let fold: parallex::core::lco::ReduceFn = Box::new(|a, b| {
+        let mut x: Vec<f64> = a.decode().unwrap();
+        let y: Vec<f64> = b.decode().unwrap();
+        for (xi, yi) in x.iter_mut().zip(y.iter()) {
+            *xi += yi;
+        }
+        parallex::core::action::Value::encode(&x).unwrap()
+    });
+    let red = rt
+        .new_reduce(LocalityId(0), 3, &vec![0.0f64; 32], fold)
+        .unwrap();
+    let state = std::sync::Arc::new(state);
+    for (l, slab) in parts.into_iter().enumerate() {
+        let st = state.clone();
+        let red_gid = red.gid();
+        rt.spawn_at(LocalityId(l as u16), move |ctx| {
+            let dx = st.dx();
+            let w = 1.0 / st.particles.len() as f64 * st.cells as f64;
+            let mut rho = vec![0.0f64; st.cells];
+            for &pi in &slab {
+                let p = st.particles[pi as usize];
+                let xc = p.x / dx;
+                let i0 = xc.floor() as usize % st.cells;
+                let frac = xc - xc.floor();
+                rho[i0] += w * (1.0 - frac);
+                rho[(i0 + 1) % st.cells] += w * frac;
+            }
+            ctx.contribute(red_gid, &rho).unwrap();
+        });
+    }
+    let rho = rt.wait_future(red).unwrap();
+    let total: f64 = rho.iter().sum();
+    // Total deposited charge equals particles × weight = cells.
+    assert!((total - 32.0).abs() < 1e-9, "charge lost: {total}");
+    rt.shutdown();
+}
+
+#[test]
+fn coarse_threads_with_lc_cell_histogram() {
+    // LITL-X end to end: coarse threads accumulate a histogram into a
+    // location-consistent cell under an atomic section.
+    let rt = RuntimeBuilder::new(Config::small(3, 2)).build().unwrap();
+    let cell = LcCell::new(&rt, LocalityId(0), &vec![0u64; 8]).unwrap();
+    let group = CoarseThreads::launch(&rt, 12, move |tid, ctx| {
+        cell.atomic_update(ctx, move |_ctx, hist| {
+            hist[tid % 8] += 1;
+        });
+    });
+    group.join(&rt).unwrap();
+    // Joining the group proves thread completion; the last release may
+    // still be in flight, so poll briefly for the final publish.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let hist = cell.read_blocking(&rt).unwrap();
+        if hist.iter().sum::<u64>() == 12 {
+            assert_eq!(&hist[..4], &[2, 2, 2, 2]);
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "updates lost");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn graph_bfs_frontier_counts_match_sequential() {
+    use parallex::workloads::graphs::Graph;
+    let g = std::sync::Arc::new(Graph::scale_free(600, 2, 9));
+    let levels_seq = g.bfs(0);
+
+    // Distributed frontier expansion: one reduce LCO per level counts the
+    // newly discovered vertices; owners expand their frontier slice.
+    let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+    let owners = g.partition_hash(2);
+    let visited = std::sync::Arc::new(parking_lot::RwLock::new(vec![u32::MAX; g.len()]));
+    visited.write()[0] = 0;
+    let mut frontier = vec![0u32];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let next = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let gate = rt.new_and_gate(LocalityId(0), frontier.len() as u64);
+        let gate_fut: FutureRef<()> = FutureRef::from_gid(gate);
+        for &v in &frontier {
+            let owner = owners[v as usize] as u16;
+            let g = g.clone();
+            let visited = visited.clone();
+            let next = next.clone();
+            rt.spawn_at(LocalityId(owner % 2), move |ctx| {
+                let mut newly = Vec::new();
+                {
+                    let mut vis = visited.write();
+                    for &t in g.neighbors(v) {
+                        if vis[t as usize] == u32::MAX {
+                            vis[t as usize] = depth;
+                            newly.push(t);
+                        }
+                    }
+                }
+                next.lock().extend(newly);
+                ctx.trigger_value(gate, parallex::core::action::Value::unit());
+            });
+        }
+        rt.wait_future(gate_fut).unwrap();
+        frontier = std::sync::Arc::try_unwrap(next).unwrap().into_inner();
+    }
+    let levels_px = visited.read().clone();
+    assert_eq!(levels_px, levels_seq);
+    rt.shutdown();
+}

@@ -1,0 +1,311 @@
+//! Property-based tests on the core data structures and invariants.
+
+use parallex::core::action::{ActionId, Value};
+use parallex::core::agas::Agas;
+use parallex::core::gid::{Gid, GidKind, LocalityId};
+use parallex::core::lco::LcoCore;
+use parallex::core::parcel::{ContStep, Continuation, Parcel};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum WireEnum {
+    Unit,
+    Tuple(u32, i64),
+    Struct { name: String, flags: Vec<bool> },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WireStruct {
+    a: u8,
+    b: i16,
+    c: u64,
+    d: i128,
+    f: f64,
+    s: String,
+    v: Vec<u32>,
+    o: Option<Box<WireEnum>>,
+    pairs: Vec<(u16, String)>,
+}
+
+// proptest-derive is not in the offline crate set; strategies are spelled
+// out by hand.
+fn wire_enum() -> impl Strategy<Value = WireEnum> {
+    prop_oneof![
+        Just(WireEnum::Unit),
+        (any::<u32>(), any::<i64>()).prop_map(|(a, b)| WireEnum::Tuple(a, b)),
+        ("[a-z]{0,12}", proptest::collection::vec(any::<bool>(), 0..8))
+            .prop_map(|(name, flags)| WireEnum::Struct { name, flags }),
+    ]
+}
+
+fn wire_struct() -> impl Strategy<Value = WireStruct> {
+    (
+        any::<u8>(),
+        any::<i16>(),
+        any::<u64>(),
+        any::<i128>(),
+        any::<f64>(),
+        "[ -~]{0,16}",
+        proptest::collection::vec(any::<u32>(), 0..16),
+        proptest::option::of(wire_enum().prop_map(Box::new)),
+        proptest::collection::vec((any::<u16>(), "[a-z]{0,6}".prop_map(String::from)), 0..6),
+    )
+        .prop_map(|(a, b, c, d, f, s, v, o, pairs)| WireStruct {
+            a,
+            b,
+            c,
+            d,
+            f,
+            s,
+            v,
+            o,
+            pairs,
+        })
+}
+
+proptest! {
+    // ---- wire format -----------------------------------------------------
+
+    #[test]
+    fn wire_roundtrips_arbitrary_structs(x in wire_struct()) {
+        let bytes = px_roundtrip(&x);
+        prop_assert!(bytes.is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrips_nested_options(x in any::<Option<Option<Vec<Option<u8>>>>>()) {
+        prop_assert!(px_roundtrip(&x).is_ok());
+    }
+
+    #[test]
+    fn wire_rejects_truncation(x in wire_struct(), cut in 1usize..8) {
+        let bytes = parallex::wire::to_bytes(&x).unwrap();
+        if bytes.len() >= cut {
+            let r: Result<WireStruct, _> =
+                parallex::wire::from_bytes(&bytes[..bytes.len() - cut]);
+            // Truncation must never produce an equal value silently.
+            if let Ok(y) = r {
+                prop_assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_floats_roundtrip_bitwise(bits in any::<u64>()) {
+        let f = f64::from_bits(bits);
+        let bytes = parallex::wire::to_bytes(&f).unwrap();
+        let g: f64 = parallex::wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(g.to_bits(), bits);
+    }
+
+    // ---- GIDs --------------------------------------------------------------
+
+    #[test]
+    fn gid_pack_unpack(loc in 0u16.., seq in 0u64..(1 << 44)) {
+        for kind in [GidKind::Data, GidKind::Lco, GidKind::Process,
+                     GidKind::Echo, GidKind::Hardware, GidKind::User] {
+            let g = Gid::new(LocalityId(loc), kind, seq);
+            prop_assert_eq!(g.birthplace(), LocalityId(loc));
+            prop_assert_eq!(g.kind(), kind);
+            prop_assert_eq!(g.seq(), seq);
+        }
+    }
+
+    // ---- parcels -----------------------------------------------------------
+
+    #[test]
+    fn parcel_roundtrips(
+        dest_loc in 0u16..100,
+        seq in 0u64..1000,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        steps in proptest::collection::vec(0u8..3, 0..4),
+        hops in 0u8..16,
+        staged in any::<bool>(),
+        has_proc in any::<bool>(),
+    ) {
+        let cont = Continuation {
+            steps: steps
+                .iter()
+                .map(|&t| match t {
+                    0 => ContStep::SetLco(Gid::new(LocalityId(1), GidKind::Lco, 5)),
+                    1 => ContStep::Call {
+                        action: ActionId::of("prop/next"),
+                        target: Gid::new(LocalityId(2), GidKind::Data, 9),
+                    },
+                    _ => ContStep::Contribute(Gid::new(LocalityId(3), GidKind::Lco, 77)),
+                })
+                .collect(),
+        };
+        let mut p = Parcel::new(
+            Gid::new(LocalityId(dest_loc), GidKind::Data, seq),
+            ActionId::of("prop/action"),
+            Value::from_bytes(payload),
+            cont,
+        );
+        p.hops = hops;
+        p.staged = staged;
+        if has_proc {
+            p.process = Some(Gid::new(LocalityId(0), GidKind::Process, 3));
+        }
+        let q = Parcel::decode(&p.encode()).unwrap();
+        prop_assert_eq!(q.dest, p.dest);
+        prop_assert_eq!(q.action, p.action);
+        prop_assert_eq!(&q.cont, &p.cont);
+        prop_assert_eq!(q.hops, p.hops);
+        prop_assert_eq!(q.staged, p.staged);
+        prop_assert_eq!(q.process, p.process);
+        prop_assert_eq!(q.payload.bytes(), p.payload.bytes());
+        prop_assert_eq!(p.wire_size(), p.encode().len());
+    }
+
+    // ---- LCO state machines --------------------------------------------------
+
+    #[test]
+    fn and_gate_fires_exactly_at_n(n in 1u64..64) {
+        let mut gate = LcoCore::new_and_gate(Gid::new(LocalityId(0), GidKind::Lco, 1), n);
+        for k in 0..n {
+            prop_assert_eq!(gate.is_ready(), false, "fired early at {}", k);
+            gate.trigger(Value::unit()).unwrap();
+        }
+        prop_assert!(gate.is_ready());
+    }
+
+    #[test]
+    fn reduce_is_order_insensitive(mut xs in proptest::collection::vec(0u64..1000, 1..20)) {
+        let fold = |acc: Value, v: Value| {
+            let a: u64 = acc.decode().unwrap();
+            let b: u64 = v.decode().unwrap();
+            Value::encode(&(a + b)).unwrap()
+        };
+        let sum: u64 = xs.iter().sum();
+        let gid = Gid::new(LocalityId(0), GidKind::Lco, 2);
+        // Forward order.
+        let mut r = LcoCore::new_reduce(gid, xs.len() as u64, Value::encode(&0u64).unwrap(), Box::new(fold));
+        for &x in &xs {
+            r.contribute(Value::encode(&x).unwrap()).unwrap();
+        }
+        prop_assert_eq!(r.value().unwrap().decode::<u64>().unwrap(), sum);
+        // Reversed order.
+        xs.reverse();
+        let mut r = LcoCore::new_reduce(gid, xs.len() as u64, Value::encode(&0u64).unwrap(), Box::new(fold));
+        for &x in &xs {
+            r.contribute(Value::encode(&x).unwrap()).unwrap();
+        }
+        prop_assert_eq!(r.value().unwrap().decode::<u64>().unwrap(), sum);
+    }
+
+    #[test]
+    fn semaphore_never_over_grants(permits in 1u64..8, acquires in 1usize..32) {
+        let mut sem = LcoCore::new_semaphore(Gid::new(LocalityId(0), GidKind::Lco, 3), permits);
+        let mut granted = 0usize;
+        for _ in 0..acquires {
+            let acts = sem
+                .acquire(parallex::core::lco::Waiter::Cont(Continuation::none()))
+                .unwrap();
+            granted += acts.len();
+        }
+        prop_assert!(granted as u64 <= permits);
+        // Each release grants exactly one queued waiter while any remain.
+        let queued = acquires.saturating_sub(granted);
+        let mut released = 0usize;
+        for _ in 0..queued {
+            released += sem.release().len();
+        }
+        prop_assert_eq!(released, queued);
+    }
+
+    // ---- AGAS ---------------------------------------------------------------
+
+    #[test]
+    fn agas_directory_is_authoritative(
+        moves in proptest::collection::vec(0u16..8, 0..20),
+    ) {
+        let agas = Agas::new(8);
+        let g = Gid::new(LocalityId(3), GidKind::Data, 1);
+        let mut expected = LocalityId(3);
+        for m in moves {
+            agas.record_migration(g, LocalityId(m));
+            expected = LocalityId(m);
+        }
+        prop_assert_eq!(agas.authoritative_owner(g), expected);
+        // A fresh locality (cold cache) resolves to the authority.
+        let r = agas.resolve(LocalityId(7), g);
+        prop_assert_eq!(r.owner, expected);
+    }
+
+    // ---- histogram -----------------------------------------------------------
+
+    #[test]
+    fn histogram_quantiles_bracket_samples(
+        xs in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut h = parallex::sim::Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let lo = *xs.iter().min().unwrap() as f64;
+        let hi = *xs.iter().max().unwrap() as f64;
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            let v = h.quantile(q);
+            // Bucketed estimates stay within a factor-2 envelope of range.
+            prop_assert!(v >= (lo / 2.0).floor(), "q{q} = {v} < {lo}");
+            prop_assert!(v <= (hi * 2.0).ceil(), "q{q} = {v} > {hi}");
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+    }
+
+    // ---- Morton / AMR ----------------------------------------------------------
+
+    #[test]
+    fn morton_is_injective(a in 0u32..4096, b in 0u32..4096, c in 0u32..4096, d in 0u32..4096) {
+        prop_assume!((a, b) != (c, d));
+        prop_assert_ne!(
+            parallex::workloads::amr::morton2(a, b),
+            parallex::workloads::amr::morton2(c, d)
+        );
+    }
+
+    // ---- graphs ------------------------------------------------------------------
+
+    #[test]
+    fn csr_preserves_edges(n in 2usize..50, edges in proptest::collection::vec((0u32..40, 0u32..40), 0..100)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, t)| (s % n as u32, t % n as u32))
+            .collect();
+        let g = parallex::workloads::graphs::Graph::from_edges(n, &edges);
+        prop_assert_eq!(g.edges(), edges.len());
+        // Every edge is findable from its source.
+        for &(s, t) in &edges {
+            prop_assert!(g.neighbors(s).contains(&t));
+        }
+    }
+
+    // ---- Data Vortex ----------------------------------------------------------------
+
+    #[test]
+    fn vortex_delivers_everything_small(
+        packets in proptest::collection::vec((0u64..50, 0usize..8, 0usize..8), 1..40),
+    ) {
+        let inj: Vec<parallex::datavortex::traffic::Injection> = packets
+            .into_iter()
+            .map(|(cycle, src, dst)| parallex::datavortex::traffic::Injection { cycle, src, dst })
+            .collect();
+        let cfg = parallex::datavortex::vortex::VortexConfig { levels: 3, angles: 4 };
+        let s = parallex::datavortex::vortex::simulate(cfg, &inj, 200_000);
+        prop_assert_eq!(s.delivered, s.injected, "lost packets");
+    }
+}
+
+fn px_roundtrip<T>(x: &T) -> Result<Vec<u8>, String>
+where
+    T: Serialize + for<'a> Deserialize<'a> + PartialEq + std::fmt::Debug,
+{
+    let bytes = parallex::wire::to_bytes(x).map_err(|e| e.to_string())?;
+    let back: T = parallex::wire::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    if &back != x {
+        return Err(format!("roundtrip mismatch: {x:?} vs {back:?}"));
+    }
+    Ok(bytes)
+}
