@@ -247,7 +247,12 @@ impl Rank {
     }
 
     /// Typed send via the wire format.
-    pub fn send_t<T: Serialize>(&mut self, to: usize, tag: u32, v: &T) -> Result<(), px_wire::WireError> {
+    pub fn send_t<T: Serialize>(
+        &mut self,
+        to: usize,
+        tag: u32,
+        v: &T,
+    ) -> Result<(), px_wire::WireError> {
         let bytes = px_wire::to_bytes(v)?;
         self.send(to, tag, bytes);
         Ok(())
@@ -409,7 +414,11 @@ mod tests {
             r.barrier();
         });
         // Arrive + release = at least 2 legs of 5 ms.
-        assert!(t0.elapsed() >= Duration::from_millis(9), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(9),
+            "{:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Criterion microbenchmarks quantifying the mechanism overheads that the
 //! DESIGN.md ablations call out: wire serialization, parcel
 //! encode/decode, AGAS resolution (cold / cached / migrated), LCO
-//! operations, thread spawn, and cross-locality parcel round trips.
+//! operations, thread spawn, and cross-locality parcel round trips — plus
+//! the batched-transport throughput comparison, whose results are written
+//! to `BENCH_micro.json` at the workspace root so the perf trajectory is
+//! tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use px_core::agas::Agas;
 use px_core::gid::{Gid, GidKind, LocalityId};
 use px_core::parcel::{Continuation, Parcel};
 use px_core::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 #[derive(Serialize, Deserialize)]
 struct Payload {
@@ -147,6 +151,106 @@ fn bench_runtime_registered(c: &mut Criterion) {
     rt.shutdown();
 }
 
+// ---- batched transport throughput ------------------------------------------
+//
+// The tentpole comparison: parcels/second through the inter-locality wire
+// with a real latency model, coalescing disabled (`max_batch_parcels = 1`,
+// the pre-batching single-parcel path) vs. enabled at several batch sizes.
+
+/// Wire latency for the throughput runs.
+const WIRE_LATENCY_US: u64 = 50;
+/// Parcels pushed through the wire per run.
+const THROUGHPUT_PARCELS: u64 = 8192;
+/// Batch sizes compared (1 = batching off).
+const BATCH_SIZES: &[usize] = &[1, 16, 64];
+
+/// One throughput measurement: drive `n` LCO-trigger parcels from
+/// locality 0 to an and-gate on locality 1 and wait for the gate.
+fn transport_run(batch: usize, n: u64) -> Duration {
+    let cfg = Config::small(2, 1)
+        .with_latency(Duration::from_micros(WIRE_LATENCY_US))
+        .with_max_batch_parcels(batch);
+    let rt = RuntimeBuilder::new(cfg).build().unwrap();
+    let gate = rt.new_and_gate(LocalityId(1), n);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        rt.trigger(gate, &()).unwrap();
+    }
+    rt.wait_value(gate).unwrap();
+    let elapsed = t0.elapsed();
+    rt.shutdown();
+    elapsed
+}
+
+struct TransportRow {
+    batch: usize,
+    parcels_per_sec: f64,
+    elapsed: Duration,
+}
+
+fn bench_transport() -> Vec<TransportRow> {
+    println!(
+        "\ntransport: {THROUGHPUT_PARCELS} parcels, {WIRE_LATENCY_US} µs wire, \
+         batch sizes {BATCH_SIZES:?}"
+    );
+    BATCH_SIZES
+        .iter()
+        .map(|&batch| {
+            // Best of three: wall-clock runs on shared hosts are noisy
+            // and the comparison wants each mode's capability, not its
+            // worst interference.
+            let elapsed = (0..3)
+                .map(|_| transport_run(batch, THROUGHPUT_PARCELS))
+                .min()
+                .unwrap();
+            let pps = THROUGHPUT_PARCELS as f64 / elapsed.as_secs_f64();
+            println!(
+                "bench transport/parcel_throughput/batch_{batch:<4} \
+                 {pps:>12.0} parcels/s  ({elapsed:.2?})"
+            );
+            TransportRow {
+                batch,
+                parcels_per_sec: pps,
+                elapsed,
+            }
+        })
+        .collect()
+}
+
+/// Write `BENCH_micro.json` at the workspace root (hand-rolled JSON — the
+/// offline crate set has no serde_json).
+fn write_json(rows: &[TransportRow]) {
+    let base = rows
+        .iter()
+        .find(|r| r.batch == 1)
+        .map(|r| r.parcels_per_sec)
+        .unwrap_or(f64::NAN);
+    let mut results = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(&format!(
+            "\n    {{\"max_batch_parcels\": {}, \"parcels_per_sec\": {:.0}, \
+             \"elapsed_ms\": {:.3}, \"speedup_vs_unbatched\": {:.3}}}",
+            r.batch,
+            r.parcels_per_sec,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.parcels_per_sec / base,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"micro\",\n  \"transport\": {{\n    \
+         \"wire_latency_us\": {WIRE_LATENCY_US},\n    \
+         \"parcels\": {THROUGHPUT_PARCELS},\n    \"results\": [{results}\n    ]\n  }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_wire,
@@ -155,4 +259,9 @@ criterion_group!(
     bench_lco,
     bench_runtime_registered
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let rows = bench_transport();
+    write_json(&rows);
+}

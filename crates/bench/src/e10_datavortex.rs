@@ -69,12 +69,12 @@ pub fn hotspot_row(load: f64, hot: f64, seed: u64) -> Row {
 /// Print the E10 tables.
 pub fn run() -> Vec<Row> {
     let rows = sweep(&[0.05, 0.1, 0.2, 0.3, 0.45, 0.6], 0xda7a);
-    println!(
-        "\n[E10] {PORTS}-port networks, {CYCLES}-cycle injection window; latency in cycles"
-    );
+    println!("\n[E10] {PORTS}-port networks, {CYCLES}-cycle injection window; latency in cycles");
     print_table(
         "E10a — uniform traffic: mean latency (deflections/queueing per packet)",
-        &["load", "vortex", "defl/pkt", "crossbar", "torus", "q-ev/pkt"],
+        &[
+            "load", "vortex", "defl/pkt", "crossbar", "torus", "q-ev/pkt",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -93,7 +93,12 @@ pub fn run() -> Vec<Row> {
     let hot = hotspot_row(0.3, 0.5, 0xda7a);
     print_table(
         "E10b — hotspot traffic (50% of packets to port 0, load 0.3)",
-        &["network", "mean latency", "delivered frac", "throughput pkt/cyc"],
+        &[
+            "network",
+            "mean latency",
+            "delivered frac",
+            "throughput pkt/cyc",
+        ],
         &[
             vec![
                 "vortex".into(),

@@ -48,7 +48,9 @@ pub struct Row {
 }
 
 fn run_placement(homes: &[u32], spray: bool) -> (Duration, f64) {
-    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1)).build().unwrap();
+    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1))
+        .build()
+        .unwrap();
     // Completion counting must cost the same under both placements: each
     // task triggers an and-gate *on its own locality* (always the local
     // fast path), and the driver joins all gates.
@@ -63,7 +65,7 @@ fn run_placement(homes: &[u32], spray: bool) -> (Duration, f64) {
             }
         })
         .collect();
-    let mut counts = vec![0u64; LOCALITIES];
+    let mut counts = [0u64; LOCALITIES];
     for &d in &dests {
         counts[d as usize] += 1;
     }
@@ -153,6 +155,9 @@ pub fn run() -> Vec<Row> {
 mod tests {
     #[test]
     fn work_queue_beats_static_under_skew() {
+        if !crate::has_cores(super::LOCALITIES) {
+            return; // no physical parallelism: both placements serialize
+        }
         let _gate = crate::TIMING_GATE.lock();
         // Skew 3.0 puts ~89% of the work on one of the two localities —
         // beyond what fair-share scheduling can repair. Timing comparisons

@@ -192,9 +192,7 @@ mod tests {
             ));
         }
         if csp_high.as_secs_f64() / px_high.as_secs_f64() < 1.5 {
-            return Err(format!(
-                "speedup too low: csp {csp_high:?} px {px_high:?}"
-            ));
+            return Err(format!("speedup too low: csp {csp_high:?} px {px_high:?}"));
         }
         Ok(())
     }

@@ -134,12 +134,8 @@ pub fn run_prefetch() -> Row {
     let before = rt.stats().localities[ACCEL.0 as usize];
     let t0 = Instant::now();
     for &b in &blocks {
-        rt.send_action::<FetchKernel>(
-            Gid::locality_root(ACCEL),
-            (b, gate),
-            Continuation::none(),
-        )
-        .unwrap();
+        rt.send_action::<FetchKernel>(Gid::locality_root(ACCEL), (b, gate), Continuation::none())
+            .unwrap();
     }
     rt.wait_future(gate_fut).unwrap();
     let elapsed = t0.elapsed();
@@ -166,12 +162,8 @@ pub fn run_demand_serialized() -> Row {
         // One-task gate; the driver (standing in for a conventional
         // offload host) waits before dispatching the next task.
         let gate1 = rt.new_and_gate(HOME, 1);
-        rt.send_action::<FetchKernel>(
-            Gid::locality_root(ACCEL),
-            (b, gate1),
-            Continuation::none(),
-        )
-        .unwrap();
+        rt.send_action::<FetchKernel>(Gid::locality_root(ACCEL), (b, gate1), Continuation::none())
+            .unwrap();
         let gate_fut: FutureRef<()> = FutureRef::from_gid(gate1);
         rt.wait_future(gate_fut).unwrap();
     }

@@ -223,9 +223,6 @@ mod tests {
             echo.elapsed
         );
         // All commits resolve one way or the other.
-        assert_eq!(
-            echo.ok + echo.stale,
-            ((LOCALITIES - 1) * ITERS) as u64 + 0
-        );
+        assert_eq!(echo.ok + echo.stale, ((LOCALITIES - 1) * ITERS) as u64);
     }
 }

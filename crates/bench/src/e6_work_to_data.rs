@@ -73,7 +73,14 @@ pub fn measure(bytes: usize) -> Row {
         let done_gid = done.gid();
         let t0 = Instant::now();
         rt.spawn_at(LocalityId(0), move |ctx| {
-            fn step(ctx: &mut Ctx<'_>, block: Gid, left: usize, move_work: bool, done: Gid, acc: u64) {
+            fn step(
+                ctx: &mut Ctx<'_>,
+                block: Gid,
+                left: usize,
+                move_work: bool,
+                done: Gid,
+                acc: u64,
+            ) {
                 if left == 0 {
                     ctx.trigger(done, &acc).unwrap();
                     return;

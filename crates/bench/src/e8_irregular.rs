@@ -39,8 +39,11 @@ pub const LATENCY: Duration = Duration::from_micros(20);
 /// (the shared `Arc` stands in for the locality object store; storing the
 /// arena through `px-wire` every step would only add constant overhead).
 pub struct TreeStore {
-    trees: Vec<RwLock<Option<(Vec<Body>, Octree)>>>,
+    trees: Vec<RwLock<Option<LocalTree>>>,
 }
+
+/// A locality's bodies plus the octree built over them.
+type LocalTree = (Vec<Body>, Octree);
 
 static ACTION_STORE: RwLock<Option<Arc<TreeStore>>> = RwLock::new(None);
 

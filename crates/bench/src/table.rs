@@ -19,12 +19,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("  {}", s.trim_end());
     };
     line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

@@ -51,7 +51,9 @@ impl Agas {
     /// AGAS for `n` localities.
     pub fn new(n: usize) -> Self {
         Agas {
-            directory: (0..DIR_SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            directory: (0..DIR_SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
             caches: (0..n).map(|_| RwLock::new(FxHashMap::default())).collect(),
             names: RwLock::new(FxHashMap::default()),
             migrations: AtomicU64::new(0),
@@ -168,8 +170,10 @@ impl Agas {
 }
 
 impl Agas {
-    /// Resolve with instrumentation: counts cache hits and directory
-    /// lookups on the asking locality (backs the `micro_agas` ablation).
+    /// Resolve with instrumentation: counts cache hits and misses (split
+    /// into directory lookups and birthplace fallbacks) on the asking
+    /// locality. Backs the `micro_agas` ablation and the
+    /// [`crate::stats::LocalityStats::agas_hit_rate`] ratio.
     pub fn resolve_counted(&self, from: &crate::locality::Locality, gid: Gid) -> LocalityId {
         let r = self.resolve(from.id, gid);
         match r.source {
@@ -177,9 +181,12 @@ impl Agas {
                 crate::stats::bump!(from.counters.agas_cache_hits);
             }
             ResolutionSource::Directory => {
+                crate::stats::bump!(from.counters.agas_cache_misses);
                 crate::stats::bump!(from.counters.agas_directory_lookups);
             }
-            ResolutionSource::Birthplace => {}
+            ResolutionSource::Birthplace => {
+                crate::stats::bump!(from.counters.agas_cache_misses);
+            }
         }
         r.owner
     }
@@ -263,6 +270,30 @@ mod tests {
         let r = agas.resolve(LocalityId(2), g);
         assert_eq!(r.owner, LocalityId(3));
         assert_eq!(r.source, ResolutionSource::Cache);
+    }
+
+    #[test]
+    fn resolve_counted_tracks_hits_and_misses() {
+        use std::sync::atomic::Ordering;
+        let agas = Agas::new(4);
+        let loc = crate::locality::Locality::new(LocalityId(0), false);
+        let g = gid_at(2, 5);
+        // Birthplace resolution: a miss (no cache entry exists).
+        agas.resolve_counted(&loc, g);
+        assert_eq!(loc.counters.agas_cache_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(loc.counters.agas_cache_misses.load(Ordering::Relaxed), 1);
+        // Migrated object: first resolve consults the directory (miss),
+        // second hits the freshly filled cache.
+        agas.record_migration(g, LocalityId(3));
+        agas.resolve_counted(&loc, g);
+        assert_eq!(loc.counters.agas_cache_misses.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            loc.counters.agas_directory_lookups.load(Ordering::Relaxed),
+            1
+        );
+        agas.resolve_counted(&loc, g);
+        assert_eq!(loc.counters.agas_cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(loc.counters.agas_cache_misses.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -164,7 +164,12 @@ pub fn update<T: Serialize>(
     root: Gid,
     value: &T,
 ) -> PxResult<()> {
-    let p = Parcel::new(root, sys::ECHO_UPDATE, Value::encode(value)?, Continuation::none());
+    let p = Parcel::new(
+        root,
+        sys::ECHO_UPDATE,
+        Value::encode(value)?,
+        Continuation::none(),
+    );
     rt.send_parcel(from, p);
     Ok(())
 }

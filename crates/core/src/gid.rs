@@ -227,7 +227,9 @@ mod tests {
         for _ in 0..4 {
             let a = a.clone();
             handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| a.alloc(GidKind::Data).0).collect::<Vec<_>>()
+                (0..1000)
+                    .map(|_| a.alloc(GidKind::Data).0)
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<u64> = handles

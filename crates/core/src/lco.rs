@@ -165,7 +165,12 @@ impl std::fmt::Debug for LcoBody {
             LcoBody::AndGate { remaining } => write!(f, "AndGate({remaining})"),
             LcoBody::OrGate => f.write_str("OrGate"),
             LcoBody::Dataflow { slots, missing, .. } => {
-                write!(f, "Dataflow({}/{} filled)", slots.len() - missing, slots.len())
+                write!(
+                    f,
+                    "Dataflow({}/{} filled)",
+                    slots.len() - missing,
+                    slots.len()
+                )
             }
             LcoBody::Reduce { remaining, .. } => write!(f, "Reduce({remaining} left)"),
             LcoBody::Semaphore { permits, queue } => {

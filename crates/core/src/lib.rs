@@ -77,6 +77,7 @@ pub mod prelude {
     pub use crate::error::{PxError, PxResult};
     pub use crate::gid::{Gid, GidKind, LocalityId};
     pub use crate::lco::FutureRef;
+    pub use crate::net::{BatchPolicy, WireModel};
     pub use crate::parcel::{Continuation, Parcel};
     pub use crate::process::ProcessRef;
     pub use crate::runtime::{Config, Ctx, Runtime, RuntimeBuilder};
@@ -87,5 +88,6 @@ pub use action::{Action, ActionId, Value};
 pub use error::{PxError, PxResult};
 pub use gid::{Gid, GidKind, LocalityId};
 pub use lco::FutureRef;
+pub use net::{BatchPolicy, WireModel};
 pub use parcel::{Continuation, Parcel};
 pub use runtime::{Config, Ctx, Runtime, RuntimeBuilder};

@@ -1,5 +1,5 @@
 //! The wire layer: inter-locality transport with injectable latency and
-//! bandwidth.
+//! bandwidth, and per-destination parcel batching.
 //!
 //! The real ParalleX target is a machine whose localities are separated by
 //! hundreds-to-thousands of cycles of interconnect (§2.1 "latency … to
@@ -11,20 +11,57 @@
 //! With a zero latency model the wire is bypassed entirely (direct push),
 //! which is the "same box" configuration used by unit tests.
 //!
+//! ## Batching ([`BatchPolicy`], [`PortSet`])
+//!
+//! Per-parcel transport overhead — a `Vec` allocation, a channel
+//! submission, a delay-heap operation, an injector push, and a worker
+//! wakeup for every message — dominates at fine grain (the AMT overhead
+//! studies in PAPERS.md measure exactly this). When batching is enabled,
+//! each sender-visible destination gets a **port**: a coalescing
+//! [`px_wire::FrameBuf`] into which parcels are encoded *in place*. A port
+//! flushes its frame as one wire message when it reaches
+//! `max_batch_parcels` records or `max_batch_bytes` bytes, or when the
+//! background flusher finds records older than `flush_interval`. The
+//! delay model is applied per frame (`delay_for(frame_bytes)`), so the
+//! latency and bandwidth arithmetic stays honest while the fixed per-
+//! message costs amortize across the batch.
+//!
+//! Ordering: under a pure-latency model, parcels to the same destination
+//! stay in submission order within and across frames (frames ride the
+//! same `(time, seq)` min-heap the single-parcel path used). Two
+//! relaxations, both of the "simultaneous messages are unordered, like a
+//! real network" kind the pre-batching wire already documented:
+//!
+//! * with a nonzero `ns_per_byte` the delay is size-dependent, so a
+//!   small frame submitted after a large one can overtake it at a frame
+//!   boundary (the old wire had the same property per *parcel*);
+//! * direct task transfers (`spawn_at` closures) do not pass through the
+//!   ports — a task sent after a still-coalescing parcel can arrive up
+//!   to `flush_interval` earlier. Code that needs a parcel's effects
+//!   visible to a subsequently spawned closure must sequence through an
+//!   LCO, not through submission order.
+//!
+//! See `ordering_preserved_for_equal_delays`.
+//!
 //! [`DelayLine`] is public so the CSP/BSP baseline runtime
 //! (`px-baseline`) can route its messages through the *identical*
 //! mechanism — the experiments then compare execution models, not
 //! transport implementations.
 //!
-//! Messages are either encoded parcels (the normal case — they pay the
-//! serialization cost honestly) or boxed tasks (closure transfers used by
-//! `spawn_at`, which model the in-memory handoff of a depleted thread and
-//! are accounted with a nominal header size).
+//! Messages are encoded parcels (the normal case — they pay the
+//! serialization cost honestly), multi-parcel frames, or boxed tasks
+//! (closure transfers used by `spawn_at`, which model the in-memory
+//! handoff of a depleted thread and are accounted with a nominal header
+//! size).
 
 use crate::gid::LocalityId;
 use crate::locality::Locality;
+use crate::parcel::Parcel;
 use crate::sched::Task;
+use crate::stats::bump;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use px_wire::FrameBuf;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -67,6 +104,69 @@ impl WireModel {
     #[inline]
     pub fn delay_for(&self, bytes: usize) -> Duration {
         self.latency + Duration::from_nanos(self.ns_per_byte * bytes as u64)
+    }
+}
+
+/// Flush policy for the per-destination coalescing ports.
+///
+/// The default is **batching off** (`max_batch_parcels == 1`): every
+/// parcel ships in its own message, exactly like the pre-batching wire,
+/// so latency-sensitive request/response chains see no added delay.
+/// Throughput-oriented workloads opt in with [`BatchPolicy::batched`] or
+/// the [`crate::runtime::Config`] builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush a port when its frame holds this many parcels (1 disables
+    /// batching).
+    pub max_batch_parcels: usize,
+    /// Flush a port when its frame reaches this many bytes.
+    pub max_batch_bytes: usize,
+    /// Maximum time a parcel may wait in a port before the background
+    /// flusher ships it.
+    pub flush_interval: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::single()
+    }
+}
+
+impl BatchPolicy {
+    /// Batching disabled: one parcel per wire message (the pre-batching
+    /// behavior). Byte budget and flush interval keep their tuned values
+    /// so later raising `max_batch_parcels` is the only switch to flip.
+    pub fn single() -> BatchPolicy {
+        BatchPolicy {
+            max_batch_parcels: 1,
+            ..BatchPolicy::batched()
+        }
+    }
+
+    /// The tuned coalescing configuration: up to 32 parcels or 32 KiB per
+    /// frame, 100 µs maximum hold.
+    pub fn batched() -> BatchPolicy {
+        BatchPolicy {
+            max_batch_parcels: 32,
+            max_batch_bytes: 32 * 1024,
+            flush_interval: Duration::from_micros(100),
+        }
+    }
+
+    /// Batch up to `n` parcels per frame (other limits from
+    /// [`BatchPolicy::batched`]).
+    pub fn with_max_parcels(n: usize) -> BatchPolicy {
+        BatchPolicy {
+            max_batch_parcels: n.max(1),
+            ..BatchPolicy::batched()
+        }
+    }
+
+    /// True when coalescing is enabled. `max_batch_parcels` is the single
+    /// on/off switch: a byte budget or flush interval alone never batches.
+    #[inline]
+    pub fn is_batching(&self) -> bool {
+        self.max_batch_parcels > 1
     }
 }
 
@@ -115,6 +215,35 @@ impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
     }
 }
 
+/// A cheap cloneable submit handle onto a running delay line (used by
+/// the port flusher so the timer path shares `DelayLine`'s delay
+/// arithmetic instead of re-implementing it).
+pub(crate) struct LineSender<T: Send + 'static> {
+    tx: Sender<Pending<T>>,
+    model: WireModel,
+}
+
+impl<T: Send + 'static> Clone for LineSender<T> {
+    fn clone(&self) -> Self {
+        LineSender {
+            tx: self.tx.clone(),
+            model: self.model,
+        }
+    }
+}
+
+impl<T: Send + 'static> LineSender<T> {
+    /// Submit a message of logical size `bytes`.
+    pub(crate) fn send(&self, msg: T, bytes: usize) {
+        let at = Instant::now() + self.model.delay_for(bytes);
+        // seq is assigned by the delay thread; simultaneous messages are
+        // unordered by design (like a real network).
+        if self.tx.send(Pending { at, seq: 0, msg }).is_err() {
+            // Delay line already shut down (runtime teardown).
+        }
+    }
+}
+
 impl<T: Send + 'static> DelayLine<T> {
     /// Build a delay line delivering into `sink`.
     pub fn new(model: WireModel, sink: Arc<dyn Fn(T) + Send + Sync + 'static>) -> DelayLine<T> {
@@ -153,6 +282,15 @@ impl<T: Send + 'static> DelayLine<T> {
                 }
             }
         }
+    }
+
+    /// Submit handle bound to the delay thread (`None` on instant lines,
+    /// which deliver inline and have no thread).
+    pub(crate) fn sender(&self) -> Option<LineSender<T>> {
+        self.tx.as_ref().map(|tx| LineSender {
+            tx: tx.clone(),
+            model: self.model,
+        })
     }
 
     /// The active model.
@@ -221,13 +359,23 @@ fn delay_loop<T: Send>(rx: Receiver<Pending<T>>, sink: Arc<dyn Fn(T) + Send + Sy
 
 /// A message in flight between localities.
 pub(crate) enum WireMsg {
-    /// Encoded parcel (staged parcels land in the staging buffer).
+    /// Single encoded parcel (unbatched path; staged parcels land in the
+    /// staging buffer).
     Parcel {
         /// Destination locality.
         dest: LocalityId,
         /// Deliver into the staging buffer instead of the run queue.
         staged: bool,
         /// Encoded parcel bytes.
+        bytes: Vec<u8>,
+    },
+    /// Multi-parcel frame from a coalescing port.
+    Frame {
+        /// Destination locality.
+        dest: LocalityId,
+        /// Deliver into the staging buffer instead of the run queue.
+        staged: bool,
+        /// Encoded frame bytes (see [`px_wire::FrameBuf`]).
         bytes: Vec<u8>,
     },
     /// Direct task transfer (closure crossing localities in-process).
@@ -239,21 +387,77 @@ pub(crate) enum WireMsg {
     },
 }
 
-/// The runtime's wire: a [`DelayLine`] sinking into locality run queues.
+/// Why a port's frame was flushed (drives stats attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    /// Hit `max_batch_parcels` or `max_batch_bytes`.
+    Full,
+    /// Aged out by the background flusher (or a shutdown drain).
+    Timer,
+}
+
+/// One coalescing queue: pending frame plus the age of its oldest record.
+struct Port {
+    frame: FrameBuf,
+    opened_at: Option<Instant>,
+}
+
+/// Per-destination coalescing ports. Index = `dest * 2 + staged`, so
+/// percolation traffic batches separately from general parcels and a
+/// frame is homogeneous in its delivery queue.
+pub(crate) struct PortSet {
+    policy: BatchPolicy,
+    ports: Vec<Mutex<Port>>,
+}
+
+impl PortSet {
+    fn new(policy: BatchPolicy, localities: usize) -> PortSet {
+        PortSet {
+            policy,
+            ports: (0..localities * 2)
+                .map(|_| {
+                    Mutex::new(Port {
+                        frame: FrameBuf::new(),
+                        opened_at: None,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn port(&self, dest: LocalityId, staged: bool) -> &Mutex<Port> {
+        &self.ports[dest.0 as usize * 2 + staged as usize]
+    }
+}
+
+/// The runtime's wire: coalescing ports in front of a [`DelayLine`]
+/// sinking into locality run queues.
 pub(crate) struct Wire {
     line: DelayLine<WireMsg>,
+    ports: Option<Arc<PortSet>>,
+    localities: Arc<Vec<Arc<Locality>>>,
+    flusher_stop: Option<Sender<()>>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl Wire {
-    /// Build the wire for `localities` under `model`.
-    pub(crate) fn new(model: WireModel, localities: Arc<Vec<Arc<Locality>>>) -> Wire {
+    /// Build the wire for `localities` under `model`, coalescing per
+    /// `policy`. Batching engages only when the model is not instant and
+    /// the policy asks for more than one parcel per message.
+    pub(crate) fn new(
+        model: WireModel,
+        localities: Arc<Vec<Arc<Locality>>>,
+        policy: BatchPolicy,
+    ) -> Wire {
+        let sink_locs = localities.clone();
         let sink: Arc<dyn Fn(WireMsg) + Send + Sync> = Arc::new(move |msg| match msg {
             WireMsg::Parcel {
                 dest,
                 staged,
                 bytes,
             } => {
-                let loc = &localities[dest.0 as usize];
+                let loc = &sink_locs[dest.0 as usize];
                 let task = Task::parcel_bytes(bytes);
                 if staged {
                     loc.push_staged(task);
@@ -261,16 +465,95 @@ impl Wire {
                     loc.push_task(task);
                 }
             }
+            WireMsg::Frame {
+                dest,
+                staged,
+                bytes,
+            } => {
+                let loc = &sink_locs[dest.0 as usize];
+                let task = Task::parcel_frame(bytes);
+                if staged {
+                    loc.push_staged(task);
+                } else {
+                    loc.push_task(task);
+                }
+            }
             WireMsg::Task { dest, task } => {
-                localities[dest.0 as usize].push_task(task);
+                sink_locs[dest.0 as usize].push_task(task);
             }
         });
+        let line = DelayLine::new(model, sink);
+        let batching = policy.is_batching() && !model.is_instant();
+        let ports = batching.then(|| Arc::new(PortSet::new(policy, localities.len())));
+        let (flusher_stop, flusher) = match &ports {
+            None => (None, None),
+            Some(ports) => {
+                let (stop_tx, stop_rx) = bounded::<()>(1);
+                let handle = {
+                    let ports = ports.clone();
+                    let localities = localities.clone();
+                    let sender = line.sender().expect("batching implies a delay thread");
+                    std::thread::Builder::new()
+                        .name("px-port-flusher".into())
+                        .spawn(move || flusher_loop(ports, localities, sender, stop_rx))
+                        .expect("spawn port-flusher thread")
+                };
+                (Some(stop_tx), Some(handle))
+            }
+        };
         Wire {
-            line: DelayLine::new(model, sink),
+            line,
+            ports,
+            localities,
+            flusher_stop,
+            flusher,
         }
     }
 
-    /// Submit a message of logical size `bytes`.
+    /// Encode and submit one parcel toward `dest`, batching according to
+    /// the policy. Returns the parcel's encoded size for accounting.
+    pub(crate) fn send_parcel(&self, dest: LocalityId, p: &Parcel) -> usize {
+        let Some(ports) = &self.ports else {
+            // Unbatched path: identical to the pre-batching wire.
+            let bytes = p.encode();
+            let n = bytes.len();
+            self.line.send(
+                WireMsg::Parcel {
+                    dest,
+                    staged: p.staged,
+                    bytes,
+                },
+                n,
+            );
+            return n;
+        };
+        let dest_loc = &self.localities[dest.0 as usize];
+        let mut port = ports.port(dest, p.staged).lock();
+        if port.frame.is_empty() {
+            port.opened_at = Some(Instant::now());
+        }
+        // Report the record's full wire footprint (parcel + length
+        // prefix) so `bytes_sent` tracks what the delay model charges; of
+        // the frame, only the fixed 5-byte header goes unattributed.
+        let n = port.frame.push_record_with(|w| p.encode_into(w)) + px_wire::RECORD_HEADER_LEN;
+        let policy = &ports.policy;
+        if port.frame.record_count() as usize >= policy.max_batch_parcels
+            || port.frame.len() >= policy.max_batch_bytes
+        {
+            flush_port(
+                &mut port,
+                dest,
+                p.staged,
+                FlushCause::Full,
+                dest_loc,
+                |msg, bytes| self.line.send(msg, bytes),
+            );
+        }
+        n
+    }
+
+    /// Submit a non-parcel message (tasks; single parcels from callers
+    /// that bypass batching).
     #[inline]
     pub(crate) fn send(&self, msg: WireMsg, bytes: usize) {
         self.line.send(msg, bytes);
@@ -280,11 +563,120 @@ impl Wire {
     pub(crate) fn model(&self) -> WireModel {
         self.line.model()
     }
+
+    /// Drain every port (shutdown, or tests that need determinism).
+    pub(crate) fn flush_all(&self) {
+        if let Some(ports) = &self.ports {
+            flush_aged(ports, &self.localities, Duration::ZERO, |msg, bytes| {
+                self.line.send(msg, bytes)
+            });
+        }
+    }
+
+    /// Stop the flusher, drain the ports, stop the delay line.
+    pub(crate) fn shutdown(&mut self) {
+        self.flusher_stop = None; // closing the channel stops the flusher
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        self.flush_all();
+        self.line.shutdown();
+    }
+}
+
+impl Drop for Wire {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flush one port's frame as a wire message (no-op when empty).
+fn flush_port(
+    port: &mut Port,
+    dest: LocalityId,
+    staged: bool,
+    cause: FlushCause,
+    dest_loc: &Locality,
+    submit: impl FnOnce(WireMsg, usize),
+) {
+    if port.frame.is_empty() {
+        return;
+    }
+    let records = u64::from(port.frame.record_count());
+    let bytes = port.frame.take();
+    port.opened_at = None;
+    bump!(dest_loc.counters.frames_sent);
+    // Counted at flush, under the port lock, so coalesced_parcels and
+    // frames_sent advance together and their ratio never exceeds the cap.
+    bump!(dest_loc.counters.coalesced_parcels, records - 1);
+    match cause {
+        FlushCause::Full => bump!(dest_loc.counters.batch_flush_full),
+        FlushCause::Timer => bump!(dest_loc.counters.batch_flush_timer),
+    }
+    let n = bytes.len();
+    submit(
+        WireMsg::Frame {
+            dest,
+            staged,
+            bytes,
+        },
+        n,
+    );
+}
+
+/// Flush every port whose oldest record is older than `min_age`.
+fn flush_aged(
+    ports: &PortSet,
+    localities: &[Arc<Locality>],
+    min_age: Duration,
+    mut submit: impl FnMut(WireMsg, usize),
+) {
+    for (idx, slot) in ports.ports.iter().enumerate() {
+        let dest = LocalityId((idx / 2) as u16);
+        let staged = idx % 2 == 1;
+        let mut port = slot.lock();
+        let aged = port.opened_at.is_some_and(|t0| t0.elapsed() >= min_age);
+        if aged {
+            flush_port(
+                &mut port,
+                dest,
+                staged,
+                FlushCause::Timer,
+                &localities[dest.0 as usize],
+                &mut submit,
+            );
+        }
+    }
+}
+
+/// Background flusher honoring `flush_interval`: wakes at half the
+/// interval and ships any frame whose oldest parcel has waited too long.
+fn flusher_loop(
+    ports: Arc<PortSet>,
+    localities: Arc<Vec<Arc<Locality>>>,
+    sender: LineSender<WireMsg>,
+    stop_rx: Receiver<()>,
+) {
+    let interval = ports.policy.flush_interval;
+    let tick = (interval / 2).clamp(Duration::from_micros(20), Duration::from_millis(10));
+    loop {
+        match stop_rx.recv_timeout(tick) {
+            Err(RecvTimeoutError::Timeout) => {
+                flush_aged(&ports, &localities, interval, |msg, bytes| {
+                    sender.send(msg, bytes)
+                });
+            }
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::Value;
+    use crate::gid::Gid;
+    use crate::parcel::Continuation;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -398,9 +790,215 @@ mod tests {
         assert_eq!(seen.len(), 50);
         // Same-latency messages submitted in order arrive in order (seq
         // tiebreak), modulo batching races at the heap boundary — allow
-        // sortedness check.
+        // sortedness check. With ports enabled the same relaxation applies
+        // at frame boundaries: records within a frame are strictly
+        // ordered, frames inherit this (time, seq) discipline.
         let mut sorted = seen.clone();
         sorted.sort_unstable();
         assert_eq!(*seen, sorted);
+    }
+
+    // ---- batching ---------------------------------------------------------
+
+    fn test_localities(n: usize) -> Arc<Vec<Arc<Locality>>> {
+        Arc::new(
+            (0..n)
+                .map(|i| Arc::new(Locality::new(LocalityId(i as u16), false)))
+                .collect(),
+        )
+    }
+
+    fn noop_parcel(dest: LocalityId) -> Parcel {
+        Parcel::new(
+            Gid::locality_root(dest),
+            crate::sched::sys::NOOP,
+            Value::unit(),
+            Continuation::none(),
+        )
+    }
+
+    fn drain_count(loc: &Locality) -> (usize, usize) {
+        // (tasks, parcels) delivered to the general injector.
+        let mut tasks = 0;
+        let mut parcels = 0;
+        while let crossbeam::deque::Steal::Success(t) = loc.injector.steal() {
+            tasks += 1;
+            parcels += t.parcel_records();
+        }
+        (tasks, parcels)
+    }
+
+    #[test]
+    fn batch_flushes_on_parcel_count() {
+        let locs = test_localities(2);
+        let wire = Wire::new(
+            WireModel::with_latency(Duration::from_micros(50)),
+            locs.clone(),
+            BatchPolicy {
+                max_batch_parcels: 4,
+                max_batch_bytes: usize::MAX,
+                flush_interval: Duration::from_secs(10), // timer disabled
+            },
+        );
+        let p = noop_parcel(LocalityId(1));
+        for _ in 0..8 {
+            wire.send_parcel(LocalityId(1), &p);
+        }
+        // Two full frames of four parcels each. Accumulate across polls:
+        // the delay thread may deliver the frames on either side of a
+        // drain.
+        let t0 = Instant::now();
+        let (mut tasks, mut parcels) = (0, 0);
+        while parcels < 8 {
+            let (t, p) = drain_count(&locs[1]);
+            tasks += t;
+            parcels += p;
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "frames never arrived"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert_eq!(tasks, 2, "expected two frames");
+        assert_eq!(parcels, 8, "expected all parcels");
+        assert_eq!(locs[1].counters.frames_sent.load(Ordering::Relaxed), 2);
+        assert_eq!(locs[1].counters.batch_flush_full.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            locs[1].counters.coalesced_parcels.load(Ordering::Relaxed),
+            6,
+            "three of each four shared a frame"
+        );
+    }
+
+    #[test]
+    fn batch_flushes_on_byte_budget() {
+        let locs = test_localities(2);
+        let wire = Wire::new(
+            WireModel::with_latency(Duration::from_micros(50)),
+            locs.clone(),
+            BatchPolicy {
+                max_batch_parcels: usize::MAX,
+                max_batch_bytes: 64,
+                flush_interval: Duration::from_secs(10),
+            },
+        );
+        let p = noop_parcel(LocalityId(1));
+        for _ in 0..4 {
+            wire.send_parcel(LocalityId(1), &p);
+        }
+        let t0 = Instant::now();
+        loop {
+            let (tasks, _) = drain_count(&locs[1]);
+            if tasks > 0 {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(locs[1].counters.batch_flush_full.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn flusher_ships_stragglers() {
+        let locs = test_localities(2);
+        let wire = Wire::new(
+            WireModel::with_latency(Duration::from_micros(10)),
+            locs.clone(),
+            BatchPolicy {
+                max_batch_parcels: 1000,
+                max_batch_bytes: usize::MAX,
+                flush_interval: Duration::from_micros(200),
+            },
+        );
+        let p = noop_parcel(LocalityId(1));
+        wire.send_parcel(LocalityId(1), &p);
+        let t0 = Instant::now();
+        loop {
+            let (tasks, parcels) = drain_count(&locs[1]);
+            if tasks > 0 {
+                assert_eq!(parcels, 1);
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "straggler never flushed"
+            );
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(
+            locs[1].counters.batch_flush_timer.load(Ordering::Relaxed),
+            1
+        );
+        drop(wire);
+    }
+
+    #[test]
+    fn shutdown_drains_ports() {
+        let locs = test_localities(2);
+        let mut wire = Wire::new(
+            WireModel::with_latency(Duration::from_micros(10)),
+            locs.clone(),
+            BatchPolicy {
+                max_batch_parcels: 1000,
+                max_batch_bytes: usize::MAX,
+                flush_interval: Duration::from_secs(10),
+            },
+        );
+        let p = noop_parcel(LocalityId(1));
+        for _ in 0..3 {
+            wire.send_parcel(LocalityId(1), &p);
+        }
+        wire.shutdown();
+        let (tasks, parcels) = drain_count(&locs[1]);
+        assert_eq!(tasks, 1, "one shutdown frame");
+        assert_eq!(parcels, 3, "all pending parcels delivered");
+    }
+
+    #[test]
+    fn staged_and_plain_parcels_batch_separately() {
+        let locs = test_localities(2);
+        let mut wire = Wire::new(
+            WireModel::with_latency(Duration::from_micros(10)),
+            locs.clone(),
+            BatchPolicy {
+                max_batch_parcels: 1000,
+                max_batch_bytes: usize::MAX,
+                flush_interval: Duration::from_secs(10),
+            },
+        );
+        let plain = noop_parcel(LocalityId(1));
+        let mut staged = noop_parcel(LocalityId(1));
+        staged.staged = true;
+        wire.send_parcel(LocalityId(1), &plain);
+        wire.send_parcel(LocalityId(1), &staged);
+        wire.shutdown();
+        let (tasks, parcels) = drain_count(&locs[1]);
+        assert_eq!((tasks, parcels), (1, 1), "plain frame in the injector");
+        let mut staged_tasks = 0;
+        while let crossbeam::deque::Steal::Success(t) = locs[1].staging.steal() {
+            staged_tasks += t.parcel_records();
+        }
+        assert_eq!(staged_tasks, 1, "staged frame in the staging buffer");
+    }
+
+    #[test]
+    fn unbatched_policy_sends_single_parcels() {
+        let locs = test_localities(2);
+        let mut wire = Wire::new(
+            WireModel::with_latency(Duration::from_micros(10)),
+            locs.clone(),
+            BatchPolicy::single(),
+        );
+        let p = noop_parcel(LocalityId(1));
+        let n = wire.send_parcel(LocalityId(1), &p);
+        assert_eq!(n, p.encode().len());
+        wire.shutdown();
+        let (tasks, parcels) = drain_count(&locs[1]);
+        assert_eq!((tasks, parcels), (1, 1));
+        assert_eq!(
+            locs[1].counters.frames_sent.load(Ordering::Relaxed),
+            0,
+            "no frames on the single-parcel path"
+        );
     }
 }

@@ -137,6 +137,14 @@ impl Parcel {
     /// path, and the continuation list is almost always 0 or 1 steps.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(40 + self.payload.len());
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode into a caller-provided buffer — the batched transport path,
+    /// where parcels append directly to a per-destination
+    /// [`px_wire::FrameBuf`] and no per-parcel `Vec` is allocated.
+    pub fn encode_into(&self, w: &mut WireWriter) {
         w.put_u64(self.dest.0);
         w.put_u64(self.action.0);
         w.put_u16(self.src.0);
@@ -168,7 +176,6 @@ impl Parcel {
             }
         }
         w.put_len_bytes(self.payload.bytes());
-        w.into_bytes()
     }
 
     /// Decode from wire bytes.
@@ -282,6 +289,15 @@ mod tests {
         assert_eq!(q.process, p.process);
         assert_eq!(q.cont, p.cont);
         assert_eq!(q.payload.bytes(), p.payload.bytes());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let p = sample_parcel();
+        let mut w = WireWriter::with_capacity(0);
+        w.put_u8(0xaa); // pre-existing content must be preserved
+        p.encode_into(&mut w);
+        assert_eq!(&w.as_slice()[1..], p.encode().as_slice());
     }
 
     #[test]

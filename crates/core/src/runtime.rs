@@ -22,7 +22,7 @@ use crate::fxmap::FxHashMap;
 use crate::gid::{Gid, GidKind, LocalityId};
 use crate::lco::{CombineFn, ExtSlot, FutureRef, LcoCore, ReduceFn, Waiter};
 use crate::locality::{DataObject, Locality, Stored};
-use crate::net::{Wire, WireModel};
+use crate::net::{BatchPolicy, Wire, WireModel};
 use crate::parcel::{Continuation, Parcel};
 use crate::process::{ProcessInner, ProcessRef};
 use crate::sched::{sys, Task};
@@ -43,6 +43,11 @@ pub struct Config {
     pub workers_per_locality: usize,
     /// Inter-locality wire model.
     pub wire: WireModel,
+    /// Per-destination parcel coalescing policy. Defaults to
+    /// [`BatchPolicy::single`] (one parcel per wire message — no added
+    /// latency); throughput-oriented deployments enable
+    /// [`BatchPolicy::batched`] via [`Config::with_batching`].
+    pub batch: BatchPolicy,
     /// Localities that drain their percolation staging buffer at top
     /// priority (the "precious resources" of §2.2).
     pub accelerators: Vec<LocalityId>,
@@ -54,6 +59,7 @@ impl Default for Config {
             localities: 4,
             workers_per_locality: 1,
             wire: WireModel::instant(),
+            batch: BatchPolicy::single(),
             accelerators: Vec::new(),
         }
     }
@@ -87,6 +93,39 @@ impl Config {
         self
     }
 
+    /// Set the full coalescing policy (builder style).
+    pub fn with_batching(mut self, batch: BatchPolicy) -> Config {
+        self.batch = batch;
+        self
+    }
+
+    /// Coalesce up to `n` parcels per wire message (builder style; `1`
+    /// disables batching). Composes with the other batch builders: only
+    /// this knob changes.
+    pub fn with_max_batch_parcels(mut self, n: usize) -> Config {
+        self.batch.max_batch_parcels = n.max(1);
+        self
+    }
+
+    /// Set the byte budget per coalesced frame (builder style). Batching
+    /// needs `max_batch_parcels > 1` to engage, so if it is still at the
+    /// disabled default this also raises it to [`BatchPolicy::batched`]'s
+    /// parcel cap — asking for a byte budget means asking for batching.
+    pub fn with_max_batch_bytes(mut self, bytes: usize) -> Config {
+        self.batch.max_batch_bytes = bytes;
+        if !self.batch.is_batching() {
+            self.batch.max_batch_parcels = BatchPolicy::batched().max_batch_parcels;
+        }
+        self
+    }
+
+    /// Set the maximum hold time for a coalescing port (builder style).
+    /// A pure tuning knob: it does not by itself enable batching.
+    pub fn with_flush_interval(mut self, interval: Duration) -> Config {
+        self.batch.flush_interval = interval;
+        self
+    }
+
     /// Mark a locality as a percolation-priority accelerator.
     pub fn with_accelerator(mut self, loc: LocalityId) -> Config {
         self.accelerators.push(loc);
@@ -101,14 +140,27 @@ impl Config {
             )));
         }
         if self.workers_per_locality == 0 {
-            return Err(PxError::BadConfig("workers_per_locality must be ≥ 1".into()));
+            return Err(PxError::BadConfig(
+                "workers_per_locality must be ≥ 1".into(),
+            ));
         }
         for a in &self.accelerators {
             if a.0 as usize >= self.localities {
-                return Err(PxError::BadConfig(format!(
-                    "accelerator {a} out of range"
-                )));
+                return Err(PxError::BadConfig(format!("accelerator {a} out of range")));
             }
+        }
+        if self.batch.max_batch_parcels == 0 {
+            return Err(PxError::BadConfig(
+                "max_batch_parcels must be ≥ 1 (1 disables batching)".into(),
+            ));
+        }
+        if self.batch.max_batch_bytes == 0 {
+            return Err(PxError::BadConfig("max_batch_bytes must be ≥ 1".into()));
+        }
+        if self.batch.is_batching() && self.batch.flush_interval.is_zero() {
+            return Err(PxError::BadConfig(
+                "flush_interval must be nonzero when batching".into(),
+            ));
         }
         Ok(())
     }
@@ -190,7 +242,7 @@ impl RuntimeBuilder {
                 })
                 .collect(),
         );
-        let wire = Wire::new(self.config.wire, localities.clone());
+        let wire = Wire::new(self.config.wire, localities.clone(), self.config.batch);
         let inner = Arc::new(RuntimeInner {
             agas: Agas::new(n),
             registry: self.registry,
@@ -339,7 +391,9 @@ impl Runtime {
     ) -> PxResult<FutureRef<T>> {
         let seed = Value::encode(seed)?;
         let gid = self.inner.locality(loc).insert(GidKind::Lco, |gid| {
-            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_reduce(gid, n, seed, fold))))
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_reduce(
+                gid, n, seed, fold,
+            ))))
         });
         Ok(FutureRef::from_gid(gid))
     }
@@ -547,7 +601,12 @@ impl<'a> Ctx<'a> {
 
     /// Send an action parcel: terminate-into-parcel style control
     /// migration (§2.2: work moves to the data).
-    pub fn send<A: Action>(&mut self, target: Gid, args: A::Args, cont: Continuation) -> PxResult<()> {
+    pub fn send<A: Action>(
+        &mut self,
+        target: Gid,
+        args: A::Args,
+        cont: Continuation,
+    ) -> PxResult<()> {
         let mut p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
         p.process = self.process;
         self.rt.send_parcel(self.here(), p);
@@ -597,7 +656,9 @@ impl<'a> Ctx<'a> {
     ) -> PxResult<FutureRef<T>> {
         let seed = Value::encode(seed)?;
         let gid = self.loc.insert(GidKind::Lco, |gid| {
-            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_reduce(gid, n, seed, fold))))
+            Stored::Lco(Arc::new(Mutex::new(LcoCore::new_reduce(
+                gid, n, seed, fold,
+            ))))
         });
         Ok(FutureRef::from_gid(gid))
     }
@@ -692,19 +753,12 @@ impl<'a> Ctx<'a> {
                 )));
                 self.rt.schedule_activations(self.loc, acts);
             } else {
-                let acts = lco
-                    .lock()
-                    .add_waiter(Waiter::Depleted(Box::new(f)));
+                let acts = lco.lock().add_waiter(Waiter::Depleted(Box::new(f)));
                 self.rt.schedule_activations(self.loc, acts);
             }
         } else {
             let proxy = self.loc.new_future_lco();
-            let p = Parcel::new(
-                gid,
-                sys::LCO_GET,
-                Value::unit(),
-                Continuation::set(proxy),
-            );
+            let p = Parcel::new(gid, sys::LCO_GET, Value::unit(), Continuation::set(proxy));
             self.rt.send_parcel(self.here(), p);
             self.when_ready(proxy, f);
         }
@@ -733,12 +787,19 @@ impl<'a> Ctx<'a> {
             };
             let acts = lco
                 .lock()
-                .acquire(Waiter::Depleted(Box::new(move |ctx: &mut Ctx<'_>, _| f(ctx))))
+                .acquire(Waiter::Depleted(Box::new(move |ctx: &mut Ctx<'_>, _| {
+                    f(ctx)
+                })))
                 .unwrap_or_default();
             self.rt.schedule_activations(self.loc, acts);
         } else {
             let proxy = self.loc.new_future_lco();
-            let p = Parcel::new(sem, sys::LCO_ACQUIRE, Value::unit(), Continuation::set(proxy));
+            let p = Parcel::new(
+                sem,
+                sys::LCO_ACQUIRE,
+                Value::unit(),
+                Continuation::set(proxy),
+            );
             self.rt.send_parcel(self.here(), p);
             self.when_ready(proxy, move |ctx, _| f(ctx));
         }
@@ -783,7 +844,12 @@ impl<'a> Ctx<'a> {
     /// (data-to-work movement; the comparison point for E6).
     pub fn fetch_data(&mut self, gid: Gid) -> FutureRef<Vec<u8>> {
         let fut = self.new_future::<Vec<u8>>();
-        let p = Parcel::new(gid, sys::DATA_GET, Value::unit(), Continuation::set(fut.gid()));
+        let p = Parcel::new(
+            gid,
+            sys::DATA_GET,
+            Value::unit(),
+            Continuation::set(fut.gid()),
+        );
         self.rt.send_parcel(self.here(), p);
         fut
     }
@@ -866,6 +932,78 @@ mod tests {
         let v = rt.run_blocking(LocalityId(1), |ctx| ctx.here().0 * 10);
         assert_eq!(v, 10);
         rt.shutdown();
+    }
+
+    #[test]
+    fn batched_transport_delivers_everything() {
+        let cfg = Config::small(2, 1)
+            .with_latency(Duration::from_micros(200))
+            .with_batching(crate::net::BatchPolicy {
+                max_batch_parcels: 8,
+                max_batch_bytes: usize::MAX,
+                flush_interval: Duration::from_micros(100),
+            });
+        let rt = RuntimeBuilder::new(cfg).build().unwrap();
+        // 20 triggers cross the wire to an and-gate at locality 1: two
+        // full frames of 8 plus a timer-flushed straggler frame of 4.
+        let gate = rt.new_and_gate(LocalityId(1), 20);
+        for _ in 0..20 {
+            rt.trigger(gate, &()).unwrap();
+        }
+        let fut: crate::lco::FutureRef<()> = crate::lco::FutureRef::from_gid(gate);
+        rt.wait_future(fut).unwrap();
+        let stats = rt.stats();
+        let total = stats.total();
+        assert_eq!(total.parcels_recv, 20, "every parcel executed");
+        assert!(
+            total.frames_recv >= 3 && total.frames_recv <= 20,
+            "expected coalesced frames, got {}",
+            total.frames_recv
+        );
+        assert!(
+            total.coalesced_parcels > 0,
+            "batching should have coalesced something"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn batch_builders_compose() {
+        // A byte budget alone must actually engage batching…
+        let c = Config::small(2, 1).with_max_batch_bytes(4096);
+        assert!(c.batch.is_batching());
+        assert_eq!(c.batch.max_batch_bytes, 4096);
+        // …and later knob changes must not reset earlier ones.
+        let c = c
+            .with_max_batch_parcels(16)
+            .with_flush_interval(Duration::from_micros(250));
+        assert_eq!(c.batch.max_batch_parcels, 16);
+        assert_eq!(c.batch.max_batch_bytes, 4096);
+        assert_eq!(c.batch.flush_interval, Duration::from_micros(250));
+        // Dropping back to 1 disables batching without touching the rest.
+        let c = c.with_max_batch_parcels(1);
+        assert!(!c.batch.is_batching());
+        assert_eq!(c.batch.max_batch_bytes, 4096);
+    }
+
+    #[test]
+    fn batch_config_validation() {
+        let bad = Config::small(1, 1).with_batching(crate::net::BatchPolicy {
+            max_batch_parcels: 4,
+            max_batch_bytes: 0,
+            flush_interval: Duration::from_micros(100),
+        });
+        assert!(bad.validate().is_err());
+        let bad = Config::small(1, 1).with_batching(crate::net::BatchPolicy {
+            max_batch_parcels: 4,
+            max_batch_bytes: 1024,
+            flush_interval: Duration::ZERO,
+        });
+        assert!(bad.validate().is_err());
+        assert!(Config::small(1, 1)
+            .with_max_batch_parcels(16)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub(crate) enum Work {
     Parcel(Parcel),
     /// Parcel as delivered by the wire; decoded on the worker.
     ParcelBytes(Vec<u8>),
+    /// Multi-parcel frame from a coalescing port: one injector push per
+    /// frame, each record decoded lazily as it executes.
+    ParcelFrame(Vec<u8>),
 }
 
 /// A schedulable unit: one PX-thread activation.
@@ -97,6 +100,7 @@ impl std::fmt::Debug for Task {
             Work::Resume(..) => "Resume",
             Work::Parcel(_) => "Parcel",
             Work::ParcelBytes(_) => "ParcelBytes",
+            Work::ParcelFrame(_) => "ParcelFrame",
         };
         write!(f, "Task::{kind}")
     }
@@ -124,6 +128,26 @@ impl Task {
         Task {
             work: Work::ParcelBytes(bytes),
             process: None,
+        }
+    }
+
+    /// Encoded multi-parcel frame (from a coalescing port).
+    pub(crate) fn parcel_frame(bytes: Vec<u8>) -> Task {
+        Task {
+            work: Work::ParcelFrame(bytes),
+            process: None,
+        }
+    }
+
+    /// Number of parcel records this task carries (tests and diagnostics).
+    #[cfg(test)]
+    pub(crate) fn parcel_records(&self) -> usize {
+        match &self.work {
+            Work::Parcel(_) | Work::ParcelBytes(_) => 1,
+            Work::ParcelFrame(bytes) => px_wire::FrameView::parse(bytes)
+                .map(|v| v.record_count() as usize)
+                .unwrap_or(0),
+            _ => 0,
         }
     }
 
@@ -255,24 +279,62 @@ pub(crate) fn execute(
             bump!(loc.counters.resumes);
             bump!(loc.counters.threads_executed);
         }
-        Work::ParcelBytes(bytes) => match Parcel::decode(&bytes) {
-            Ok(p) => {
-                // Wire deliveries carry the process tag inside the parcel
-                // (Task::process is None); account the completion here.
-                let proc_gid = p.process;
-                run_parcel(rt, loc, local, p);
-                if let Some(pg) = proc_gid {
-                    rt.process_task_done(pg);
+        Work::ParcelBytes(bytes) => run_wire_parcel(rt, loc, local, &bytes),
+        Work::ParcelFrame(bytes) => {
+            bump!(loc.counters.frames_recv);
+            match px_wire::FrameView::parse(&bytes) {
+                Ok(view) => {
+                    let mut seen = 0u32;
+                    for record in view.records() {
+                        seen += 1;
+                        match record {
+                            Ok(rec) => run_wire_parcel(rt, loc, local, rec),
+                            Err(_) => {
+                                bump!(loc.counters.dead_parcels);
+                            }
+                        }
+                    }
+                    // A corrupt length prefix ends iteration early; the
+                    // records it hid are lost with it — account every one
+                    // (their process tags are unreadable, like any corrupt
+                    // parcel's, so quiescence on them cannot be repaired).
+                    let lost = view.record_count().saturating_sub(seen);
+                    if lost > 0 {
+                        bump!(loc.counters.dead_parcels, u64::from(lost));
+                    }
+                }
+                Err(_) => {
+                    bump!(loc.counters.dead_parcels);
                 }
             }
-            Err(_) => {
-                bump!(loc.counters.dead_parcels);
-            }
-        },
+        }
         Work::Parcel(p) => run_parcel(rt, loc, local, p),
     }
     if let Some(pgid) = process {
         rt.process_task_done(pgid);
+    }
+}
+
+/// Decode and run one wire-delivered parcel record. Wire deliveries carry
+/// the process tag inside the parcel (`Task::process` is `None`); the
+/// completion is accounted here.
+fn run_wire_parcel(
+    rt: &Arc<RuntimeInner>,
+    loc: &Arc<Locality>,
+    local: &Worker<Task>,
+    bytes: &[u8],
+) {
+    match Parcel::decode(bytes) {
+        Ok(p) => {
+            let proc_gid = p.process;
+            run_parcel(rt, loc, local, p);
+            if let Some(pg) = proc_gid {
+                rt.process_task_done(pg);
+            }
+        }
+        Err(_) => {
+            bump!(loc.counters.dead_parcels);
+        }
     }
 }
 
@@ -350,7 +412,9 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         lco_sys_op(rt, loc, p.dest, |l| l.contribute(p.payload.clone()));
         return;
     } else if a == sys::LCO_GET {
-        lco_sys_op(rt, loc, p.dest, |l| Ok(l.add_waiter(Waiter::Cont(p.cont.clone()))));
+        lco_sys_op(rt, loc, p.dest, |l| {
+            Ok(l.add_waiter(Waiter::Cont(p.cont.clone())))
+        });
         return;
     } else if a == sys::LCO_ACQUIRE {
         lco_sys_op(rt, loc, p.dest, |l| l.acquire(Waiter::Cont(p.cont.clone())));
@@ -391,9 +455,10 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             let mut ctx = Ctx::new(rt, loc, Some(local), p.process);
             let handler = handler.clone();
             let mut out: Option<Value> = None;
-            run_guarded(loc, || match handler(&mut ctx, p.dest, p.payload.bytes()) {
-                Ok(v) => out = Some(v),
-                Err(_) => {}
+            run_guarded(loc, || {
+                if let Ok(v) = handler(&mut ctx, p.dest, p.payload.bytes()) {
+                    out = Some(v);
+                }
             });
             bump!(loc.counters.threads_executed);
             match out {
@@ -444,9 +509,7 @@ pub(crate) fn apply_continuation(
     for step in cont.steps {
         match step {
             ContStep::SetLco(g) => rt.lco_route(loc, g, sys::LCO_SET, value.clone()),
-            ContStep::Contribute(g) => {
-                rt.lco_route(loc, g, sys::LCO_CONTRIBUTE, value.clone())
-            }
+            ContStep::Contribute(g) => rt.lco_route(loc, g, sys::LCO_CONTRIBUTE, value.clone()),
             ContStep::Call { action, target } => {
                 let p = Parcel::new(target, action, value.clone(), Continuation::none());
                 rt.send_parcel(loc.id, p);
@@ -526,22 +589,16 @@ impl RuntimeInner {
             }
             return;
         }
-        let bytes = p.encode();
-        bump!(from_loc.counters.bytes_sent, bytes.len() as u64);
         if let Some(pg) = p.process {
             self.process_task_started(pg);
         }
         // Parcel-borne process accounting: the receiving worker decrements
-        // via the decoded parcel's process field.
-        let n = bytes.len();
-        self.wire.send(
-            crate::net::WireMsg::Parcel {
-                dest: owner,
-                staged: p.staged,
-                bytes,
-            },
-            n,
-        );
+        // via the decoded parcel's process field. The wire either ships
+        // the parcel alone or coalesces it into the destination's port
+        // frame (see `net::BatchPolicy`); either way it reports the
+        // encoded size for accounting.
+        let n = self.wire.send_parcel(owner, &p);
+        bump!(from_loc.counters.bytes_sent, n as u64);
     }
 
     /// Transfer a closure task to another locality (convenience spawn; see
@@ -557,8 +614,7 @@ impl RuntimeInner {
         }
         bump!(from_loc.counters.parcels_sent);
         bump!(from_loc.counters.bytes_sent, 64);
-        self.wire
-            .send(crate::net::WireMsg::Task { dest, task }, 64);
+        self.wire.send(crate::net::WireMsg::Task { dest, task }, 64);
     }
 }
 
@@ -606,6 +662,46 @@ mod tests {
         ];
         let set: std::collections::HashSet<u64> = ids.iter().map(|i| i.0).collect();
         assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn corrupt_frame_counts_every_lost_record() {
+        use crate::parcel::{Continuation, Parcel};
+        use crate::runtime::{Config, RuntimeBuilder};
+        let rt = RuntimeBuilder::new(Config::small(1, 1)).build().unwrap();
+        let p = Parcel::new(
+            crate::gid::Gid::locality_root(crate::gid::LocalityId(0)),
+            sys::NOOP,
+            Value::unit(),
+            Continuation::none(),
+        );
+        let record = p.encode();
+        let mut frame = px_wire::FrameBuf::new();
+        for _ in 0..5 {
+            frame.push_record(&record);
+        }
+        let mut bytes = frame.take();
+        // Cut into record 3: records 1–2 execute, record 3 is corrupt,
+        // records 4–5 are hidden behind it — all three must be counted.
+        bytes.truncate(
+            px_wire::FRAME_HEADER_LEN + 2 * (px_wire::RECORD_HEADER_LEN + record.len()) + 2,
+        );
+        let loc = rt.inner().localities[0].clone();
+        loc.push_task(Task::parcel_frame(bytes));
+        let t0 = Instant::now();
+        loop {
+            let dead = loc.counters.dead_parcels.load(Ordering::Relaxed);
+            let recv = loc.counters.parcels_recv.load(Ordering::Relaxed);
+            if dead == 3 && recv == 2 {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "counters never settled: dead={dead} recv={recv}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        rt.shutdown();
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub struct LocalityCounters {
     pub parcels_recv: AtomicU64,
     /// Parcels that arrived here but had to be forwarded after migration.
     pub parcels_forwarded: AtomicU64,
-    /// Payload + header bytes sent.
+    /// Payload + header bytes sent. On the batched path this includes
+    /// each record's length prefix (what the wire delay model charges);
+    /// only the fixed per-frame header is unattributed.
     pub bytes_sent: AtomicU64,
     /// PX-threads executed (fresh threads + parcel-spawned threads).
     pub threads_executed: AtomicU64,
@@ -37,8 +39,23 @@ pub struct LocalityCounters {
     pub staged_executed: AtomicU64,
     /// AGAS resolutions served from the local cache.
     pub agas_cache_hits: AtomicU64,
+    /// AGAS resolutions *not* served from the local cache (directory
+    /// lookups plus birthplace fallbacks).
+    pub agas_cache_misses: AtomicU64,
     /// AGAS resolutions that consulted the directory.
     pub agas_directory_lookups: AtomicU64,
+    /// Parcel frames flushed toward this locality by the coalescing ports
+    /// (sender side, aggregated over all senders).
+    pub frames_sent: AtomicU64,
+    /// Parcel frames received and executed here.
+    pub frames_recv: AtomicU64,
+    /// Parcels that shared a port frame with at least one earlier parcel
+    /// (destination-attributed; the batching win in message counts).
+    pub coalesced_parcels: AtomicU64,
+    /// Frames flushed because they hit `max_batch_parcels`/`max_batch_bytes`.
+    pub batch_flush_full: AtomicU64,
+    /// Frames flushed by the interval flusher or a shutdown drain.
+    pub batch_flush_timer: AtomicU64,
     /// Parcels dropped: unknown action, missing object past the hop
     /// budget, or malformed payload.
     pub dead_parcels: AtomicU64,
@@ -73,7 +90,13 @@ impl LocalityCounters {
             lco_events: self.lco_events.load(Ordering::Relaxed),
             staged_executed: self.staged_executed.load(Ordering::Relaxed),
             agas_cache_hits: self.agas_cache_hits.load(Ordering::Relaxed),
+            agas_cache_misses: self.agas_cache_misses.load(Ordering::Relaxed),
             agas_directory_lookups: self.agas_directory_lookups.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            coalesced_parcels: self.coalesced_parcels.load(Ordering::Relaxed),
+            batch_flush_full: self.batch_flush_full.load(Ordering::Relaxed),
+            batch_flush_timer: self.batch_flush_timer.load(Ordering::Relaxed),
             dead_parcels: self.dead_parcels.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
         }
@@ -97,7 +120,13 @@ pub struct LocalityStats {
     pub lco_events: u64,
     pub staged_executed: u64,
     pub agas_cache_hits: u64,
+    pub agas_cache_misses: u64,
     pub agas_directory_lookups: u64,
+    pub frames_sent: u64,
+    pub frames_recv: u64,
+    pub coalesced_parcels: u64,
+    pub batch_flush_full: u64,
+    pub batch_flush_timer: u64,
     pub dead_parcels: u64,
     pub panics: u64,
 }
@@ -110,6 +139,29 @@ impl LocalityStats {
             0.0
         } else {
             self.busy_ns as f64 / total as f64
+        }
+    }
+
+    /// Mean parcels per flushed frame (1.0 = no coalescing benefit).
+    /// Computed from the send-side counters, which advance together under
+    /// the port lock, so the ratio is consistent even while frames are in
+    /// flight.
+    pub fn parcels_per_frame(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            // Frames carry coalesced parcels plus each frame's opener.
+            (self.coalesced_parcels + self.frames_sent) as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Fraction of AGAS resolutions served from the local cache.
+    pub fn agas_hit_rate(&self) -> f64 {
+        let total = self.agas_cache_hits + self.agas_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.agas_cache_hits as f64 / total as f64
         }
     }
 
@@ -129,8 +181,13 @@ impl LocalityStats {
             lco_events: self.lco_events - earlier.lco_events,
             staged_executed: self.staged_executed - earlier.staged_executed,
             agas_cache_hits: self.agas_cache_hits - earlier.agas_cache_hits,
-            agas_directory_lookups: self.agas_directory_lookups
-                - earlier.agas_directory_lookups,
+            agas_cache_misses: self.agas_cache_misses - earlier.agas_cache_misses,
+            agas_directory_lookups: self.agas_directory_lookups - earlier.agas_directory_lookups,
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            frames_recv: self.frames_recv - earlier.frames_recv,
+            coalesced_parcels: self.coalesced_parcels - earlier.coalesced_parcels,
+            batch_flush_full: self.batch_flush_full - earlier.batch_flush_full,
+            batch_flush_timer: self.batch_flush_timer - earlier.batch_flush_timer,
             dead_parcels: self.dead_parcels - earlier.dead_parcels,
             panics: self.panics - earlier.panics,
         }
@@ -162,7 +219,13 @@ impl StatsSnapshot {
             t.lco_events += l.lco_events;
             t.staged_executed += l.staged_executed;
             t.agas_cache_hits += l.agas_cache_hits;
+            t.agas_cache_misses += l.agas_cache_misses;
             t.agas_directory_lookups += l.agas_directory_lookups;
+            t.frames_sent += l.frames_sent;
+            t.frames_recv += l.frames_recv;
+            t.coalesced_parcels += l.coalesced_parcels;
+            t.batch_flush_full += l.batch_flush_full;
+            t.batch_flush_timer += l.batch_flush_timer;
             t.dead_parcels += l.dead_parcels;
             t.panics += l.panics;
         }
@@ -216,6 +279,21 @@ mod tests {
         s.busy_ns = 75;
         s.idle_ns = 25;
         assert!((s.busy_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_counter_ratios() {
+        let s = LocalityStats {
+            frames_sent: 4,
+            coalesced_parcels: 12,
+            agas_cache_hits: 3,
+            agas_cache_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.parcels_per_frame() - 4.0).abs() < 1e-12);
+        assert!((s.agas_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(LocalityStats::default().parcels_per_frame(), 0.0);
+        assert_eq!(LocalityStats::default().agas_hit_rate(), 0.0);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! node is free; otherwise the packet waits in the source queue (counted
 //! in latency).
 
+// The simulator walks (cylinder, angle, height) coordinates; index loops
+// mirror that geometry more directly than iterator chains would.
+#![allow(clippy::needless_range_loop)]
+
 use crate::traffic::Injection;
 use crate::NetStats;
 
@@ -153,7 +157,10 @@ pub fn simulate(cfg: VortexConfig, injections: &[Injection], max_cycles: u64) ->
                 // Deflect on the ring, toggling the bit being fixed so the
                 // descent can be retried with the other parity.
                 let nh = hh ^ (1 << bit);
-                debug_assert!(next_grid[lvl][na][nh].is_none(), "ring move is a permutation");
+                debug_assert!(
+                    next_grid[lvl][na][nh].is_none(),
+                    "ring move is a permutation"
+                );
                 next_grid[lvl][na][nh] = Some(p);
                 stats.deflections += 1;
             } else {

@@ -187,9 +187,16 @@ pub fn simulate_chip(workload: ChipWorkload, threads_per_node: usize, seed: u64)
     // delay. Module 0 hosts the dispatcher port.
     for k in 0..workload.tasks {
         let u: f64 = rng.gen_range(0.0..1.0);
-        let node = cdf.iter().position(|&c| u <= c).unwrap_or(NODES_PER_CHIP - 1);
+        let node = cdf
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(NODES_PER_CHIP - 1);
         let inject = (k as f64 / workload.inject_per_cycle) as Time;
-        let hop = if node < NODES_PER_MODULE { LOCAL_HOP } else { CROSS_HOP };
+        let hop = if node < NODES_PER_MODULE {
+            LOCAL_HOP
+        } else {
+            CROSS_HOP
+        };
         sim.send_at(inject + hop, CompId(node as u32), ChipEv::Arrive(task));
     }
     sim.run();

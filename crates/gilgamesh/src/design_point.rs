@@ -173,9 +173,7 @@ pub fn check_paper_claims(dp: &DesignPoint) -> Vec<String> {
     }
     let chip_tf = s.flops_per_chip / TERA;
     if !(8.0..=12.0).contains(&chip_tf) {
-        violations.push(format!(
-            "paper chip is ≈10 TFLOPS, got {chip_tf:.1} TF"
-        ));
+        violations.push(format!("paper chip is ≈10 TFLOPS, got {chip_tf:.1} TF"));
     }
     if (s.store_pb - 4.0).abs() > 0.05 {
         violations.push(format!(

@@ -285,8 +285,7 @@ pub fn modality_sweep(
     thetas
         .iter()
         .map(|&theta| {
-            let mut gen =
-                px_workloads_stream(theta, 1 << 22, 128, seed ^ (theta * 1e6) as u64);
+            let mut gen = px_workloads_stream(theta, 1 << 22, 128, seed ^ (theta * 1e6) as u64);
             let addrs: Vec<u64> = (0..accesses).map(|_| gen.next_addr()).collect();
             let stream = stream_from_addrs(&addrs, alu_ops);
             let hit_rate = lru_reference_hit_rate(&addrs, 256);
@@ -330,8 +329,8 @@ impl AddrStream {
     fn next_addr(&mut self) -> u64 {
         let reuse = !self.working.is_empty() && self.rng.gen_range(0.0..1.0) < self.theta;
         if reuse {
-            let idx = (self.rng.gen_range(0.0f64..1.0).powi(2) * self.working.len() as f64)
-                as usize;
+            let idx =
+                (self.rng.gen_range(0.0f64..1.0).powi(2) * self.working.len() as f64) as usize;
             let idx = idx.min(self.working.len() - 1);
             let a = self.working.remove(idx);
             self.working.insert(0, a);

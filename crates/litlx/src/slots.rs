@@ -133,8 +133,7 @@ mod tests {
         rt.spawn_at(LocalityId(0), move |ctx| {
             let slot = SyncSlot::new(ctx, 3);
             for i in 0..3u64 {
-                async_invoke::<Add>(ctx, Gid::locality_root(LocalityId(1)), (i, i), &slot)
-                    .unwrap();
+                async_invoke::<Add>(ctx, Gid::locality_root(LocalityId(1)), (i, i), &slot).unwrap();
             }
             slot.on_complete(ctx, move |ctx, _| {
                 ctx.trigger(done_gid, &7u8).unwrap();

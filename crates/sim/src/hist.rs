@@ -38,7 +38,11 @@ impl Histogram {
     /// Record one sample.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        let b = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        let b = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.count += 1;
         self.sum += u128::from(v);
@@ -212,9 +216,9 @@ mod tests {
         }
         let p50 = h.p50();
         // Bucketed estimate: must land within a factor of 2 of the truth.
-        assert!(p50 >= 250.0 && p50 <= 1000.0, "p50={p50}");
+        assert!((250.0..=1000.0).contains(&p50), "p50={p50}");
         let p99 = h.p99();
-        assert!(p99 >= 512.0 && p99 <= 1024.0, "p99={p99}");
+        assert!((512.0..=1024.0).contains(&p99), "p99={p99}");
         assert!(h.p95() <= p99 + 1e-9);
     }
 

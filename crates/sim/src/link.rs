@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn serialization_occupies_link() {
         let mut l = Link::new(10, 4); // 4 bytes/tick
-        // 16 bytes → 4 ticks serialize + 10 latency.
+                                      // 16 bytes → 4 ticks serialize + 10 latency.
         assert_eq!(l.transfer(0, 16), 14);
         // Second message must wait for the first to finish serializing.
         assert_eq!(l.transfer(0, 16), 18);

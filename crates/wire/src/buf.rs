@@ -148,6 +148,14 @@ impl WireWriter {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Overwrite 4 already-written bytes at `pos` with a little-endian
+    /// `u32`. Backs reserve-then-patch framing (frame record lengths and
+    /// counts), where a length is only known after its content is encoded.
+    #[inline]
+    pub fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a LEB128 length prefix followed by the bytes.
     #[inline]
     pub fn put_len_bytes(&mut self, bytes: &[u8]) {

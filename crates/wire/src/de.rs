@@ -2,11 +2,11 @@
 
 use crate::buf::WireReader;
 use crate::error::{WireError, WireResult};
-use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+use serde::de::{Deserialize, Deserializer as SerdeDeserializer};
 
 /// Deserialize a value of type `T` from `input`, requiring that the whole
 /// input is consumed (trailing bytes indicate schema drift and are errors).
-pub fn from_bytes<'a, T: de::Deserialize<'a>>(input: &'a [u8]) -> WireResult<T> {
+pub fn from_bytes<'a, T: Deserialize<'a>>(input: &'a [u8]) -> WireResult<T> {
     let mut de = Deserializer::new(input);
     let value = T::deserialize(&mut de)?;
     if !de.reader.is_exhausted() {
@@ -27,12 +27,105 @@ impl<'de> Deserializer<'de> {
             reader: WireReader::new(input),
         }
     }
+}
+
+impl<'de> SerdeDeserializer<'de> for Deserializer<'de> {
+    type Error = WireError;
 
     #[inline]
-    fn read_len(&mut self) -> WireResult<usize> {
+    fn take_bool(&mut self) -> WireResult<bool> {
+        match self.reader.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::InvalidBool(b)),
+        }
+    }
+
+    #[inline]
+    fn take_u8(&mut self) -> WireResult<u8> {
+        self.reader.get_u8()
+    }
+
+    #[inline]
+    fn take_u16(&mut self) -> WireResult<u16> {
+        self.reader.get_u16()
+    }
+
+    #[inline]
+    fn take_u32(&mut self) -> WireResult<u32> {
+        self.reader.get_u32()
+    }
+
+    #[inline]
+    fn take_u64(&mut self) -> WireResult<u64> {
+        self.reader.get_u64()
+    }
+
+    #[inline]
+    fn take_u128(&mut self) -> WireResult<u128> {
+        self.reader.get_u128()
+    }
+
+    #[inline]
+    fn take_i8(&mut self) -> WireResult<i8> {
+        self.reader.get_i8()
+    }
+
+    #[inline]
+    fn take_i16(&mut self) -> WireResult<i16> {
+        self.reader.get_i16()
+    }
+
+    #[inline]
+    fn take_i32(&mut self) -> WireResult<i32> {
+        self.reader.get_i32()
+    }
+
+    #[inline]
+    fn take_i64(&mut self) -> WireResult<i64> {
+        self.reader.get_i64()
+    }
+
+    #[inline]
+    fn take_i128(&mut self) -> WireResult<i128> {
+        self.reader.get_i128()
+    }
+
+    #[inline]
+    fn take_f32(&mut self) -> WireResult<f32> {
+        self.reader.get_f32()
+    }
+
+    #[inline]
+    fn take_f64(&mut self) -> WireResult<f64> {
+        self.reader.get_f64()
+    }
+
+    #[inline]
+    fn take_char(&mut self) -> WireResult<char> {
+        let scalar = self.reader.get_u32()?;
+        char::from_u32(scalar).ok_or(WireError::InvalidChar(scalar))
+    }
+
+    #[inline]
+    fn take_string(&mut self) -> WireResult<String> {
+        let bytes = self.reader.get_len_bytes()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::InvalidUtf8)
+    }
+
+    #[inline]
+    fn take_bytes(&mut self, n: usize) -> WireResult<&'de [u8]> {
+        self.reader.get_bytes(n)
+    }
+
+    #[inline]
+    fn take_seq_len(&mut self) -> WireResult<usize> {
         let len = self.reader.get_varint()?;
         // Each element costs at least one byte, so a length prefix larger
-        // than the remaining input is certainly corrupt.
+        // than the remaining input is certainly corrupt (prevents
+        // pathological preallocation).
         if len > self.reader.remaining() as u64 {
             return Err(WireError::LengthExceedsInput {
                 len,
@@ -41,315 +134,19 @@ impl<'de> Deserializer<'de> {
         }
         Ok(len as usize)
     }
-}
-
-impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
-    type Error = WireError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> WireResult<V::Value> {
-        Err(WireError::Message(
-            "px-wire is not self-describing; deserialize_any is unsupported".into(),
-        ))
-    }
 
     #[inline]
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
+    fn take_opt_tag(&mut self) -> WireResult<bool> {
         match self.reader.get_u8()? {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            b => Err(WireError::InvalidBool(b)),
-        }
-    }
-
-    #[inline]
-    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_i8(self.reader.get_i8()?)
-    }
-
-    #[inline]
-    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_i16(self.reader.get_i16()?)
-    }
-
-    #[inline]
-    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_i32(self.reader.get_i32()?)
-    }
-
-    #[inline]
-    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_i64(self.reader.get_i64()?)
-    }
-
-    #[inline]
-    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_i128(self.reader.get_i128()?)
-    }
-
-    #[inline]
-    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_u8(self.reader.get_u8()?)
-    }
-
-    #[inline]
-    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_u16(self.reader.get_u16()?)
-    }
-
-    #[inline]
-    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_u32(self.reader.get_u32()?)
-    }
-
-    #[inline]
-    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_u64(self.reader.get_u64()?)
-    }
-
-    #[inline]
-    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_u128(self.reader.get_u128()?)
-    }
-
-    #[inline]
-    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_f32(self.reader.get_f32()?)
-    }
-
-    #[inline]
-    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_f64(self.reader.get_f64()?)
-    }
-
-    #[inline]
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        let scalar = self.reader.get_u32()?;
-        let c = char::from_u32(scalar).ok_or(WireError::InvalidChar(scalar))?;
-        visitor.visit_char(c)
-    }
-
-    #[inline]
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        let bytes = self.reader.get_len_bytes()?;
-        let s = std::str::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8)?;
-        visitor.visit_borrowed_str(s)
-    }
-
-    #[inline]
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        self.deserialize_str(visitor)
-    }
-
-    #[inline]
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        let bytes = self.reader.get_len_bytes()?;
-        visitor.visit_borrowed_bytes(bytes)
-    }
-
-    #[inline]
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        self.deserialize_bytes(visitor)
-    }
-
-    #[inline]
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        match self.reader.get_u8()? {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
+            0 => Ok(false),
+            1 => Ok(true),
             b => Err(WireError::InvalidOptionTag(b)),
         }
     }
 
     #[inline]
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_unit()
-    }
-
-    #[inline]
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> WireResult<V::Value> {
-        visitor.visit_unit()
-    }
-
-    #[inline]
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> WireResult<V::Value> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    #[inline]
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        let len = self.read_len()?;
-        visitor.visit_seq(SeqAccess { de: self, left: len })
-    }
-
-    #[inline]
-    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> WireResult<V::Value> {
-        visitor.visit_seq(SeqAccess { de: self, left: len })
-    }
-
-    #[inline]
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> WireResult<V::Value> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    #[inline]
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> WireResult<V::Value> {
-        let len = self.read_len()?;
-        visitor.visit_map(MapAccess { de: self, left: len })
-    }
-
-    #[inline]
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> WireResult<V::Value> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-
-    #[inline]
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> WireResult<V::Value> {
-        visitor.visit_enum(EnumAccess { de: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> WireResult<V::Value> {
-        Err(WireError::Message(
-            "px-wire encodes no field identifiers".into(),
-        ))
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> WireResult<V::Value> {
-        Err(WireError::Message(
-            "px-wire cannot skip unknown fields (format is positional)".into(),
-        ))
-    }
-
-    #[inline]
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct SeqAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-    left: usize,
-}
-
-impl<'de> de::SeqAccess<'de> for SeqAccess<'_, 'de> {
-    type Error = WireError;
-
-    #[inline]
-    fn next_element_seed<T: DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> WireResult<Option<T::Value>> {
-        if self.left == 0 {
-            return Ok(None);
-        }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-
-    #[inline]
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
-    }
-}
-
-struct MapAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-    left: usize,
-}
-
-impl<'de> de::MapAccess<'de> for MapAccess<'_, 'de> {
-    type Error = WireError;
-
-    #[inline]
-    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> WireResult<Option<K::Value>> {
-        if self.left == 0 {
-            return Ok(None);
-        }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-
-    #[inline]
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> WireResult<V::Value> {
-        seed.deserialize(&mut *self.de)
-    }
-
-    #[inline]
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
-    }
-}
-
-struct EnumAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-}
-
-impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = WireError;
-    type Variant = VariantAccess<'a, 'de>;
-
-    #[inline]
-    fn variant_seed<V: DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> WireResult<(V::Value, Self::Variant)> {
-        let index = self.de.reader.get_varint()?;
-        let index = u32::try_from(index).map_err(|_| WireError::VarintOverflow)?;
-        let value = seed.deserialize(index.into_deserializer())?;
-        Ok((value, VariantAccess { de: self.de }))
-    }
-}
-
-struct VariantAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-}
-
-impl<'de> de::VariantAccess<'de> for VariantAccess<'_, 'de> {
-    type Error = WireError;
-
-    #[inline]
-    fn unit_variant(self) -> WireResult<()> {
-        Ok(())
-    }
-
-    #[inline]
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> WireResult<T::Value> {
-        seed.deserialize(self.de)
-    }
-
-    #[inline]
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> WireResult<V::Value> {
-        de::Deserializer::deserialize_tuple(self.de, len, visitor)
-    }
-
-    #[inline]
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> WireResult<V::Value> {
-        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    fn take_variant(&mut self) -> WireResult<u32> {
+        let index = self.reader.get_varint()?;
+        u32::try_from(index).map_err(|_| WireError::VarintOverflow)
     }
 }

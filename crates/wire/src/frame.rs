@@ -1,0 +1,315 @@
+//! Multi-parcel frames: the batched transport's wire unit.
+//!
+//! A frame carries zero or more length-prefixed records (encoded parcels)
+//! between localities so that per-message transport costs — delay-line
+//! submissions, heap operations, run-queue pushes, wakeups — are paid once
+//! per frame instead of once per parcel.
+//!
+//! ## Layout
+//!
+//! ```text
+//! +---------+------------+----------------+-----+----------------+
+//! | version | count: u32 | len: u32 | rec | ... | len: u32 | rec |
+//! |  (1 B)  |    (LE)    |   (LE)   |     |     |   (LE)   |     |
+//! +---------+------------+----------------+-----+----------------+
+//! ```
+//!
+//! Records use a fixed `u32` length prefix (not a varint) so the prefix
+//! can be reserved before the record is encoded and patched afterwards:
+//! [`FrameBuf::push_record_with`] lets callers encode *directly into the
+//! frame's buffer*, which is what removes the per-parcel `Vec` allocation
+//! from the send path. The `count` field is likewise patched in place on
+//! every push, so [`FrameBuf::as_bytes`] is always a valid frame.
+//!
+//! Decoding is zero-copy: [`FrameView`] validates the header eagerly and
+//! yields `&[u8]` record slices lazily, preserving the scheduler's
+//! lazy-per-parcel decode.
+
+use crate::buf::{WireReader, WireWriter};
+use crate::error::{WireError, WireResult};
+
+/// Current frame format version byte.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes of frame header (version + record count).
+pub const FRAME_HEADER_LEN: usize = 1 + 4;
+
+/// Per-record framing overhead (the `u32` length prefix).
+pub const RECORD_HEADER_LEN: usize = 4;
+
+/// A reusable encode buffer accumulating length-prefixed records.
+///
+/// [`FrameBuf::take`] ships the encoded frame and resets the buffer to an
+/// empty frame; the allocation strategy reserves the previous frame's size
+/// on the next use so steady-state batching settles into a stable
+/// capacity.
+#[derive(Debug, Clone)]
+pub struct FrameBuf {
+    w: WireWriter,
+    count: u32,
+}
+
+impl Default for FrameBuf {
+    fn default() -> Self {
+        FrameBuf::new()
+    }
+}
+
+impl FrameBuf {
+    /// New empty frame.
+    pub fn new() -> FrameBuf {
+        FrameBuf::with_capacity(0)
+    }
+
+    /// New empty frame with reserved capacity.
+    pub fn with_capacity(cap: usize) -> FrameBuf {
+        let mut w = WireWriter::with_capacity(cap.max(FRAME_HEADER_LEN));
+        w.put_u8(FRAME_VERSION);
+        w.put_u32(0);
+        FrameBuf { w, count: 0 }
+    }
+
+    /// Number of records in the frame.
+    #[inline]
+    pub fn record_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Encoded frame size in bytes (header included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when the frame holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Append an already-encoded record.
+    pub fn push_record(&mut self, record: &[u8]) {
+        self.push_record_with(|w| w.put_bytes(record));
+    }
+
+    /// Append a record encoded in place by `encode`, avoiding any
+    /// intermediate allocation. Returns the record's encoded size.
+    pub fn push_record_with(&mut self, encode: impl FnOnce(&mut WireWriter)) -> usize {
+        let len_at = self.w.len();
+        self.w.put_u32(0);
+        let start = self.w.len();
+        encode(&mut self.w);
+        let record_len = self.w.len() - start;
+        self.w
+            .patch_u32(len_at, u32::try_from(record_len).expect("record > 4 GiB"));
+        self.count += 1;
+        self.w.patch_u32(1, self.count);
+        record_len
+    }
+
+    /// The encoded frame (always a valid frame, even mid-fill).
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        self.w.as_slice()
+    }
+
+    /// Ship the frame: returns the encoded bytes and resets `self` to an
+    /// empty frame sized like the one just taken.
+    pub fn take(&mut self) -> Vec<u8> {
+        let fresh = FrameBuf::with_capacity(self.w.len());
+        std::mem::replace(self, fresh).w.into_bytes()
+    }
+
+    /// Drop all records, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.w.clear();
+        self.w.put_u8(FRAME_VERSION);
+        self.w.put_u32(0);
+        self.count = 0;
+    }
+}
+
+/// A validated, zero-copy view over an encoded frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    records: &'a [u8],
+    count: u32,
+}
+
+impl<'a> FrameView<'a> {
+    /// Validate the header of `bytes` and wrap it.
+    pub fn parse(bytes: &'a [u8]) -> WireResult<FrameView<'a>> {
+        let mut r = WireReader::new(bytes);
+        let version = r.get_u8()?;
+        if version != FRAME_VERSION {
+            return Err(WireError::Message(format!(
+                "unsupported frame version {version}"
+            )));
+        }
+        let count = r.get_u32()?;
+        // Each record costs at least its length prefix.
+        if u64::from(count) * RECORD_HEADER_LEN as u64 > r.remaining() as u64 {
+            return Err(WireError::LengthExceedsInput {
+                len: u64::from(count),
+                remaining: r.remaining(),
+            });
+        }
+        Ok(FrameView {
+            records: &bytes[FRAME_HEADER_LEN..],
+            count,
+        })
+    }
+
+    /// Number of records the header claims.
+    #[inline]
+    pub fn record_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Iterate record slices. Decoding is lazy: a corrupt length prefix
+    /// surfaces as an `Err` item and ends iteration.
+    pub fn records(&self) -> FrameRecords<'a> {
+        FrameRecords {
+            reader: WireReader::new(self.records),
+            left: self.count,
+            failed: false,
+        }
+    }
+}
+
+/// Iterator over the records of a [`FrameView`].
+#[derive(Debug, Clone)]
+pub struct FrameRecords<'a> {
+    reader: WireReader<'a>,
+    left: u32,
+    failed: bool,
+}
+
+impl<'a> Iterator for FrameRecords<'a> {
+    type Item = WireResult<&'a [u8]>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.left == 0 || self.failed {
+            return None;
+        }
+        self.left -= 1;
+        let res = (|| {
+            let len = self.reader.get_u32()? as usize;
+            self.reader.get_bytes(len)
+        })();
+        if res.is_err() {
+            self.failed = true;
+        }
+        Some(res)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = if self.failed { 0 } else { self.left as usize };
+        (0, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(bytes: &[u8]) -> Vec<Vec<u8>> {
+        FrameView::parse(bytes)
+            .unwrap()
+            .records()
+            .map(|r| r.unwrap().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let mut f = FrameBuf::new();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), FRAME_HEADER_LEN);
+        let bytes = f.take();
+        let v = FrameView::parse(&bytes).unwrap();
+        assert_eq!(v.record_count(), 0);
+        assert_eq!(v.records().count(), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_in_order() {
+        let mut f = FrameBuf::new();
+        f.push_record(b"alpha");
+        f.push_record(b"");
+        f.push_record_with(|w| {
+            w.put_u64(0xdead_beef);
+        });
+        assert_eq!(f.record_count(), 3);
+        let bytes = f.take();
+        let recs = collect(&bytes);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], b"alpha");
+        assert_eq!(recs[1], b"");
+        assert_eq!(recs[2], 0xdead_beef_u64.to_le_bytes());
+    }
+
+    #[test]
+    fn take_resets_to_empty() {
+        let mut f = FrameBuf::new();
+        f.push_record(b"x");
+        let first = f.take();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), FRAME_HEADER_LEN);
+        f.push_record(b"y");
+        let second = f.take();
+        assert_eq!(collect(&first), vec![b"x".to_vec()]);
+        assert_eq!(collect(&second), vec![b"y".to_vec()]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut f = FrameBuf::with_capacity(1024);
+        f.push_record(&[7u8; 100]);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn as_bytes_valid_mid_fill() {
+        let mut f = FrameBuf::new();
+        f.push_record(b"one");
+        let v = FrameView::parse(f.as_bytes()).unwrap();
+        assert_eq!(v.record_count(), 1);
+        f.push_record(b"two");
+        let v = FrameView::parse(f.as_bytes()).unwrap();
+        assert_eq!(v.record_count(), 2);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut f = FrameBuf::new();
+        f.push_record(b"x");
+        let mut bytes = f.take();
+        bytes[0] = 99;
+        assert!(FrameView::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_error_item() {
+        let mut f = FrameBuf::new();
+        f.push_record(b"hello world");
+        let bytes = f.take();
+        let cut = &bytes[..bytes.len() - 4];
+        let v = FrameView::parse(cut).unwrap();
+        let items: Vec<_> = v.records().collect();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_err());
+    }
+
+    #[test]
+    fn impossible_count_rejected_eagerly() {
+        let mut bytes = vec![FRAME_VERSION];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            FrameView::parse(&bytes),
+            Err(WireError::LengthExceedsInput { .. })
+        ));
+    }
+}

@@ -46,11 +46,15 @@
 mod buf;
 mod de;
 mod error;
+mod frame;
 mod ser;
 
 pub use buf::{WireReader, WireWriter};
 pub use de::{from_bytes, Deserializer};
 pub use error::{WireError, WireResult};
+pub use frame::{
+    FrameBuf, FrameRecords, FrameView, FRAME_HEADER_LEN, FRAME_VERSION, RECORD_HEADER_LEN,
+};
 pub use ser::{to_bytes, to_writer, Serializer};
 
 /// Serialize a value and report the encoded size without keeping the bytes.
@@ -87,7 +91,7 @@ mod tests {
         roundtrip(&u64::MAX);
         roundtrip(&i64::MIN);
         roundtrip(&u128::MAX);
-        roundtrip(&3.14159f64);
+        roundtrip(&1.25e300f64);
         roundtrip(&f64::NEG_INFINITY);
         roundtrip(&'ψ');
         roundtrip(&"hello parallex".to_string());

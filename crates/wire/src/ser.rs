@@ -2,7 +2,7 @@
 
 use crate::buf::WireWriter;
 use crate::error::{WireError, WireResult};
-use serde::ser::{self, Serialize};
+use serde::ser::{Serialize, Serializer as SerdeSerializer};
 
 /// Serialize `value` into a fresh byte vector.
 pub fn to_bytes<T: Serialize>(value: &T) -> WireResult<Vec<u8>> {
@@ -22,354 +22,121 @@ pub struct Serializer<'w> {
     out: &'w mut WireWriter,
 }
 
-impl<'a, 'w> ser::Serializer for &'a mut Serializer<'w> {
-    type Ok = ();
+impl<'w> Serializer<'w> {
+    /// Wrap a writer.
+    pub fn new(out: &'w mut WireWriter) -> Self {
+        Serializer { out }
+    }
+}
+
+impl SerdeSerializer for Serializer<'_> {
     type Error = WireError;
-    type SerializeSeq = Compound<'a, 'w>;
-    type SerializeTuple = Compound<'a, 'w>;
-    type SerializeTupleStruct = Compound<'a, 'w>;
-    type SerializeTupleVariant = Compound<'a, 'w>;
-    type SerializeMap = Compound<'a, 'w>;
-    type SerializeStruct = Compound<'a, 'w>;
-    type SerializeStructVariant = Compound<'a, 'w>;
 
     #[inline]
-    fn serialize_bool(self, v: bool) -> WireResult<()> {
+    fn put_bool(&mut self, v: bool) -> WireResult<()> {
         self.out.put_u8(v as u8);
         Ok(())
     }
 
     #[inline]
-    fn serialize_i8(self, v: i8) -> WireResult<()> {
-        self.out.put_i8(v);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_i16(self, v: i16) -> WireResult<()> {
-        self.out.put_i16(v);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_i32(self, v: i32) -> WireResult<()> {
-        self.out.put_i32(v);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_i64(self, v: i64) -> WireResult<()> {
-        self.out.put_i64(v);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_i128(self, v: i128) -> WireResult<()> {
-        self.out.put_i128(v);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_u8(self, v: u8) -> WireResult<()> {
+    fn put_u8(&mut self, v: u8) -> WireResult<()> {
         self.out.put_u8(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_u16(self, v: u16) -> WireResult<()> {
+    fn put_u16(&mut self, v: u16) -> WireResult<()> {
         self.out.put_u16(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_u32(self, v: u32) -> WireResult<()> {
+    fn put_u32(&mut self, v: u32) -> WireResult<()> {
         self.out.put_u32(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_u64(self, v: u64) -> WireResult<()> {
+    fn put_u64(&mut self, v: u64) -> WireResult<()> {
         self.out.put_u64(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_u128(self, v: u128) -> WireResult<()> {
+    fn put_u128(&mut self, v: u128) -> WireResult<()> {
         self.out.put_u128(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_f32(self, v: f32) -> WireResult<()> {
+    fn put_i8(&mut self, v: i8) -> WireResult<()> {
+        self.out.put_i8(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn put_i16(&mut self, v: i16) -> WireResult<()> {
+        self.out.put_i16(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn put_i32(&mut self, v: i32) -> WireResult<()> {
+        self.out.put_i32(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn put_i64(&mut self, v: i64) -> WireResult<()> {
+        self.out.put_i64(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn put_i128(&mut self, v: i128) -> WireResult<()> {
+        self.out.put_i128(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn put_f32(&mut self, v: f32) -> WireResult<()> {
         self.out.put_f32(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_f64(self, v: f64) -> WireResult<()> {
+    fn put_f64(&mut self, v: f64) -> WireResult<()> {
         self.out.put_f64(v);
         Ok(())
     }
 
     #[inline]
-    fn serialize_char(self, v: char) -> WireResult<()> {
+    fn put_char(&mut self, v: char) -> WireResult<()> {
         self.out.put_u32(v as u32);
         Ok(())
     }
 
     #[inline]
-    fn serialize_str(self, v: &str) -> WireResult<()> {
+    fn put_str(&mut self, v: &str) -> WireResult<()> {
         self.out.put_len_bytes(v.as_bytes());
         Ok(())
     }
 
     #[inline]
-    fn serialize_bytes(self, v: &[u8]) -> WireResult<()> {
-        self.out.put_len_bytes(v);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_none(self) -> WireResult<()> {
-        self.out.put_u8(0);
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> WireResult<()> {
-        self.out.put_u8(1);
-        value.serialize(self)
-    }
-
-    #[inline]
-    fn serialize_unit(self) -> WireResult<()> {
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_unit_struct(self, _name: &'static str) -> WireResult<()> {
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> WireResult<()> {
-        self.out.put_varint(u64::from(variant_index));
-        Ok(())
-    }
-
-    #[inline]
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> WireResult<()> {
-        value.serialize(self)
-    }
-
-    #[inline]
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> WireResult<()> {
-        self.out.put_varint(u64::from(variant_index));
-        value.serialize(self)
-    }
-
-    #[inline]
-    fn serialize_seq(self, len: Option<usize>) -> WireResult<Self::SerializeSeq> {
-        let len = len.ok_or(WireError::UnknownLength)?;
+    fn put_seq_len(&mut self, len: usize) -> WireResult<()> {
         self.out.put_varint(len as u64);
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn serialize_tuple(self, _len: usize) -> WireResult<Self::SerializeTuple> {
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> WireResult<Self::SerializeTupleStruct> {
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> WireResult<Self::SerializeTupleVariant> {
-        self.out.put_varint(u64::from(variant_index));
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn serialize_map(self, len: Option<usize>) -> WireResult<Self::SerializeMap> {
-        let len = len.ok_or(WireError::UnknownLength)?;
-        self.out.put_varint(len as u64);
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> WireResult<Self::SerializeStruct> {
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> WireResult<Self::SerializeStructVariant> {
-        self.out.put_varint(u64::from(variant_index));
-        Ok(Compound { ser: self })
-    }
-
-    #[inline]
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-/// Compound serializer state: elements are written back to back, so all
-/// compound kinds share one implementation.
-pub struct Compound<'a, 'w> {
-    ser: &'a mut Serializer<'w>,
-}
-
-impl ser::SerializeSeq for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
-
-    #[inline]
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
         Ok(())
     }
-}
-
-impl ser::SerializeTuple for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
 
     #[inline]
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
+    fn put_opt_tag(&mut self, is_some: bool) -> WireResult<()> {
+        self.out.put_u8(is_some as u8);
         Ok(())
     }
-}
-
-impl ser::SerializeTupleStruct for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
 
     #[inline]
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeTupleVariant for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
-
-    #[inline]
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeMap for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
-
-    #[inline]
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> WireResult<()> {
-        key.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeStruct for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
-
-    #[inline]
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeStructVariant for Compound<'_, '_> {
-    type Ok = ();
-    type Error = WireError;
-
-    #[inline]
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> WireResult<()> {
-        value.serialize(&mut *self.ser)
-    }
-
-    #[inline]
-    fn end(self) -> WireResult<()> {
+    fn put_variant(&mut self, index: u32) -> WireResult<()> {
+        self.out.put_varint(u64::from(index));
         Ok(())
     }
 }

@@ -30,10 +30,7 @@ impl Patch {
     /// Patch center in the unit square.
     pub fn center(&self) -> (f64, f64) {
         let n = (1u32 << self.level) as f64;
-        (
-            (self.ix as f64 + 0.5) / n,
-            (self.iy as f64 + 0.5) / n,
-        )
+        ((self.ix as f64 + 0.5) / n, (self.iy as f64 + 0.5) / n)
     }
 
     /// Patch width.
@@ -161,17 +158,11 @@ impl Mesh {
         let act = &self.active;
         for (i, &a) in act.iter().enumerate() {
             let pa = self.patches[a as usize];
-            let (ax0, ay0) = (
-                pa.ix as f64 * pa.width(),
-                pa.iy as f64 * pa.width(),
-            );
+            let (ax0, ay0) = (pa.ix as f64 * pa.width(), pa.iy as f64 * pa.width());
             let (ax1, ay1) = (ax0 + pa.width(), ay0 + pa.width());
             for &b in act.iter().skip(i + 1) {
                 let pb = self.patches[b as usize];
-                let (bx0, by0) = (
-                    pb.ix as f64 * pb.width(),
-                    pb.iy as f64 * pb.width(),
-                );
+                let (bx0, by0) = (pb.ix as f64 * pb.width(), pb.iy as f64 * pb.width());
                 let (bx1, by1) = (bx0 + pb.width(), by0 + pb.width());
                 let eps = 1e-12;
                 let x_touch = (ax1 - bx0).abs() < eps || (bx1 - ax0).abs() < eps;
@@ -310,7 +301,7 @@ mod tests {
     fn cross_level_neighbors_detected() {
         let mut m = Mesh::new(3);
         m.refine_where(|_, _| 1.0, 0.5); // 4 patches
-        // Refine only one patch again: error = 1 strictly inside its box.
+                                         // Refine only one patch again: error = 1 strictly inside its box.
         let target = m.active[0];
         let p = m.patches[target as usize];
         let w = p.width();

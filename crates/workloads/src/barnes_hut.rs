@@ -113,6 +113,7 @@ impl Octree {
         let mut lo = [f64::INFINITY; 3];
         let mut hi = [f64::NEG_INFINITY; 3];
         for b in bodies {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 lo[d] = lo[d].min(b.pos[d]);
                 hi[d] = hi[d].max(b.pos[d]);
@@ -222,6 +223,7 @@ impl Octree {
         for &c in children.iter().filter(|&&c| c != 0) {
             let (m, cm) = self.summarize(c, bodies);
             mass += m;
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 com[d] += m * cm[d];
             }
@@ -306,6 +308,7 @@ pub fn direct_forces(bodies: &[Body]) -> Vec<[f64; 3]> {
 /// One leapfrog step for all bodies given accelerations.
 pub fn step(bodies: &mut [Body], acc: &[[f64; 3]], dt: f64) {
     for (b, a) in bodies.iter_mut().zip(acc.iter()) {
+        #[allow(clippy::needless_range_loop)]
         for k in 0..3 {
             b.vel[k] += a[k] * dt;
             b.pos[k] += b.vel[k] * dt;
@@ -365,10 +368,12 @@ mod tests {
         let m: f64 = bodies.iter().map(|b| b.mass).sum();
         let mut com = [0.0; 3];
         for b in &bodies {
+            #[allow(clippy::needless_range_loop)]
             for d in 0..3 {
                 com[d] += b.mass * b.pos[d] / m;
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for d in 0..3 {
             assert!((tree.nodes[0].com[d] - com[d]).abs() < 1e-9, "dim {d}");
         }

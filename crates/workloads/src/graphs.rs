@@ -185,10 +185,7 @@ mod tests {
     #[test]
     fn bfs_levels_are_shortest_paths() {
         // Path graph 0-1-2-3 (bidirectional).
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
-        );
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
         assert_eq!(g.bfs(0), vec![0, 1, 2, 3]);
         assert_eq!(g.bfs(2), vec![2, 1, 0, 1]);
     }

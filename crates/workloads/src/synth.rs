@@ -144,8 +144,8 @@ impl LocalityStream {
         let reuse = !self.working.is_empty() && self.rng.gen_range(0.0..1.0) < self.theta;
         if reuse {
             // Prefer recently used entries (front = most recent).
-            let idx = (self.rng.gen_range(0.0f64..1.0).powi(2) * self.working.len() as f64)
-                as usize;
+            let idx =
+                (self.rng.gen_range(0.0f64..1.0).powi(2) * self.working.len() as f64) as usize;
             let idx = idx.min(self.working.len() - 1);
             let a = self.working.remove(idx);
             self.working.insert(0, a);
@@ -208,15 +208,8 @@ mod tests {
     fn lognormal_mean_and_spread() {
         let w = lognormal_work(20_000, 10_000.0, 1.0, 42);
         let mean = w.iter().sum::<u64>() as f64 / w.len() as f64;
-        assert!(
-            (mean - 10_000.0).abs() / 10_000.0 < 0.1,
-            "mean off: {mean}"
-        );
-        let var = w
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / w.len() as f64;
+        assert!((mean - 10_000.0).abs() / 10_000.0 < 0.1, "mean off: {mean}");
+        let var = w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
         let cv = var.sqrt() / mean;
         assert!((cv - 1.0).abs() < 0.2, "cv off: {cv}");
     }
@@ -253,10 +246,7 @@ mod tests {
         let mut cold = LocalityStream::new(0.05, 1 << 20, 64, 9);
         let hot_rate = lru_hit_rate(&hot.take_vec(20_000), 256);
         let cold_rate = lru_hit_rate(&cold.take_vec(20_000), 256);
-        assert!(
-            hot_rate > 0.8,
-            "hot stream should hit cache: {hot_rate:.3}"
-        );
+        assert!(hot_rate > 0.8, "hot stream should hit cache: {hot_rate:.3}");
         assert!(
             cold_rate < 0.2,
             "cold stream should miss cache: {cold_rate:.3}"

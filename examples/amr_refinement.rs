@@ -22,7 +22,9 @@ const MAX_LEVEL: u8 = 5;
 const WORK_PER_PATCH_NS: u64 = 5_000;
 
 fn main() {
-    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1)).build().expect("boot");
+    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1))
+        .build()
+        .expect("boot");
 
     for ts in 0..TIMESTEPS {
         let t = ts as f64 * 0.7;

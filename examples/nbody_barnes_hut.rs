@@ -78,12 +78,8 @@ fn main() {
                 let fold: parallex::core::lco::ReduceFn = Box::new(|a, b| {
                     let x: [f64; 3] = a.decode().unwrap();
                     let y: [f64; 3] = b.decode().unwrap();
-                    parallex::core::action::Value::encode(&[
-                        x[0] + y[0],
-                        x[1] + y[1],
-                        x[2] + y[2],
-                    ])
-                    .unwrap()
+                    parallex::core::action::Value::encode(&[x[0] + y[0], x[1] + y[1], x[2] + y[2]])
+                        .unwrap()
                 });
                 let red = ctx
                     .new_reduce(LOCALITIES as u64, &[0.0f64; 3], fold)

@@ -10,8 +10,8 @@
 //! cargo run --release --example percolation_accelerator
 //! ```
 
-use parallex::litlx::percolate::Directive;
 use parallex::core::prelude::*;
+use parallex::litlx::percolate::Directive;
 use parallex::workloads::synth::spin_for_ns;
 use std::time::{Duration, Instant};
 

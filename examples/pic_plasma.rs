@@ -21,7 +21,9 @@ const STEPS: usize = 60;
 const DT: f64 = 0.1;
 
 fn main() {
-    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1)).build().expect("boot");
+    let rt = RuntimeBuilder::new(Config::small(LOCALITIES, 1))
+        .build()
+        .expect("boot");
 
     let mut state = PicState::two_stream(PARTICLES, CELLS, 1.0, 11);
     let e_start = state.field_energy();
@@ -45,12 +47,7 @@ fn main() {
             parallex::core::action::Value::encode(&x).unwrap()
         });
         let rho_total = rt
-            .new_reduce(
-                LocalityId(0),
-                LOCALITIES as u64,
-                &vec![0.0f64; CELLS],
-                fold,
-            )
+            .new_reduce(LocalityId(0), LOCALITIES as u64, &vec![0.0f64; CELLS], fold)
             .unwrap();
 
         for (l, slab) in parts.iter().enumerate() {
@@ -83,7 +80,11 @@ fn main() {
         }
         state.rho = rho;
         state.solve_field();
-        let fields: Vec<f64> = state.particles.iter().map(|p| state.field_at(p.x)).collect();
+        let fields: Vec<f64> = state
+            .particles
+            .iter()
+            .map(|p| state.field_at(p.x))
+            .collect();
         let length = state.length;
         for (p, &e) in state.particles.iter_mut().zip(fields.iter()) {
             p.v -= e * DT;

@@ -21,12 +21,11 @@ impl Action for SquareSum {
 fn main() {
     // 1. Localities: four synchronous domains, one worker each, with a
     //    20 µs wire between them.
-    let rt = RuntimeBuilder::new(
-        Config::small(4, 1).with_latency(std::time::Duration::from_micros(20)),
-    )
-    .register::<SquareSum>()
-    .build()
-    .expect("boot");
+    let rt =
+        RuntimeBuilder::new(Config::small(4, 1).with_latency(std::time::Duration::from_micros(20)))
+            .register::<SquareSum>()
+            .build()
+            .expect("boot");
 
     println!("booted {} localities", rt.num_localities());
 
@@ -62,7 +61,10 @@ fn main() {
             ctx.trigger(done_gid, &(b.len() as u64)).unwrap();
         });
     });
-    println!("fetched {} bytes through a depleted thread", done.wait(&rt).unwrap());
+    println!(
+        "fetched {} bytes through a depleted thread",
+        done.wait(&rt).unwrap()
+    );
 
     // 6. Parallel processes: spawn a tree of threads across localities;
     //    quiescence fires when every descendant finished.

@@ -20,6 +20,7 @@ impl Action for Fib {
     const NAME: &'static str = "it/fib";
     type Args = u64;
     type Out = u64;
+    #[allow(clippy::only_used_in_recursion)]
     fn execute(ctx: &mut Ctx<'_>, _t: Gid, n: u64) -> u64 {
         // Recursive actions exercise nested parcel execution (the result
         // is computed synchronously per activation; distribution happens

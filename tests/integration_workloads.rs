@@ -214,6 +214,10 @@ fn graph_bfs_frontier_counts_match_sequential() {
                     }
                 }
                 next.lock().extend(newly);
+                // The gate is the last step: release our `next` clone
+                // first so the driver's `Arc::try_unwrap` cannot race a
+                // still-alive clone after the gate fires.
+                drop(next);
                 ctx.trigger_value(gate, parallex::core::action::Value::unit());
             });
         }

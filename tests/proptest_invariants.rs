@@ -34,7 +34,10 @@ fn wire_enum() -> impl Strategy<Value = WireEnum> {
     prop_oneof![
         Just(WireEnum::Unit),
         (any::<u32>(), any::<i64>()).prop_map(|(a, b)| WireEnum::Tuple(a, b)),
-        ("[a-z]{0,12}", proptest::collection::vec(any::<bool>(), 0..8))
+        (
+            "[a-z]{0,12}",
+            proptest::collection::vec(any::<bool>(), 0..8)
+        )
             .prop_map(|(name, flags)| WireEnum::Struct { name, flags }),
     ]
 }

@@ -1,0 +1,256 @@
+//! Work-stealing deques with crossbeam's API shape.
+//!
+//! `Worker` pushes/pops at one end; `Stealer`s and the shared `Injector`
+//! take from the other. Backed by `Mutex<VecDeque>` — the locality worker
+//! counts this runtime uses keep contention low, and the scheduler already
+//! amortizes injector access with batch steals.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Queue was empty.
+    Empty,
+    /// One task stolen.
+    Success(T),
+    /// Lost a race; try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when a task was obtained.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Convert to `Option`, dropping the `Empty`/`Retry` distinction.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The owner's end of a work-stealing deque.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// New LIFO deque (pops return the most recently pushed task).
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
+        }
+    }
+
+    /// New FIFO deque.
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    /// Push a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Pop a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.inner);
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    /// True when the deque has no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Create a stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// A thief's handle onto another worker's deque.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the victim's cold end.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// How many injector tasks a single batch steal moves at most.
+const BATCH_LIMIT: usize = 32;
+
+/// A shared FIFO injection queue.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the shared queue.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`, returning one task directly. Amortizes
+    /// queue contention across up to [`BATCH_LIMIT`] tasks.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.inner);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = (q.len() / 2).min(BATCH_LIMIT);
+        if extra > 0 {
+            let mut d = lock(&dest.inner);
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(t) => d.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when the queue has no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_lifo_order() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_cold_end() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_steal() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of the remaining nine tasks moved over with the pop.
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_nothing() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = inj.clone();
+            handles.push(std::thread::spawn(move || {
+                let w = Worker::new_lifo();
+                let mut got = Vec::new();
+                loop {
+                    match inj.steal_batch_and_pop(&w) {
+                        Steal::Success(t) => got.push(t),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                    while let Some(t) = w.pop() {
+                        got.push(t);
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

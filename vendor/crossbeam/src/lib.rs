@@ -1,0 +1,11 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two submodules the workspace uses — [`channel`] (bounded
+//! MPMC channels with timeouts and disconnect semantics) and [`deque`]
+//! (work-stealing `Worker`/`Stealer`/`Injector`) — implemented over
+//! `std::sync` primitives. Lock-based rather than lock-free: correctness
+//! and API fidelity over peak contention performance, which is adequate
+//! for the worker counts this runtime drives.
+
+pub mod channel;
+pub mod deque;

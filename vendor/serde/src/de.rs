@@ -1,0 +1,68 @@
+//! Deserialization half of the data model.
+
+use std::fmt::Display;
+
+/// Error constraint for deserializers.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source for the positional wire data model; the mirror of
+/// [`crate::ser::Serializer`]. The `'de` lifetime allows zero-copy reads
+/// of borrowed byte slices.
+pub trait Deserializer<'de> {
+    /// Error type produced by the source.
+    type Error: Error;
+
+    /// Read a `bool`.
+    fn take_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Read a `u8`.
+    fn take_u8(&mut self) -> Result<u8, Self::Error>;
+    /// Read a `u16`.
+    fn take_u16(&mut self) -> Result<u16, Self::Error>;
+    /// Read a `u32`.
+    fn take_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Read a `u64`.
+    fn take_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Read a `u128`.
+    fn take_u128(&mut self) -> Result<u128, Self::Error>;
+    /// Read an `i8`.
+    fn take_i8(&mut self) -> Result<i8, Self::Error>;
+    /// Read an `i16`.
+    fn take_i16(&mut self) -> Result<i16, Self::Error>;
+    /// Read an `i32`.
+    fn take_i32(&mut self) -> Result<i32, Self::Error>;
+    /// Read an `i64`.
+    fn take_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Read an `i128`.
+    fn take_i128(&mut self) -> Result<i128, Self::Error>;
+    /// Read an `f32`.
+    fn take_f32(&mut self) -> Result<f32, Self::Error>;
+    /// Read an `f64`.
+    fn take_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Read a `char`, validating the scalar value.
+    fn take_char(&mut self) -> Result<char, Self::Error>;
+    /// Read a length-prefixed UTF-8 string.
+    fn take_string(&mut self) -> Result<String, Self::Error>;
+    /// Read `n` raw bytes, borrowed from the input.
+    fn take_bytes(&mut self, n: usize) -> Result<&'de [u8], Self::Error>;
+    /// Read a sequence or map length prefix. Implementations must reject
+    /// lengths that exceed the remaining input.
+    fn take_seq_len(&mut self) -> Result<usize, Self::Error>;
+    /// Read an `Option` presence tag.
+    fn take_opt_tag(&mut self) -> Result<bool, Self::Error>;
+    /// Read an enum variant discriminant.
+    fn take_variant(&mut self) -> Result<u32, Self::Error>;
+}
+
+/// A value that can be read from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Read a value from `d`.
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,331 @@
+//! `Serialize`/`Deserialize` implementations for std types, matching the
+//! encodings real serde + px-wire produced (see the table in `px-wire`'s
+//! crate docs): sequences and maps are LEB128 length + elements, tuples
+//! and arrays are elements back to back, `Option` is a tag byte,
+//! `usize`/`isize` travel as 64-bit.
+
+use crate::de::{Deserialize, Deserializer};
+use crate::ser::{Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{BuildHasher, Hash};
+
+macro_rules! primitive {
+    ($ty:ty, $put:ident, $take:ident) => {
+        impl Serialize for $ty {
+            #[inline]
+            fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.$put(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            #[inline]
+            fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+                d.$take()
+            }
+        }
+    };
+}
+
+primitive!(bool, put_bool, take_bool);
+primitive!(u8, put_u8, take_u8);
+primitive!(u16, put_u16, take_u16);
+primitive!(u32, put_u32, take_u32);
+primitive!(u64, put_u64, take_u64);
+primitive!(u128, put_u128, take_u128);
+primitive!(i8, put_i8, take_i8);
+primitive!(i16, put_i16, take_i16);
+primitive!(i32, put_i32, take_i32);
+primitive!(i64, put_i64, take_i64);
+primitive!(i128, put_i128, take_i128);
+primitive!(f32, put_f32, take_f32);
+primitive!(f64, put_f64, take_f64);
+primitive!(char, put_char, take_char);
+
+impl Serialize for usize {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    #[inline]
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let v = d.take_u64()?;
+        usize::try_from(v)
+            .map_err(|_| <D::Error as crate::de::Error>::custom(format!("usize out of range: {v}")))
+    }
+}
+
+impl Serialize for isize {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    #[inline]
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let v = d.take_i64()?;
+        isize::try_from(v)
+            .map_err(|_| <D::Error as crate::de::Error>::custom(format!("isize out of range: {v}")))
+    }
+}
+
+impl Serialize for () {
+    #[inline]
+    fn serialize<S: Serializer>(&self, _s: &mut S) -> Result<(), S::Error> {
+        Ok(())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    #[inline]
+    fn deserialize<D: Deserializer<'de>>(_d: &mut D) -> Result<Self, D::Error> {
+        Ok(())
+    }
+}
+
+impl Serialize for str {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_str(self)
+    }
+}
+
+impl Serialize for String {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    #[inline]
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.take_string()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    #[inline]
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        match self {
+            None => s.put_opt_tag(false),
+            Some(v) => {
+                s.put_opt_tag(true)?;
+                v.serialize(s)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        if d.take_opt_tag()? {
+            Ok(Some(T::deserialize(d)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_seq_len(self.len())?;
+        for item in self {
+            item.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.take_seq_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}
+
+// Arrays encode like tuples: elements back to back, no length prefix.
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        for item in self {
+            item.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::deserialize(d)?);
+        }
+        match out.try_into() {
+            Ok(arr) => Ok(arr),
+            Err(_) => unreachable!("array length invariant"),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<__S: Serializer>(&self, s: &mut __S) -> Result<(), __S::Error> {
+                $( self.$idx.serialize(s)?; )+
+                Ok(())
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: &mut __D) -> Result<Self, __D::Error> {
+                Ok(($( $name::deserialize(d)?, )+))
+            }
+        }
+    };
+}
+
+tuple_impl!(A: 0);
+tuple_impl!(A: 0, B: 1);
+tuple_impl!(A: 0, B: 1, C: 2);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10);
+tuple_impl!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11);
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_seq_len(self.len())?;
+        for (k, v) in self {
+            k.serialize(s)?;
+            v.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.take_seq_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(d)?;
+            let v = V::deserialize(d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_seq_len(self.len())?;
+        for (k, v) in self {
+            k.serialize(s)?;
+            v.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.take_seq_len()?;
+        let mut out = HashMap::with_capacity_and_hasher(len, H::default());
+        for _ in 0..len {
+            let k = K::deserialize(d)?;
+            let v = V::deserialize(d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_seq_len(self.len())?;
+        for item in self {
+            item.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.take_seq_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, H: BuildHasher> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.put_seq_len(self.len())?;
+        for item in self {
+            item.serialize(s)?;
+        }
+        Ok(())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.take_seq_len()?;
+        let mut out = HashSet::with_capacity_and_hasher(len, H::default());
+        for _ in 0..len {
+            out.insert(T::deserialize(d)?);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde models data through a visitor architecture so that many
+//! formats can share one derive. This workspace has exactly one format —
+//! the positional px-wire encoding — so the vendored replacement collapses
+//! the data model to the operations that format needs: fixed-width
+//! scalars, LEB128 lengths and enum discriminants, option tags, and
+//! back-to-back fields. The byte output is identical to what real serde +
+//! px-wire produced.
+//!
+//! The public surface mirrors serde where the workspace touches it:
+//! `Serialize`/`Deserialize` traits (and derive macros of the same name),
+//! `ser::Error`/`de::Error`, and `de::DeserializeOwned`.
+
+pub mod de;
+mod impls;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,64 @@
+//! Serialization half of the data model.
+
+use std::fmt::Display;
+
+/// Error constraint for serializers: formats must be able to wrap a
+/// free-form message.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A sink for the positional wire data model.
+///
+/// One method per primitive plus the three structural markers the format
+/// needs: sequence/map lengths, `Option` tags, and enum discriminants.
+/// Compound values (structs, tuples) have no markers — fields are written
+/// back to back.
+pub trait Serializer {
+    /// Error type produced by the sink.
+    type Error: Error;
+
+    /// Write a `bool`.
+    fn put_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    /// Write a `u8`.
+    fn put_u8(&mut self, v: u8) -> Result<(), Self::Error>;
+    /// Write a `u16`.
+    fn put_u16(&mut self, v: u16) -> Result<(), Self::Error>;
+    /// Write a `u32`.
+    fn put_u32(&mut self, v: u32) -> Result<(), Self::Error>;
+    /// Write a `u64`.
+    fn put_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    /// Write a `u128`.
+    fn put_u128(&mut self, v: u128) -> Result<(), Self::Error>;
+    /// Write an `i8`.
+    fn put_i8(&mut self, v: i8) -> Result<(), Self::Error>;
+    /// Write an `i16`.
+    fn put_i16(&mut self, v: i16) -> Result<(), Self::Error>;
+    /// Write an `i32`.
+    fn put_i32(&mut self, v: i32) -> Result<(), Self::Error>;
+    /// Write an `i64`.
+    fn put_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    /// Write an `i128`.
+    fn put_i128(&mut self, v: i128) -> Result<(), Self::Error>;
+    /// Write an `f32`.
+    fn put_f32(&mut self, v: f32) -> Result<(), Self::Error>;
+    /// Write an `f64`.
+    fn put_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    /// Write a `char` scalar value.
+    fn put_char(&mut self, v: char) -> Result<(), Self::Error>;
+    /// Write a length-prefixed UTF-8 string.
+    fn put_str(&mut self, v: &str) -> Result<(), Self::Error>;
+    /// Write a sequence or map length prefix.
+    fn put_seq_len(&mut self, len: usize) -> Result<(), Self::Error>;
+    /// Write an `Option` presence tag.
+    fn put_opt_tag(&mut self, is_some: bool) -> Result<(), Self::Error>;
+    /// Write an enum variant discriminant.
+    fn put_variant(&mut self, index: u32) -> Result<(), Self::Error>;
+}
+
+/// A value that can be written to any [`Serializer`].
+pub trait Serialize {
+    /// Write `self` into `s`.
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error>;
+}

@@ -1,0 +1,304 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde data model.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote` in
+//! the offline crate set). Supports the shapes this workspace derives:
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit (with optional explicit discriminants), tuple, or struct-like.
+//! Field *types* never appear in the generated code — encoding is purely
+//! positional — so the parser only extracts names, counts, and shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derive `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let keyword = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            Input {
+                name,
+                kind: Kind::Struct(shape),
+            }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            let variants = split_top_level(body)
+                .into_iter()
+                .map(|chunk| parse_variant(&chunk))
+                .collect();
+            Input {
+                name,
+                kind: Kind::Enum(variants),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token stream at top-level commas, tracking `<...>` nesting so
+/// type arguments (e.g. `BTreeMap<String, u64>`) stay in one chunk. The
+/// `>` of `->` is recognized by the preceding joint `-`.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i64;
+    let mut prev_dash = false;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            let c = p.as_char();
+            if c == '<' {
+                angle += 1;
+            } else if c == '>' && !prev_dash {
+                angle -= 1;
+            } else if c == ',' && angle == 0 {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                prev_dash = false;
+                continue;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_fields(body: TokenStream) -> usize {
+    split_top_level(body).len()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> (String, Shape) {
+    let mut i = 0;
+    skip_attrs_and_vis(chunk, &mut i);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected variant name, found {other:?}"),
+    };
+    i += 1;
+    let shape = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(named_fields(g.stream()))
+        }
+        // `Name = 3` explicit discriminants and bare unit variants.
+        _ => Shape::Unit,
+    };
+    (name, shape)
+}
+
+// ---- code generation -------------------------------------------------------
+
+const SER: &str = "::serde::ser::Serialize::serialize";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(Shape::Unit) => {}
+        Kind::Struct(Shape::Tuple(n)) => {
+            for idx in 0..*n {
+                body.push_str(&format!("{SER}(&self.{idx}, &mut *__s)?;\n"));
+            }
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            for f in fields {
+                body.push_str(&format!("{SER}(&self.{f}, &mut *__s)?;\n"));
+            }
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (idx, (vname, shape)) in variants.iter().enumerate() {
+                match shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vname} => {{ \
+                         ::serde::ser::Serializer::put_variant(&mut *__s, {idx}u32)?; }}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ \
+                             ::serde::ser::Serializer::put_variant(&mut *__s, {idx}u32)?;\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!("{SER}({b}, &mut *__s)?;\n"));
+                        }
+                        arm.push_str("}\n");
+                        body.push_str(&arm);
+                    }
+                    Shape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ \
+                             ::serde::ser::Serializer::put_variant(&mut *__s, {idx}u32)?;\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!("{SER}({f}, &mut *__s)?;\n"));
+                        }
+                        arm.push_str("}\n");
+                        body.push_str(&arm);
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __s: &mut __S) \
+         -> ::core::result::Result<(), __S::Error> {{\n\
+         {body}\
+         ::core::result::Result::Ok(())\n\
+         }}\n\
+         }}"
+    )
+}
+
+const DE: &str = "::serde::de::Deserialize::deserialize(&mut *__d)?";
+
+fn construct(path: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => path.to_string(),
+        Shape::Tuple(n) => {
+            let fields: Vec<&str> = (0..*n).map(|_| DE).collect();
+            format!("{path}({})", fields.join(", "))
+        }
+        Shape::Named(fields) => {
+            let fields: Vec<String> = fields.iter().map(|f| format!("{f}: {DE}")).collect();
+            format!("{path} {{ {} }}", fields.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let value = match &input.kind {
+        Kind::Struct(shape) => construct(name, shape),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (vname, shape)) in variants.iter().enumerate() {
+                arms.push_str(&format!(
+                    "{idx}u32 => {},\n",
+                    construct(&format!("{name}::{vname}"), shape)
+                ));
+            }
+            format!(
+                "match ::serde::de::Deserializer::take_variant(&mut *__d)? {{\n\
+                 {arms}\
+                 __other => return ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(\
+                 ::std::format!(\"invalid variant index {{}} for {name}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: &mut __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         ::core::result::Result::Ok({value})\n\
+         }}\n\
+         }}"
+    )
+}
