@@ -1,0 +1,322 @@
+//! Balance policies: the decision layer between telemetry and placement.
+//!
+//! Every decision is a pure function of a small query struct, so policies
+//! are unit-testable without a runtime and custom policies can be plugged
+//! in through the [`BalancePolicy`] trait object carried by
+//! [`BalanceConfig`].
+//!
+//! The three stock policies map onto the two movement directions §2.2 of
+//! the paper names — work chasing data ("moving the work, in essence, to
+//! the data") and data percolating toward where it is demanded — plus the
+//! adaptive combination the comparative AMT studies (Cilk / Charm++ /
+//! ParalleX) argue wins on irregular workloads:
+//!
+//! * [`WorkToData`] — never migrates objects; rebalances purely by *work
+//!   diffusion*: an overloaded locality sheds queued tasks to the
+//!   least-loaded gossip peer and redirects fresh spawns there.
+//! * [`DataToWork`] — never sheds; objects whose access heat from one
+//!   caller locality crosses a threshold are migrated toward that caller.
+//! * [`Adaptive`] — both, each gated by relative load so the system sheds
+//!   when it is the bottleneck and pulls data only off busier owners.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Inputs to a heat-driven migration decision: should *this* locality
+/// pull the object toward itself?
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementQuery {
+    /// Accesses this locality sent to the object during the last window.
+    pub heat: u64,
+    /// Configured heat threshold ([`BalanceConfig::heat_threshold`]).
+    pub heat_threshold: u64,
+    /// This locality's own load score.
+    pub local_score: f64,
+    /// The current owner's gossiped load score, if known.
+    pub owner_score: Option<f64>,
+}
+
+/// Inputs to a work-diffusion decision: should this locality shed queued
+/// tasks (or redirect fresh spawns) to the least-loaded peer?
+#[derive(Debug, Clone, Copy)]
+pub struct ShedQuery {
+    /// This locality's own load score.
+    pub local_score: f64,
+    /// The least-loaded known peer's score.
+    pub least_score: f64,
+    /// Instantaneous run-queue depth (tasks available to shed).
+    pub queue_depth: u64,
+    /// Configured overload ratio ([`BalanceConfig::shed_ratio`]).
+    pub shed_ratio: f64,
+    /// Configured per-round shed cap ([`BalanceConfig::max_shed_per_round`]).
+    pub max_shed: u64,
+}
+
+impl ShedQuery {
+    /// The shared overload test: local load exceeds `shed_ratio` times the
+    /// least-loaded peer (with +1 smoothing so a zero-load peer does not
+    /// make every nonzero queue "overloaded").
+    pub fn overloaded(&self) -> bool {
+        self.local_score > self.shed_ratio * (self.least_score + 1.0)
+    }
+
+    /// The shared shed amount: half the load difference, capped by the
+    /// per-round limit and by half the queue (never starve yourself to
+    /// feed a peer).
+    pub fn shed_amount(&self) -> u64 {
+        if !self.overloaded() {
+            return 0;
+        }
+        let diff = ((self.local_score - self.least_score) / 2.0).floor();
+        (diff as u64).min(self.max_shed).min(self.queue_depth / 2)
+    }
+}
+
+/// A pluggable balance policy. Implementations must be cheap: `shed` and
+/// `redirect_spawn` run once per locality per gossip round, `pull_data`
+/// once per hot object per round.
+pub trait BalancePolicy: Send + Sync {
+    /// Short name used in config `Debug` output and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Work diffusion: number of queued tasks to shed to the least-loaded
+    /// peer this round (0 = none).
+    fn shed(&self, q: &ShedQuery) -> u64;
+
+    /// Heat-driven migration: pull the object toward this caller?
+    fn pull_data(&self, q: &PlacementQuery) -> bool;
+
+    /// Spawn-time diffusion: route a share of fresh local spawns to the
+    /// least-loaded peer while overloaded?
+    fn redirect_spawn(&self, q: &ShedQuery) -> bool;
+
+    /// Whether this policy ever migrates data. Policies that return
+    /// `false` (like [`WorkToData`]) let the runtime skip heat tracking
+    /// entirely — no per-send heat-map updates, no per-round drains —
+    /// since no decision would ever consume the heat.
+    fn uses_heat(&self) -> bool {
+        true
+    }
+}
+
+/// Pure work diffusion: tasks move, objects stay (the model's default
+/// direction, made load-aware).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkToData;
+
+impl BalancePolicy for WorkToData {
+    fn name(&self) -> &'static str {
+        "work-to-data"
+    }
+    fn shed(&self, q: &ShedQuery) -> u64 {
+        q.shed_amount()
+    }
+    fn pull_data(&self, _q: &PlacementQuery) -> bool {
+        false
+    }
+    fn redirect_spawn(&self, q: &ShedQuery) -> bool {
+        q.overloaded()
+    }
+    fn uses_heat(&self) -> bool {
+        false
+    }
+}
+
+/// Pure heat-driven migration: hot objects move toward their callers,
+/// queued work stays put.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataToWork;
+
+impl BalancePolicy for DataToWork {
+    fn name(&self) -> &'static str {
+        "data-to-work"
+    }
+    fn shed(&self, _q: &ShedQuery) -> u64 {
+        0
+    }
+    fn pull_data(&self, q: &PlacementQuery) -> bool {
+        q.heat >= q.heat_threshold
+    }
+    fn redirect_spawn(&self, _q: &ShedQuery) -> bool {
+        false
+    }
+}
+
+/// Both directions, load-gated: shed like [`WorkToData`]; pull hot objects
+/// like [`DataToWork`] but only off owners at least as loaded as we are
+/// (pulling from a starving owner would trade one imbalance for another).
+/// Unknown owner load counts as "at least as loaded" — fresh heat with no
+/// gossip yet usually means the owner is swamped.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Adaptive;
+
+impl BalancePolicy for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn shed(&self, q: &ShedQuery) -> u64 {
+        q.shed_amount()
+    }
+    fn pull_data(&self, q: &PlacementQuery) -> bool {
+        q.heat >= q.heat_threshold && q.owner_score.is_none_or(|o| o >= q.local_score)
+    }
+    fn redirect_spawn(&self, q: &ShedQuery) -> bool {
+        q.overloaded()
+    }
+}
+
+/// Configuration for the balancer subsystem. `px_core::Config::balance`
+/// holds `Option<BalanceConfig>`; `None` (the default) disables every
+/// hook and keeps runtime behavior bit-identical to a balancer-less
+/// build.
+#[derive(Clone)]
+pub struct BalanceConfig {
+    /// Decision policy.
+    pub policy: Arc<dyn BalancePolicy>,
+    /// Balancer pulse: one load sample + one gossip parcel per locality
+    /// per interval.
+    pub gossip_interval: Duration,
+    /// Sliding-window capacity of each locality's [`crate::LoadMonitor`],
+    /// in gossip rounds.
+    pub window: usize,
+    /// Overload factor vs the least-loaded peer before shedding engages.
+    pub shed_ratio: f64,
+    /// Cap on tasks shed per locality per round.
+    pub max_shed_per_round: u64,
+    /// Accesses per *gossip round* before an object counts as hot (heat
+    /// maps are drained every round, not every monitor window).
+    pub heat_threshold: u64,
+    /// Cap on balancer-initiated migrations per locality per round
+    /// (bounds churn and forwarding chases).
+    pub max_pulls_per_round: u64,
+}
+
+impl fmt::Debug for BalanceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BalanceConfig")
+            .field("policy", &self.policy.name())
+            .field("gossip_interval", &self.gossip_interval)
+            .field("window", &self.window)
+            .field("shed_ratio", &self.shed_ratio)
+            .field("max_shed_per_round", &self.max_shed_per_round)
+            .field("heat_threshold", &self.heat_threshold)
+            .field("max_pulls_per_round", &self.max_pulls_per_round)
+            .finish()
+    }
+}
+
+impl BalanceConfig {
+    /// Defaults shared by the stock constructors.
+    pub fn with_policy(policy: Arc<dyn BalancePolicy>) -> BalanceConfig {
+        BalanceConfig {
+            policy,
+            gossip_interval: Duration::from_millis(1),
+            window: 8,
+            shed_ratio: 2.0,
+            max_shed_per_round: 32,
+            heat_threshold: 16,
+            max_pulls_per_round: 4,
+        }
+    }
+
+    /// Work-diffusion-only configuration.
+    pub fn work_to_data() -> BalanceConfig {
+        BalanceConfig::with_policy(Arc::new(WorkToData))
+    }
+
+    /// Migration-only configuration.
+    pub fn data_to_work() -> BalanceConfig {
+        BalanceConfig::with_policy(Arc::new(DataToWork))
+    }
+
+    /// The adaptive configuration (recommended default when enabling the
+    /// balancer).
+    pub fn adaptive() -> BalanceConfig {
+        BalanceConfig::with_policy(Arc::new(Adaptive))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(local: f64, least: f64, depth: u64) -> ShedQuery {
+        ShedQuery {
+            local_score: local,
+            least_score: least,
+            queue_depth: depth,
+            shed_ratio: 2.0,
+            max_shed: 32,
+        }
+    }
+
+    fn pq(heat: u64, local: f64, owner: Option<f64>) -> PlacementQuery {
+        PlacementQuery {
+            heat,
+            heat_threshold: 16,
+            local_score: local,
+            owner_score: owner,
+        }
+    }
+
+    #[test]
+    fn overload_test_uses_ratio_with_smoothing() {
+        assert!(!sq(2.0, 0.0, 10).overloaded(), "2.0 ≤ 2×(0+1)");
+        assert!(sq(2.1, 0.0, 10).overloaded());
+        assert!(!sq(30.0, 20.0, 100).overloaded(), "30 ≤ 2×21");
+        assert!(sq(100.0, 20.0, 100).overloaded());
+    }
+
+    #[test]
+    fn shed_amount_moves_half_the_difference_capped() {
+        let q = sq(100.0, 0.0, 1000);
+        assert_eq!(q.shed_amount(), 32, "capped by max_shed");
+        let q = sq(10.0, 0.0, 1000);
+        assert_eq!(q.shed_amount(), 5, "half the difference");
+        let q = sq(100.0, 0.0, 8);
+        assert_eq!(q.shed_amount(), 4, "never shed more than half the queue");
+        assert_eq!(sq(1.0, 0.0, 1000).shed_amount(), 0, "not overloaded");
+    }
+
+    #[test]
+    fn work_to_data_sheds_never_pulls() {
+        let p = WorkToData;
+        assert_eq!(p.shed(&sq(100.0, 0.0, 1000)), 32);
+        assert!(p.redirect_spawn(&sq(100.0, 0.0, 1000)));
+        assert!(!p.pull_data(&pq(1_000_000, 0.0, Some(100.0))));
+        assert!(!p.uses_heat(), "never pulls, so heat need not be tracked");
+    }
+
+    #[test]
+    fn data_to_work_pulls_never_sheds() {
+        let p = DataToWork;
+        assert!(p.uses_heat());
+        assert_eq!(p.shed(&sq(100.0, 0.0, 1000)), 0);
+        assert!(!p.redirect_spawn(&sq(100.0, 0.0, 1000)));
+        assert!(!p.pull_data(&pq(15, 0.0, Some(100.0))), "below threshold");
+        assert!(p.pull_data(&pq(16, 100.0, Some(0.0))), "heat alone decides");
+    }
+
+    #[test]
+    fn adaptive_gates_pulls_on_relative_load() {
+        let p = Adaptive;
+        assert_eq!(p.shed(&sq(100.0, 0.0, 1000)), 32);
+        assert!(p.pull_data(&pq(20, 1.0, Some(50.0))), "owner busier: pull");
+        assert!(
+            !p.pull_data(&pq(20, 50.0, Some(1.0))),
+            "owner quieter: leave it"
+        );
+        assert!(p.pull_data(&pq(20, 50.0, None)), "unknown owner: pull");
+        assert!(!p.pull_data(&pq(3, 1.0, Some(50.0))), "cold object");
+    }
+
+    #[test]
+    fn config_constructors_and_debug() {
+        assert_eq!(BalanceConfig::adaptive().policy.name(), "adaptive");
+        assert_eq!(BalanceConfig::work_to_data().policy.name(), "work-to-data");
+        assert_eq!(BalanceConfig::data_to_work().policy.name(), "data-to-work");
+        let d = format!("{:?}", BalanceConfig::adaptive());
+        assert!(d.contains("adaptive") && d.contains("gossip_interval"));
+    }
+}

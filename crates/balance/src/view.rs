@@ -1,0 +1,209 @@
+//! Gossip state: what one locality believes about every locality's load.
+//!
+//! Each balancer round a locality records its own score into its view and
+//! sends the *whole view* to one rotating peer as a `__sys/balance_gossip`
+//! parcel (riding the ordinary batched transport — gossip pays wire costs
+//! like any other message). The receiver merges entry-wise, keeping the
+//! freshest round per locality. After `n − 1` rounds every locality has
+//! heard from every other at least once, with no barrier and no central
+//! coordinator — staleness is bounded by gossip distance, which is the
+//! point: decisions degrade gracefully instead of serializing.
+
+use px_wire::{WireError, WireReader, WireWriter};
+
+/// One locality's entry in a [`PeerView`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipEntry {
+    /// Load score ([`crate::LoadMonitor::score`]) at `round`.
+    pub score: f64,
+    /// Balancer round the score was sampled in (freshness arbiter).
+    pub round: u64,
+}
+
+/// Per-locality beliefs about the whole system's load.
+#[derive(Debug, Clone)]
+pub struct PeerView {
+    entries: Vec<Option<GossipEntry>>,
+}
+
+impl PeerView {
+    /// Empty view over `n` localities.
+    pub fn new(n: usize) -> PeerView {
+        PeerView {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Number of localities the view covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for a zero-locality view (degenerate; never built by the
+    /// runtime).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record `score` for `loc` if `round` is strictly fresher than what
+    /// the view already holds. Strictness matters: an equal-round gossip
+    /// echo must not overwrite local knowledge layered on top of that
+    /// round's entry (the optimistic [`PeerView::bump_score`] after a
+    /// shed), or the stale pre-shed score would re-invite the dumping the
+    /// bump exists to damp. Out-of-range localities are ignored
+    /// (malformed gossip must not panic a worker).
+    pub fn observe(&mut self, loc: usize, score: f64, round: u64) {
+        let Some(slot) = self.entries.get_mut(loc) else {
+            return;
+        };
+        match slot {
+            Some(e) if e.round >= round => {}
+            _ => *slot = Some(GossipEntry { score, round }),
+        }
+    }
+
+    /// The known score of `loc`, if any gossip has arrived for it.
+    pub fn score_of(&self, loc: usize) -> Option<f64> {
+        self.entries.get(loc).copied().flatten().map(|e| e.score)
+    }
+
+    /// Optimistically adjust a known entry's score in place, leaving its
+    /// round untouched so genuinely fresher gossip still wins. Used after
+    /// shedding work *to* a peer: without this, the sender keeps seeing
+    /// the peer's pre-shed (stale) score for a full gossip cycle and
+    /// over-dumps, and the excess ping-pongs back.
+    pub fn bump_score(&mut self, loc: usize, delta: f64) {
+        if let Some(Some(e)) = self.entries.get_mut(loc) {
+            e.score += delta;
+        }
+    }
+
+    /// Number of localities with a known entry.
+    pub fn known(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The least-loaded *known* locality other than `exclude`.
+    pub fn least_loaded(&self, exclude: usize) -> Option<(usize, f64)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != exclude)
+            .filter_map(|(i, e)| e.map(|e| (i, e.score)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Encode every known entry as a gossip payload.
+    pub fn encode_gossip(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(4 + self.known() * 18);
+        w.put_varint(self.known() as u64);
+        for (i, e) in self.entries.iter().enumerate() {
+            if let Some(e) = e {
+                w.put_u16(i as u16);
+                w.put_f64(e.score);
+                w.put_varint(e.round);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Merge a decoded gossip payload into this view.
+    pub fn merge(&mut self, entries: &[(u16, GossipEntry)]) {
+        for &(loc, e) in entries {
+            self.observe(loc as usize, e.score, e.round);
+        }
+    }
+}
+
+/// Decode a gossip payload produced by [`PeerView::encode_gossip`].
+pub fn decode_gossip(bytes: &[u8]) -> Result<Vec<(u16, GossipEntry)>, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n = r.get_varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let loc = r.get_u16()?;
+        let score = r.get_f64()?;
+        let round = r.get_varint()?;
+        out.push((loc, GossipEntry { score, round }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_keeps_freshest_round() {
+        let mut v = PeerView::new(3);
+        v.observe(1, 5.0, 2);
+        v.observe(1, 9.0, 1); // stale: ignored
+        assert_eq!(v.score_of(1), Some(5.0));
+        v.observe(1, 1.0, 3);
+        assert_eq!(v.score_of(1), Some(1.0));
+        // Same round is ignored: first knowledge of a round wins, so a
+        // gossip echo cannot clobber local updates layered on it.
+        v.observe(1, 2.0, 3);
+        assert_eq!(v.score_of(1), Some(1.0));
+    }
+
+    #[test]
+    fn least_loaded_excludes_self_and_unknown() {
+        let mut v = PeerView::new(4);
+        assert_eq!(v.least_loaded(0), None);
+        v.observe(0, 0.0, 1);
+        v.observe(2, 7.0, 1);
+        v.observe(3, 3.0, 1);
+        assert_eq!(v.least_loaded(0), Some((3, 3.0)));
+        assert_eq!(v.least_loaded(3), Some((0, 0.0)));
+        assert_eq!(v.known(), 3);
+    }
+
+    #[test]
+    fn bump_score_adjusts_without_touching_round() {
+        let mut v = PeerView::new(2);
+        v.observe(1, 2.0, 4);
+        v.bump_score(1, 10.0);
+        assert_eq!(v.score_of(1), Some(12.0));
+        // A fresher round still replaces the optimistic estimate…
+        v.observe(1, 3.0, 5);
+        assert_eq!(v.score_of(1), Some(3.0));
+        // …and a stale one still loses to it.
+        v.bump_score(1, 10.0);
+        v.observe(1, 0.0, 4);
+        assert_eq!(v.score_of(1), Some(13.0));
+        // Unknown entries stay unknown.
+        v.bump_score(0, 5.0);
+        assert_eq!(v.score_of(0), None);
+    }
+
+    #[test]
+    fn out_of_range_observations_ignored() {
+        let mut v = PeerView::new(2);
+        v.observe(9, 1.0, 1);
+        assert_eq!(v.known(), 0);
+    }
+
+    #[test]
+    fn gossip_roundtrip_merges() {
+        let mut a = PeerView::new(4);
+        a.observe(0, 2.0, 5);
+        a.observe(2, 8.5, 4);
+        let bytes = a.encode_gossip();
+        let decoded = decode_gossip(&bytes).unwrap();
+        let mut b = PeerView::new(4);
+        b.observe(2, 1.0, 9); // fresher than the gossiped entry
+        b.merge(&decoded);
+        assert_eq!(b.score_of(0), Some(2.0));
+        assert_eq!(b.score_of(2), Some(1.0), "fresher local entry survives");
+        assert_eq!(b.score_of(1), None);
+    }
+
+    #[test]
+    fn truncated_gossip_is_an_error() {
+        let mut v = PeerView::new(2);
+        v.observe(0, 1.0, 1);
+        let bytes = v.encode_gossip();
+        assert!(decode_gossip(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! E12 bench target: adaptive cross-locality load balancing. Prints both
+//! policy-comparison tables and writes `BENCH_balance.json`.
+
+fn main() {
+    px_bench::e12_balance::run();
+}

@@ -20,6 +20,7 @@
 //! | [`e9_litlx_overhead`] | §2.3 LITL-X construct overheads |
 //! | [`e10_datavortex`] | §3.2 Data Vortex vs crossbar vs torus |
 //! | [`e11_starvation`] | §2.1 starvation under skewed load |
+//! | [`e12_balance`] | §2.1/§2.2 adaptive balancing: diffusion + migration |
 //!
 //! All experiments are functions returning plain row structs so tests can
 //! assert the qualitative shapes (who wins, where crossovers fall) that
@@ -29,6 +30,7 @@
 
 pub mod e10_datavortex;
 pub mod e11_starvation;
+pub mod e12_balance;
 pub mod e1_design_point;
 pub mod e2_latency_hiding;
 pub mod e3_lco_vs_barrier;

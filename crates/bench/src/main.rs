@@ -1,0 +1,32 @@
+//! `px-bench` binary: run experiments outside the `cargo bench` harness.
+//!
+//! ```text
+//! px-bench e12            # full E12 run (writes BENCH_balance.json)
+//! px-bench --smoke e12    # scaled-down E12 (CI smoke; no JSON)
+//! ```
+
+fn usage() -> ! {
+    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (smoke, name) = match args.as_slice() {
+        [name] => (false, name.as_str()),
+        [flag, name] if flag == "--smoke" => (true, name.as_str()),
+        _ => usage(),
+    };
+    match (name, smoke) {
+        ("e12", true) => {
+            px_bench::e12_balance::smoke();
+        }
+        ("e12", false) => {
+            px_bench::e12_balance::run();
+        }
+        ("e11", _) => {
+            px_bench::e11_starvation::run();
+        }
+        _ => usage(),
+    }
+}

@@ -20,10 +20,21 @@
 use crate::error::{PxError, PxResult};
 use crate::fxmap::FxHashMap;
 use crate::gid::{Gid, LocalityId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const DIR_SHARDS: usize = 16;
+
+/// Who initiated a migration (surfaced in
+/// [`crate::stats::StatsSnapshot`] so balancer churn is distinguishable
+/// from application-directed placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationCause {
+    /// Explicit `migrate_data` call by the application/driver.
+    Manual,
+    /// Heat-driven pull by the `px-balance` balancer.
+    Balancer,
+}
 
 /// The AGAS service shared by all localities of a runtime.
 pub struct Agas {
@@ -32,10 +43,26 @@ pub struct Agas {
     directory: Vec<RwLock<FxHashMap<Gid, LocalityId>>>,
     /// Per-locality resolution caches.
     caches: Vec<RwLock<FxHashMap<Gid, LocalityId>>>,
+    /// Per-locality outgoing access heat: how often each locality sent a
+    /// parcel at a remote data object since the balancer last drained the
+    /// map. Only written when balancing is enabled (the send path gates
+    /// the hook), so the un-balanced fast path never touches these locks.
+    heat: Vec<Mutex<FxHashMap<Gid, u64>>>,
     /// Symbolic names (global, rarely written).
     names: RwLock<FxHashMap<String, Gid>>,
+    /// Serializes whole migrations (store move + directory update).
+    /// Without it, two concurrent migrations of the same object can both
+    /// read the same `from`, insert at different destinations, and leave
+    /// a stale resident copy wherever the directory loser inserted.
+    /// Migrations are rare (manual calls + capped balancer pulls), so one
+    /// global lock is cheaper than per-object machinery.
+    migrate_lock: Mutex<()>,
     /// Monotone count of migrations (diagnostics).
     migrations: AtomicU64,
+    /// Migrations recorded with [`MigrationCause::Manual`].
+    migrations_manual: AtomicU64,
+    /// Migrations recorded with [`MigrationCause::Balancer`].
+    migrations_balancer: AtomicU64,
 }
 
 impl std::fmt::Debug for Agas {
@@ -55,8 +82,12 @@ impl Agas {
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect(),
             caches: (0..n).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            heat: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
             names: RwLock::new(FxHashMap::default()),
+            migrate_lock: Mutex::new(()),
             migrations: AtomicU64::new(0),
+            migrations_manual: AtomicU64::new(0),
+            migrations_balancer: AtomicU64::new(0),
         }
     }
 
@@ -100,9 +131,20 @@ impl Agas {
             .unwrap_or_else(|| gid.birthplace())
     }
 
-    /// Record a migration: `gid` now lives at `to`.
+    /// Record a migration: `gid` now lives at `to`. Attributed to
+    /// [`MigrationCause::Manual`]; the balancer uses
+    /// [`Agas::record_migration_caused`].
     pub fn record_migration(&self, gid: Gid, to: LocalityId) {
+        self.record_migration_caused(gid, to, MigrationCause::Manual);
+    }
+
+    /// Record a migration with an explicit cause.
+    pub fn record_migration_caused(&self, gid: Gid, to: LocalityId, cause: MigrationCause) {
         self.migrations.fetch_add(1, Ordering::Relaxed);
+        match cause {
+            MigrationCause::Manual => self.migrations_manual.fetch_add(1, Ordering::Relaxed),
+            MigrationCause::Balancer => self.migrations_balancer.fetch_add(1, Ordering::Relaxed),
+        };
         let mut shard = self.shard(gid).write();
         if to == gid.birthplace() {
             // Back home: the directory entry is redundant.
@@ -125,6 +167,43 @@ impl Agas {
     /// Total migrations recorded.
     pub fn migrations(&self) -> u64 {
         self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Hold the migration lock for the duration of a store move +
+    /// directory update (see `migrate_lock`).
+    pub fn migration_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.migrate_lock.lock()
+    }
+
+    /// Migrations split by cause: `(manual, balancer)`.
+    pub fn migrations_by_cause(&self) -> (u64, u64) {
+        (
+            self.migrations_manual.load(Ordering::Relaxed),
+            self.migrations_balancer.load(Ordering::Relaxed),
+        )
+    }
+
+    // ---- access heat -------------------------------------------------------
+
+    /// Note that locality `from` addressed a parcel at remote object
+    /// `gid`. Called from the send path only while balancing is enabled;
+    /// the counts accumulate until [`Agas::drain_heat`] empties them each
+    /// balancer round, so "heat" is accesses-per-round.
+    pub fn note_access(&self, from: LocalityId, gid: Gid) {
+        if let Some(m) = self.heat.get(from.0 as usize) {
+            *m.lock().entry(gid).or_insert(0) += 1;
+        }
+    }
+
+    /// Take and clear locality `from`'s access-heat map, hottest first.
+    pub fn drain_heat(&self, from: LocalityId) -> Vec<(Gid, u64)> {
+        let Some(m) = self.heat.get(from.0 as usize) else {
+            return Vec::new();
+        };
+        let drained = std::mem::take(&mut *m.lock());
+        let mut v: Vec<(Gid, u64)> = drained.into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
     }
 
     // ---- symbolic names ---------------------------------------------------
@@ -294,6 +373,37 @@ mod tests {
         agas.resolve_counted(&loc, g);
         assert_eq!(loc.counters.agas_cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(loc.counters.agas_cache_misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn migrations_attributed_by_cause() {
+        let agas = Agas::new(4);
+        let g = gid_at(0, 9);
+        agas.record_migration(g, LocalityId(1));
+        agas.record_migration_caused(g, LocalityId(2), MigrationCause::Balancer);
+        agas.record_migration_caused(g, LocalityId(3), MigrationCause::Balancer);
+        assert_eq!(agas.migrations(), 3);
+        assert_eq!(agas.migrations_by_cause(), (1, 2));
+        assert_eq!(agas.authoritative_owner(g), LocalityId(3));
+    }
+
+    #[test]
+    fn heat_accumulates_and_drains_sorted() {
+        let agas = Agas::new(2);
+        let hot = gid_at(1, 1);
+        let warm = gid_at(1, 2);
+        for _ in 0..5 {
+            agas.note_access(LocalityId(0), hot);
+        }
+        agas.note_access(LocalityId(0), warm);
+        agas.note_access(LocalityId(1), warm); // other locality: separate map
+        let h = agas.drain_heat(LocalityId(0));
+        assert_eq!(h, vec![(hot, 5), (warm, 1)]);
+        assert!(agas.drain_heat(LocalityId(0)).is_empty(), "drain clears");
+        assert_eq!(agas.drain_heat(LocalityId(1)), vec![(warm, 1)]);
+        // Out-of-range localities are a no-op, not a panic.
+        agas.note_access(LocalityId(9), hot);
+        assert!(agas.drain_heat(LocalityId(9)).is_empty());
     }
 
     #[test]

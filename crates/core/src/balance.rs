@@ -1,0 +1,491 @@
+//! The balancer pulse: closes the loop from telemetry to placement.
+//!
+//! §2.2 of the paper: "If terminating, a parcel is constructed and
+//! dispatched to the destination remote data where a new thread is
+//! invoked thus moving the work, in essence, to the data." The seed
+//! runtime always moves work to data and only rebalances *within* a
+//! locality (sibling work stealing). This module adds the cross-locality
+//! half, runtime-directed and barrier-free:
+//!
+//! 1. **Sample** — each round, every locality's [`px_balance::LoadMonitor`]
+//!    records queue depth, park delta, and staging backlog.
+//! 2. **Gossip** — each locality sends its whole
+//!    [`px_balance::PeerView`] to one rotating peer as a
+//!    `__sys/balance_gossip` parcel on the ordinary (batched) transport.
+//!    After `n − 1` rounds everyone has heard from everyone.
+//! 3. **Act** — per locality, the configured
+//!    [`px_balance::BalancePolicy`] decides, from that locality's own
+//!    gossiped view only:
+//!    * *work diffusion*: shed queued closure tasks to the least-loaded
+//!      peer (parcel-addressed tasks stay — they are bound to objects
+//!      resident here);
+//!    * *spawn redirect*: publish the peer as this round's
+//!      [`crate::locality::BalanceState::spawn_target`] so `Ctx::spawn`
+//!      diffuses a share of fresh work at creation time;
+//!    * *heat-driven migration*: pull objects this locality has been
+//!      hammering (per [`crate::agas::Agas::drain_heat`]) off busier
+//!      owners, via the same store-move + directory-update + bounded
+//!      forwarding chase as a manual `migrate_data`.
+//!
+//! One pulse thread serves all localities of the (simulated) machine, but
+//! every *decision* reads only the deciding locality's own monitor and
+//! gossip view — the information flow between localities is parcels, so
+//! the design transplants directly onto a distributed AGAS.
+
+use crate::action::Value;
+use crate::agas::MigrationCause;
+use crate::error::{PxError, PxResult};
+use crate::gid::{Gid, GidKind, LocalityId};
+use crate::locality::{Locality, NO_SPAWN_TARGET};
+use crate::parcel::{Continuation, Parcel};
+use crate::runtime::RuntimeInner;
+use crate::sched::{sys, Task, Work};
+use crate::stats::bump;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::deque::Steal;
+use px_balance::{BalanceConfig, LoadSample, PlacementQuery, ShedQuery};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// When shedding, give up after putting back this many non-sheddable
+/// tasks in a row (the queue head is parcel-bound work; keep the pulse
+/// cheap instead of trawling the whole injector).
+const PUTBACK_LIMIT: usize = 32;
+
+/// Balancer thread body. Exits when `stop` closes (runtime shutdown).
+pub(crate) fn balancer_main(rt: Arc<RuntimeInner>, stop: Receiver<()>) {
+    let cfg = rt
+        .config
+        .balance
+        .clone()
+        .expect("balancer thread spawned without balance config");
+    let n = rt.localities.len();
+    let debug = std::env::var_os("PX_BALANCE_DEBUG").is_some();
+    let mut round: u64 = 0;
+    let mut last_parks = vec![0u64; n];
+    loop {
+        match stop.recv_timeout(cfg.gossip_interval) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+        round += 1;
+        sample_all(&rt, round, &mut last_parks);
+        if n > 1 {
+            gossip_round(&rt, round, n);
+            act_round(&rt, &cfg, debug);
+        }
+    }
+}
+
+/// Record one load sample per locality and self-observe the new score.
+fn sample_all(rt: &Arc<RuntimeInner>, round: u64, last_parks: &mut [u64]) {
+    for (i, loc) in rt.localities.iter().enumerate() {
+        let Some(b) = &loc.balance else { continue };
+        let parks_now = loc.counters.parks.load(Ordering::Relaxed);
+        let sample = LoadSample {
+            queue_depth: loc.queue_depth() as u64,
+            parks: parks_now.saturating_sub(last_parks[i]),
+            backlog: loc.staging_depth() as u64,
+        };
+        last_parks[i] = parks_now;
+        let score = {
+            let mut m = b.monitor.lock();
+            m.record(sample);
+            m.score()
+        };
+        b.peers.lock().observe(i, score, round);
+        bump!(loc.counters.gossip_rounds);
+    }
+}
+
+/// Each locality sends its view to one rotating peer. The offset walks
+/// `1..n`, so over `n − 1` rounds every ordered pair gossips once.
+fn gossip_round(rt: &Arc<RuntimeInner>, round: u64, n: usize) {
+    let offset = 1 + (round as usize - 1) % (n - 1);
+    for (i, loc) in rt.localities.iter().enumerate() {
+        let Some(b) = &loc.balance else { continue };
+        let peer = LocalityId(((i + offset) % n) as u16);
+        let payload = b.peers.lock().encode_gossip();
+        let p = Parcel::new(
+            Gid::locality_root(peer),
+            sys::BALANCE_GOSSIP,
+            Value::from_bytes(payload),
+            Continuation::none(),
+        );
+        rt.send_parcel(loc.id, p);
+    }
+}
+
+/// Run the policy for every locality: spawn redirect, shed, pulls.
+fn act_round(rt: &Arc<RuntimeInner>, cfg: &BalanceConfig, debug: bool) {
+    for (i, loc) in rt.localities.iter().enumerate() {
+        let Some(b) = &loc.balance else { continue };
+        let (my_score, least) = {
+            let peers = b.peers.lock();
+            (peers.score_of(i).unwrap_or(0.0), peers.least_loaded(i))
+        };
+        let Some((least_idx, least_score)) = least else {
+            // No gossip heard yet: nothing to compare against.
+            b.spawn_target.store(NO_SPAWN_TARGET, Ordering::Relaxed);
+            continue;
+        };
+        // Diffusion decisions use min(windowed, instantaneous) load: a
+        // spike must persist a while before we shed (no knee-jerk on one
+        // burst), and a freshly-drained queue stops shedding immediately
+        // instead of lagging a full window behind (which would over-shed
+        // and ping-pong the excess back).
+        let inst = (loc.queue_depth() + loc.staging_depth()) as f64;
+        let sq = ShedQuery {
+            local_score: my_score.min(inst),
+            least_score,
+            queue_depth: loc.queue_depth() as u64,
+            shed_ratio: cfg.shed_ratio,
+            max_shed: cfg.max_shed_per_round,
+        };
+        let target = if cfg.policy.redirect_spawn(&sq) {
+            least_idx as u32
+        } else {
+            NO_SPAWN_TARGET
+        };
+        b.spawn_target.store(target, Ordering::Relaxed);
+        let want = cfg.policy.shed(&sq);
+        if debug {
+            eprintln!(
+                "[balance] L{i} my={my_score:.1} least=L{least_idx}@{least_score:.1} depth={} want={want}",
+                sq.queue_depth,
+            );
+        }
+        if want > 0 {
+            let shed = shed_tasks(rt, loc, LocalityId(least_idx as u16), want);
+            if shed > 0 {
+                // Optimistic update: the peer just gained `shed` tasks.
+                // Without this the stale gossiped score invites repeated
+                // dumping (and the excess ping-pongs back).
+                b.peers.lock().bump_score(least_idx, shed as f64);
+            }
+        }
+        if cfg.policy.uses_heat() {
+            pull_hot(rt, cfg, loc, b, my_score);
+        }
+    }
+}
+
+/// Work diffusion: move up to `max` closure tasks from `loc`'s injector
+/// to `dest`. Parcel-bound tasks (addressed at objects resident here) and
+/// depleted-thread resumptions (their LCO state lives here) are put back.
+/// Returns the number shed.
+pub(crate) fn shed_tasks(
+    rt: &Arc<RuntimeInner>,
+    loc: &Arc<Locality>,
+    dest: LocalityId,
+    max: u64,
+) -> u64 {
+    let mut shed = 0u64;
+    let mut putback: Vec<Task> = Vec::new();
+    while shed < max && putback.len() < PUTBACK_LIMIT {
+        match loc.injector.steal() {
+            Steal::Success(task) => {
+                if matches!(task.work, Work::Thread(_)) {
+                    // Same transfer mechanism as a `spawn_at` closure —
+                    // the task crosses the wire with the nominal header
+                    // size. Process accounting moves with the task: it
+                    // was counted started at spawn and completes at the
+                    // destination.
+                    bump!(loc.counters.tasks_shed);
+                    bump!(loc.counters.parcels_sent);
+                    bump!(loc.counters.bytes_sent, 64);
+                    rt.wire.send(crate::net::WireMsg::Task { dest, task }, 64);
+                    shed += 1;
+                } else {
+                    putback.push(task);
+                }
+            }
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for t in putback {
+        loc.push_task(t);
+    }
+    shed
+}
+
+/// Heat-driven migration: pull this round's hottest remote objects toward
+/// the locality that keeps addressing them, when the policy approves.
+fn pull_hot(
+    rt: &Arc<RuntimeInner>,
+    cfg: &BalanceConfig,
+    loc: &Arc<Locality>,
+    b: &crate::locality::BalanceState,
+    my_score: f64,
+) {
+    let heat = rt.agas.drain_heat(loc.id);
+    if heat.is_empty() {
+        return;
+    }
+    // One lock for the whole round: migrations never touch peer views,
+    // and per-gid re-locking would contend with worker-side gossip
+    // merges for nothing.
+    let peers = b.peers.lock();
+    let mut pulls = 0u64;
+    for (gid, h) in heat {
+        if pulls >= cfg.max_pulls_per_round {
+            break;
+        }
+        if gid.kind() != GidKind::Data {
+            continue;
+        }
+        let owner = rt.agas.authoritative_owner(gid);
+        if owner == loc.id {
+            continue;
+        }
+        let owner_score = peers.score_of(owner.0 as usize);
+        let q = PlacementQuery {
+            heat: h,
+            heat_threshold: cfg.heat_threshold,
+            local_score: my_score,
+            owner_score,
+        };
+        if cfg.policy.pull_data(&q)
+            && migrate_object(rt, gid, owner, loc.id, MigrationCause::Balancer).is_ok()
+        {
+            bump!(loc.counters.balance_pulls);
+            pulls += 1;
+        }
+    }
+}
+
+/// Move an object between stores and update the directory. Stored
+/// objects are `Arc`s, so the sequence is insert-at-destination →
+/// directory update → remove-at-source: during the overlap both stores
+/// alias the *same* object and there is no instant at which a racing
+/// parcel finds it nowhere. (Remove-first would open exactly that
+/// window, and under an instant wire the scheduler's owner-but-absent
+/// retry has no latency to act as backoff — a parcel can spin through
+/// its whole hop budget and die while the migrating thread is preempted
+/// mid-move.) Parcels routed on a stale cache after the directory flips
+/// are forwarded with the usual bounded chase.
+pub(crate) fn migrate_object(
+    rt: &Arc<RuntimeInner>,
+    gid: Gid,
+    from: LocalityId,
+    to: LocalityId,
+    cause: MigrationCause,
+) -> PxResult<()> {
+    // Whole-migration serialization with an ownership re-check: a
+    // concurrent migration may have moved the object after the caller
+    // read `from`, and racing the move would strand a duplicate resident
+    // copy at whichever destination loses the directory update.
+    let _guard = rt.agas.migration_guard();
+    if rt.agas.authoritative_owner(gid) != from {
+        return Err(PxError::NoSuchObject(gid));
+    }
+    if from == to {
+        return Ok(());
+    }
+    let obj = rt
+        .locality(from)
+        .get(gid)
+        .ok_or(PxError::NoSuchObject(gid))?;
+    rt.locality(to).insert_at(gid, obj);
+    rt.agas.record_migration_caused(gid, to, cause);
+    rt.locality(from).remove(gid);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use std::time::{Duration, Instant};
+
+    fn balanced_config(localities: usize, cfg: BalanceConfig) -> Config {
+        Config::small(localities, 1).with_balance(BalanceConfig {
+            gossip_interval: Duration::from_micros(500),
+            ..cfg
+        })
+    }
+
+    fn wait_until(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline {
+            if ok() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ok()
+    }
+
+    #[test]
+    fn gossip_fills_peer_views() {
+        let rt = RuntimeBuilder::new(balanced_config(3, BalanceConfig::adaptive()))
+            .build()
+            .unwrap();
+        assert!(
+            wait_until(Duration::from_secs(5), || {
+                let s = rt.stats().total();
+                s.gossip_parcels >= 6 && s.gossip_rounds >= 6
+            }),
+            "gossip never circulated: {:?}",
+            rt.stats().total()
+        );
+        // Every locality should have heard about every other.
+        for loc in rt.inner().localities.iter() {
+            let b = loc.balance.as_ref().unwrap();
+            assert!(
+                wait_until(Duration::from_secs(5), || b.peers.lock().known() == 3),
+                "locality {} view incomplete",
+                loc.id
+            );
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_to_starving_peer() {
+        let rt = RuntimeBuilder::new(balanced_config(2, BalanceConfig::adaptive()))
+            .build()
+            .unwrap();
+        let gate = rt.new_and_gate(LocalityId(0), 400);
+        let fut: FutureRef<()> = FutureRef::from_gid(gate);
+        for _ in 0..400 {
+            rt.spawn_at(LocalityId(0), move |ctx| {
+                std::thread::sleep(Duration::from_micros(200));
+                ctx.trigger_value(gate, Value::unit());
+            });
+        }
+        rt.wait_future(fut).unwrap();
+        let s = rt.stats();
+        assert!(
+            s.localities[0].tasks_shed > 0,
+            "overloaded locality never shed: {:?}",
+            s.total()
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn hot_object_is_pulled_toward_caller() {
+        let mut cfg = BalanceConfig::adaptive();
+        cfg.heat_threshold = 8;
+        let rt = RuntimeBuilder::new(balanced_config(2, cfg))
+            .build()
+            .unwrap();
+        let obj = rt.new_data_at(LocalityId(0), vec![1, 2, 3]);
+        // Locality 1 hammers the object with reads; the balancer should
+        // migrate it there.
+        let done = rt.new_and_gate(LocalityId(1), 1);
+        rt.spawn_at(LocalityId(1), move |ctx| {
+            fn pump(ctx: &mut Ctx<'_>, obj: Gid, done: Gid, left: u32) {
+                if left == 0 {
+                    ctx.trigger_value(done, Value::unit());
+                    return;
+                }
+                let fut = ctx.fetch_data(obj);
+                ctx.when_ready(fut.gid(), move |ctx, _| pump(ctx, obj, done, left - 1));
+            }
+            pump(ctx, obj, done, 600);
+        });
+        let fut: FutureRef<()> = FutureRef::from_gid(done);
+        rt.wait_future(fut).unwrap();
+        let migrated = wait_until(Duration::from_secs(5), || {
+            rt.inner().agas.authoritative_owner(obj) == LocalityId(1)
+        });
+        let (manual, balancer) = rt.inner().agas.migrations_by_cause();
+        assert!(
+            migrated && balancer >= 1,
+            "object never pulled: manual={manual} balancer={balancer}"
+        );
+        assert_eq!(manual, 0);
+        assert!(rt.stats().localities[1].balance_pulls >= 1);
+        rt.shutdown();
+    }
+
+    /// Regression: concurrent migrations of the same object (e.g. a
+    /// manual `migrate_data` racing a balancer pull) must serialize —
+    /// without the migration lock's ownership re-check, both could read
+    /// the same source, insert at different destinations, and leave a
+    /// stale resident copy at the directory loser forever.
+    #[test]
+    fn concurrent_migrations_leave_single_resident() {
+        let rt = RuntimeBuilder::new(Config::small(3, 1)).build().unwrap();
+        let obj = rt.new_data_at(LocalityId(0), vec![1]);
+        std::thread::scope(|s| {
+            for dest in [1u16, 2u16] {
+                let rt = &rt;
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        // Losing a race is fine (NoSuchObject); diverging
+                        // state is not.
+                        let _ = rt.migrate_data(obj, LocalityId(dest));
+                    }
+                });
+            }
+        });
+        let owner = rt.inner().agas.authoritative_owner(obj);
+        let resident: Vec<u16> = (0..3u16)
+            .filter(|&i| rt.inner().localities[i as usize].contains(obj))
+            .collect();
+        assert_eq!(
+            resident,
+            vec![owner.0],
+            "exactly the owner holds the object"
+        );
+        rt.shutdown();
+    }
+
+    /// Regression: migration must never leave a window where the object
+    /// is in neither store. Under an instant wire the owner-but-absent
+    /// retry path has no backoff, so such a window lets in-flight
+    /// parcels burn their whole hop budget and die, stranding their
+    /// continuations. Fire reads at an object while it migrates back
+    /// and forth; every read must complete and nothing may die.
+    #[test]
+    fn migration_race_never_strands_parcels() {
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        let obj = rt.new_data_at(LocalityId(0), vec![7]);
+        const N: u64 = 300;
+        let gate = rt.new_and_gate(LocalityId(1), N);
+        for _ in 0..N {
+            rt.spawn_at(LocalityId(1), move |ctx| {
+                let fut = ctx.fetch_data(obj);
+                ctx.when_ready(fut.gid(), move |ctx, _| {
+                    ctx.trigger_value(gate, Value::unit());
+                });
+            });
+        }
+        for i in 0..100u16 {
+            rt.migrate_data(obj, LocalityId((i + 1) % 2)).unwrap();
+            // Let chases settle so the test exercises the move window,
+            // not hop-budget exhaustion from migrating faster than
+            // parcels can chase.
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let fut: FutureRef<()> = FutureRef::from_gid(gate);
+        assert!(
+            rt.wait_future_timeout(fut, Duration::from_secs(20))
+                .unwrap()
+                .is_some(),
+            "reads stranded by migration race: {:?}",
+            rt.stats().total()
+        );
+        assert_eq!(rt.stats().total().dead_parcels, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn balancer_off_runs_clean() {
+        // No balance config: none of the new counters may move.
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        let v = rt.run_blocking(LocalityId(1), |ctx| ctx.here().0);
+        assert_eq!(v, 1);
+        std::thread::sleep(Duration::from_millis(5));
+        let t = rt.stats().total();
+        assert_eq!(t.gossip_rounds, 0);
+        assert_eq!(t.gossip_parcels, 0);
+        assert_eq!(t.tasks_shed, 0);
+        assert_eq!(t.balance_pulls, 0);
+        rt.shutdown();
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod action;
 pub mod agas;
+pub(crate) mod balance;
 pub mod echo;
 pub mod error;
 pub mod fxmap;
@@ -82,6 +83,7 @@ pub mod prelude {
     pub use crate::process::ProcessRef;
     pub use crate::runtime::{Config, Ctx, Runtime, RuntimeBuilder};
     pub use crate::stats::StatsSnapshot;
+    pub use px_balance::{Adaptive, BalanceConfig, BalancePolicy, DataToWork, WorkToData};
 }
 
 pub use action::{Action, ActionId, Value};

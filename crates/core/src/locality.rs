@@ -27,7 +27,8 @@ use crate::sched::Task;
 use crate::stats::LocalityCounters;
 use crossbeam::deque::{Injector, Stealer};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use px_balance::{LoadMonitor, PeerView};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -102,6 +103,45 @@ impl SleepCtl {
     }
 }
 
+/// Per-locality balancer state (present only when `Config::balance` is
+/// set, so the balanced and un-balanced runtimes differ by one `Option`
+/// check on the hot paths).
+pub(crate) struct BalanceState {
+    /// Control-plane queue: gossip parcels land here and are drained
+    /// ahead of all other work. Without this, a saturated locality would
+    /// execute gossip only after its entire data backlog — exactly the
+    /// moment it most needs to learn its peers are idle.
+    pub(crate) control: Injector<Task>,
+    /// Sliding-window load monitor, sampled by the balancer pulse.
+    pub(crate) monitor: Mutex<LoadMonitor>,
+    /// What this locality believes about every locality's load (filled by
+    /// gossip parcels; decisions read only this view, never another
+    /// locality's state directly).
+    pub(crate) peers: Mutex<PeerView>,
+    /// Spawn-redirect target for the current round (`u32::MAX` = none):
+    /// the balancer publishes the least-loaded peer here when the policy
+    /// wants fresh local spawns diffused.
+    pub(crate) spawn_target: AtomicU32,
+    /// Round-robin counter so only every other spawn is redirected
+    /// (full redirection would just move the hotspot).
+    pub(crate) spawn_seq: AtomicU64,
+}
+
+/// Sentinel for "no spawn redirect this round".
+pub(crate) const NO_SPAWN_TARGET: u32 = u32::MAX;
+
+impl BalanceState {
+    pub(crate) fn new(n_localities: usize, window: usize) -> BalanceState {
+        BalanceState {
+            control: Injector::new(),
+            monitor: Mutex::new(LoadMonitor::new(window)),
+            peers: Mutex::new(PeerView::new(n_localities)),
+            spawn_target: AtomicU32::new(NO_SPAWN_TARGET),
+            spawn_seq: AtomicU64::new(0),
+        }
+    }
+}
+
 /// One ParalleX locality.
 pub struct Locality {
     /// This locality's id.
@@ -121,6 +161,8 @@ pub struct Locality {
     pub(crate) sleep: SleepCtl,
     /// Workers prefer the staging queue (precious-resource policy, E4).
     pub staged_priority: bool,
+    /// Balancer state; `None` unless `Config::balance` is set.
+    pub(crate) balance: Option<BalanceState>,
 }
 
 impl std::fmt::Debug for Locality {
@@ -145,7 +187,26 @@ impl Locality {
             counters: LocalityCounters::default(),
             sleep: SleepCtl::default(),
             staged_priority,
+            balance: None,
         }
+    }
+
+    /// Attach balancer state (called by the builder, before the locality
+    /// is shared).
+    pub(crate) fn enable_balance(&mut self, n_localities: usize, window: usize) {
+        self.balance = Some(BalanceState::new(n_localities, window));
+    }
+
+    /// Tasks waiting in the general run queue (balancer telemetry; the
+    /// per-worker deques are not observable from outside, which is fine —
+    /// a deep deque implies a busy worker feeding it).
+    pub fn queue_depth(&self) -> usize {
+        self.injector.len()
+    }
+
+    /// Prestaged tasks waiting in the staging buffer.
+    pub fn staging_depth(&self) -> usize {
+        self.staging.len()
     }
 
     // ---- task ingress ----------------------------------------------------
@@ -160,6 +221,19 @@ impl Locality {
     pub(crate) fn push_staged(&self, task: Task) {
         self.staging.push(task);
         self.sleep.wake_one();
+    }
+
+    /// Enqueue a control-plane task (balancer gossip), drained ahead of
+    /// all other queues. Falls back to the general queue if balancing is
+    /// off here (possible only for forged gossip parcels).
+    pub(crate) fn push_control(&self, task: Task) {
+        match &self.balance {
+            Some(b) => {
+                b.control.push(task);
+                self.sleep.wake_one();
+            }
+            None => self.push_task(task),
+        }
     }
 
     // ---- object store ----------------------------------------------------

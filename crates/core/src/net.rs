@@ -11,7 +11,7 @@
 //! With a zero latency model the wire is bypassed entirely (direct push),
 //! which is the "same box" configuration used by unit tests.
 //!
-//! ## Batching ([`BatchPolicy`], [`PortSet`])
+//! ## Batching ([`BatchPolicy`], `PortSet`)
 //!
 //! Per-parcel transport overhead — a `Vec` allocation, a channel
 //! submission, a delay-heap operation, an injector push, and a worker
@@ -385,6 +385,16 @@ pub(crate) enum WireMsg {
         /// The task to enqueue.
         task: Task,
     },
+    /// Control-plane parcel (balancer gossip): delivered into the
+    /// destination's control queue, drained ahead of all other work so a
+    /// saturated locality still learns about idle peers promptly. Never
+    /// coalesced — control traffic is latency-sensitive by nature.
+    Control {
+        /// Destination locality.
+        dest: LocalityId,
+        /// Encoded parcel bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 /// Why a port's frame was flushed (drives stats attribution).
@@ -480,6 +490,9 @@ impl Wire {
             }
             WireMsg::Task { dest, task } => {
                 sink_locs[dest.0 as usize].push_task(task);
+            }
+            WireMsg::Control { dest, bytes } => {
+                sink_locs[dest.0 as usize].push_control(Task::parcel_bytes(bytes));
             }
         });
         let line = DelayLine::new(model, sink);

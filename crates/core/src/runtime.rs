@@ -26,8 +26,10 @@ use crate::net::{BatchPolicy, Wire, WireModel};
 use crate::parcel::{Continuation, Parcel};
 use crate::process::{ProcessInner, ProcessRef};
 use crate::sched::{sys, Task};
+use crossbeam::channel::Sender;
 use crossbeam::deque::Worker as WorkerDeque;
 use parking_lot::{Mutex, RwLock};
+use px_balance::BalanceConfig;
 use serde::{de::DeserializeOwned, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +53,12 @@ pub struct Config {
     /// Localities that drain their percolation staging buffer at top
     /// priority (the "precious resources" of §2.2).
     pub accelerators: Vec<LocalityId>,
+    /// Adaptive cross-locality load balancing (heat-driven AGAS migration
+    /// plus parcel-based work diffusion). `None` (the default) disables
+    /// every balancer hook: no gossip, no heat tracking, no shedding —
+    /// runtime behavior and parcel counts are identical to a build
+    /// without the subsystem.
+    pub balance: Option<BalanceConfig>,
 }
 
 impl Default for Config {
@@ -61,6 +69,7 @@ impl Default for Config {
             wire: WireModel::instant(),
             batch: BatchPolicy::single(),
             accelerators: Vec::new(),
+            balance: None,
         }
     }
 }
@@ -132,6 +141,43 @@ impl Config {
         self
     }
 
+    /// Enable the cross-locality balancer with the given configuration
+    /// (builder style). See [`BalanceConfig::adaptive`],
+    /// [`BalanceConfig::work_to_data`], [`BalanceConfig::data_to_work`].
+    pub fn with_balance(mut self, balance: BalanceConfig) -> Config {
+        self.balance = Some(balance);
+        self
+    }
+
+    /// Set the balancer pulse interval (builder style). Asking for a
+    /// gossip cadence means asking for balancing, so if the balancer is
+    /// still off this enables the [`BalanceConfig::adaptive`] policy —
+    /// mirroring how [`Config::with_max_batch_bytes`] engages batching.
+    pub fn with_gossip_interval(mut self, interval: Duration) -> Config {
+        self.balance
+            .get_or_insert_with(BalanceConfig::adaptive)
+            .gossip_interval = interval;
+        self
+    }
+
+    /// Set the shed overload ratio (builder style; enables the adaptive
+    /// balancer if off, like [`Config::with_gossip_interval`]).
+    pub fn with_shed_ratio(mut self, ratio: f64) -> Config {
+        self.balance
+            .get_or_insert_with(BalanceConfig::adaptive)
+            .shed_ratio = ratio;
+        self
+    }
+
+    /// Set the per-round heat threshold for balancer migrations (builder
+    /// style; enables the adaptive balancer if off).
+    pub fn with_heat_threshold(mut self, accesses_per_round: u64) -> Config {
+        self.balance
+            .get_or_insert_with(BalanceConfig::adaptive)
+            .heat_threshold = accesses_per_round;
+        self
+    }
+
     fn validate(&self) -> PxResult<()> {
         if self.localities == 0 || self.localities > u16::MAX as usize {
             return Err(PxError::BadConfig(format!(
@@ -162,6 +208,22 @@ impl Config {
                 "flush_interval must be nonzero when batching".into(),
             ));
         }
+        if let Some(b) = &self.balance {
+            if b.gossip_interval.is_zero() {
+                return Err(PxError::BadConfig(
+                    "balance gossip_interval must be nonzero".into(),
+                ));
+            }
+            if b.window == 0 {
+                return Err(PxError::BadConfig("balance window must be ≥ 1".into()));
+            }
+            if b.shed_ratio.is_nan() || b.shed_ratio < 1.0 {
+                return Err(PxError::BadConfig(format!(
+                    "balance shed_ratio must be ≥ 1.0, got {}",
+                    b.shed_ratio
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -179,6 +241,11 @@ pub struct RuntimeInner {
     pub(crate) wire: Wire,
     pub(crate) shutdown: AtomicBool,
     pub(crate) process_table: RwLock<FxHashMap<Gid, Arc<ProcessInner>>>,
+    /// Whether the send path records AGAS access heat: true only when the
+    /// balancer is on *and* its policy can act on heat
+    /// ([`px_balance::BalancePolicy::uses_heat`]) — otherwise the
+    /// per-send heat-map update would be pure overhead.
+    pub(crate) track_heat: bool,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -233,22 +300,33 @@ impl RuntimeBuilder {
         }
         self.config.validate()?;
         let n = self.config.localities;
+        let balance_window = self.config.balance.as_ref().map(|b| b.window);
         let localities: Arc<Vec<Arc<Locality>>> = Arc::new(
             (0..n)
                 .map(|i| {
                     let id = LocalityId(i as u16);
                     let accel = self.config.accelerators.contains(&id);
-                    Arc::new(Locality::new(id, accel))
+                    let mut loc = Locality::new(id, accel);
+                    if let Some(window) = balance_window {
+                        loc.enable_balance(n, window);
+                    }
+                    Arc::new(loc)
                 })
                 .collect(),
         );
         let wire = Wire::new(self.config.wire, localities.clone(), self.config.batch);
+        let track_heat = self
+            .config
+            .balance
+            .as_ref()
+            .is_some_and(|b| b.policy.uses_heat());
         let inner = Arc::new(RuntimeInner {
             agas: Agas::new(n),
             registry: self.registry,
             wire,
             shutdown: AtomicBool::new(false),
             process_table: RwLock::new(FxHashMap::default()),
+            track_heat,
             localities,
             config: self.config,
         });
@@ -271,9 +349,24 @@ impl RuntimeBuilder {
                 );
             }
         }
+        // The balancer pulse: one thread closing the telemetry → placement
+        // loop for all localities (decisions still read only per-locality
+        // gossip state; see `crate::balance`).
+        let balancer = if inner.config.balance.is_some() {
+            let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+            let rt = inner.clone();
+            let handle = std::thread::Builder::new()
+                .name("px-balancer".into())
+                .spawn(move || crate::balance::balancer_main(rt, stop_rx))
+                .expect("spawn balancer thread");
+            Some((stop_tx, handle))
+        } else {
+            None
+        };
         Ok(Runtime {
             inner,
             joins: Mutex::new(Some(joins)),
+            balancer: Mutex::new(balancer),
         })
     }
 }
@@ -282,6 +375,7 @@ impl RuntimeBuilder {
 pub struct Runtime {
     inner: Arc<RuntimeInner>,
     joins: Mutex<Option<Vec<JoinHandle<()>>>>,
+    balancer: Mutex<Option<(Sender<()>, JoinHandle<()>)>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -308,6 +402,7 @@ impl Runtime {
 
     /// Snapshot all locality counters.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        let (migrations_manual, migrations_balancer) = self.inner.agas.migrations_by_cause();
         crate::stats::StatsSnapshot {
             localities: self
                 .inner
@@ -315,12 +410,21 @@ impl Runtime {
                 .iter()
                 .map(|l| l.counters.snapshot())
                 .collect(),
+            migrations_manual,
+            migrations_balancer,
         }
     }
 
     /// Stop accepting work, wake and join all workers, stop the wire.
     /// Idempotent; also invoked on drop.
     pub fn shutdown(&self) {
+        // Stop the balancer first so no new gossip/shed traffic races the
+        // worker teardown (closing the channel stops the thread).
+        let balancer = self.balancer.lock().take();
+        if let Some((stop, handle)) = balancer {
+            drop(stop);
+            let _ = handle.join();
+        }
         let joins = self.joins.lock().take();
         if let Some(joins) = joins {
             self.inner.shutdown.store(true, Ordering::Release);
@@ -465,17 +569,23 @@ impl Runtime {
     }
 
     /// Read a data object wherever it lives (driver-side shortcut; inside
-    /// PX-threads use parcels or [`Ctx::fetch_data`]).
+    /// PX-threads use parcels or [`Ctx::fetch_data`]). Owner lookup and
+    /// store access happen under the migration guard, so a concurrent
+    /// migration (manual or balancer) cannot yield a spurious
+    /// `NoSuchObject` between the two.
     pub fn read_data(&self, gid: Gid) -> PxResult<Vec<u8>> {
+        let _guard = self.inner.agas.migration_guard();
         let owner = self.inner.agas.authoritative_owner(gid);
         let d = self.inner.locality(owner).get_data(gid)?;
         let g = d.read();
         Ok(g.bytes.clone())
     }
 
-    /// Migrate a data object to `to`. Store move and directory update are
-    /// performed back to back; parcels racing with the move are forwarded
-    /// (bounded chase) by the scheduler.
+    /// Migrate a data object to `to`. The object is inserted at the
+    /// destination before it is removed from the source (both stores
+    /// briefly alias the same `Arc`), so a racing parcel never finds it
+    /// nowhere; parcels routed on stale caches are forwarded (bounded
+    /// chase) by the scheduler.
     pub fn migrate_data(&self, gid: Gid, to: LocalityId) -> PxResult<()> {
         if gid.kind() != GidKind::Data {
             return Err(PxError::NotMigratable(gid));
@@ -484,14 +594,13 @@ impl Runtime {
         if from == to {
             return Ok(());
         }
-        let obj = self
-            .inner
-            .locality(from)
-            .remove(gid)
-            .ok_or(PxError::NoSuchObject(gid))?;
-        self.inner.locality(to).insert_at(gid, obj);
-        self.inner.agas.record_migration(gid, to);
-        Ok(())
+        crate::balance::migrate_object(
+            &self.inner,
+            gid,
+            from,
+            to,
+            crate::agas::MigrationCause::Manual,
+        )
     }
 
     // ---- names & processes -------------------------------------------------
@@ -575,7 +684,23 @@ impl<'a> Ctx<'a> {
 
     /// Spawn a PX-thread on this locality (LIFO on the local deque — the
     /// cache-friendly fast path). Inherits the current process.
+    ///
+    /// When the balancer is on and this locality is overloaded, every
+    /// other spawn is diffused to the least-loaded gossip peer instead
+    /// (the target is republished each balancer round by the balancer
+    /// pulse; see the `balance` module).
     pub fn spawn(&mut self, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        if let Some(b) = &self.loc.balance {
+            let t = b.spawn_target.load(std::sync::atomic::Ordering::Relaxed);
+            if t != crate::locality::NO_SPAWN_TARGET
+                && b.spawn_seq
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    & 1
+                    == 0
+            {
+                return self.spawn_at(LocalityId(t as u16), f);
+            }
+        }
         let task = Task::thread(f).with_process(self.process);
         if let Some(p) = self.process {
             self.rt.process_task_started(p);
@@ -856,12 +981,12 @@ impl<'a> Ctx<'a> {
 
     /// Overwrite a possibly-remote data object; the returned future fires
     /// (unit) when the write is applied.
-    pub fn store_data(&mut self, gid: Gid, bytes: &Vec<u8>) -> PxResult<FutureRef<()>> {
+    pub fn store_data(&mut self, gid: Gid, bytes: &[u8]) -> PxResult<FutureRef<()>> {
         let fut = self.new_future::<()>();
         let p = Parcel::new(
             gid,
             sys::DATA_PUT,
-            Value::encode(bytes)?,
+            Value::encode(&bytes)?,
             Continuation::set(fut.gid()),
         );
         self.rt.send_parcel(self.here(), p);

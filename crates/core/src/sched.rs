@@ -62,6 +62,11 @@ pub mod sys {
     pub const ECHO_PROP: ActionId = ActionId::of("__sys/echo_prop");
     /// Echo split-phase validation request.
     pub const ECHO_VALIDATE: ActionId = ActionId::of("__sys/echo_validate");
+    /// Balancer gossip: payload = encoded peer-load view (see
+    /// [`px_balance::PeerView::encode_gossip`]); merged into the
+    /// destination locality's view. Rides the ordinary (batched)
+    /// transport like any other parcel.
+    pub const BALANCE_GOSSIP: ActionId = ActionId::of("__sys/balance_gossip");
 }
 
 /// Maximum forward hops before a parcel is declared dead (covers races
@@ -212,6 +217,14 @@ pub(crate) fn worker_main(
 
 /// Pull the next task according to the locality's queue discipline.
 fn find_task(loc: &Locality, local: &Worker<Task>, worker_idx: usize) -> Option<Task> {
+    // Control plane first: balancer gossip must not starve behind the
+    // data backlog it exists to measure. The queue exists only when
+    // balancing is on, so the default discipline is untouched.
+    if let Some(b) = &loc.balance {
+        if let Steal::Success(t) = b.control.steal() {
+            return Some(t);
+        }
+    }
     // Precious-resource localities drain prestaged work first (§2.2
     // percolation: the staged queue is what keeps the expensive unit busy).
     if loc.staged_priority {
@@ -364,6 +377,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             // and repair the sender's cache so the next one routes right.
             if p.hops >= MAX_HOPS {
                 bump!(loc.counters.dead_parcels);
+                bump!(loc.counters.chase_cap_violations);
                 return;
             }
             bump!(loc.counters.parcels_forwarded);
@@ -376,14 +390,13 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         // We are the authoritative owner but the object is absent: either
         // it is mid-migration (retry; the wire acts as backoff) or it was
         // freed (bounded by MAX_HOPS, then dead).
-        if p.hops < MAX_HOPS {
-            let mut retry = p;
-            retry.hops += 1;
-            rt.route_parcel(loc.id, loc.id, retry);
-        } else {
-            bump!(loc.counters.dead_parcels);
-        }
+        retry_after_migration(rt, loc, p);
         return;
+    }
+    // Chase accounting: this parcel is home; record how far it wandered.
+    if p.hops > 0 {
+        bump!(loc.counters.chased_parcels);
+        bump!(loc.counters.chase_hops_total, u64::from(p.hops));
     }
 
     // System actions first: they bypass the registry and use raw payload
@@ -430,22 +443,42 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
                 let v = Value::encode(&bytes).expect("Vec<u8> encodes");
                 apply_continuation(rt, loc, p.cont, v);
             }
+            // The object left between the residency check and the store
+            // access (a migration's final remove interleaved): chase it
+            // rather than stranding the continuation. Wrong-kind targets
+            // are a user bug and fail fast — retrying cannot fix them.
+            Err(PxError::NoSuchObject(_)) => retry_after_migration(rt, loc, p),
             Err(_) => bump!(loc.counters.dead_parcels),
         }
         return;
     } else if a == sys::DATA_PUT {
-        match (loc.get_data(p.dest), p.payload.decode::<Vec<u8>>()) {
-            (Ok(d), Ok(bytes)) => {
-                let mut g = d.write();
-                g.bytes = bytes;
-                g.version += 1;
-                apply_continuation(rt, loc, p.cont, Value::unit());
-            }
-            _ => bump!(loc.counters.dead_parcels),
+        match p.payload.decode::<Vec<u8>>() {
+            Err(_) => bump!(loc.counters.dead_parcels),
+            Ok(bytes) => match loc.get_data(p.dest) {
+                Ok(d) => {
+                    let mut g = d.write();
+                    g.bytes = bytes;
+                    g.version += 1;
+                    apply_continuation(rt, loc, p.cont, Value::unit());
+                }
+                Err(PxError::NoSuchObject(_)) => retry_after_migration(rt, loc, p),
+                Err(_) => bump!(loc.counters.dead_parcels),
+            },
         }
         return;
     } else if a == sys::ECHO_UPDATE || a == sys::ECHO_PROP || a == sys::ECHO_VALIDATE {
         crate::echo::handle_sys(rt, loc, p);
+        return;
+    } else if a == sys::BALANCE_GOSSIP {
+        bump!(loc.counters.gossip_parcels);
+        if let Some(b) = &loc.balance {
+            match px_balance::decode_gossip(p.payload.bytes()) {
+                Ok(entries) => b.peers.lock().merge(&entries),
+                Err(_) => bump!(loc.counters.dead_parcels),
+            }
+        }
+        // Without balance state (possible only if a user forges the
+        // action name) the parcel is silently dropped.
         return;
     }
 
@@ -470,6 +503,23 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             bump!(loc.counters.dead_parcels);
         }
         Err(_) => unreachable!("registry returns only UnknownAction"),
+    }
+}
+
+/// Re-route a parcel whose target object is absent from the locality the
+/// directory pointed at — mid-migration (including the final remove
+/// interleaving with a check-then-get in a data handler). The directory
+/// already knows the current owner, so this is the ordinary bounded
+/// chase; a genuinely freed object exhausts the hop budget and dies.
+fn retry_after_migration(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel) {
+    if p.hops < MAX_HOPS {
+        let owner = rt.agas.authoritative_owner(p.dest);
+        let mut retry = p;
+        retry.hops += 1;
+        rt.route_parcel(loc.id, owner, retry);
+    } else {
+        bump!(loc.counters.dead_parcels);
+        bump!(loc.counters.chase_cap_violations);
     }
 }
 
@@ -564,6 +614,14 @@ impl RuntimeInner {
     pub(crate) fn send_parcel(self: &Arc<Self>, from: LocalityId, p: Parcel) {
         let from_loc = &self.localities[from.0 as usize];
         let owner = self.agas.resolve_counted(from_loc, p.dest);
+        // Balancer heat hook: remember that we keep addressing this
+        // remote object, so the balancer can pull it toward us (heat is
+        // drained every gossip round; see `crate::balance`). Gated on
+        // `track_heat` so the default send path — and any policy that
+        // never migrates — skips the lock entirely.
+        if self.track_heat && owner != from && p.dest.kind() == crate::gid::GidKind::Data {
+            self.agas.note_access(from, p.dest);
+        }
         let mut p = p;
         p.src = from;
         self.route_parcel(from, owner, p);
@@ -591,6 +649,17 @@ impl RuntimeInner {
         }
         if let Some(pg) = p.process {
             self.process_task_started(pg);
+        }
+        // Balancer gossip bypasses the coalescing ports and lands in the
+        // destination's control queue: it must outrun the very backlog it
+        // reports on.
+        if p.action == sys::BALANCE_GOSSIP {
+            let bytes = p.encode();
+            let n = bytes.len();
+            self.wire
+                .send(crate::net::WireMsg::Control { dest: owner, bytes }, n);
+            bump!(from_loc.counters.bytes_sent, n as u64);
+            return;
         }
         // Parcel-borne process accounting: the receiving worker decrements
         // via the decoded parcel's process field. The wire either ships
@@ -659,6 +728,7 @@ mod tests {
             sys::ECHO_UPDATE,
             sys::ECHO_PROP,
             sys::ECHO_VALIDATE,
+            sys::BALANCE_GOSSIP,
         ];
         let set: std::collections::HashSet<u64> = ids.iter().map(|i| i.0).collect();
         assert_eq!(set.len(), ids.len());

@@ -61,6 +61,25 @@ pub struct LocalityCounters {
     pub dead_parcels: AtomicU64,
     /// PX-threads that panicked (isolated; the worker survives).
     pub panics: AtomicU64,
+    /// Balancer rounds in which this locality was sampled and gossiped.
+    pub gossip_rounds: AtomicU64,
+    /// Gossip parcels received and merged here.
+    pub gossip_parcels: AtomicU64,
+    /// Queued tasks shed from here to a less-loaded peer (work diffusion).
+    pub tasks_shed: AtomicU64,
+    /// Objects migrated *to* here by the balancer (heat-driven pulls).
+    pub balance_pulls: AtomicU64,
+    /// Hops accumulated by parcels that ultimately executed here — both
+    /// forward hops after a stale resolution and owner-but-absent retry
+    /// hops during a migration window (every hop is a routing cost paid
+    /// to find the object). AGAS chase length numerator; divide by
+    /// [`LocalityStats::chased_parcels`].
+    pub chase_hops_total: AtomicU64,
+    /// Parcels executed here after at least one forward or retry hop.
+    pub chased_parcels: AtomicU64,
+    /// Parcels killed here by the forwarding hop cap (chase budget
+    /// exhausted: migration storm or a freed object).
+    pub chase_cap_violations: AtomicU64,
 }
 
 macro_rules! bump {
@@ -99,6 +118,13 @@ impl LocalityCounters {
             batch_flush_timer: self.batch_flush_timer.load(Ordering::Relaxed),
             dead_parcels: self.dead_parcels.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
+            gossip_parcels: self.gossip_parcels.load(Ordering::Relaxed),
+            tasks_shed: self.tasks_shed.load(Ordering::Relaxed),
+            balance_pulls: self.balance_pulls.load(Ordering::Relaxed),
+            chase_hops_total: self.chase_hops_total.load(Ordering::Relaxed),
+            chased_parcels: self.chased_parcels.load(Ordering::Relaxed),
+            chase_cap_violations: self.chase_cap_violations.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +155,13 @@ pub struct LocalityStats {
     pub batch_flush_timer: u64,
     pub dead_parcels: u64,
     pub panics: u64,
+    pub gossip_rounds: u64,
+    pub gossip_parcels: u64,
+    pub tasks_shed: u64,
+    pub balance_pulls: u64,
+    pub chase_hops_total: u64,
+    pub chased_parcels: u64,
+    pub chase_cap_violations: u64,
 }
 
 impl LocalityStats {
@@ -152,6 +185,17 @@ impl LocalityStats {
         } else {
             // Frames carry coalesced parcels plus each frame's opener.
             (self.coalesced_parcels + self.frames_sent) as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Mean forward hops per chased parcel (0.0 when nothing chased). A
+    /// rising mean under a migration-heavy policy means senders' caches
+    /// are staying stale longer than the repair hints can fix.
+    pub fn mean_chase_len(&self) -> f64 {
+        if self.chased_parcels == 0 {
+            0.0
+        } else {
+            self.chase_hops_total as f64 / self.chased_parcels as f64
         }
     }
 
@@ -190,6 +234,13 @@ impl LocalityStats {
             batch_flush_timer: self.batch_flush_timer - earlier.batch_flush_timer,
             dead_parcels: self.dead_parcels - earlier.dead_parcels,
             panics: self.panics - earlier.panics,
+            gossip_rounds: self.gossip_rounds - earlier.gossip_rounds,
+            gossip_parcels: self.gossip_parcels - earlier.gossip_parcels,
+            tasks_shed: self.tasks_shed - earlier.tasks_shed,
+            balance_pulls: self.balance_pulls - earlier.balance_pulls,
+            chase_hops_total: self.chase_hops_total - earlier.chase_hops_total,
+            chased_parcels: self.chased_parcels - earlier.chased_parcels,
+            chase_cap_violations: self.chase_cap_violations - earlier.chase_cap_violations,
         }
     }
 }
@@ -199,6 +250,10 @@ impl LocalityStats {
 pub struct StatsSnapshot {
     /// Per-locality stats, indexed by locality id.
     pub localities: Vec<LocalityStats>,
+    /// AGAS migrations recorded by explicit [`crate::runtime::Runtime::migrate_data`] calls.
+    pub migrations_manual: u64,
+    /// AGAS migrations initiated by the balancer (heat-driven pulls).
+    pub migrations_balancer: u64,
 }
 
 impl StatsSnapshot {
@@ -228,6 +283,13 @@ impl StatsSnapshot {
             t.batch_flush_timer += l.batch_flush_timer;
             t.dead_parcels += l.dead_parcels;
             t.panics += l.panics;
+            t.gossip_rounds += l.gossip_rounds;
+            t.gossip_parcels += l.gossip_parcels;
+            t.tasks_shed += l.tasks_shed;
+            t.balance_pulls += l.balance_pulls;
+            t.chase_hops_total += l.chase_hops_total;
+            t.chased_parcels += l.chased_parcels;
+            t.chase_cap_violations += l.chase_cap_violations;
         }
         t
     }
@@ -253,6 +315,8 @@ impl StatsSnapshot {
                 .zip(earlier.localities.iter())
                 .map(|(now, then)| now.delta_from(then))
                 .collect(),
+            migrations_manual: self.migrations_manual - earlier.migrations_manual,
+            migrations_balancer: self.migrations_balancer - earlier.migrations_balancer,
         }
     }
 }
@@ -310,13 +374,27 @@ mod tests {
         };
         let snap = StatsSnapshot {
             localities: vec![a, b],
+            ..Default::default()
         };
         assert_eq!(snap.total().parcels_sent, 13);
         let later = StatsSnapshot {
             localities: vec![b, b],
+            migrations_manual: 2,
+            migrations_balancer: 5,
         };
         let d = later.delta_from(&snap);
         assert_eq!(d.localities[0].parcels_sent, 3);
         assert_eq!(d.localities[1].parcels_sent, 0);
+        assert_eq!(d.migrations_manual, 2);
+        assert_eq!(d.migrations_balancer, 5);
+    }
+
+    #[test]
+    fn chase_len_mean() {
+        let mut s = LocalityStats::default();
+        assert_eq!(s.mean_chase_len(), 0.0);
+        s.chase_hops_total = 9;
+        s.chased_parcels = 4;
+        assert!((s.mean_chase_len() - 2.25).abs() < 1e-12);
     }
 }

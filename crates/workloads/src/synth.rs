@@ -2,6 +2,9 @@
 //!
 //! * [`spin_for_ns`] / [`SpinCalibration`] — calibrated busy-work standing
 //!   in for "compute" with a controllable grain size (E2, E3, E4).
+//! * [`sleep_for_ns`] — latency-bound grain (blocking wait, no CPU) for
+//!   placement experiments that must not depend on physical core count
+//!   (E12).
 //! * [`lognormal_work`] — per-task service times with tunable coefficient
 //!   of variation, the imbalance knob for the LCO-vs-barrier experiment
 //!   (E3).
@@ -31,6 +34,23 @@ pub fn spin_for_ns(ns: u64) {
     while start.elapsed() < target {
         std::hint::spin_loop();
     }
+}
+
+/// Block for approximately `ns` nanoseconds without consuming CPU.
+///
+/// The latency-bound counterpart of [`spin_for_ns`]: it models a task
+/// whose grain is dominated by waiting on a remote resource (memory,
+/// storage, a device) rather than by computation. Because sleeping
+/// workers overlap freely, placement effects (starvation, diffusion,
+/// migration) show up in wall-clock makespan even on hosts with fewer
+/// physical cores than simulated localities — which is why the E12
+/// balancer experiment uses this grain.
+#[inline]
+pub fn sleep_for_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    std::thread::sleep(std::time::Duration::from_nanos(ns));
 }
 
 /// Measured cost model of `spin_for_ns` on this host (sanity checks in

@@ -4,6 +4,7 @@
 //! [`px_core`] (the execution model), [`px_litlx`] (the LITL-X API),
 //! [`px_gilgamesh`] (the Gilgamesh II architecture study),
 //! [`px_datavortex`] (the interconnect simulator).
+pub use px_balance as balance;
 pub use px_baseline as baseline;
 pub use px_core as core;
 pub use px_datavortex as datavortex;

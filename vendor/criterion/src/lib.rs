@@ -3,7 +3,7 @@
 //! Keeps the macro/entry-point shape (`criterion_group!`,
 //! `criterion_main!`, groups, `Bencher::iter`/`iter_batched`) and prints
 //! one line per benchmark with the median time per iteration. Iteration
-//! counts auto-calibrate toward [`TARGET_SAMPLE`]; statistical machinery
+//! counts auto-calibrate toward `TARGET_SAMPLE`; statistical machinery
 //! (outlier analysis, plots) is intentionally absent. Set
 //! `CRITERION_SAMPLE_MS` to trade precision for runtime.
 

@@ -153,7 +153,7 @@ impl<T> Injector<T> {
     }
 
     /// Steal a batch into `dest`, returning one task directly. Amortizes
-    /// queue contention across up to [`BATCH_LIMIT`] tasks.
+    /// queue contention across up to `BATCH_LIMIT` tasks.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         let mut q = lock(&self.inner);
         let Some(first) = q.pop_front() else {
