@@ -86,7 +86,7 @@ pub fn run_echo() -> Row {
                 // the next iteration immediately (the overlap).
                 let sc = stale_count.clone();
                 echo::commit::<u64, _>(ctx, root, version, move |ctx, outcome| {
-                    if matches!(outcome, echo::CommitOutcome::Stale { .. }) {
+                    if matches!(outcome, Ok(echo::CommitOutcome::Stale { .. })) {
                         sc.fetch_add(1, Ordering::Relaxed);
                     }
                     ctx.trigger_value(gate, px_core::action::Value::unit());

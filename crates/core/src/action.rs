@@ -36,53 +36,122 @@ impl fmt::Debug for ActionId {
 /// An immutable, cheaply-cloneable serialized value (parcel payloads, LCO
 /// results). Cloning is an `Arc` bump, so one trigger can feed many
 /// waiting continuations without copying bytes.
+///
+/// A value is either an ordinary payload or a **fault** — the encoded
+/// cause of death of a parcel, delivered along its continuation chain
+/// (see [`crate::error::Fault`]). Fault-ness is a flag beside the bytes,
+/// not inside them, so an ordinary payload can never be mistaken for a
+/// fault; the parcel header preserves the flag across the wire.
 #[derive(Clone, Default)]
-pub struct Value(Arc<[u8]>);
+pub struct Value {
+    bytes: Arc<[u8]>,
+    fault: bool,
+}
 
 impl Value {
     /// The unit value (zero bytes).
     pub fn unit() -> Value {
-        Value(Arc::from(&[][..]))
+        Value {
+            bytes: Arc::from(&[][..]),
+            fault: false,
+        }
     }
 
     /// Encode a serializable value.
     pub fn encode<T: Serialize>(v: &T) -> PxResult<Value> {
-        Ok(Value(px_wire::to_bytes(v)?.into()))
+        Ok(Value {
+            bytes: px_wire::to_bytes(v)?.into(),
+            fault: false,
+        })
     }
 
     /// Wrap already-encoded bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> Value {
-        Value(bytes.into())
+        Value {
+            bytes: bytes.into(),
+            fault: false,
+        }
+    }
+
+    /// Wrap already-encoded bytes with an explicit fault flag (the parcel
+    /// wire-decode path, which carries the flag in the header).
+    pub(crate) fn from_bytes_flagged(bytes: Vec<u8>, fault: bool) -> Value {
+        Value {
+            bytes: bytes.into(),
+            fault,
+        }
+    }
+
+    /// Build a fault value carrying `f` (see [`crate::error::Fault`]).
+    pub fn error(f: &crate::error::Fault) -> Value {
+        Value {
+            bytes: f.to_wire().encode().into(),
+            fault: true,
+        }
+    }
+
+    /// True when this value is a fault rather than a payload.
+    #[inline]
+    pub fn is_fault(&self) -> bool {
+        self.fault
+    }
+
+    /// The fault carried by this value, if it is one. Corrupt fault bytes
+    /// still yield a fault (cause [`crate::error::FaultCause::Decode`]) —
+    /// fault-ness comes from the flag, and a flagged value must never
+    /// decode as a success.
+    pub fn fault(&self) -> Option<crate::error::Fault> {
+        if !self.fault {
+            return None;
+        }
+        Some(match px_wire::WireFault::decode(&self.bytes) {
+            Ok(w) => crate::error::Fault::from_wire(&w),
+            Err(e) => crate::error::Fault::new(
+                crate::error::FaultCause::Decode,
+                ActionId(0),
+                crate::gid::Gid(0),
+                format!("corrupt fault payload: {e}"),
+            ),
+        })
     }
 
     /// Decode into a concrete type. The type must match what was encoded —
-    /// the wire format is positional, not self-describing.
+    /// the wire format is positional, not self-describing. A fault value
+    /// never decodes: it surfaces as [`PxError::Fault`], so typed waiters
+    /// observe upstream deaths as errors.
     pub fn decode<T: DeserializeOwned>(&self) -> PxResult<T> {
-        Ok(px_wire::from_bytes(&self.0)?)
+        if let Some(f) = self.fault() {
+            return Err(PxError::Fault(f));
+        }
+        Ok(px_wire::from_bytes(&self.bytes)?)
     }
 
     /// Raw encoded bytes.
     #[inline]
     pub fn bytes(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 
     /// Encoded length in bytes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.bytes.len()
     }
 
     /// True if the value has no bytes (the unit value).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.bytes.is_empty()
     }
 }
 
 impl fmt::Debug for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Value({} bytes)", self.0.len())
+        if self.fault {
+            write!(f, "Value(fault, {} bytes)", self.bytes.len())
+        } else {
+            write!(f, "Value({} bytes)", self.bytes.len())
+        }
     }
 }
 
@@ -212,6 +281,36 @@ mod tests {
         let v = Value::unit();
         assert!(v.is_empty());
         assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn fault_value_roundtrips_and_never_decodes() {
+        use crate::error::{Fault, FaultCause, PxError};
+        let f = Fault::new(
+            FaultCause::Panic,
+            ActionId::of("x/y"),
+            crate::gid::Gid(7),
+            "boom",
+        );
+        let v = Value::error(&f);
+        assert!(v.is_fault());
+        assert_eq!(v.fault().unwrap(), f);
+        // Typed decode surfaces the fault as an error, not as garbage data.
+        match v.decode::<u64>() {
+            Err(PxError::Fault(got)) => assert_eq!(got, f),
+            other => panic!("expected fault error, got {other:?}"),
+        }
+        // Ordinary values are never faults.
+        assert!(!Value::unit().is_fault());
+        assert!(Value::encode(&1u64).unwrap().fault().is_none());
+    }
+
+    #[test]
+    fn corrupt_fault_bytes_still_fault() {
+        let v = Value::from_bytes_flagged(vec![1, 2], true);
+        let f = v.fault().unwrap();
+        assert_eq!(f.cause, crate::error::FaultCause::Decode);
+        assert!(v.decode::<u64>().is_err());
     }
 
     #[test]

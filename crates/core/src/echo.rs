@@ -30,13 +30,12 @@
 //!   overlap the paper claims, and experiment E5 measures it.
 
 use crate::action::Value;
-use crate::error::{PxError, PxResult};
+use crate::error::{FaultCause, PxError, PxResult};
 use crate::gid::{Gid, GidKind, LocalityId};
 use crate::locality::{Locality, Stored};
 use crate::parcel::{Continuation, Parcel};
 use crate::runtime::{Ctx, Runtime, RuntimeInner};
 use crate::sched::sys;
-use crate::stats::bump;
 use parking_lot::Mutex;
 use px_wire::{WireReader, WireWriter};
 use serde::{de::DeserializeOwned, Serialize};
@@ -198,10 +197,16 @@ pub enum CommitOutcome<T> {
 /// for `used_version` and *suspends* the continuation `k` on the reply.
 /// The worker is free to run other threads while the validation is in
 /// flight (the overlap E5 measures).
+///
+/// `k` always runs: with `Ok(outcome)` when the root answered, or with
+/// `Err(PxError::Fault(_))` when the validation parcel died (root freed,
+/// hop cap, …) — the continuation must not be silently dropped, or the
+/// thread's downstream waiters would hang exactly the way dead parcels
+/// used to hang them.
 pub fn commit<T, K>(ctx: &mut Ctx<'_>, root: Gid, used_version: u64, k: K) -> PxResult<()>
 where
     T: DeserializeOwned + 'static,
-    K: FnOnce(&mut Ctx<'_>, CommitOutcome<T>) + Send + 'static,
+    K: FnOnce(&mut Ctx<'_>, PxResult<CommitOutcome<T>>) + Send + 'static,
 {
     // Local future receives the root's reply.
     let reply = ctx.locality().new_future_lco();
@@ -215,11 +220,13 @@ where
     );
     ctx.rt_inner().send_parcel(ctx.here(), p);
     ctx.when_ready(reply, move |ctx, v| {
-        let outcome = decode_validation::<T>(&v);
-        match outcome {
-            Ok(o) => k(ctx, o),
-            Err(_) => { /* malformed reply: counted at the root side */ }
-        }
+        let outcome = match v.fault() {
+            // The validation parcel died; the death was counted and
+            // dead-lettered where it was raised, and k observes it here.
+            Some(f) => Err(PxError::Fault(f)),
+            None => decode_validation::<T>(&v),
+        };
+        k(ctx, outcome);
     });
     Ok(())
 }
@@ -264,11 +271,17 @@ fn decode_validation<T: DeserializeOwned>(v: &Value) -> PxResult<CommitOutcome<T
 }
 
 /// System-parcel handler for echo operations (called from the scheduler).
+/// Dead paths kill the parcel loudly (see [`crate::sched::kill_parcel`])
+/// so a blocked [`commit_blocking`] caller gets a fault, not a hang.
 pub(crate) fn handle_sys(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel) {
     let node = match loc.get(p.dest) {
         Some(Stored::Echo(n)) => n,
-        _ => {
-            bump!(loc.counters.dead_parcels);
+        other => {
+            let msg = match other {
+                Some(_) => format!("{} is not an echo node", p.dest),
+                None => format!("no echo node {} here", p.dest),
+            };
+            crate::sched::kill_parcel(rt, loc, p, FaultCause::HandlerError, msg);
             return;
         }
     };
@@ -286,11 +299,13 @@ pub(crate) fn handle_sys(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel)
         // Child: apply if newer, keep propagating.
         let mut r = WireReader::new(p.payload.bytes());
         let Ok(version) = r.get_u64() else {
-            bump!(loc.counters.dead_parcels);
+            let msg = "echo propagation missing version".to_string();
+            crate::sched::kill_parcel(rt, loc, p, FaultCause::Decode, msg);
             return;
         };
         let Ok(rest) = r.get_bytes(r.remaining()) else {
-            bump!(loc.counters.dead_parcels);
+            let msg = "echo propagation payload truncated".to_string();
+            crate::sched::kill_parcel(rt, loc, p, FaultCause::Decode, msg);
             return;
         };
         let value = Value::from_bytes(rest.to_vec());
@@ -310,7 +325,8 @@ pub(crate) fn handle_sys(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel)
         // ECHO_VALIDATE: root answers valid/stale against current version.
         let mut r = WireReader::new(p.payload.bytes());
         let Ok(used) = r.get_u64() else {
-            bump!(loc.counters.dead_parcels);
+            let msg = "echo validation missing version".to_string();
+            crate::sched::kill_parcel(rt, loc, p, FaultCause::Decode, msg);
             return;
         };
         let reply = {

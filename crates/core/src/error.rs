@@ -1,4 +1,5 @@
-//! Error type for runtime operations.
+//! Error type for runtime operations, and the first-class fault value
+//! that carries a parcel's cause of death along its continuation chain.
 
 use crate::action::ActionId;
 use crate::gid::Gid;
@@ -6,6 +7,133 @@ use std::fmt;
 
 /// Result alias for runtime operations.
 pub type PxResult<T> = Result<T, PxError>;
+
+/// Why a parcel (or an LCO it was feeding) died. The five kill paths of
+/// the scheduler, mirrored one-to-one by the by-cause dead-parcel
+/// counters in [`crate::stats::LocalityStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCause {
+    /// The forwarding/retry hop budget was exhausted chasing a migrating
+    /// or freed object.
+    HopCap,
+    /// The parcel named an action absent from the registry.
+    UnknownAction,
+    /// The action handler (user or system) returned an error — including
+    /// LCO protocol violations such as double-triggering a future.
+    HandlerError,
+    /// The action handler panicked (the worker survived; the panic
+    /// message rides in the fault).
+    Panic,
+    /// The parcel payload (or frame record) could not be decoded.
+    Decode,
+}
+
+impl FaultCause {
+    /// Stable wire code (see [`px_wire::WireFault::cause`]).
+    pub fn code(self) -> u8 {
+        match self {
+            FaultCause::HopCap => 0,
+            FaultCause::UnknownAction => 1,
+            FaultCause::HandlerError => 2,
+            FaultCause::Panic => 3,
+            FaultCause::Decode => 4,
+        }
+    }
+
+    /// Decode a wire code; unknown codes (newer peer) map to
+    /// [`FaultCause::HandlerError`], the most generic cause.
+    pub fn from_code(code: u8) -> FaultCause {
+        match code {
+            0 => FaultCause::HopCap,
+            1 => FaultCause::UnknownAction,
+            3 => FaultCause::Panic,
+            4 => FaultCause::Decode,
+            _ => FaultCause::HandlerError,
+        }
+    }
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultCause::HopCap => "hop-cap exhausted",
+            FaultCause::UnknownAction => "unknown action",
+            FaultCause::HandlerError => "handler error",
+            FaultCause::Panic => "panicked action",
+            FaultCause::Decode => "undecodable payload",
+        })
+    }
+}
+
+/// A first-class failure value: created where a parcel dies, delivered
+/// along its continuation chain (poisoning LCOs it would have fed), and
+/// ultimately surfaced to waiters as [`PxError::Fault`].
+///
+/// Faults are wire-encodable ([`px_wire::WireFault`] fixes the byte
+/// layout) so a continuation on another locality still learns of the
+/// death.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// What killed the parcel.
+    pub cause: FaultCause,
+    /// Action the dying parcel carried (`ActionId(0)` when the fault did
+    /// not originate from an action dispatch).
+    pub action: ActionId,
+    /// Destination object of the dying parcel.
+    pub dest: Gid,
+    /// Human-readable description (panic message, error display, …).
+    pub message: String,
+}
+
+impl Fault {
+    /// Build a fault for a parcel addressed to `dest` carrying `action`.
+    pub fn new(
+        cause: FaultCause,
+        action: ActionId,
+        dest: Gid,
+        message: impl Into<String>,
+    ) -> Fault {
+        Fault {
+            cause,
+            action,
+            dest,
+            message: message.into(),
+        }
+    }
+
+    /// Convert to the wire schema.
+    pub fn to_wire(&self) -> px_wire::WireFault {
+        px_wire::WireFault {
+            cause: self.cause.code(),
+            action: self.action.0,
+            dest: self.dest.0,
+            message: self.message.clone(),
+        }
+    }
+
+    /// Convert from the wire schema.
+    pub fn from_wire(w: &px_wire::WireFault) -> Fault {
+        Fault {
+            cause: FaultCause::from_code(w.cause),
+            action: ActionId(w.action),
+            dest: Gid(w.dest),
+            message: w.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.cause, self.dest)?;
+        if self.action.0 != 0 {
+            write!(f, " (action {:?})", self.action)?;
+        }
+        if !self.message.is_empty() {
+            write!(f, ": {}", self.message)?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors surfaced by the ParalleX runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +167,9 @@ pub enum PxError {
     NotMigratable(Gid),
     /// Configuration rejected at build time.
     BadConfig(String),
+    /// A parcel died and its fault propagated to this waiter (the loud
+    /// replacement for a silent hang).
+    Fault(Fault),
 }
 
 impl fmt::Display for PxError {
@@ -58,6 +189,7 @@ impl fmt::Display for PxError {
             }
             PxError::NotMigratable(g) => write!(f, "object {g} cannot migrate"),
             PxError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            PxError::Fault(fault) => write!(f, "fault: {fault}"),
         }
     }
 }

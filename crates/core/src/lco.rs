@@ -31,9 +31,15 @@
 //! Locking is per-object (`parking_lot::Mutex` around [`LcoCore`]); no
 //! waiter code runs under the lock — operations return [`Activations`]
 //! that the caller schedules after unlocking.
+//!
+//! Every kind can also become **poisoned** ([`LcoCore::poison`]): when a
+//! producer the LCO was waiting on dies, the fault releases all current
+//! and future waiters instead of leaving them hanging. A fault value
+//! arriving through `trigger`/`trigger_slot`/`contribute` poisons rather
+//! than fires, so faults propagate through LCO dependency chains.
 
 use crate::action::Value;
-use crate::error::{PxError, PxResult};
+use crate::error::{Fault, PxError, PxResult};
 use crate::gid::Gid;
 use crate::runtime::Ctx;
 use parking_lot::{Condvar, Mutex};
@@ -68,29 +74,39 @@ impl ExtSlot {
         self.cv.notify_all();
     }
 
-    /// Block until the slot is filled.
-    pub fn wait(&self) -> Value {
+    /// Block until the slot is filled. A fault value (the LCO was
+    /// poisoned — its producer died) surfaces as [`PxError::Fault`].
+    pub fn wait(&self) -> PxResult<Value> {
         let mut g = self.value.lock();
         loop {
             if let Some(v) = g.take() {
-                return v;
+                return surface_fault(v);
             }
             self.cv.wait(&mut g);
         }
     }
 
-    /// Block until the slot is filled or `timeout` elapses.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Value> {
+    /// Block until the slot is filled or `timeout` elapses. `Ok(None)` on
+    /// timeout; a fault fill surfaces as [`PxError::Fault`].
+    pub fn wait_timeout(&self, timeout: Duration) -> PxResult<Option<Value>> {
         let deadline = std::time::Instant::now() + timeout;
         let mut g = self.value.lock();
         loop {
             if let Some(v) = g.take() {
-                return Some(v);
+                return surface_fault(v).map(Some);
             }
             if self.cv.wait_until(&mut g, deadline).timed_out() {
-                return g.take();
+                return g.take().map(surface_fault).transpose();
             }
         }
+    }
+}
+
+/// Turn a fault value into the error it carries; pass payloads through.
+fn surface_fault(v: Value) -> PxResult<Value> {
+    match v.fault() {
+        Some(f) => Err(PxError::Fault(f)),
+        None => Ok(v),
     }
 }
 
@@ -181,8 +197,14 @@ impl std::fmt::Debug for LcoBody {
 }
 
 enum LcoState {
-    Pending { waiters: Vec<Waiter>, body: LcoBody },
+    Pending {
+        waiters: Vec<Waiter>,
+        body: LcoBody,
+    },
     Ready(Value),
+    /// A producer died before the firing condition was met: every current
+    /// and future waiter receives the fault instead of a value.
+    Poisoned(Fault),
 }
 
 /// The synchronized core of every LCO.
@@ -204,6 +226,11 @@ impl std::fmt::Debug for LcoCore {
                 .debug_struct("LcoCore")
                 .field("gid", &self.gid)
                 .field("ready", v)
+                .finish(),
+            LcoState::Poisoned(fault) => f
+                .debug_struct("LcoCore")
+                .field("gid", &self.gid)
+                .field("poisoned", fault)
                 .finish(),
         }
     }
@@ -243,8 +270,17 @@ impl LcoCore {
         Self::pending(gid, LcoBody::OrGate)
     }
 
-    /// New dataflow template with `n` input slots and a combine function.
+    /// New dataflow template with `n` input slots and a combine function
+    /// (n = 0 has nothing to wait for and fires at creation, like the
+    /// zero-count gate and reduction constructors — a pending zero-slot
+    /// template could never fire and would hang its waiters).
     pub fn new_dataflow(gid: Gid, n: usize, combine: CombineFn) -> Self {
+        if n == 0 {
+            return LcoCore {
+                gid,
+                state: LcoState::Ready(combine(&mut [])),
+            };
+        }
         Self::pending(
             gid,
             LcoBody::Dataflow {
@@ -296,6 +332,19 @@ impl LcoCore {
         matches!(self.state, LcoState::Ready(_))
     }
 
+    /// True once the LCO has been poisoned (a producer died).
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self.state, LcoState::Poisoned(_))
+    }
+
+    /// The poisoning fault, if any.
+    pub fn poison_fault(&self) -> Option<&Fault> {
+        match &self.state {
+            LcoState::Poisoned(f) => Some(f),
+            _ => None,
+        }
+    }
+
     /// Peek at the fired value.
     pub fn value(&self) -> Option<Value> {
         match &self.state {
@@ -307,20 +356,48 @@ impl LcoCore {
     fn fire(&mut self, value: Value) -> Activations {
         let waiters = match &mut self.state {
             LcoState::Pending { waiters, .. } => std::mem::take(waiters),
-            LcoState::Ready(_) => Vec::new(),
+            LcoState::Ready(_) | LcoState::Poisoned(_) => Vec::new(),
         };
         self.state = LcoState::Ready(value.clone());
         waiters.into_iter().map(|w| (w, value.clone())).collect()
     }
 
+    /// Poison the LCO: a producer it was waiting on died. Every current
+    /// waiter — value waiters *and* queued semaphore acquirers — is
+    /// released exactly once with the fault, and every future waiter
+    /// receives it immediately on registration. Poisoning an LCO that has
+    /// already fired (or is already poisoned) is a no-op: its waiters
+    /// were satisfied, and the fault was counted where it was raised.
+    pub fn poison(&mut self, fault: Fault) -> Activations {
+        match &mut self.state {
+            LcoState::Ready(_) | LcoState::Poisoned(_) => Vec::new(),
+            LcoState::Pending { waiters, body } => {
+                let mut all = std::mem::take(waiters);
+                if let LcoBody::Semaphore { queue, .. } = body {
+                    all.extend(std::mem::take(queue));
+                }
+                let v = Value::error(&fault);
+                self.state = LcoState::Poisoned(fault);
+                all.into_iter().map(|w| (w, v.clone())).collect()
+            }
+        }
+    }
+
     /// Deliver a trigger event. Semantics depend on the body; see the
     /// module table. Errors on double-triggering single-assignment LCOs.
+    /// A *fault* value does not trigger — it poisons: gates, reductions,
+    /// and futures all propagate an upstream death to their waiters
+    /// instead of counting it as a completion.
     pub fn trigger(&mut self, value: Value) -> PxResult<Activations> {
+        if let Some(f) = value.fault() {
+            return Ok(self.poison(f));
+        }
         match &mut self.state {
             LcoState::Ready(_) => match self_body_tolerates_retrigger(&self.state) {
                 true => Ok(Vec::new()),
                 false => Err(PxError::AlreadyTriggered(self.gid)),
             },
+            LcoState::Poisoned(f) => Err(PxError::Fault(f.clone())),
             LcoState::Pending { body, .. } => match body {
                 LcoBody::Future => Ok(self.fire(value)),
                 LcoBody::AndGate { remaining } => {
@@ -339,10 +416,15 @@ impl LcoCore {
         }
     }
 
-    /// Fill dataflow slot `idx`.
+    /// Fill dataflow slot `idx`. A fault value poisons the whole template
+    /// (one dead input means the combine can never run).
     pub fn trigger_slot(&mut self, idx: usize, value: Value) -> PxResult<Activations> {
+        if let Some(f) = value.fault() {
+            return Ok(self.poison(f));
+        }
         match &mut self.state {
             LcoState::Ready(_) => Err(PxError::AlreadyTriggered(self.gid)),
+            LcoState::Poisoned(f) => Err(PxError::Fault(f.clone())),
             LcoState::Pending { body, .. } => match body {
                 LcoBody::Dataflow {
                     slots,
@@ -369,10 +451,15 @@ impl LcoCore {
         }
     }
 
-    /// Fold a contribution into a reduction LCO.
+    /// Fold a contribution into a reduction LCO. A fault contribution
+    /// poisons the reduction (the fold can never complete its count).
     pub fn contribute(&mut self, value: Value) -> PxResult<Activations> {
+        if let Some(f) = value.fault() {
+            return Ok(self.poison(f));
+        }
         match &mut self.state {
             LcoState::Ready(_) => Err(PxError::AlreadyTriggered(self.gid)),
+            LcoState::Poisoned(f) => Err(PxError::Fault(f.clone())),
             LcoState::Pending { body, .. } => match body {
                 LcoBody::Reduce {
                     remaining,
@@ -395,10 +482,12 @@ impl LcoCore {
     }
 
     /// Register a waiter for the fired value. If the LCO already fired,
-    /// the activation is returned immediately.
+    /// the activation is returned immediately; if it is poisoned, the
+    /// waiter is released immediately with the fault.
     pub fn add_waiter(&mut self, w: Waiter) -> Activations {
         match &mut self.state {
             LcoState::Ready(v) => vec![(w, v.clone())],
+            LcoState::Poisoned(f) => vec![(w, Value::error(f))],
             LcoState::Pending { waiters, .. } => {
                 waiters.push(w);
                 Vec::new()
@@ -407,7 +496,8 @@ impl LcoCore {
     }
 
     /// Semaphore acquire: runs (or queues) the waiter when a permit is
-    /// available.
+    /// available. On a poisoned semaphore the waiter is released
+    /// immediately with the fault instead of queueing forever.
     pub fn acquire(&mut self, w: Waiter) -> PxResult<Activations> {
         match &mut self.state {
             LcoState::Pending {
@@ -422,6 +512,7 @@ impl LcoCore {
                     Ok(Vec::new())
                 }
             }
+            LcoState::Poisoned(f) => Ok(vec![(w, Value::error(f))]),
             _ => Err(PxError::WrongObjectKind(self.gid)),
         }
     }
@@ -659,14 +750,14 @@ mod tests {
     fn ext_slot_fill_then_wait() {
         let slot = Arc::new(ExtSlot::default());
         slot.fill(val(5));
-        assert_eq!(slot.wait().decode::<u64>().unwrap(), 5);
+        assert_eq!(slot.wait().unwrap().decode::<u64>().unwrap(), 5);
     }
 
     #[test]
     fn ext_slot_cross_thread() {
         let slot = Arc::new(ExtSlot::default());
         let s2 = slot.clone();
-        let h = std::thread::spawn(move || s2.wait().decode::<u64>().unwrap());
+        let h = std::thread::spawn(move || s2.wait().unwrap().decode::<u64>().unwrap());
         std::thread::sleep(Duration::from_millis(10));
         slot.fill(val(77));
         assert_eq!(h.join().unwrap(), 77);
@@ -675,6 +766,118 @@ mod tests {
     #[test]
     fn ext_slot_timeout() {
         let slot = ExtSlot::default();
-        assert!(slot.wait_timeout(Duration::from_millis(5)).is_none());
+        assert!(slot
+            .wait_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn ext_slot_fault_fill_surfaces_error() {
+        let slot = ExtSlot::default();
+        let f = sample_fault();
+        slot.fill(Value::error(&f));
+        match slot.wait_timeout(Duration::from_secs(1)) {
+            Err(PxError::Fault(got)) => assert_eq!(got, f),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        slot.fill(Value::error(&f));
+        assert!(matches!(slot.wait(), Err(PxError::Fault(_))));
+    }
+
+    fn sample_fault() -> Fault {
+        Fault::new(
+            crate::error::FaultCause::Panic,
+            crate::action::ActionId::of("t/dead"),
+            gid(99),
+            "producer died",
+        )
+    }
+
+    #[test]
+    fn poison_releases_current_and_future_waiters() {
+        let mut fu = LcoCore::new_future(gid(20));
+        assert!(fu
+            .add_waiter(Waiter::Cont(crate::parcel::Continuation::none()))
+            .is_empty());
+        let acts = fu.poison(sample_fault());
+        assert_eq!(acts.len(), 1, "current waiter released");
+        assert!(acts[0].1.is_fault());
+        assert!(fu.is_poisoned());
+        assert!(!fu.is_ready());
+        assert_eq!(fu.poison_fault().unwrap(), &sample_fault());
+        // Future waiters resolve immediately with the same fault.
+        let late = fu.add_waiter(Waiter::Cont(crate::parcel::Continuation::none()));
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].1.fault().unwrap(), sample_fault());
+        // Triggers after poison surface the fault to the triggerer.
+        assert!(matches!(fu.trigger(val(1)), Err(PxError::Fault(_))));
+    }
+
+    #[test]
+    fn fault_trigger_poisons_gates_and_reductions() {
+        let mut g = LcoCore::new_and_gate(gid(21), 3);
+        g.trigger(Value::unit()).unwrap();
+        let acts = g.trigger(Value::error(&sample_fault())).unwrap();
+        assert!(acts.is_empty(), "no waiters yet");
+        assert!(g.is_poisoned(), "a dead contributor poisons the gate");
+
+        let fold: ReduceFn = Box::new(|a, _| a);
+        let mut r = LcoCore::new_reduce(gid(22), 2, val(0), fold);
+        r.contribute(Value::error(&sample_fault())).unwrap();
+        assert!(r.is_poisoned());
+
+        let combine: CombineFn = Box::new(|_| Value::unit());
+        let mut d = LcoCore::new_dataflow(gid(23), 2, combine);
+        d.trigger_slot(1, Value::error(&sample_fault())).unwrap();
+        assert!(d.is_poisoned());
+    }
+
+    #[test]
+    fn poison_after_fire_is_noop() {
+        let mut fu = LcoCore::new_future(gid(24));
+        fu.trigger(val(8)).unwrap();
+        assert!(fu.poison(sample_fault()).is_empty());
+        assert!(fu.is_ready(), "a late fault cannot un-fire an LCO");
+        assert_eq!(fu.value().unwrap().decode::<u64>().unwrap(), 8);
+        // Double poison is equally a no-op.
+        let mut p = LcoCore::new_future(gid(25));
+        p.poison(sample_fault());
+        assert!(p.poison(sample_fault()).is_empty());
+    }
+
+    #[test]
+    fn poison_drains_semaphore_queue() {
+        let mut s = LcoCore::new_semaphore(gid(26), 0);
+        s.acquire(Waiter::Cont(crate::parcel::Continuation::none()))
+            .unwrap();
+        s.acquire(Waiter::External(Arc::new(ExtSlot::default())))
+            .unwrap();
+        let acts = s.poison(sample_fault());
+        assert_eq!(acts.len(), 2, "queued acquirers released with the fault");
+        assert!(acts.iter().all(|(_, v)| v.is_fault()));
+        // A later acquire resolves immediately with the fault, not a hang.
+        let late = s
+            .acquire(Waiter::Cont(crate::parcel::Continuation::none()))
+            .unwrap();
+        assert_eq!(late.len(), 1);
+        assert!(late[0].1.is_fault());
+        assert!(s.release().is_empty());
+    }
+
+    #[test]
+    fn zero_count_lcos_fire_at_creation() {
+        assert!(LcoCore::new_and_gate(gid(27), 0).is_ready());
+        let fold: ReduceFn = Box::new(|a, _| a);
+        let r = LcoCore::new_reduce(gid(28), 0, val(3), fold);
+        assert!(r.is_ready());
+        assert_eq!(r.value().unwrap().decode::<u64>().unwrap(), 3);
+        let combine: CombineFn = Box::new(|slots| {
+            assert!(slots.is_empty());
+            Value::encode(&11u64).unwrap()
+        });
+        let d = LcoCore::new_dataflow(gid(29), 0, combine);
+        assert!(d.is_ready(), "zero-slot dataflow must not hang its waiters");
+        assert_eq!(d.value().unwrap().decode::<u64>().unwrap(), 11);
     }
 }

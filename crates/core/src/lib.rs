@@ -75,21 +75,21 @@ pub mod stats;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::action::{Action, ActionId, Value};
-    pub use crate::error::{PxError, PxResult};
+    pub use crate::error::{Fault, FaultCause, PxError, PxResult};
     pub use crate::gid::{Gid, GidKind, LocalityId};
     pub use crate::lco::FutureRef;
     pub use crate::net::{BatchPolicy, WireModel};
     pub use crate::parcel::{Continuation, Parcel};
     pub use crate::process::ProcessRef;
-    pub use crate::runtime::{Config, Ctx, Runtime, RuntimeBuilder};
+    pub use crate::runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder};
     pub use crate::stats::StatsSnapshot;
     pub use px_balance::{Adaptive, BalanceConfig, BalancePolicy, DataToWork, WorkToData};
 }
 
 pub use action::{Action, ActionId, Value};
-pub use error::{PxError, PxResult};
+pub use error::{Fault, FaultCause, PxError, PxResult};
 pub use gid::{Gid, GidKind, LocalityId};
 pub use lco::FutureRef;
 pub use net::{BatchPolicy, WireModel};
 pub use parcel::{Continuation, Parcel};
-pub use runtime::{Config, Ctx, Runtime, RuntimeBuilder};
+pub use runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder};

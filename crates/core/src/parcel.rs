@@ -149,7 +149,10 @@ impl Parcel {
         w.put_u64(self.action.0);
         w.put_u16(self.src.0);
         w.put_u8(self.hops);
-        w.put_u8(self.staged as u8);
+        // Flags byte: bit 0 = staged, bit 1 = payload is a fault value.
+        // (Non-fault parcels encode exactly as before the fault bit
+        // existed, so the default-config byte stream is unchanged.)
+        w.put_u8(self.staged as u8 | (self.payload.is_fault() as u8) << 1);
         match self.process {
             None => w.put_u8(0),
             Some(g) => {
@@ -185,7 +188,9 @@ impl Parcel {
         let action = ActionId(r.get_u64()?);
         let src = LocalityId(r.get_u16()?);
         let hops = r.get_u8()?;
-        let staged = r.get_u8()? != 0;
+        let flags = r.get_u8()?;
+        let staged = flags & 1 != 0;
+        let payload_fault = flags & 2 != 0;
         let process = match r.get_u8()? {
             0 => None,
             _ => Some(Gid(r.get_u64()?)),
@@ -203,7 +208,7 @@ impl Parcel {
                 _ => ContStep::Contribute(Gid(r.get_u64()?)),
             });
         }
-        let payload = Value::from_bytes(r.get_len_bytes()?.to_vec());
+        let payload = Value::from_bytes_flagged(r.get_len_bytes()?.to_vec(), payload_fault);
         Ok(Parcel {
             dest,
             action,
@@ -218,7 +223,7 @@ impl Parcel {
 
     /// Wire size in bytes (without re-encoding).
     pub fn wire_size(&self) -> usize {
-        let mut n = 8 + 8 + 2 + 1 + 1 + 1; // dest+action+src+hops+staged+proc tag
+        let mut n = 8 + 8 + 2 + 1 + 1 + 1; // dest+action+src+hops+flags+proc tag
         if self.process.is_some() {
             n += 8;
         }
@@ -325,6 +330,28 @@ mod tests {
         assert!(q.cont.is_none());
         assert!(q.payload.is_empty());
         assert_eq!(q.process, None);
+    }
+
+    #[test]
+    fn fault_payload_survives_the_wire() {
+        use crate::error::{Fault, FaultCause};
+        let f = Fault::new(
+            FaultCause::HopCap,
+            ActionId::of("test/action"),
+            Gid::new(LocalityId(3), GidKind::Data, 42),
+            "hop budget exhausted",
+        );
+        let p = Parcel::new(
+            Gid::new(LocalityId(1), GidKind::Lco, 7),
+            crate::sched::sys::LCO_SET,
+            Value::error(&f),
+            Continuation::none(),
+        );
+        let q = Parcel::decode(&p.encode()).unwrap();
+        assert!(q.payload.is_fault());
+        assert_eq!(q.payload.fault().unwrap(), f);
+        assert!(!q.staged, "fault bit must not bleed into staged");
+        assert_eq!(p.wire_size(), p.encode().len());
     }
 
     #[test]

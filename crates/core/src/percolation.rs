@@ -34,6 +34,14 @@ use std::sync::Arc;
 /// Send a percolated task: action `A` on `target` with `args`, prestaged
 /// into `dest`'s staging buffer. The payload travels with the task, so
 /// execution is purely local at the destination.
+///
+/// # Failure semantics
+///
+/// A percolated parcel dies like any other — unknown action, panicking
+/// handler, handler error — and its death is loud: the fault is delivered
+/// to `cont`, so a driver waiting on the continuation's future observes
+/// [`crate::error::PxError::Fault`] instead of hanging while the
+/// accelerator's staging buffer silently swallows the task.
 pub fn percolate<A: Action>(
     rt: &Arc<RuntimeInner>,
     from: LocalityId,

@@ -77,7 +77,9 @@ impl ProcessInner {
     pub(crate) fn task_done(&self, rt: &Arc<RuntimeInner>) {
         if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
             let home = rt.locality(self.done.birthplace());
-            crate::sched::lco_sys_op(rt, home, self.done, |l| l.trigger(Value::unit()));
+            // The done-future is an or-gate-like unit trigger; re-triggers
+            // on a quiesce/re-activate cycle are tolerated by the LCO.
+            let _ = crate::sched::lco_sys_op(rt, home, self.done, |l| l.trigger(Value::unit()));
         }
     }
 

@@ -17,7 +17,7 @@
 
 use crate::action::{Action, ActionRegistry, Value};
 use crate::agas::Agas;
-use crate::error::{PxError, PxResult};
+use crate::error::{Fault, PxError, PxResult};
 use crate::fxmap::FxHashMap;
 use crate::gid::{Gid, GidKind, LocalityId};
 use crate::lco::{CombineFn, ExtSlot, FutureRef, LcoCore, ReduceFn, Waiter};
@@ -246,7 +246,23 @@ pub struct RuntimeInner {
     /// ([`px_balance::BalancePolicy::uses_heat`]) — otherwise the
     /// per-send heat-map update would be pure overhead.
     pub(crate) track_heat: bool,
+    /// Dead-letter hook: observes every fault the runtime raises (parcel
+    /// deaths and dead-ended LCO errors). `None` by default — faults are
+    /// still counted and delivered to continuations either way.
+    pub(crate) dead_letter: Option<DeadLetterHook>,
 }
+
+/// Observer invoked (synchronously, on the worker that raised it) for
+/// every fault. Keep it cheap and non-blocking; it runs on the hot path
+/// of a dying parcel. Registered via [`RuntimeBuilder::on_dead_letter`].
+///
+/// The hook sees a superset of the `dead_parcels` counters: parcel
+/// deaths and dead-ended LCO errors (counted by cause), plus two
+/// uncounted classes with no parcel to count — panics in closure
+/// threads ([`Ctx::spawn`]/[`Ctx::when_ready`] bodies, visible in the
+/// `panics` counter only) and [`Ctx::acquire`] continuations dropped at
+/// a poisoned semaphore.
+pub type DeadLetterHook = Arc<dyn Fn(&Fault) + Send + Sync + 'static>;
 
 impl std::fmt::Debug for RuntimeInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -264,6 +280,14 @@ impl RuntimeInner {
     pub fn locality(&self, id: LocalityId) -> &Arc<Locality> {
         &self.localities[id.0 as usize]
     }
+
+    /// Report a fault to the dead-letter hook, if one is registered.
+    #[inline]
+    pub(crate) fn notify_dead_letter(&self, fault: &Fault) {
+        if let Some(hook) = &self.dead_letter {
+            hook(fault);
+        }
+    }
 }
 
 /// Builds a [`Runtime`]: collect the action registry, validate the
@@ -272,6 +296,7 @@ pub struct RuntimeBuilder {
     config: Config,
     registry: ActionRegistry,
     errors: Vec<PxError>,
+    dead_letter: Option<DeadLetterHook>,
 }
 
 impl RuntimeBuilder {
@@ -281,6 +306,7 @@ impl RuntimeBuilder {
             config,
             registry: ActionRegistry::new(),
             errors: Vec::new(),
+            dead_letter: None,
         }
     }
 
@@ -290,6 +316,16 @@ impl RuntimeBuilder {
         if let Err(e) = self.registry.register::<A>() {
             self.errors.push(e);
         }
+        self
+    }
+
+    /// Install a dead-letter hook observing every fault the runtime
+    /// raises (parcel deaths by any cause, dead-ended LCO errors). Runs
+    /// synchronously on the raising worker — keep it cheap. Faults are
+    /// counted and propagated to continuations whether or not a hook is
+    /// installed; the hook is for logging, alerting, and tests.
+    pub fn on_dead_letter(mut self, hook: impl Fn(&Fault) + Send + Sync + 'static) -> Self {
+        self.dead_letter = Some(Arc::new(hook));
         self
     }
 
@@ -327,6 +363,7 @@ impl RuntimeBuilder {
             shutdown: AtomicBool::new(false),
             process_table: RwLock::new(FxHashMap::default()),
             track_heat,
+            dead_letter: self.dead_letter,
             localities,
             config: self.config,
         });
@@ -526,22 +563,26 @@ impl Runtime {
         self.trigger(fut.gid(), value)
     }
 
-    /// Block until an LCO fires; returns the raw value.
+    /// Block until an LCO fires; returns the raw value. If the LCO is (or
+    /// becomes) *poisoned* — a parcel feeding it died — this returns
+    /// [`PxError::Fault`] instead of blocking forever.
     pub fn wait_value(&self, gid: Gid) -> PxResult<Value> {
         let loc = self.inner.locality(gid.birthplace());
         let lco = loc.get_lco(gid)?;
         let slot = Arc::new(ExtSlot::default());
         let acts = lco.lock().add_waiter(Waiter::External(slot.clone()));
         self.inner.schedule_activations(loc, acts);
-        Ok(slot.wait())
+        slot.wait()
     }
 
-    /// Block until a typed future fires.
+    /// Block until a typed future fires. A poisoned future surfaces as
+    /// [`PxError::Fault`] (see the README's "Failure semantics").
     pub fn wait_future<T: Serialize + DeserializeOwned>(&self, fut: FutureRef<T>) -> PxResult<T> {
         self.wait_value(fut.gid())?.decode()
     }
 
-    /// Block with a timeout; `Ok(None)` on timeout.
+    /// Block with a timeout; `Ok(None)` on timeout, [`PxError::Fault`] if
+    /// the future was poisoned.
     pub fn wait_future_timeout<T: Serialize + DeserializeOwned>(
         &self,
         fut: FutureRef<T>,
@@ -553,7 +594,7 @@ impl Runtime {
         let slot = Arc::new(ExtSlot::default());
         let acts = lco.lock().add_waiter(Waiter::External(slot.clone()));
         self.inner.schedule_activations(loc, acts);
-        match slot.wait_timeout(timeout) {
+        match slot.wait_timeout(timeout)? {
             Some(v) => Ok(Some(v.decode()?)),
             None => Ok(None),
         }
@@ -824,7 +865,7 @@ impl<'a> Ctx<'a> {
         if gid.birthplace() == self.here() && self.loc.contains(gid) {
             crate::sched::lco_sys_op(self.rt, self.loc, gid, |l| {
                 l.trigger_slot(idx as usize, v.clone())
-            });
+            })?;
         } else {
             let mut w = px_wire::WireWriter::with_capacity(4 + v.len());
             w.put_u32(idx);
@@ -889,7 +930,9 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Typed suspension on a future.
+    /// Typed suspension on a future. The continuation runs only on
+    /// success; a fault or a type mismatch silently drops it — use
+    /// [`Ctx::when_resolved`] when the thread must observe failure.
     pub fn when_future<T, F>(&mut self, fut: FutureRef<T>, f: F)
     where
         T: Serialize + DeserializeOwned + 'static,
@@ -902,9 +945,45 @@ impl<'a> Ctx<'a> {
         });
     }
 
+    /// Fault-aware typed suspension: the continuation always runs, with
+    /// `Ok(value)` when the future fired or `Err(PxError::Fault)` when
+    /// the parcel that was to fill it died (hop-cap, panic, unknown
+    /// action, handler error). The split-phase counterpart of
+    /// [`crate::lco::FutureRef::wait`]'s error return.
+    pub fn when_resolved<T, F>(&mut self, fut: FutureRef<T>, f: F)
+    where
+        T: Serialize + DeserializeOwned + 'static,
+        F: FnOnce(&mut Ctx<'_>, PxResult<T>) + Send + 'static,
+    {
+        self.when_ready(fut.gid(), move |ctx, v| f(ctx, v.decode::<T>()));
+    }
+
     /// Acquire a semaphore LCO (anywhere); `f` runs when a permit is
     /// granted. Pair with [`Ctx::release`].
+    ///
+    /// If the semaphore is (or becomes) *poisoned*, `f` is dropped
+    /// rather than run — releasing waiters into their critical sections
+    /// without a permit would silently break the mutual exclusion the
+    /// semaphore exists to provide — and the drop is reported to the
+    /// dead-letter hook. Raw `LCO_ACQUIRE` parcels observe the fault
+    /// through their continuations instead.
     pub fn acquire(&mut self, sem: Gid, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        fn run_or_report(
+            ctx: &mut Ctx<'_>,
+            sem: Gid,
+            v: Value,
+            f: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
+        ) {
+            match v.fault() {
+                None => f(ctx),
+                Some(fault) => ctx.rt.notify_dead_letter(&Fault::new(
+                    fault.cause,
+                    fault.action,
+                    sem,
+                    format!("acquire continuation dropped at poisoned semaphore: {fault}"),
+                )),
+            }
+        }
         if sem.birthplace() == self.here() && self.loc.contains(sem) {
             let lco = match self.loc.get_lco(sem) {
                 Ok(l) => l,
@@ -912,8 +991,8 @@ impl<'a> Ctx<'a> {
             };
             let acts = lco
                 .lock()
-                .acquire(Waiter::Depleted(Box::new(move |ctx: &mut Ctx<'_>, _| {
-                    f(ctx)
+                .acquire(Waiter::Depleted(Box::new(move |ctx: &mut Ctx<'_>, v| {
+                    run_or_report(ctx, sem, v, f)
                 })))
                 .unwrap_or_default();
             self.rt.schedule_activations(self.loc, acts);
@@ -926,14 +1005,16 @@ impl<'a> Ctx<'a> {
                 Continuation::set(proxy),
             );
             self.rt.send_parcel(self.here(), p);
-            self.when_ready(proxy, move |ctx, _| f(ctx));
+            self.when_ready(proxy, move |ctx, v| run_or_report(ctx, sem, v, f));
         }
     }
 
     /// Release a semaphore LCO (anywhere).
     pub fn release(&mut self, sem: Gid) {
         if sem.birthplace() == self.here() && self.loc.contains(sem) {
-            crate::sched::lco_sys_op(self.rt, self.loc, sem, |l| Ok(l.release()));
+            // Releasing a missing/poisoned semaphore has no observer to
+            // tell; the release is simply lost (as before).
+            let _ = crate::sched::lco_sys_op(self.rt, self.loc, sem, |l| Ok(l.release()));
         } else {
             let p = Parcel::new(sem, sys::LCO_RELEASE, Value::unit(), Continuation::none());
             self.rt.send_parcel(self.here(), p);

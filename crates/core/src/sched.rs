@@ -18,7 +18,7 @@
 //! buffer.
 
 use crate::action::{ActionId, Value};
-use crate::error::PxError;
+use crate::error::{Fault, FaultCause, PxError};
 use crate::gid::{Gid, LocalityId};
 use crate::lco::{DepletedThread, LcoCore, Waiter};
 use crate::locality::Locality;
@@ -283,12 +283,18 @@ pub(crate) fn execute(
     match task.work {
         Work::Thread(f) => {
             let mut ctx = Ctx::new(rt, loc, Some(local), process);
-            run_guarded(loc, || f(&mut ctx));
+            // A closure thread has no continuation to notify; the panic
+            // counter and dead-letter hook are its only observers.
+            if let Err(msg) = run_guarded(loc, || f(&mut ctx)) {
+                report_thread_panic(rt, loc, msg);
+            }
             bump!(loc.counters.threads_executed);
         }
         Work::Resume(f, v) => {
             let mut ctx = Ctx::new(rt, loc, Some(local), process);
-            run_guarded(loc, || f(&mut ctx, v));
+            if let Err(msg) = run_guarded(loc, || f(&mut ctx, v)) {
+                report_thread_panic(rt, loc, msg);
+            }
             bump!(loc.counters.resumes);
             bump!(loc.counters.threads_executed);
         }
@@ -302,22 +308,47 @@ pub(crate) fn execute(
                         seen += 1;
                         match record {
                             Ok(rec) => run_wire_parcel(rt, loc, local, rec),
-                            Err(_) => {
-                                bump!(loc.counters.dead_parcels);
+                            Err(e) => {
+                                loc.counters.count_death(FaultCause::Decode, 1);
+                                rt.notify_dead_letter(&Fault::new(
+                                    FaultCause::Decode,
+                                    ActionId(0),
+                                    Gid::locality_root(loc.id),
+                                    format!("corrupt frame record: {e}"),
+                                ));
                             }
                         }
                     }
                     // A corrupt length prefix ends iteration early; the
                     // records it hid are lost with it — account every one
-                    // (their process tags are unreadable, like any corrupt
-                    // parcel's, so quiescence on them cannot be repaired).
+                    // (their process tags and continuations are unreadable,
+                    // like any corrupt parcel's, so neither quiescence nor
+                    // fault delivery can be repaired for them). The hook
+                    // is notified once per lost record so its fault count
+                    // stays a superset of `dead_parcels`.
                     let lost = view.record_count().saturating_sub(seen);
                     if lost > 0 {
-                        bump!(loc.counters.dead_parcels, u64::from(lost));
+                        loc.counters
+                            .count_death(FaultCause::Decode, u64::from(lost));
+                        let fault = Fault::new(
+                            FaultCause::Decode,
+                            ActionId(0),
+                            Gid::locality_root(loc.id),
+                            format!("record hidden behind a corrupt frame prefix ({lost} lost)"),
+                        );
+                        for _ in 0..lost {
+                            rt.notify_dead_letter(&fault);
+                        }
                     }
                 }
-                Err(_) => {
-                    bump!(loc.counters.dead_parcels);
+                Err(e) => {
+                    loc.counters.count_death(FaultCause::Decode, 1);
+                    rt.notify_dead_letter(&Fault::new(
+                        FaultCause::Decode,
+                        ActionId(0),
+                        Gid::locality_root(loc.id),
+                        format!("corrupt frame: {e}"),
+                    ));
                 }
             }
         }
@@ -345,17 +376,83 @@ fn run_wire_parcel(
                 rt.process_task_done(pg);
             }
         }
-        Err(_) => {
-            bump!(loc.counters.dead_parcels);
+        Err(e) => {
+            // An undecodable parcel cannot name its continuation, so the
+            // fault cannot be delivered — count it and tell the hook.
+            loc.counters.count_death(FaultCause::Decode, 1);
+            rt.notify_dead_letter(&Fault::new(
+                FaultCause::Decode,
+                ActionId(0),
+                Gid::locality_root(loc.id),
+                format!("undecodable parcel: {e}"),
+            ));
         }
     }
 }
 
 /// Panic isolation: a panicking PX-thread kills neither the worker nor the
 /// runtime; it is counted and the thread's effects up to the panic stand.
-fn run_guarded(loc: &Locality, f: impl FnOnce()) {
-    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err() {
-        bump!(loc.counters.panics);
+/// The panic message is returned so parcel dispatch can convert it into a
+/// fault for the parcel's continuation instead of a bare counter bump.
+fn run_guarded<T>(loc: &Locality, f: impl FnOnce() -> T) -> Result<T, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            bump!(loc.counters.panics);
+            let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "PX-thread panicked".to_string()
+            };
+            Err(msg)
+        }
+    }
+}
+
+/// Report a panicked closure thread (no parcel, no continuation) to the
+/// dead-letter hook; the `panics` counter was bumped by `run_guarded`.
+fn report_thread_panic(rt: &Arc<RuntimeInner>, loc: &Locality, msg: String) {
+    rt.notify_dead_letter(&Fault::new(
+        FaultCause::Panic,
+        ActionId(0),
+        Gid::locality_root(loc.id),
+        msg,
+    ));
+}
+
+/// Map a runtime error to the fault cause recorded in the by-cause stats.
+fn cause_of(e: &PxError) -> FaultCause {
+    match e {
+        PxError::UnknownAction(_) => FaultCause::UnknownAction,
+        PxError::Wire(_) => FaultCause::Decode,
+        // A healthy parcel rejected by an already-poisoned LCO dies of
+        // the *rejection* (a handler error), not of whatever killed the
+        // LCO's producer — inheriting that cause would double-count it
+        // in the by-cause stats. The original fault stays readable in
+        // the error message.
+        PxError::Fault(_) => FaultCause::HandlerError,
+        _ => FaultCause::HandlerError,
+    }
+}
+
+/// Kill a parcel *loudly*: count the death (total and by cause), tell the
+/// dead-letter hook, and — the point of the whole exercise — deliver the
+/// fault to the parcel's continuation so every downstream waiter (future,
+/// LCO, external `wait()`) resolves with an error instead of hanging.
+pub(crate) fn kill_parcel(
+    rt: &Arc<RuntimeInner>,
+    loc: &Arc<Locality>,
+    p: Parcel,
+    cause: FaultCause,
+    message: String,
+) {
+    let fault = Fault::new(cause, p.action, p.dest, message);
+    loc.counters.count_death(cause, 1);
+    rt.notify_dead_letter(&fault);
+    if !p.cont.is_none() {
+        apply_continuation(rt, loc, p.cont, Value::error(&fault));
     }
 }
 
@@ -376,8 +473,9 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             // Stale resolution at the sender: forward the parcel (chase)
             // and repair the sender's cache so the next one routes right.
             if p.hops >= MAX_HOPS {
-                bump!(loc.counters.dead_parcels);
                 bump!(loc.counters.chase_cap_violations);
+                let msg = format!("chase exhausted after {MAX_HOPS} hops (object at {owner})");
+                kill_parcel(rt, loc, p, FaultCause::HopCap, msg);
                 return;
             }
             bump!(loc.counters.parcels_forwarded);
@@ -399,42 +497,74 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         bump!(loc.counters.chase_hops_total, u64::from(p.hops));
     }
 
+    // A fault payload short-circuits execution: the fault an upstream
+    // death produced flows straight through Call-chained actions to this
+    // parcel's continuation instead of being fed to a handler as
+    // (garbage) arguments. The LCO event actions are the exception —
+    // *delivering* the fault to them is how an LCO gets poisoned.
+    let a = p.action;
+    if p.payload.is_fault() && a != sys::LCO_SET && a != sys::LCO_CONTRIBUTE {
+        apply_continuation(rt, loc, p.cont, p.payload);
+        return;
+    }
+
     // System actions first: they bypass the registry and use raw payload
     // framing.
-    let a = p.action;
     if a == sys::NOOP {
         return;
     } else if a == sys::PING {
         apply_continuation(rt, loc, p.cont, p.payload);
         return;
     } else if a == sys::LCO_SET {
-        lco_sys_op(rt, loc, p.dest, |l| l.trigger(p.payload.clone()));
-        apply_continuation(rt, loc, p.cont, Value::unit());
+        // The ack must be honest: a rejected trigger (double-trigger of a
+        // single-assignment LCO, wrong kind, missing object) sends the
+        // error back instead of a unit "success".
+        match lco_sys_op(rt, loc, p.dest, |l| l.trigger(p.payload.clone())) {
+            Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit()),
+            Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
+        }
         return;
     } else if a == sys::LCO_SET_SLOT {
         let bytes = p.payload.bytes();
         if bytes.len() >= 4 {
             let idx = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
             let v = Value::from_bytes(bytes[4..].to_vec());
-            lco_sys_op(rt, loc, p.dest, |l| l.trigger_slot(idx, v.clone()));
+            match lco_sys_op(rt, loc, p.dest, |l| l.trigger_slot(idx, v.clone())) {
+                Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit()),
+                Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
+            }
         } else {
-            bump!(loc.counters.dead_parcels);
+            kill_parcel(
+                rt,
+                loc,
+                p,
+                FaultCause::Decode,
+                "LCO_SET_SLOT payload shorter than the slot index".into(),
+            );
         }
         return;
     } else if a == sys::LCO_CONTRIBUTE {
-        lco_sys_op(rt, loc, p.dest, |l| l.contribute(p.payload.clone()));
+        if let Err(e) = lco_sys_op(rt, loc, p.dest, |l| l.contribute(p.payload.clone())) {
+            kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
+        }
         return;
     } else if a == sys::LCO_GET {
-        lco_sys_op(rt, loc, p.dest, |l| {
+        if let Err(e) = lco_sys_op(rt, loc, p.dest, |l| {
             Ok(l.add_waiter(Waiter::Cont(p.cont.clone())))
-        });
+        }) {
+            kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
+        }
         return;
     } else if a == sys::LCO_ACQUIRE {
-        lco_sys_op(rt, loc, p.dest, |l| l.acquire(Waiter::Cont(p.cont.clone())));
+        if let Err(e) = lco_sys_op(rt, loc, p.dest, |l| l.acquire(Waiter::Cont(p.cont.clone()))) {
+            kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
+        }
         return;
     } else if a == sys::LCO_RELEASE {
-        lco_sys_op(rt, loc, p.dest, |l| Ok(l.release()));
-        apply_continuation(rt, loc, p.cont, Value::unit());
+        match lco_sys_op(rt, loc, p.dest, |l| Ok(l.release())) {
+            Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit()),
+            Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
+        }
         return;
     } else if a == sys::DATA_GET {
         match loc.get_data(p.dest) {
@@ -448,12 +578,15 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             // rather than stranding the continuation. Wrong-kind targets
             // are a user bug and fail fast — retrying cannot fix them.
             Err(PxError::NoSuchObject(_)) => retry_after_migration(rt, loc, p),
-            Err(_) => bump!(loc.counters.dead_parcels),
+            Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
         return;
     } else if a == sys::DATA_PUT {
         match p.payload.decode::<Vec<u8>>() {
-            Err(_) => bump!(loc.counters.dead_parcels),
+            Err(e) => {
+                let msg = e.to_string();
+                kill_parcel(rt, loc, p, FaultCause::Decode, msg);
+            }
             Ok(bytes) => match loc.get_data(p.dest) {
                 Ok(d) => {
                     let mut g = d.write();
@@ -462,7 +595,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
                     apply_continuation(rt, loc, p.cont, Value::unit());
                 }
                 Err(PxError::NoSuchObject(_)) => retry_after_migration(rt, loc, p),
-                Err(_) => bump!(loc.counters.dead_parcels),
+                Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
             },
         }
         return;
@@ -474,7 +607,10 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         if let Some(b) = &loc.balance {
             match px_balance::decode_gossip(p.payload.bytes()) {
                 Ok(entries) => b.peers.lock().merge(&entries),
-                Err(_) => bump!(loc.counters.dead_parcels),
+                Err(e) => {
+                    let msg = format!("undecodable gossip: {e}");
+                    kill_parcel(rt, loc, p, FaultCause::Decode, msg);
+                }
             }
         }
         // Without balance state (possible only if a user forges the
@@ -487,20 +623,20 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         Ok(handler) => {
             let mut ctx = Ctx::new(rt, loc, Some(local), p.process);
             let handler = handler.clone();
-            let mut out: Option<Value> = None;
-            run_guarded(loc, || {
-                if let Ok(v) = handler(&mut ctx, p.dest, p.payload.bytes()) {
-                    out = Some(v);
-                }
-            });
+            let result = run_guarded(loc, || handler(&mut ctx, p.dest, p.payload.bytes()));
             bump!(loc.counters.threads_executed);
-            match out {
-                Some(v) => apply_continuation(rt, loc, p.cont, v),
-                None => bump!(loc.counters.dead_parcels),
+            match result {
+                Ok(Ok(v)) => apply_continuation(rt, loc, p.cont, v),
+                Ok(Err(e)) => {
+                    let cause = cause_of(&e);
+                    kill_parcel(rt, loc, p, cause, e.to_string());
+                }
+                Err(panic_msg) => kill_parcel(rt, loc, p, FaultCause::Panic, panic_msg),
             }
         }
-        Err(PxError::UnknownAction(_)) => {
-            bump!(loc.counters.dead_parcels);
+        Err(PxError::UnknownAction(id)) => {
+            let msg = format!("no handler registered for {id:?}");
+            kill_parcel(rt, loc, p, FaultCause::UnknownAction, msg);
         }
         Err(_) => unreachable!("registry returns only UnknownAction"),
     }
@@ -518,34 +654,32 @@ fn retry_after_migration(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel)
         retry.hops += 1;
         rt.route_parcel(loc.id, owner, retry);
     } else {
-        bump!(loc.counters.dead_parcels);
         bump!(loc.counters.chase_cap_violations);
+        let msg = format!("retry budget exhausted after {MAX_HOPS} hops (object absent — freed?)");
+        kill_parcel(rt, loc, p, FaultCause::HopCap, msg);
     }
 }
 
 /// Run an LCO operation on a local object and schedule any released
 /// waiters. The closure runs under the object lock and must not call back
-/// into the runtime; activations run after unlock.
+/// into the runtime; activations run after unlock. Errors (missing
+/// object, wrong kind, protocol violations like double-trigger) are
+/// returned so the caller can deliver them — a parcel-driven caller kills
+/// the parcel with the error, an API-driven caller returns it.
 pub(crate) fn lco_sys_op(
     rt: &Arc<RuntimeInner>,
     loc: &Arc<Locality>,
     gid: Gid,
     op: impl FnOnce(&mut LcoCore) -> crate::error::PxResult<crate::lco::Activations>,
-) {
+) -> crate::error::PxResult<()> {
     bump!(loc.counters.lco_events);
-    match loc.get_lco(gid) {
-        Ok(lco) => {
-            let acts = {
-                let mut g = lco.lock();
-                op(&mut g)
-            };
-            match acts {
-                Ok(acts) => rt.schedule_activations(loc, acts),
-                Err(_) => bump!(loc.counters.dead_parcels),
-            }
-        }
-        Err(_) => bump!(loc.counters.dead_parcels),
-    }
+    let lco = loc.get_lco(gid)?;
+    let acts = {
+        let mut g = lco.lock();
+        op(&mut g)
+    }?;
+    rt.schedule_activations(loc, acts);
+    Ok(())
 }
 
 /// Apply a continuation specifier with the result value. Local LCO steps
@@ -581,13 +715,21 @@ impl RuntimeInner {
         let owner = self.agas.resolve_counted(from, gid);
         if owner == from.id && from.contains(gid) {
             let op_action = action;
-            lco_sys_op(self, from, gid, |l| {
+            let r = lco_sys_op(self, from, gid, |l| {
                 if op_action == sys::LCO_SET {
                     l.trigger(value.clone())
                 } else {
                     l.contribute(value.clone())
                 }
             });
+            if let Err(e) = r {
+                // Local LCO event with no parcel continuation to notify:
+                // the error dead-ends here. Count it like the parcel path
+                // would and let the dead-letter hook see it.
+                let fault = Fault::new(cause_of(&e), action, gid, e.to_string());
+                from.counters.count_death(fault.cause, 1);
+                self.notify_dead_letter(&fault);
+            }
         } else {
             let p = Parcel::new(gid, action, value, Continuation::none());
             self.send_parcel(from.id, p);

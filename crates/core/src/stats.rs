@@ -56,9 +56,22 @@ pub struct LocalityCounters {
     pub batch_flush_full: AtomicU64,
     /// Frames flushed by the interval flusher or a shutdown drain.
     pub batch_flush_timer: AtomicU64,
-    /// Parcels dropped: unknown action, missing object past the hop
-    /// budget, or malformed payload.
+    /// Parcels that died, all causes (the sum of the five by-cause
+    /// counters below). Every death also raises a fault delivered to the
+    /// parcel's continuation — see the "Failure semantics" README section.
     pub dead_parcels: AtomicU64,
+    /// Deaths: forwarding/retry hop budget exhausted (migration storm or
+    /// freed object).
+    pub dead_hop_cap: AtomicU64,
+    /// Deaths: action absent from the registry.
+    pub dead_unknown_action: AtomicU64,
+    /// Deaths: handler returned an error (including LCO protocol
+    /// violations such as double-triggering).
+    pub dead_handler_error: AtomicU64,
+    /// Deaths: action handler panicked.
+    pub dead_panic: AtomicU64,
+    /// Deaths: undecodable parcel, frame record, or payload.
+    pub dead_decode: AtomicU64,
     /// PX-threads that panicked (isolated; the worker survives).
     pub panics: AtomicU64,
     /// Balancer rounds in which this locality was sampled and gossiped.
@@ -93,6 +106,20 @@ macro_rules! bump {
 pub(crate) use bump;
 
 impl LocalityCounters {
+    /// Count one parcel death: the total plus its by-cause counter
+    /// (mirroring the AGAS migrations-by-cause breakdown).
+    pub(crate) fn count_death(&self, cause: crate::error::FaultCause, n: u64) {
+        use crate::error::FaultCause;
+        bump!(self.dead_parcels, n);
+        match cause {
+            FaultCause::HopCap => bump!(self.dead_hop_cap, n),
+            FaultCause::UnknownAction => bump!(self.dead_unknown_action, n),
+            FaultCause::HandlerError => bump!(self.dead_handler_error, n),
+            FaultCause::Panic => bump!(self.dead_panic, n),
+            FaultCause::Decode => bump!(self.dead_decode, n),
+        }
+    }
+
     /// Copy current values.
     pub fn snapshot(&self) -> LocalityStats {
         LocalityStats {
@@ -117,6 +144,11 @@ impl LocalityCounters {
             batch_flush_full: self.batch_flush_full.load(Ordering::Relaxed),
             batch_flush_timer: self.batch_flush_timer.load(Ordering::Relaxed),
             dead_parcels: self.dead_parcels.load(Ordering::Relaxed),
+            dead_hop_cap: self.dead_hop_cap.load(Ordering::Relaxed),
+            dead_unknown_action: self.dead_unknown_action.load(Ordering::Relaxed),
+            dead_handler_error: self.dead_handler_error.load(Ordering::Relaxed),
+            dead_panic: self.dead_panic.load(Ordering::Relaxed),
+            dead_decode: self.dead_decode.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
             gossip_parcels: self.gossip_parcels.load(Ordering::Relaxed),
@@ -154,6 +186,11 @@ pub struct LocalityStats {
     pub batch_flush_full: u64,
     pub batch_flush_timer: u64,
     pub dead_parcels: u64,
+    pub dead_hop_cap: u64,
+    pub dead_unknown_action: u64,
+    pub dead_handler_error: u64,
+    pub dead_panic: u64,
+    pub dead_decode: u64,
     pub panics: u64,
     pub gossip_rounds: u64,
     pub gossip_parcels: u64,
@@ -165,6 +202,17 @@ pub struct LocalityStats {
 }
 
 impl LocalityStats {
+    /// Parcel deaths summed over the five by-cause counters. Always
+    /// equals [`LocalityStats::dead_parcels`] (the invariant tested in
+    /// the fault integration suite).
+    pub fn deaths_by_cause_total(&self) -> u64 {
+        self.dead_hop_cap
+            + self.dead_unknown_action
+            + self.dead_handler_error
+            + self.dead_panic
+            + self.dead_decode
+    }
+
     /// Fraction of worker time spent executing (1.0 = no starvation).
     pub fn busy_fraction(&self) -> f64 {
         let total = self.busy_ns + self.idle_ns;
@@ -233,6 +281,11 @@ impl LocalityStats {
             batch_flush_full: self.batch_flush_full - earlier.batch_flush_full,
             batch_flush_timer: self.batch_flush_timer - earlier.batch_flush_timer,
             dead_parcels: self.dead_parcels - earlier.dead_parcels,
+            dead_hop_cap: self.dead_hop_cap - earlier.dead_hop_cap,
+            dead_unknown_action: self.dead_unknown_action - earlier.dead_unknown_action,
+            dead_handler_error: self.dead_handler_error - earlier.dead_handler_error,
+            dead_panic: self.dead_panic - earlier.dead_panic,
+            dead_decode: self.dead_decode - earlier.dead_decode,
             panics: self.panics - earlier.panics,
             gossip_rounds: self.gossip_rounds - earlier.gossip_rounds,
             gossip_parcels: self.gossip_parcels - earlier.gossip_parcels,
@@ -282,6 +335,11 @@ impl StatsSnapshot {
             t.batch_flush_full += l.batch_flush_full;
             t.batch_flush_timer += l.batch_flush_timer;
             t.dead_parcels += l.dead_parcels;
+            t.dead_hop_cap += l.dead_hop_cap;
+            t.dead_unknown_action += l.dead_unknown_action;
+            t.dead_handler_error += l.dead_handler_error;
+            t.dead_panic += l.dead_panic;
+            t.dead_decode += l.dead_decode;
             t.panics += l.panics;
             t.gossip_rounds += l.gossip_rounds;
             t.gossip_parcels += l.gossip_parcels;
@@ -334,6 +392,23 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.parcels_sent, 2);
         assert_eq!(s.bytes_sent, 100);
+    }
+
+    #[test]
+    fn death_counting_by_cause() {
+        use crate::error::FaultCause;
+        let c = LocalityCounters::default();
+        c.count_death(FaultCause::HopCap, 1);
+        c.count_death(FaultCause::Panic, 1);
+        c.count_death(FaultCause::Decode, 3);
+        let s = c.snapshot();
+        assert_eq!(s.dead_parcels, 5);
+        assert_eq!(s.dead_hop_cap, 1);
+        assert_eq!(s.dead_panic, 1);
+        assert_eq!(s.dead_decode, 3);
+        assert_eq!(s.dead_unknown_action, 0);
+        assert_eq!(s.dead_handler_error, 0);
+        assert_eq!(s.deaths_by_cause_total(), s.dead_parcels);
     }
 
     #[test]

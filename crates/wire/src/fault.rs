@@ -1,0 +1,123 @@
+//! Wire encoding of fault payloads.
+//!
+//! When a parcel dies inside the runtime (hop budget exhausted, unknown
+//! action, handler error, panicked action, undecodable payload), its
+//! continuation is satisfied with a *fault value* instead of a result so
+//! downstream waiters resolve with an error rather than hanging forever.
+//! The fault itself must cross the wire like any payload — a continuation
+//! can live on another locality — so its encoding is fixed here, next to
+//! the parcel payload format.
+//!
+//! Layout (little-endian, matching the rest of the format):
+//!
+//! | Field | Encoding |
+//! |---|---|
+//! | `cause` | one byte (a [`WireFault::cause`] code) |
+//! | `action` | `u64` — raw action id of the dying parcel (0 = none) |
+//! | `dest` | `u64` — raw GID of the dying parcel's destination |
+//! | `message` | LEB128 length + UTF-8 bytes |
+//!
+//! Whether a payload *is* a fault is not encoded here: the parcel header
+//! carries a fault flag (fault-ness must survive re-encoding, and a user
+//! payload that happens to look like a fault must not become one).
+
+use crate::buf::{WireReader, WireWriter};
+use crate::error::WireResult;
+
+/// A fault payload as it crosses the wire: the typed view lives in
+/// `px-core` (`Fault`); this struct is the schema both sides agree on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// Cause code. `px-core` maps these to its `FaultCause` enum; unknown
+    /// codes decode (forward compatibility) and map to a generic cause.
+    pub cause: u8,
+    /// Raw [`u64`] action id of the parcel that died (0 when the fault
+    /// did not originate from an action dispatch).
+    pub action: u64,
+    /// Raw [`u64`] GID of the dying parcel's destination object.
+    pub dest: u64,
+    /// Human-readable description (panic message, error display, …).
+    pub message: String,
+}
+
+impl WireFault {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(1 + 8 + 8 + 2 + self.message.len());
+        w.put_u8(self.cause);
+        w.put_u64(self.action);
+        w.put_u64(self.dest);
+        w.put_len_bytes(self.message.as_bytes());
+        w.into_bytes()
+    }
+
+    /// Decode from wire bytes. A non-UTF-8 message is replaced lossily
+    /// rather than rejected: a fault that cannot be decoded would itself
+    /// have to become a fault, and the loop has to stop somewhere.
+    pub fn decode(bytes: &[u8]) -> WireResult<WireFault> {
+        let mut r = WireReader::new(bytes);
+        let cause = r.get_u8()?;
+        let action = r.get_u64()?;
+        let dest = r.get_u64()?;
+        let message = String::from_utf8_lossy(r.get_len_bytes()?).into_owned();
+        Ok(WireFault {
+            cause,
+            action,
+            dest,
+            message,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_roundtrip() {
+        let f = WireFault {
+            cause: 3,
+            action: 0xdead_beef_cafe_f00d,
+            dest: 42,
+            message: "action panicked: index out of bounds".into(),
+        };
+        let back = WireFault::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let f = WireFault {
+            cause: 0,
+            action: 0,
+            dest: 0,
+            message: String::new(),
+        };
+        assert_eq!(WireFault::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_fault_rejected() {
+        let bytes = WireFault {
+            cause: 1,
+            action: 2,
+            dest: 3,
+            message: "x".into(),
+        }
+        .encode();
+        assert!(WireFault::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(WireFault::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_message_is_lossy_not_fatal() {
+        let mut w = WireWriter::new();
+        w.put_u8(2);
+        w.put_u64(1);
+        w.put_u64(1);
+        w.put_len_bytes(&[0xff, 0xfe]);
+        let f = WireFault::decode(&w.into_bytes()).unwrap();
+        assert_eq!(f.cause, 2);
+        assert!(!f.message.is_empty());
+    }
+}

@@ -46,12 +46,14 @@
 mod buf;
 mod de;
 mod error;
+mod fault;
 mod frame;
 mod ser;
 
 pub use buf::{WireReader, WireWriter};
 pub use de::{from_bytes, Deserializer};
 pub use error::{WireError, WireResult};
+pub use fault::WireFault;
 pub use frame::{
     FrameBuf, FrameRecords, FrameView, FRAME_HEADER_LEN, FRAME_VERSION, RECORD_HEADER_LEN,
 };

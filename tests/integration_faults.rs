@@ -1,0 +1,314 @@
+//! Fault-propagation integration tests: every parcel-death path must
+//! resolve downstream waiters with a `PxError::Fault` within a bounded
+//! wait instead of hanging them forever. Each test here deadlocked (or
+//! timed out) before faults became first-class values.
+
+use parallex::core::parcel::ContStep;
+use parallex::core::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Generous bound: a genuine hang hits this, a delivered fault never does.
+const BOUND: Duration = Duration::from_secs(10);
+
+struct Add;
+impl Action for Add {
+    const NAME: &'static str = "faults/add";
+    type Args = (u64, u64);
+    type Out = u64;
+    fn execute(_ctx: &mut Ctx<'_>, _t: Gid, (a, b): (u64, u64)) -> u64 {
+        a + b
+    }
+}
+
+struct Boom;
+impl Action for Boom {
+    const NAME: &'static str = "faults/boom";
+    type Args = ();
+    type Out = u64;
+    fn execute(_ctx: &mut Ctx<'_>, _t: Gid, _args: ()) -> u64 {
+        panic!("boom: deliberate test panic");
+    }
+}
+
+fn rt(locs: usize) -> Runtime {
+    RuntimeBuilder::new(Config::small(locs, 1))
+        .register::<Add>()
+        .register::<Boom>()
+        .build()
+        .unwrap()
+}
+
+fn expect_fault<T: std::fmt::Debug>(r: PxResult<Option<T>>) -> Fault {
+    match r {
+        Err(PxError::Fault(f)) => f,
+        Ok(None) => panic!("timed out: fault was never delivered (the old hang)"),
+        other => panic!("expected fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn hop_cap_exhausted_chase_faults_the_waiter() {
+    let rt = rt(2);
+    // A data GID that was never created: the chase retries at the
+    // birthplace until the hop budget dies, then must poison the future.
+    let bogus = Gid::new(LocalityId(0), GidKind::Data, 0x00C0FFEE);
+    let fut = rt.run_blocking(LocalityId(1), move |ctx| ctx.fetch_data(bogus));
+    let f = expect_fault(rt.wait_future_timeout(fut, BOUND));
+    assert_eq!(f.cause, FaultCause::HopCap);
+    assert_eq!(f.dest, bogus);
+    let total = rt.stats().total();
+    assert!(total.dead_hop_cap >= 1, "{total:?}");
+    assert!(total.chase_cap_violations >= 1);
+    assert_eq!(total.deaths_by_cause_total(), total.dead_parcels);
+    rt.shutdown();
+}
+
+#[test]
+fn panicking_action_faults_the_waiter() {
+    let rt = rt(2);
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    rt.send_action::<Boom>(
+        Gid::locality_root(LocalityId(1)),
+        (),
+        Continuation::set(fut.gid()),
+    )
+    .unwrap();
+    let f = expect_fault(rt.wait_future_timeout(fut, BOUND));
+    assert_eq!(f.cause, FaultCause::Panic);
+    assert!(
+        f.message.contains("boom"),
+        "panic message must ride the fault: {f:?}"
+    );
+    let total = rt.stats().total();
+    assert_eq!(total.dead_panic, 1);
+    assert_eq!(total.panics, 1);
+    assert_eq!(total.deaths_by_cause_total(), total.dead_parcels);
+    rt.shutdown();
+}
+
+#[test]
+fn unknown_action_faults_the_waiter() {
+    let rt = rt(2);
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    let gid = fut.gid();
+    rt.run_blocking(LocalityId(0), move |ctx| {
+        ctx.send_parcel(Parcel::new(
+            Gid::locality_root(LocalityId(1)),
+            ActionId::of("faults/not_registered"),
+            Value::unit(),
+            Continuation::set(gid),
+        ));
+    });
+    let f = expect_fault(rt.wait_future_timeout(fut, BOUND));
+    assert_eq!(f.cause, FaultCause::UnknownAction);
+    assert_eq!(f.action, ActionId::of("faults/not_registered"));
+    assert_eq!(rt.stats().total().dead_unknown_action, 1);
+    rt.shutdown();
+}
+
+#[test]
+fn undecodable_args_fault_the_waiter() {
+    let rt = rt(2);
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    let gid = fut.gid();
+    rt.run_blocking(LocalityId(0), move |ctx| {
+        // One lonely byte can never decode as (u64, u64): the handler
+        // errors before executing and the error must reach the future.
+        ctx.send_parcel(Parcel::new(
+            Gid::locality_root(LocalityId(1)),
+            Add::id(),
+            Value::from_bytes(vec![7]),
+            Continuation::set(gid),
+        ));
+    });
+    let f = expect_fault(rt.wait_future_timeout(fut, BOUND));
+    assert_eq!(f.cause, FaultCause::Decode);
+    assert_eq!(rt.stats().total().dead_decode, 1);
+    rt.shutdown();
+}
+
+#[test]
+fn double_trigger_ack_carries_the_error() {
+    let rt = rt(1);
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    rt.set_future(fut, &1).unwrap();
+    assert_eq!(fut.wait(&rt).unwrap(), 1);
+    // A second (data-carrying) LCO_SET violates single assignment. The
+    // ack continuation must receive the error, not a unit "success".
+    let ack = rt.new_future::<()>(LocalityId(0));
+    let (fut_gid, ack_gid) = (fut.gid(), ack.gid());
+    rt.run_blocking(LocalityId(0), move |ctx| {
+        ctx.send_parcel(Parcel::new(
+            fut_gid,
+            parallex::core::sched::sys::LCO_SET,
+            Value::encode(&2u64).unwrap(),
+            Continuation::set(ack_gid),
+        ));
+    });
+    let f = expect_fault(rt.wait_future_timeout(ack, BOUND));
+    assert_eq!(f.cause, FaultCause::HandlerError);
+    assert!(f.message.contains("already triggered"), "{f:?}");
+    // The future's observed value is untouched by the failed overwrite.
+    assert_eq!(fut.wait(&rt).unwrap(), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn poison_propagates_through_reduction_chains() {
+    let rt = rt(2);
+    // A reduction expecting 3 contributions: two healthy, one from an
+    // action that panics. The fault must poison the reduction and reach
+    // the driver — under the old semantics the reduce hung at 2/3.
+    let sum = rt
+        .new_reduce::<u64>(
+            LocalityId(0),
+            3,
+            &0,
+            Box::new(|a, b| {
+                let x: u64 = a.decode().unwrap();
+                let y: u64 = b.decode().unwrap();
+                Value::encode(&(x + y)).unwrap()
+            }),
+        )
+        .unwrap();
+    rt.send_action::<Add>(
+        Gid::locality_root(LocalityId(1)),
+        (1, 2),
+        Continuation::contribute(sum.gid()),
+    )
+    .unwrap();
+    rt.send_action::<Add>(
+        Gid::locality_root(LocalityId(1)),
+        (3, 4),
+        Continuation::contribute(sum.gid()),
+    )
+    .unwrap();
+    rt.send_action::<Boom>(
+        Gid::locality_root(LocalityId(1)),
+        (),
+        Continuation::contribute(sum.gid()),
+    )
+    .unwrap();
+    let f = expect_fault(rt.wait_future_timeout(sum, BOUND));
+    assert_eq!(f.cause, FaultCause::Panic);
+    rt.shutdown();
+}
+
+#[test]
+fn fault_short_circuits_call_chains() {
+    let rt = rt(2);
+    // Boom's fault flows through a Call step (whose action must NOT run
+    // on fault bytes) and still poisons the final future in the chain.
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    let cont = Continuation {
+        steps: vec![
+            ContStep::Call {
+                action: Add::id(),
+                target: Gid::locality_root(LocalityId(0)),
+            },
+            ContStep::SetLco(fut.gid()),
+        ],
+    };
+    rt.send_action::<Boom>(Gid::locality_root(LocalityId(1)), (), cont)
+        .unwrap();
+    let f = expect_fault(rt.wait_future_timeout(fut, BOUND));
+    assert_eq!(f.cause, FaultCause::Panic, "origin cause preserved: {f:?}");
+    rt.shutdown();
+}
+
+#[test]
+fn dead_letter_hook_observes_every_fault() {
+    let seen: Arc<Mutex<Vec<Fault>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    let rt = RuntimeBuilder::new(Config::small(2, 1))
+        .register::<Boom>()
+        .on_dead_letter(move |f| sink.lock().unwrap().push(f.clone()))
+        .build()
+        .unwrap();
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    rt.send_action::<Boom>(
+        Gid::locality_root(LocalityId(1)),
+        (),
+        Continuation::set(fut.gid()),
+    )
+    .unwrap();
+    expect_fault(rt.wait_future_timeout(fut, BOUND));
+    let faults = seen.lock().unwrap().clone();
+    assert_eq!(faults.len(), 1, "exactly one dead letter: {faults:?}");
+    assert_eq!(faults[0].cause, FaultCause::Panic);
+    assert_eq!(faults[0].action, Boom::id());
+    rt.shutdown();
+}
+
+#[test]
+fn poisoned_semaphore_never_grants_its_critical_section() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let rt = rt(1);
+    // Zero permits: every acquire queues.
+    let sem = rt.new_semaphore(LocalityId(0), 0);
+    let ran = Arc::new(AtomicBool::new(false));
+    let flag = ran.clone();
+    rt.run_blocking(LocalityId(0), move |ctx| {
+        ctx.acquire(sem, move |_| flag.store(true, Ordering::SeqCst));
+    });
+    // Poison the semaphore: a panicking producer's fault is delivered to
+    // it as the continuation target.
+    rt.send_action::<Boom>(
+        Gid::locality_root(LocalityId(0)),
+        (),
+        Continuation::set(sem),
+    )
+    .unwrap();
+    // The poison must surface loudly to value waiters…
+    let f = expect_fault(match rt.wait_value(sem) {
+        Ok(v) => Ok(Some(v)),
+        Err(e) => Err(e),
+    });
+    assert_eq!(f.cause, FaultCause::Panic);
+    // …while the queued acquirer's critical section must NOT run as if a
+    // permit were granted (that would break mutual exclusion silently).
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        !ran.load(Ordering::SeqCst),
+        "poison must not admit a critical section"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn zero_count_gates_fire_immediately() {
+    let rt = rt(1);
+    let gate = rt.new_and_gate(LocalityId(0), 0);
+    let gate_fut: FutureRef<()> = FutureRef::from_gid(gate);
+    assert!(rt.wait_future_timeout(gate_fut, BOUND).unwrap().is_some());
+    // A late unit trigger on the pre-fired gate must not underflow/error.
+    rt.trigger(gate, &()).unwrap();
+    let red = rt
+        .new_reduce::<u64>(LocalityId(0), 0, &17, Box::new(|a, _| a))
+        .unwrap();
+    assert_eq!(rt.wait_future_timeout(red, BOUND).unwrap(), Some(17));
+    let total = rt.stats().total();
+    assert_eq!(total.dead_parcels, 0, "no deaths on the zero-count path");
+    rt.shutdown();
+}
+
+#[test]
+fn healthy_workloads_see_no_faults() {
+    // The off-path guarantee: a non-failing workload's stats show zero
+    // deaths in every cause bucket, and results are unchanged.
+    let rt = rt(3);
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    rt.send_action::<Add>(
+        Gid::locality_root(LocalityId(2)),
+        (40, 2),
+        Continuation::set(fut.gid()),
+    )
+    .unwrap();
+    assert_eq!(fut.wait(&rt).unwrap(), 42);
+    let total = rt.stats().total();
+    assert_eq!(total.dead_parcels, 0);
+    assert_eq!(total.deaths_by_cause_total(), 0);
+    assert_eq!(total.panics, 0);
+    rt.shutdown();
+}

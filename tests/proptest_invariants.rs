@@ -218,6 +218,86 @@ proptest! {
         prop_assert_eq!(released, queued);
     }
 
+    #[test]
+    fn poisoned_lco_releases_all_waiter_kinds_exactly_once(
+        kind in 0usize..5,
+        n in 1u64..16,
+        before in proptest::collection::vec(0usize..3, 0..6),
+        after in proptest::collection::vec(0usize..3, 0..6),
+    ) {
+        use parallex::core::error::{Fault, FaultCause};
+        use parallex::core::lco::{ExtSlot, Waiter};
+        use std::sync::Arc;
+
+        let gid = Gid::new(LocalityId(0), GidKind::Lco, 9);
+        let mk_waiter = |k: usize| match k {
+            0 => Waiter::Cont(Continuation::set(gid)),
+            1 => Waiter::External(Arc::new(ExtSlot::default())),
+            _ => Waiter::Depleted(Box::new(|_ctx, _v| {})),
+        };
+        let mut lco = match kind {
+            0 => LcoCore::new_future(gid),
+            1 => LcoCore::new_and_gate(gid, n),
+            2 => LcoCore::new_reduce(gid, n, Value::encode(&0u64).unwrap(),
+                    Box::new(|a, _| a)),
+            3 => LcoCore::new_dataflow(gid, n as usize,
+                    Box::new(|_| Value::unit())),
+            _ => LcoCore::new_semaphore(gid, 0),
+        };
+        // Register waiters of every kind; semaphores queue via acquire.
+        let mut registered = 0usize;
+        for &k in &before {
+            let acts = if kind == 4 {
+                lco.acquire(mk_waiter(k)).unwrap()
+            } else {
+                lco.add_waiter(mk_waiter(k))
+            };
+            prop_assert!(acts.is_empty(), "no LCO here fires before poison");
+            registered += 1;
+        }
+        let fault = Fault::new(FaultCause::Panic, ActionId::of("p/dead"), gid, "x");
+        // Poison releases every registered waiter exactly once, each with
+        // the fault.
+        let acts = lco.poison(fault.clone());
+        prop_assert_eq!(acts.len(), registered);
+        for (_, v) in &acts {
+            prop_assert_eq!(v.fault().unwrap(), fault.clone());
+        }
+        // A second poison releases nothing (exactly-once).
+        prop_assert!(lco.poison(fault.clone()).is_empty());
+        prop_assert!(lco.is_poisoned());
+        // Every future waiter resolves immediately with the same fault.
+        for &k in &after {
+            let acts = if kind == 4 {
+                lco.acquire(mk_waiter(k)).unwrap()
+            } else {
+                lco.add_waiter(mk_waiter(k))
+            };
+            prop_assert_eq!(acts.len(), 1);
+            prop_assert_eq!(acts[0].1.fault().unwrap(), fault.clone());
+        }
+    }
+
+    #[test]
+    fn fault_values_roundtrip_the_wire(
+        cause in 0u8..5,
+        action in any::<u64>(),
+        dest in any::<u64>(),
+        msg in "[ -~]{0,64}",
+    ) {
+        use parallex::core::error::{Fault, FaultCause};
+        let f = Fault::new(FaultCause::from_code(cause), ActionId(action), Gid(dest), msg);
+        let p = Parcel::new(
+            Gid::new(LocalityId(0), GidKind::Lco, 1),
+            ActionId::of("sys/lco_set"),
+            Value::error(&f),
+            Continuation::none(),
+        );
+        let q = Parcel::decode(&p.encode()).unwrap();
+        prop_assert!(q.payload.is_fault());
+        prop_assert_eq!(q.payload.fault().unwrap(), f);
+    }
+
     // ---- AGAS ---------------------------------------------------------------
 
     #[test]
