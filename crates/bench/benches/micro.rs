@@ -188,6 +188,27 @@ struct TransportRow {
     elapsed: Duration,
 }
 
+#[derive(Serialize)]
+struct TransportRowJson {
+    max_batch_parcels: u64,
+    parcels_per_sec: f64,
+    elapsed_ms: f64,
+    speedup_vs_unbatched: f64,
+}
+
+#[derive(Serialize)]
+struct TransportJson {
+    wire_latency_us: u64,
+    parcels: u64,
+    results: Vec<TransportRowJson>,
+}
+
+#[derive(Serialize)]
+struct MicroJson {
+    bench: String,
+    transport: TransportJson,
+}
+
 fn bench_transport() -> Vec<TransportRow> {
     println!(
         "\ntransport: {THROUGHPUT_PARCELS} parcels, {WIRE_LATENCY_US} µs wire, \
@@ -217,33 +238,32 @@ fn bench_transport() -> Vec<TransportRow> {
         .collect()
 }
 
-/// Write `BENCH_micro.json` at the workspace root (hand-rolled JSON — the
-/// offline crate set has no serde_json).
+/// Write `BENCH_micro.json` at the workspace root through the derived
+/// `Serialize` impls (the px-bench JSON emitter; no serde_json in the
+/// offline crate set, no hand-formatted strings either).
 fn write_json(rows: &[TransportRow]) {
     let base = rows
         .iter()
         .find(|r| r.batch == 1)
         .map(|r| r.parcels_per_sec)
         .unwrap_or(f64::NAN);
-    let mut results = String::new();
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            results.push(',');
-        }
-        results.push_str(&format!(
-            "\n    {{\"max_batch_parcels\": {}, \"parcels_per_sec\": {:.0}, \
-             \"elapsed_ms\": {:.3}, \"speedup_vs_unbatched\": {:.3}}}",
-            r.batch,
-            r.parcels_per_sec,
-            r.elapsed.as_secs_f64() * 1e3,
-            r.parcels_per_sec / base,
-        ));
-    }
-    let json = format!(
-        "{{\n  \"bench\": \"micro\",\n  \"transport\": {{\n    \
-         \"wire_latency_us\": {WIRE_LATENCY_US},\n    \
-         \"parcels\": {THROUGHPUT_PARCELS},\n    \"results\": [{results}\n    ]\n  }}\n}}\n"
-    );
+    let doc = MicroJson {
+        bench: "micro".into(),
+        transport: TransportJson {
+            wire_latency_us: WIRE_LATENCY_US,
+            parcels: THROUGHPUT_PARCELS,
+            results: rows
+                .iter()
+                .map(|r| TransportRowJson {
+                    max_batch_parcels: r.batch as u64,
+                    parcels_per_sec: r.parcels_per_sec,
+                    elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
+                    speedup_vs_unbatched: r.parcels_per_sec / base,
+                })
+                .collect(),
+        },
+    };
+    let json = px_bench::json::to_json_pretty(&doc);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -259,43 +259,68 @@ fn print_rows(title: &str, rows: &[Row]) {
     );
 }
 
-fn json_rows(rows: &[Row]) -> String {
-    let mut out = String::new();
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n      {{\"policy\": \"{}\", \"makespan_ms\": {:.3}, \"speedup_vs_off\": {:.3}, \
-             \"tasks_shed\": {}, \"migrations_balancer\": {}, \"parcels_forwarded\": {}, \
-             \"gossip_parcels\": {}, \"parcels_recv\": {}}}",
-            r.setting.label(),
-            r.makespan.as_secs_f64() * 1e3,
-            speedup(rows, r),
-            r.tasks_shed,
-            r.migrations_balancer,
-            r.parcels_forwarded,
-            r.gossip_parcels,
-            r.parcels_recv,
-        ));
-    }
-    out
+/// JSON shape of one measured row (field names are the committed-artifact
+/// schema; emitted through the derived `Serialize`).
+#[derive(serde::Serialize)]
+struct RowJson {
+    policy: String,
+    makespan_ms: f64,
+    speedup_vs_off: f64,
+    tasks_shed: u64,
+    migrations_balancer: u64,
+    parcels_forwarded: u64,
+    gossip_parcels: u64,
+    parcels_recv: u64,
 }
 
-/// Write `BENCH_balance.json` at the workspace root (hand-rolled JSON —
-/// the offline crate set has no serde_json).
+#[derive(serde::Serialize)]
+struct WorkloadsJson {
+    skewed_spawn: Vec<RowJson>,
+    hot_objects: Vec<RowJson>,
+}
+
+#[derive(serde::Serialize)]
+struct BalanceJson {
+    bench: String,
+    localities: u64,
+    tasks: u64,
+    grain_ns: u64,
+    zipf_skew: f64,
+    hot_objects: u64,
+    workloads: WorkloadsJson,
+}
+
+fn json_rows(rows: &[Row]) -> Vec<RowJson> {
+    rows.iter()
+        .map(|r| RowJson {
+            policy: r.setting.label().to_string(),
+            makespan_ms: r.makespan.as_secs_f64() * 1e3,
+            speedup_vs_off: speedup(rows, r),
+            tasks_shed: r.tasks_shed,
+            migrations_balancer: r.migrations_balancer,
+            parcels_forwarded: r.parcels_forwarded,
+            gossip_parcels: r.gossip_parcels,
+            parcels_recv: r.parcels_recv,
+        })
+        .collect()
+}
+
+/// Write `BENCH_balance.json` at the workspace root through the derived
+/// `Serialize` impls (see [`crate::json`]).
 fn write_json(p: Params, skewed: &[Row], hot: &[Row]) {
-    let json = format!(
-        "{{\n  \"bench\": \"e12_balance\",\n  \"localities\": {LOCALITIES},\n  \
-         \"tasks\": {},\n  \"grain_ns\": {},\n  \"zipf_skew\": {SKEW},\n  \
-         \"hot_objects\": {HOT_OBJECTS},\n  \
-         \"workloads\": {{\n    \"skewed_spawn\": [{}\n    ],\n    \
-         \"hot_objects\": [{}\n    ]\n  }}\n}}\n",
-        p.tasks,
-        p.grain_ns,
-        json_rows(skewed),
-        json_rows(hot),
-    );
+    let doc = BalanceJson {
+        bench: "e12_balance".into(),
+        localities: LOCALITIES as u64,
+        tasks: p.tasks as u64,
+        grain_ns: p.grain_ns,
+        zipf_skew: SKEW,
+        hot_objects: HOT_OBJECTS as u64,
+        workloads: WorkloadsJson {
+            skewed_spawn: json_rows(skewed),
+            hot_objects: json_rows(hot),
+        },
+    };
+    let json = crate::json::to_json_pretty(&doc);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_balance.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -1,0 +1,497 @@
+//! JSON emission for the `BENCH_*.json` artifacts, driven by the same
+//! derived `serde::Serialize` impls that feed the wire format.
+//!
+//! The offline crate set has no `serde_json`, and the wire data model is
+//! positional — but the derive also emits *structural markers*
+//! (`begin_struct`/`field`/`end_struct`, tuple and variant markers; see
+//! `serde::ser::Serializer`) that the wire serializer ignores. This
+//! module overrides them to reconstruct named JSON objects, so every
+//! bench result struct (`#[derive(Serialize)]`) — including
+//! `px_core::stats::StatsSnapshot` — prints as real JSON without a
+//! hand-formatted string in sight.
+//!
+//! Supported shapes: named structs, tuple structs, slices/`Vec`s,
+//! `Option` (as `null`/value), scalars, strings, and enums (unit
+//! variants as `"Name"`, payload variants as `{"Name": ...}`). Maps and
+//! fixed-size arrays serialize without self-delimiting markers in this
+//! data model and are not supported here — bench artifacts don't use
+//! them.
+
+use serde::ser::{Error as SerError, Serialize, Serializer};
+use std::fmt::Display;
+
+/// Serialize any derived value to pretty-printed JSON.
+pub fn to_json_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut s = JsonSerializer::default();
+    value
+        .serialize(&mut s)
+        .expect("JSON emission is infallible for supported shapes");
+    s.finish()
+}
+
+/// Error type (never actually produced; required by the trait).
+#[derive(Debug)]
+pub struct JsonError(String);
+
+impl Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+impl std::error::Error for JsonError {}
+impl SerError for JsonError {
+    fn custom<T: Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+enum Frame {
+    /// `{` opened by `begin_struct`; closed by `end_struct`.
+    Struct { any_field: bool },
+    /// `[` opened by `put_seq_len`/`begin_tuple`; closes when `remaining`
+    /// completed child values have been written.
+    Seq { remaining: usize, any: bool },
+    /// `{"Variant":` wrapper awaiting one payload value.
+    Variant,
+}
+
+/// The JSON-emitting [`Serializer`]. Indentation is two spaces; output
+/// ends with a trailing newline (diff-friendly committed artifacts).
+#[derive(Default)]
+pub struct JsonSerializer {
+    out: String,
+    stack: Vec<Frame>,
+    /// Variant name announced but not yet resolved to unit-vs-payload.
+    pending_variant: Option<&'static str>,
+}
+
+impl JsonSerializer {
+    fn finish(mut self) -> String {
+        self.flush_pending_variant();
+        self.out.push('\n');
+        self.out
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// A unit variant is only recognizable once the *next* event arrives
+    /// (payload variants open a struct/tuple immediately): emit the
+    /// pending name as a complete string value.
+    fn flush_pending_variant(&mut self) {
+        if let Some(name) = self.pending_variant.take() {
+            self.sep();
+            self.push_str_escaped(name);
+            self.value_done();
+        }
+    }
+
+    /// Separator/newline bookkeeping before a value in a sequence
+    /// position (fields handle their own separators in `field`).
+    fn sep(&mut self) {
+        if let Some(Frame::Seq { any, .. }) = self.stack.last_mut() {
+            let first = !*any;
+            *any = true;
+            if !first {
+                self.out.push(',');
+            }
+            self.out.push('\n');
+            self.indent();
+        }
+    }
+
+    /// A complete value was written: close any sequences it completed.
+    fn value_done(&mut self) {
+        loop {
+            match self.stack.last_mut() {
+                Some(Frame::Seq { remaining, .. }) => {
+                    *remaining -= 1;
+                    if *remaining > 0 {
+                        return;
+                    }
+                    self.stack.pop();
+                    self.out.push('\n');
+                    self.indent();
+                    self.out.push(']');
+                    // The closed array is itself a completed value.
+                }
+                Some(Frame::Variant) => {
+                    self.stack.pop();
+                    self.out.push('}');
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn scalar(&mut self, v: impl Display) -> Result<(), JsonError> {
+        self.flush_pending_variant();
+        self.sep();
+        self.out.push_str(&v.to_string());
+        self.value_done();
+        Ok(())
+    }
+
+    fn push_str_escaped(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn float(&mut self, v: f64) -> Result<(), JsonError> {
+        if v.is_finite() {
+            // Always keep a decimal point so the value reads back as a
+            // float, and cap noise at 6 fractional digits like the
+            // hand-formatted artifacts did.
+            let mut s = format!("{v:.6}");
+            while s.ends_with('0') && !s.ends_with(".0") {
+                s.pop();
+            }
+            self.scalar(s)
+        } else {
+            self.scalar("null") // JSON has no NaN/inf
+        }
+    }
+}
+
+impl Serializer for JsonSerializer {
+    type Error = JsonError;
+
+    fn put_bool(&mut self, v: bool) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_u8(&mut self, v: u8) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_u16(&mut self, v: u16) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_u32(&mut self, v: u32) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_u64(&mut self, v: u64) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_u128(&mut self, v: u128) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_i8(&mut self, v: i8) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_i16(&mut self, v: i16) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_i32(&mut self, v: i32) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_i64(&mut self, v: i64) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_i128(&mut self, v: i128) -> Result<(), JsonError> {
+        self.scalar(v)
+    }
+    fn put_f32(&mut self, v: f32) -> Result<(), JsonError> {
+        self.float(f64::from(v))
+    }
+    fn put_f64(&mut self, v: f64) -> Result<(), JsonError> {
+        self.float(v)
+    }
+    fn put_char(&mut self, v: char) -> Result<(), JsonError> {
+        self.put_str(&v.to_string())
+    }
+
+    fn put_str(&mut self, v: &str) -> Result<(), JsonError> {
+        self.flush_pending_variant();
+        self.sep();
+        self.push_str_escaped(v);
+        self.value_done();
+        Ok(())
+    }
+
+    fn put_seq_len(&mut self, len: usize) -> Result<(), JsonError> {
+        self.flush_pending_variant();
+        self.sep();
+        self.out.push('[');
+        if len == 0 {
+            self.out.push(']');
+            self.value_done();
+        } else {
+            self.stack.push(Frame::Seq {
+                remaining: len,
+                any: false,
+            });
+        }
+        Ok(())
+    }
+
+    fn put_opt_tag(&mut self, is_some: bool) -> Result<(), JsonError> {
+        if !is_some {
+            self.scalar("null")?;
+        }
+        // `Some` is transparent: the payload is the value.
+        Ok(())
+    }
+
+    fn put_variant(&mut self, _index: u32) -> Result<(), JsonError> {
+        // The name (from `variant`) drives JSON; the index is the wire
+        // format's concern.
+        Ok(())
+    }
+
+    fn begin_struct(&mut self, _name: &'static str, _fields: usize) -> Result<(), JsonError> {
+        if let Some(name) = self.pending_variant.take() {
+            self.sep();
+            self.out.push('{');
+            self.push_str_escaped(name);
+            self.out.push_str(": ");
+            self.stack.push(Frame::Variant);
+        } else {
+            self.sep();
+        }
+        self.out.push('{');
+        self.stack.push(Frame::Struct { any_field: false });
+        Ok(())
+    }
+
+    fn field(&mut self, name: &'static str) -> Result<(), JsonError> {
+        // A pending unit variant is the *previous* field's value.
+        self.flush_pending_variant();
+        if let Some(Frame::Struct { any_field }) = self.stack.last_mut() {
+            let first = !*any_field;
+            *any_field = true;
+            if !first {
+                self.out.push(',');
+            }
+        }
+        self.out.push('\n');
+        self.indent();
+        self.push_str_escaped(name);
+        self.out.push_str(": ");
+        Ok(())
+    }
+
+    fn end_struct(&mut self) -> Result<(), JsonError> {
+        // A pending unit variant is the last field's value.
+        self.flush_pending_variant();
+        if let Some(Frame::Struct { any_field }) = self.stack.pop() {
+            if any_field {
+                self.out.push('\n');
+                self.indent();
+            }
+        }
+        self.out.push('}');
+        self.value_done();
+        Ok(())
+    }
+
+    fn begin_tuple(&mut self, len: usize) -> Result<(), JsonError> {
+        if let Some(name) = self.pending_variant.take() {
+            self.sep();
+            self.out.push('{');
+            self.push_str_escaped(name);
+            self.out.push_str(": ");
+            self.stack.push(Frame::Variant);
+            self.out.push('[');
+            if len == 0 {
+                self.out.push(']');
+                self.value_done();
+            } else {
+                self.stack.push(Frame::Seq {
+                    remaining: len,
+                    any: false,
+                });
+            }
+            Ok(())
+        } else {
+            self.put_seq_len(len)
+        }
+    }
+
+    fn end_tuple(&mut self) -> Result<(), JsonError> {
+        // The element count already closed the bracket in `value_done`.
+        Ok(())
+    }
+
+    fn variant(&mut self, name: &'static str) -> Result<(), JsonError> {
+        self.flush_pending_variant();
+        self.pending_variant = Some(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Row {
+        policy: String,
+        makespan_ms: f64,
+        shed: u64,
+        on_time: bool,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Doc {
+        bench: String,
+        rows: Vec<Row>,
+        empty: Vec<u64>,
+        tag: Option<u32>,
+        missing: Option<u32>,
+    }
+
+    #[test]
+    fn structs_emit_named_fields() {
+        let doc = Doc {
+            bench: "e13".into(),
+            rows: vec![
+                Row {
+                    policy: "cancel".into(),
+                    makespan_ms: 12.5,
+                    shed: 3,
+                    on_time: true,
+                },
+                Row {
+                    policy: "off".into(),
+                    makespan_ms: 48.0,
+                    shed: 0,
+                    on_time: false,
+                },
+            ],
+            empty: vec![],
+            tag: Some(7),
+            missing: None,
+        };
+        let json = to_json_pretty(&doc);
+        assert!(json.starts_with("{\n"), "{json}");
+        assert!(json.contains("\"bench\": \"e13\""), "{json}");
+        assert!(json.contains("\"makespan_ms\": 12.5"), "{json}");
+        assert!(json.contains("\"shed\": 3"), "{json}");
+        assert!(json.contains("\"on_time\": true"), "{json}");
+        assert!(json.contains("\"empty\": []"), "{json}");
+        assert!(json.contains("\"tag\": 7"), "{json}");
+        assert!(json.contains("\"missing\": null"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+        // Two rows → exactly one comma between the row objects.
+        assert_eq!(json.matches("\"policy\"").count(), 2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        #[derive(Serialize)]
+        struct S {
+            msg: String,
+        }
+        let json = to_json_pretty(&S {
+            msg: "a\"b\\c\nd\te".into(),
+        });
+        assert!(json.contains(r#""msg": "a\"b\\c\nd\te""#), "{json}");
+    }
+
+    #[test]
+    fn floats_stay_floats_and_nonfinite_is_null() {
+        #[derive(Serialize)]
+        struct F {
+            a: f64,
+            b: f64,
+            c: f64,
+        }
+        let json = to_json_pretty(&F {
+            a: 3.0,
+            b: 0.125,
+            c: f64::NAN,
+        });
+        assert!(json.contains("\"a\": 3.0"), "{json}");
+        assert!(json.contains("\"b\": 0.125"), "{json}");
+        assert!(json.contains("\"c\": null"), "{json}");
+    }
+
+    #[test]
+    fn unit_variants_in_field_position_emit_valid_json() {
+        #[derive(Serialize)]
+        enum Mode {
+            Off,
+            On,
+        }
+        #[derive(Serialize)]
+        struct S {
+            first: Mode,
+            mid: u8,
+            last: Mode,
+        }
+        let json = to_json_pretty(&S {
+            first: Mode::Off,
+            mid: 9,
+            last: Mode::On,
+        });
+        assert!(json.contains("\"first\": \"Off\""), "{json}");
+        assert!(json.contains("\"mid\": 9"), "{json}");
+        assert!(json.contains("\"last\": \"On\""), "{json}");
+        assert!(json.trim_end().ends_with('}'), "{json}");
+    }
+
+    #[test]
+    fn enums_and_tuples_emit() {
+        #[derive(Serialize)]
+        enum E {
+            Off,
+            Pair(u32, u32),
+            Named { x: u8 },
+        }
+        #[derive(Serialize)]
+        struct H {
+            modes: Vec<E>,
+        }
+        let json = to_json_pretty(&H {
+            modes: vec![E::Off, E::Pair(1, 2), E::Named { x: 9 }],
+        });
+        assert!(json.contains("\"Off\""), "{json}");
+        assert!(json.contains("{\"Pair\": ["), "{json}");
+        assert!(json.contains("{\"Named\": {"), "{json}");
+        assert!(json.contains("\"x\": 9"), "{json}");
+    }
+
+    #[test]
+    fn stats_snapshot_serializes_with_field_names() {
+        let snap = px_core::prelude::StatsSnapshot::default();
+        let json = to_json_pretty(&snap);
+        assert!(json.contains("\"localities\": []"), "{json}");
+        assert!(json.contains("\"migrations_manual\": 0"), "{json}");
+        assert!(json.contains("\"processes_cancelled\": 0"), "{json}");
+    }
+
+    #[test]
+    fn wire_bytes_unchanged_by_structural_markers() {
+        // The same derive now emits structural markers; the positional
+        // wire encoding must be byte-identical to a hand-written layout.
+        let r = Row {
+            policy: "x".into(),
+            makespan_ms: 1.5,
+            shed: 2,
+            on_time: true,
+        };
+        let bytes = px_wire::to_bytes(&r).unwrap();
+        let mut expected = vec![1u8]; // "x" length varint
+        expected.extend_from_slice(b"x");
+        expected.extend_from_slice(&1.5f64.to_le_bytes());
+        expected.extend_from_slice(&2u64.to_le_bytes());
+        expected.push(1);
+        assert_eq!(bytes, expected);
+    }
+}

@@ -21,16 +21,19 @@
 //! | [`e10_datavortex`] | §3.2 Data Vortex vs crossbar vs torus |
 //! | [`e11_starvation`] | §2.1 starvation under skewed load |
 //! | [`e12_balance`] | §2.1/§2.2 adaptive balancing: diffusion + migration |
+//! | [`e13_tenancy`] | §2.2 process trees: tenant isolation via cancellation |
 //!
 //! All experiments are functions returning plain row structs so tests can
 //! assert the qualitative shapes (who wins, where crossovers fall) that
-//! EXPERIMENTS.md records.
+//! EXPERIMENTS.md records. `BENCH_*.json` artifacts are emitted through
+//! derived `Serialize` impls by the [`json`] module.
 
 #![warn(missing_docs)]
 
 pub mod e10_datavortex;
 pub mod e11_starvation;
 pub mod e12_balance;
+pub mod e13_tenancy;
 pub mod e1_design_point;
 pub mod e2_latency_hiding;
 pub mod e3_lco_vs_barrier;
@@ -40,6 +43,7 @@ pub mod e6_work_to_data;
 pub mod e7_modality;
 pub mod e8_irregular;
 pub mod e9_litlx_overhead;
+pub mod json;
 pub mod table;
 
 /// Serializes wall-clock experiments: unit tests run concurrently by

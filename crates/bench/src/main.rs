@@ -3,10 +3,12 @@
 //! ```text
 //! px-bench e12            # full E12 run (writes BENCH_balance.json)
 //! px-bench --smoke e12    # scaled-down E12 (CI smoke; no JSON)
+//! px-bench e13            # full E13 run (writes BENCH_tenancy.json)
+//! px-bench --smoke e13    # scaled-down E13 (CI smoke; no JSON)
 //! ```
 
 fn usage() -> ! {
-    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12");
+    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12, e13");
     std::process::exit(2);
 }
 
@@ -23,6 +25,12 @@ fn main() {
         }
         ("e12", false) => {
             px_bench::e12_balance::run();
+        }
+        ("e13", true) => {
+            px_bench::e13_tenancy::smoke();
+        }
+        ("e13", false) => {
+            px_bench::e13_tenancy::run();
         }
         ("e11", _) => {
             px_bench::e11_starvation::run();

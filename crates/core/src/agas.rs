@@ -235,6 +235,29 @@ impl Agas {
             .ok_or_else(|| PxError::UnknownName(name.to_string()))
     }
 
+    /// Remove every name under `prefix` in one pass, returning the
+    /// removed bindings sorted by name. This is the bulk-teardown half of
+    /// hierarchical naming: process exits (and any caller that registers
+    /// then drops a family of names) use it instead of leaking entries
+    /// into the global table one `unregister_name` miss at a time.
+    pub fn unregister_names_under(&self, prefix: &str) -> Vec<(String, Gid)> {
+        let mut names = self.names.write();
+        let keys: Vec<String> = names
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        let mut out: Vec<(String, Gid)> = keys
+            .into_iter()
+            .map(|k| {
+                let gid = names.remove(&k).expect("key collected under lock");
+                (k, gid)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// List names under a prefix (hierarchy browsing).
     pub fn names_under(&self, prefix: &str) -> Vec<(String, Gid)> {
         let names = self.names.read();
@@ -433,6 +456,35 @@ mod tests {
         assert_eq!(under_a[0].0, "/a/x");
         let all = agas.names_under("/");
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn unregister_names_under_prefix() {
+        let agas = Agas::new(1);
+        agas.register_name("/proc/1f/counter", gid_at(0, 1))
+            .unwrap();
+        agas.register_name("/proc/1f/log", gid_at(0, 2)).unwrap();
+        agas.register_name("/proc/2a/counter", gid_at(0, 3))
+            .unwrap();
+        agas.register_name("/global", gid_at(0, 4)).unwrap();
+        let removed = agas.unregister_names_under("/proc/1f/");
+        assert_eq!(
+            removed,
+            vec![
+                ("/proc/1f/counter".to_string(), gid_at(0, 1)),
+                ("/proc/1f/log".to_string(), gid_at(0, 2)),
+            ]
+        );
+        // Removed names are gone; unrelated names survive.
+        assert!(agas.lookup_name("/proc/1f/counter").is_err());
+        assert_eq!(agas.lookup_name("/proc/2a/counter").unwrap(), gid_at(0, 3));
+        assert_eq!(agas.lookup_name("/global").unwrap(), gid_at(0, 4));
+        // The freed names can be re-registered (no tombstones), and a
+        // second bulk pass removes nothing.
+        assert!(agas.unregister_names_under("/proc/1f/").is_empty());
+        agas.register_name("/proc/1f/counter", gid_at(0, 9))
+            .unwrap();
+        assert_eq!(agas.lookup_name("/proc/1f/counter").unwrap(), gid_at(0, 9));
     }
 
     #[test]

@@ -8,9 +8,9 @@ use std::fmt;
 /// Result alias for runtime operations.
 pub type PxResult<T> = Result<T, PxError>;
 
-/// Why a parcel (or an LCO it was feeding) died. The five kill paths of
-/// the scheduler, mirrored one-to-one by the by-cause dead-parcel
-/// counters in [`crate::stats::LocalityStats`].
+/// Why a parcel (or an LCO it was feeding) died. The kill paths of the
+/// scheduler, mirrored one-to-one by the by-cause dead-parcel counters
+/// in [`crate::stats::LocalityStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultCause {
     /// The forwarding/retry hop budget was exhausted chasing a migrating
@@ -26,6 +26,10 @@ pub enum FaultCause {
     Panic,
     /// The parcel payload (or frame record) could not be decoded.
     Decode,
+    /// The parcel's owning parallel process was cancelled: the parcel was
+    /// killed at dispatch (or an LCO it fed was poisoned) by
+    /// [`crate::process::ProcessRef::cancel`].
+    Cancelled,
 }
 
 impl FaultCause {
@@ -37,6 +41,7 @@ impl FaultCause {
             FaultCause::HandlerError => 2,
             FaultCause::Panic => 3,
             FaultCause::Decode => 4,
+            FaultCause::Cancelled => 5,
         }
     }
 
@@ -48,6 +53,7 @@ impl FaultCause {
             1 => FaultCause::UnknownAction,
             3 => FaultCause::Panic,
             4 => FaultCause::Decode,
+            5 => FaultCause::Cancelled,
             _ => FaultCause::HandlerError,
         }
     }
@@ -61,6 +67,7 @@ impl fmt::Display for FaultCause {
             FaultCause::HandlerError => "handler error",
             FaultCause::Panic => "panicked action",
             FaultCause::Decode => "undecodable payload",
+            FaultCause::Cancelled => "process cancelled",
         })
     }
 }

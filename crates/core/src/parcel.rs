@@ -145,20 +145,28 @@ impl Parcel {
     /// where parcels append directly to a per-destination
     /// [`px_wire::FrameBuf`] and no per-parcel `Vec` is allocated.
     pub fn encode_into(&self, w: &mut WireWriter) {
+        use px_wire::parcel_flags as pf;
         w.put_u64(self.dest.0);
         w.put_u64(self.action.0);
         w.put_u16(self.src.0);
         w.put_u8(self.hops);
-        // Flags byte: bit 0 = staged, bit 1 = payload is a fault value.
-        // (Non-fault parcels encode exactly as before the fault bit
-        // existed, so the default-config byte stream is unchanged.)
-        w.put_u8(self.staged as u8 | (self.payload.is_fault() as u8) << 1);
-        match self.process {
-            None => w.put_u8(0),
-            Some(g) => {
-                w.put_u8(1);
-                w.put_u64(g.0);
-            }
+        // Flags byte (layout fixed in `px_wire::parcel_flags`). Optional
+        // header fields are gated on flag bits — a pid-less parcel writes
+        // no pid bytes at all, so parcels outside any process encode
+        // bit-identically whether or not the process subsystem is in use.
+        let mut flags = 0u8;
+        if self.staged {
+            flags |= pf::STAGED;
+        }
+        if self.payload.is_fault() {
+            flags |= pf::FAULT;
+        }
+        if self.process.is_some() {
+            flags |= pf::HAS_PID;
+        }
+        w.put_u8(flags);
+        if let Some(g) = self.process {
+            w.put_u64(g.0);
         }
         w.put_varint(self.cont.steps.len() as u64);
         for step in &self.cont.steps {
@@ -183,17 +191,28 @@ impl Parcel {
 
     /// Decode from wire bytes.
     pub fn decode(bytes: &[u8]) -> Result<Parcel, px_wire::WireError> {
+        use px_wire::parcel_flags as pf;
         let mut r = WireReader::new(bytes);
         let dest = Gid(r.get_u64()?);
         let action = ActionId(r.get_u64()?);
         let src = LocalityId(r.get_u16()?);
         let hops = r.get_u8()?;
         let flags = r.get_u8()?;
-        let staged = flags & 1 != 0;
-        let payload_fault = flags & 2 != 0;
-        let process = match r.get_u8()? {
-            0 => None,
-            _ => Some(Gid(r.get_u64()?)),
+        if flags & !pf::KNOWN != 0 {
+            // A newer sender gated extra header bytes on a bit we don't
+            // know: parsing the rest as continuation/payload would be
+            // silent corruption — reject loudly instead.
+            return Err(px_wire::WireError::Message(format!(
+                "unknown parcel flag bits {:#04x}",
+                flags & !pf::KNOWN
+            )));
+        }
+        let staged = flags & pf::STAGED != 0;
+        let payload_fault = flags & pf::FAULT != 0;
+        let process = if flags & pf::HAS_PID != 0 {
+            Some(Gid(r.get_u64()?))
+        } else {
+            None
         };
         let n = r.get_varint()? as usize;
         let mut steps = Vec::with_capacity(n);
@@ -223,9 +242,9 @@ impl Parcel {
 
     /// Wire size in bytes (without re-encoding).
     pub fn wire_size(&self) -> usize {
-        let mut n = 8 + 8 + 2 + 1 + 1 + 1; // dest+action+src+hops+flags+proc tag
+        let mut n = 8 + 8 + 2 + 1 + 1; // dest + action + src + hops + flags
         if self.process.is_some() {
-            n += 8;
+            n += 8; // owning pid, present only when flagged
         }
         n += varint_len(self.steps_len() as u64);
         for step in &self.cont.steps {
@@ -352,6 +371,46 @@ mod tests {
         assert_eq!(q.payload.fault().unwrap(), f);
         assert!(!q.staged, "fault bit must not bleed into staged");
         assert_eq!(p.wire_size(), p.encode().len());
+    }
+
+    /// Acceptance pin: a pid-less parcel's bytes are exactly the
+    /// documented header layout with *no* pid field — attaching a process
+    /// to other parcels cannot perturb parcels outside any process.
+    #[test]
+    fn pidless_parcels_are_bit_identical_to_the_fixed_layout() {
+        let mut p = Parcel::new(
+            Gid::new(LocalityId(3), GidKind::Data, 42),
+            ActionId::of("test/action"),
+            Value::from_bytes(vec![0xde, 0xad]),
+            Continuation::set(Gid::new(LocalityId(1), GidKind::Lco, 7)),
+        );
+        p.src = LocalityId(5);
+        p.hops = 2;
+        p.staged = true;
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&p.dest.0.to_le_bytes());
+        expected.extend_from_slice(&p.action.0.to_le_bytes());
+        expected.extend_from_slice(&5u16.to_le_bytes());
+        expected.push(2); // hops
+        expected.push(px_wire::parcel_flags::STAGED); // flags: staged only
+        expected.push(1); // one continuation step
+        expected.push(0); // SetLco tag
+        expected.extend_from_slice(&Gid::new(LocalityId(1), GidKind::Lco, 7).0.to_le_bytes());
+        expected.push(2); // payload length varint
+        expected.extend_from_slice(&[0xde, 0xad]);
+        assert_eq!(p.encode(), expected, "pid-less layout drifted");
+
+        // Attaching a pid changes exactly two things: the HAS_PID flag
+        // bit and eight pid bytes after the flags byte.
+        let pid = Gid::new(LocalityId(0), GidKind::Process, 17);
+        let mut q = p.clone();
+        q.process = Some(pid);
+        let qb = q.encode();
+        assert_eq!(qb.len(), expected.len() + 8);
+        assert_eq!(qb[19], expected[19] | px_wire::parcel_flags::HAS_PID);
+        assert_eq!(&qb[20..28], &pid.0.to_le_bytes());
+        assert_eq!(&qb[..19], &expected[..19]);
+        assert_eq!(&qb[28..], &expected[20..]);
     }
 
     #[test]

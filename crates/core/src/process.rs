@@ -1,36 +1,55 @@
-//! Parallel processes (§2.2).
+//! Parallel processes (§2.2): hierarchical, cancellable, namespaced work
+//! contexts spanning localities.
 //!
 //! "ParalleX differs from conventional distributed computing languages in
 //! that the notion of parallel processes is not just that there may be
 //! multiple processes being performed concurrently, but rather that each
 //! process may have many parts, either subprocesses or threads, running
 //! concurrently (or in parallel) as well and distributed across many
-//! execution sites. Parallel Processes can be object oriented in that once
-//! instantiated they can have additional messages incident upon them
-//! invoking methods to create new instances in the form of threads (single
-//! locality) or processes (multiple localities)."
+//! execution sites."
 //!
-//! A [`ProcessRef`] names a process; PX-threads and parcels spawned
-//! through it are *accounted* to the process. Termination (quiescence) is
-//! detected with an activity counter that is incremented **before** a
-//! task is dispatched and decremented when it completes — because the
-//! increment happens-before the send, the counter can never be observed at
-//! zero while work is in flight, which is the classic message-counting
-//! termination-detection invariant (Dijkstra–Scholten style, collapsed to
-//! a shared atomic because localities share a process).
+//! A [`ProcessRef`] names a process. The subsystem gives it four powers:
 //!
-//! The process holds a *root token* from creation until
-//! [`ProcessRef::finish_root`]; quiescence can therefore not fire while
-//! the creator is still spawning initial work.
+//! * **Hierarchy** — [`ProcessRef::create_subprocess`] builds trees of
+//!   work contexts. A live child holds one activity token in its parent
+//!   (released at the child's first quiescence or cancellation), so the
+//!   Dijkstra–Scholten message-counting invariant extends up the tree:
+//!   a parent cannot observe quiescence while any descendant still has
+//!   work in flight.
+//! * **Scoped namespace** — names registered through the process land
+//!   under its AGAS prefix ([`ProcessRef::prefix`]) and are bulk
+//!   unregistered at exit (first quiescence or cancellation), closing the
+//!   name-table leak of long-running multi-tenant drivers.
+//! * **Cancellation** — [`ProcessRef::cancel`] kills the whole subtree
+//!   using the fault machinery: the done-future and every LCO the
+//!   process created are poisoned with [`FaultCause::Cancelled`],
+//!   in-flight parcels accounted to the process are killed loudly at
+//!   dispatch, queued process threads are dropped (and counted), and new
+//!   spawns are rejected. Every waiter — including [`ProcessRef::wait`]
+//!   — resolves with [`crate::error::PxError::Fault`] in bounded time.
+//! * **Collectives** — [`ProcessRef::broadcast`] fans an action out to
+//!   every locality the process has touched and funnels the results
+//!   through a reduction LCO.
+//!
+//! Termination (quiescence) is detected with an activity counter that is
+//! incremented **before** a task is dispatched and decremented when it
+//! completes — because the increment happens-before the send, the counter
+//! can never be observed at zero while work is in flight. The process
+//! holds a *root token* from creation until [`ProcessRef::finish_root`];
+//! quiescence can therefore not fire while the creator is still spawning
+//! initial work.
 
-use crate::action::{Action, Value};
-use crate::error::PxResult;
+use crate::action::{Action, ActionId, Value};
+use crate::error::{Fault, FaultCause, PxError, PxResult};
 use crate::gid::{Gid, GidKind, LocalityId};
-use crate::lco::FutureRef;
+use crate::lco::{FutureRef, LcoCore, ReduceFn};
+use crate::locality::Stored;
 use crate::parcel::{Continuation, Parcel};
 use crate::runtime::{Ctx, Runtime, RuntimeInner};
 use crate::sched::Task;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::stats::bump;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared process record (stored at the home locality and in the runtime's
@@ -40,10 +59,28 @@ pub struct ProcessInner {
     pub gid: Gid,
     /// Outstanding activations + the root token.
     active: AtomicU64,
-    /// Future triggered (with unit) at quiescence.
+    /// Future triggered (with unit) at quiescence; poisoned at cancel.
     done: Gid,
     /// Total activations ever accounted (diagnostics).
     spawned: AtomicU64,
+    /// Parent process, if this is a subprocess.
+    parent: Option<Gid>,
+    /// Direct children (subprocess GIDs), in creation order.
+    children: Mutex<Vec<Gid>>,
+    /// LCOs created through this process's threads (plus broadcast
+    /// reductions); poisoned at cancel so their waiters resolve.
+    owned_lcos: Mutex<Vec<Gid>>,
+    /// Set once by [`cancel_process`]; checked on spawn and dispatch.
+    cancelled: AtomicBool,
+    /// The root token has been released (by `finish_root` or cancel).
+    root_released: AtomicBool,
+    /// First exit (quiescence or cancel) already ran: namespace cleaned,
+    /// parent token released.
+    exited: AtomicBool,
+    /// Bitmap of localities this process has dispatched work to (word
+    /// `i` covers localities `64·i .. 64·i+63`). Drives broadcast
+    /// fan-out.
+    touched: Vec<AtomicU64>,
 }
 
 impl std::fmt::Debug for ProcessInner {
@@ -52,18 +89,30 @@ impl std::fmt::Debug for ProcessInner {
             .field("gid", &self.gid)
             .field("active", &self.active.load(Ordering::Relaxed))
             .field("spawned", &self.spawned.load(Ordering::Relaxed))
+            .field("parent", &self.parent)
+            .field("children", &self.children.lock().len())
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl ProcessInner {
-    pub(crate) fn new(gid: Gid, done: Gid) -> Self {
+    pub(crate) fn new(gid: Gid, done: Gid, parent: Option<Gid>, n_localities: usize) -> Self {
         ProcessInner {
             gid,
             // 1 = the root token held by the creator.
             active: AtomicU64::new(1),
             done,
             spawned: AtomicU64::new(0),
+            parent,
+            children: Mutex::new(Vec::new()),
+            owned_lcos: Mutex::new(Vec::new()),
+            cancelled: AtomicBool::new(false),
+            root_released: AtomicBool::new(false),
+            exited: AtomicBool::new(false),
+            touched: (0..n_localities.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -73,14 +122,118 @@ impl ProcessInner {
         self.spawned.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Account one completed activation; triggers the done-future at zero.
+    /// Account one completed activation; at zero, triggers the
+    /// done-future and runs first-exit cleanup (namespace, parent token).
     pub(crate) fn task_done(&self, rt: &Arc<RuntimeInner>) {
         if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
             let home = rt.locality(self.done.birthplace());
             // The done-future is an or-gate-like unit trigger; re-triggers
-            // on a quiesce/re-activate cycle are tolerated by the LCO.
+            // on a quiesce/re-activate cycle are tolerated by the LCO, and
+            // a cancel-poisoned done future rejects the trigger (fine: its
+            // waiters already hold the fault).
             let _ = crate::sched::lco_sys_op(rt, home, self.done, |l| l.trigger(Value::unit()));
+            self.first_exit(rt);
         }
+    }
+
+    /// One-shot exit work: bulk-unregister the process namespace and
+    /// release the activity token this process holds in its parent. Runs
+    /// at the first of quiescence or cancellation.
+    fn first_exit(&self, rt: &Arc<RuntimeInner>) {
+        if self.exited.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Boundary-terminated: a raw starts_with on the bare prefix would
+        // also match a *different* process whose gid hex string extends
+        // this one's (registration always inserts the '/', see `scoped`).
+        rt.agas
+            .unregister_names_under(&format!("{}/", prefix_of(self.gid)));
+        if let Some(parent) = self.parent {
+            rt.process_task_done(parent);
+        }
+    }
+
+    /// Note that work of this process was dispatched to locality `at`.
+    pub(crate) fn note_touched(&self, at: LocalityId) {
+        let (word, bit) = (at.0 as usize / 64, at.0 as usize % 64);
+        if let Some(w) = self.touched.get(word) {
+            // Avoid the RMW when the bit is already set (the common case
+            // on a steady-state process).
+            if w.load(Ordering::Relaxed) & (1 << bit) == 0 {
+                w.fetch_or(1 << bit, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Localities this process has dispatched work to, ascending.
+    pub fn touched_localities(&self) -> Vec<LocalityId> {
+        let mut out = Vec::new();
+        for (i, w) in self.touched.iter().enumerate() {
+            let mut bits = w.load(Ordering::Acquire);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(LocalityId((i * 64 + b) as u16));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Record an LCO created through this process. Returns `None` if the
+    /// process is already cancelled — the caller must poison the LCO
+    /// immediately instead of waiting for a cancel that already ran —
+    /// and `Some(list_len)` otherwise so the caller can trigger a
+    /// periodic prune.
+    pub(crate) fn note_owned_lco(&self, gid: Gid) -> Option<usize> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return None;
+        }
+        let len = {
+            let mut g = self.owned_lcos.lock();
+            g.push(gid);
+            g.len()
+        };
+        // Re-check: a cancel racing the push may have drained the list
+        // before or after our insert; if it already drained, poison at the
+        // caller (poisoning twice is a no-op).
+        if self.cancelled.load(Ordering::Acquire) {
+            None
+        } else {
+            Some(len)
+        }
+    }
+
+    /// Drop owned-LCO entries `keep` rejects. Called periodically by the
+    /// LCO-creation path so a long-lived process (the multi-tenant
+    /// parent) does not accumulate every future it ever created.
+    pub(crate) fn prune_owned_lcos(&self, keep: impl FnMut(&Gid) -> bool) {
+        self.owned_lcos.lock().retain(keep);
+    }
+
+    /// Register a subprocess. Returns `false` when this (parent) process
+    /// is already cancelled and must not accept children.
+    fn note_child(&self, child: Gid) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return false;
+        }
+        self.children.lock().push(child);
+        !self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The fault delivered to everything this process's cancellation
+    /// kills.
+    pub(crate) fn cancel_fault(&self) -> Fault {
+        Fault::new(
+            FaultCause::Cancelled,
+            ActionId(0),
+            self.gid,
+            "subtree torn down by ProcessRef::cancel",
+        )
+    }
+
+    /// True once the process has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// Outstanding activations (including the root token while held).
@@ -92,6 +245,11 @@ impl ProcessInner {
     pub fn spawned(&self) -> u64 {
         self.spawned.load(Ordering::Relaxed)
     }
+}
+
+/// The AGAS namespace prefix of process `gid` (no trailing slash).
+fn prefix_of(gid: Gid) -> String {
+    format!("/proc/{:x}", gid.0)
 }
 
 /// Handle to a parallel process.
@@ -112,23 +270,27 @@ impl ProcessRef {
     }
 
     /// Future that fires (unit) at quiescence: no threads or parcels of
-    /// this process remain anywhere in the system.
+    /// this process remain anywhere in the system. Poisoned with
+    /// [`FaultCause::Cancelled`] if the process is cancelled first.
     pub fn done_future(&self) -> FutureRef<()> {
         FutureRef::from_gid(self.done)
     }
 
     /// Release the root token. Call after the initial work is spawned;
-    /// until then quiescence cannot trigger.
+    /// until then quiescence cannot trigger. Idempotent.
     pub fn finish_root(&self, rt: &Runtime) {
-        rt.inner().process_task_done(self.gid);
+        finish_root_inner(rt.inner(), self.gid);
     }
 
     /// As [`ProcessRef::finish_root`] from inside a PX-thread.
     pub fn finish_root_ctx(&self, ctx: &mut Ctx<'_>) {
-        ctx.rt_inner().process_task_done(self.gid);
+        finish_root_inner(ctx.rt_inner(), self.gid);
     }
 
-    /// Spawn a PX-thread at `dest` accounted to this process.
+    /// Spawn a PX-thread at `dest` accounted to this process. If the
+    /// process has been cancelled the spawn is rejected loudly: the
+    /// closure is dropped, `tasks_cancelled` is counted at `dest`, and
+    /// the dead-letter hook observes the fault.
     pub fn spawn_at(
         &self,
         rt: &Runtime,
@@ -136,11 +298,15 @@ impl ProcessRef {
         f: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
     ) {
         let inner = rt.inner();
+        if reject_if_cancelled(inner, self.gid, dest) {
+            return;
+        }
         let task = Task::thread(f).with_process(Some(self.gid));
         inner.send_task(dest, dest, task);
     }
 
-    /// Send an action parcel accounted to this process.
+    /// Send an action parcel accounted to this process. Errors with the
+    /// cancellation fault if the process has been cancelled.
     pub fn send_action<A: Action>(
         &self,
         rt: &Runtime,
@@ -148,15 +314,185 @@ impl ProcessRef {
         args: A::Args,
         cont: Continuation,
     ) -> PxResult<()> {
+        let inner = rt.inner();
+        if let Some(fault) = inner.process_cancel_fault(self.gid) {
+            return Err(PxError::Fault(fault));
+        }
         let mut p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
         p.process = Some(self.gid);
-        rt.inner().send_parcel(LocalityId(0), p);
+        inner.send_parcel(LocalityId(0), p);
         Ok(())
     }
 
-    /// Block the calling OS thread until the process quiesces.
+    /// Block the calling OS thread until the process quiesces. Resolves
+    /// with [`PxError::Fault`] (cause [`FaultCause::Cancelled`]) if the
+    /// process is cancelled instead.
     pub fn wait(&self, rt: &Runtime) -> PxResult<()> {
         self.done_future().wait(rt)
+    }
+
+    // ---- hierarchy ---------------------------------------------------------
+
+    /// Create a subprocess homed at `home`. The child holds one activity
+    /// token in this process until the child's first quiescence (or its
+    /// cancellation), so [`ProcessRef::wait`] on the parent also waits
+    /// for the entire subtree. Fails with the cancellation fault if this
+    /// process is already cancelled.
+    pub fn create_subprocess(&self, rt: &Runtime, home: LocalityId) -> PxResult<ProcessRef> {
+        create_subprocess_inner(rt.inner(), self.gid, home)
+    }
+
+    /// As [`ProcessRef::create_subprocess`] from inside a PX-thread.
+    pub fn create_subprocess_ctx(
+        &self,
+        ctx: &mut Ctx<'_>,
+        home: LocalityId,
+    ) -> PxResult<ProcessRef> {
+        create_subprocess_inner(ctx.rt_inner(), self.gid, home)
+    }
+
+    /// This process's parent, if it is a subprocess.
+    pub fn parent(&self, rt: &Runtime) -> Option<ProcessRef> {
+        let inner = rt.inner();
+        let table = inner.process_table.read();
+        let me = table.get(&self.gid)?;
+        let pgid = me.parent?;
+        let p = table.get(&pgid)?;
+        Some(ProcessRef::new(pgid, p.done))
+    }
+
+    /// Direct children, in creation order.
+    pub fn children(&self, rt: &Runtime) -> Vec<ProcessRef> {
+        let inner = rt.inner();
+        let table = inner.process_table.read();
+        let Some(me) = table.get(&self.gid) else {
+            return Vec::new();
+        };
+        let kids: Vec<Gid> = me.children.lock().clone();
+        kids.into_iter()
+            .filter_map(|c| table.get(&c).map(|p| ProcessRef::new(c, p.done)))
+            .collect()
+    }
+
+    /// Outstanding activations (diagnostics; includes held root tokens).
+    pub fn active(&self, rt: &Runtime) -> u64 {
+        rt.inner()
+            .process_table
+            .read()
+            .get(&self.gid)
+            .map(|p| p.active())
+            .unwrap_or(0)
+    }
+
+    /// True once [`ProcessRef::cancel`] has run on this process (or an
+    /// ancestor).
+    pub fn is_cancelled(&self, rt: &Runtime) -> bool {
+        rt.inner()
+            .process_table
+            .read()
+            .get(&self.gid)
+            .is_some_and(|p| p.is_cancelled())
+    }
+
+    // ---- cancellation ------------------------------------------------------
+
+    /// Cancel this process and its entire subtree. Idempotent. After this
+    /// returns: the done-future and every LCO created through the process
+    /// are poisoned with [`FaultCause::Cancelled`] (releasing all current
+    /// and future waiters), queued and in-flight work is killed loudly at
+    /// dispatch, new spawns are rejected, and the process namespace is
+    /// unregistered.
+    pub fn cancel(&self, rt: &Runtime) {
+        cancel_process(rt.inner(), self.gid);
+    }
+
+    /// As [`ProcessRef::cancel`] from inside a PX-thread.
+    pub fn cancel_ctx(&self, ctx: &mut Ctx<'_>) {
+        let rt = ctx.rt_inner().clone();
+        cancel_process(&rt, self.gid);
+    }
+
+    // ---- process-scoped namespace ------------------------------------------
+
+    /// The AGAS prefix all names registered through this process live
+    /// under (`/proc/<gid>`); bulk-unregistered at exit.
+    pub fn prefix(&self) -> String {
+        prefix_of(self.gid)
+    }
+
+    /// Bind `name` under the process namespace prefix. The full path is
+    /// returned (it is also resolvable through the global
+    /// [`Runtime::lookup_name`]).
+    pub fn register_name(&self, rt: &Runtime, name: &str, gid: Gid) -> PxResult<String> {
+        let full = self.scoped(name);
+        rt.inner().agas.register_name(&full, gid)?;
+        Ok(full)
+    }
+
+    /// Resolve a name previously registered through this process.
+    pub fn lookup_name(&self, rt: &Runtime, name: &str) -> PxResult<Gid> {
+        rt.inner().agas.lookup_name(&self.scoped(name))
+    }
+
+    /// All names currently registered under this process's prefix.
+    pub fn names(&self, rt: &Runtime) -> Vec<(String, Gid)> {
+        rt.inner().agas.names_under(&format!("{}/", self.prefix()))
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        format!("{}/{}", self.prefix(), name.trim_start_matches('/'))
+    }
+
+    // ---- collectives -------------------------------------------------------
+
+    /// Fan action `A` out to the root of every locality this process has
+    /// touched, folding the per-locality results through a reduction LCO
+    /// seeded with `seed`. The returned future fires once every locality
+    /// has answered — or resolves with a fault if any leg dies (including
+    /// by cancellation: the reduction is process-owned, so
+    /// [`ProcessRef::cancel`] poisons it).
+    pub fn broadcast<A: Action>(
+        &self,
+        rt: &Runtime,
+        args: &A::Args,
+        seed: &A::Out,
+        fold: ReduceFn,
+    ) -> PxResult<FutureRef<A::Out>> {
+        let inner = rt.inner();
+        let Some(me) = inner.process_table.read().get(&self.gid).cloned() else {
+            return Err(PxError::NoSuchObject(self.gid));
+        };
+        if me.is_cancelled() {
+            return Err(PxError::Fault(me.cancel_fault()));
+        }
+        let locs = me.touched_localities();
+        debug_assert!(!locs.is_empty(), "home is touched at creation");
+        let home = self.gid.birthplace();
+        let seed = Value::encode(seed)?;
+        let n = locs.len() as u64;
+        let red = inner.locality(home).insert(GidKind::Lco, |gid| {
+            Stored::Lco(Arc::new(parking_lot::Mutex::new(LcoCore::new_reduce(
+                gid, n, seed, fold,
+            ))))
+        });
+        if me.note_owned_lco(red).is_none() {
+            // Cancelled while we were setting up: poison the fresh
+            // reduction so the caller's waiters resolve.
+            poison_lco(inner, red, &me.cancel_fault());
+            return Err(PxError::Fault(me.cancel_fault()));
+        }
+        let payload = Value::encode(args)?;
+        for l in locs {
+            let mut p = Parcel::new(
+                Gid::locality_root(l),
+                A::id(),
+                payload.clone(),
+                Continuation::contribute(red),
+            );
+            p.process = Some(self.gid);
+            inner.send_parcel(home, p);
+        }
+        Ok(FutureRef::from_gid(red))
     }
 }
 
@@ -169,28 +505,130 @@ impl<'a> Ctx<'a> {
 
     /// Spawn a PX-thread at `dest` accounted to process `proc` (commonly
     /// `self.current_process()`; spawns from process threads inherit
-    /// automatically via [`Ctx::spawn`]).
+    /// automatically via [`Ctx::spawn`]). Rejected loudly if `proc` is
+    /// cancelled.
     pub fn spawn_in_process(
         &mut self,
         proc: ProcessRef,
         dest: LocalityId,
         f: impl FnOnce(&mut Ctx<'_>) + Send + 'static,
     ) {
+        if reject_if_cancelled(self.rt_inner(), proc.gid, dest) {
+            return;
+        }
         let task = Task::thread(f).with_process(Some(proc.gid));
         self.rt_inner().send_task(self.here(), dest, task);
     }
 }
 
+/// Release the root token exactly once.
+fn finish_root_inner(rt: &Arc<RuntimeInner>, gid: Gid) {
+    let p = rt.process_table.read().get(&gid).cloned();
+    if let Some(p) = p {
+        if !p.root_released.swap(true, Ordering::AcqRel) {
+            p.task_done(rt);
+        }
+    }
+}
+
+/// If `gid` is cancelled: count + report the rejected spawn at `dest` and
+/// return true.
+fn reject_if_cancelled(rt: &Arc<RuntimeInner>, gid: Gid, dest: LocalityId) -> bool {
+    if let Some(fault) = rt.process_cancel_fault(gid) {
+        bump!(rt.locality(dest).counters.tasks_cancelled);
+        rt.notify_dead_letter(&fault);
+        return true;
+    }
+    false
+}
+
 /// Create a process homed at `home`. Registered in the runtime's process
 /// table and the home locality's store.
-pub(crate) fn create_process(rt: &Arc<RuntimeInner>, home: LocalityId) -> ProcessRef {
+pub(crate) fn create_process(
+    rt: &Arc<RuntimeInner>,
+    home: LocalityId,
+    parent: Option<Gid>,
+) -> ProcessRef {
     let loc = rt.locality(home);
     let done = loc.new_future_lco();
     let gid = loc.alloc.alloc(GidKind::Process);
-    let inner = Arc::new(ProcessInner::new(gid, done));
-    loc.insert_at(gid, crate::locality::Stored::Process(inner.clone()));
+    let inner = Arc::new(ProcessInner::new(gid, done, parent, rt.localities.len()));
+    inner.note_touched(home);
+    loc.insert_at(gid, Stored::Process(inner.clone()));
     rt.process_table.write().insert(gid, inner);
+    rt.processes_created.fetch_add(1, Ordering::Relaxed);
     ProcessRef::new(gid, done)
+}
+
+/// Create a subprocess of `parent` homed at `home`, wiring the hierarchy:
+/// the child holds one activity token in the parent until its first exit.
+pub(crate) fn create_subprocess_inner(
+    rt: &Arc<RuntimeInner>,
+    parent: Gid,
+    home: LocalityId,
+) -> PxResult<ProcessRef> {
+    let Some(pi) = rt.process_table.read().get(&parent).cloned() else {
+        return Err(PxError::NoSuchObject(parent));
+    };
+    if pi.is_cancelled() {
+        return Err(PxError::Fault(pi.cancel_fault()));
+    }
+    // The child's existence is parent activity (Dijkstra–Scholten token),
+    // taken *before* the child can dispatch anything.
+    pi.task_started();
+    let child = create_process(rt, home, Some(parent));
+    if !pi.note_child(child.gid) {
+        // Parent was cancelled concurrently: the subtree must die with it.
+        cancel_process(rt, child.gid);
+        return Err(PxError::Fault(pi.cancel_fault()));
+    }
+    Ok(child)
+}
+
+/// Poison one process-owned LCO at its home locality.
+fn poison_lco(rt: &Arc<RuntimeInner>, gid: Gid, fault: &Fault) {
+    let loc = rt.locality(gid.birthplace());
+    let f = fault.clone();
+    // Missing objects (already freed) are fine to skip; poison itself is
+    // idempotent.
+    let _ = crate::sched::lco_sys_op(rt, loc, gid, move |l| Ok(l.poison(f)));
+}
+
+/// Cancel `gid` and its whole subtree (idempotent, depth-first).
+pub(crate) fn cancel_process(rt: &Arc<RuntimeInner>, gid: Gid) {
+    let Some(p) = rt.process_table.read().get(&gid).cloned() else {
+        return;
+    };
+    if p.cancelled.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    rt.processes_cancelled.fetch_add(1, Ordering::Relaxed);
+    let fault = p.cancel_fault();
+    rt.notify_dead_letter(&fault);
+    // 1. Poison the done-future first: `wait` and `done_future` waiters
+    //    resolve immediately, before the subtree teardown begins.
+    poison_lco(rt, p.done, &fault);
+    // 2. Poison every LCO the process created, releasing all waiter
+    //    kinds (depleted threads resume with the fault, continuations
+    //    carry it onward, external waiters return `Err`).
+    let owned: Vec<Gid> = std::mem::take(&mut *p.owned_lcos.lock());
+    for lco in owned {
+        poison_lco(rt, lco, &fault);
+    }
+    // 3. Tear down the subtree.
+    let children: Vec<Gid> = p.children.lock().clone();
+    for c in children {
+        cancel_process(rt, c);
+    }
+    // 4. Force-release the root token so the activity counter can drain
+    //    to zero even if the creator never called `finish_root`.
+    if !p.root_released.swap(true, Ordering::AcqRel) {
+        p.task_done(rt);
+    }
+    // 5. Namespace cleanup + parent-token release (first exit). A
+    //    cancelled child is terminated from its parent's perspective:
+    //    what remains of its in-flight work is being killed at dispatch.
+    p.first_exit(rt);
 }
 
 // Process-targeted method invocation: sending an ordinary action parcel
@@ -203,17 +641,70 @@ pub(crate) fn create_process(rt: &Arc<RuntimeInner>, home: LocalityId) -> Proces
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gid::GidKind;
 
     #[test]
     fn counter_invariant() {
         let gid = Gid::new(LocalityId(0), GidKind::Process, 1);
         let done = Gid::new(LocalityId(0), GidKind::Lco, 2);
-        let p = ProcessInner::new(gid, done);
+        let p = ProcessInner::new(gid, done, None, 4);
         assert_eq!(p.active(), 1, "root token held at creation");
         p.task_started();
         p.task_started();
         assert_eq!(p.active(), 3);
         assert_eq!(p.spawned(), 2);
+    }
+
+    #[test]
+    fn touched_bitmap_dedups_and_sorts() {
+        let gid = Gid::new(LocalityId(0), GidKind::Process, 1);
+        let done = Gid::new(LocalityId(0), GidKind::Lco, 2);
+        let p = ProcessInner::new(gid, done, None, 130);
+        for l in [5u16, 129, 5, 0, 64, 129] {
+            p.note_touched(LocalityId(l));
+        }
+        assert_eq!(
+            p.touched_localities(),
+            vec![
+                LocalityId(0),
+                LocalityId(5),
+                LocalityId(64),
+                LocalityId(129)
+            ]
+        );
+        // Out-of-range localities are ignored, not a panic.
+        p.note_touched(LocalityId(1000));
+        assert_eq!(p.touched_localities().len(), 4);
+    }
+
+    #[test]
+    fn owned_lco_registration_stops_at_cancel() {
+        let gid = Gid::new(LocalityId(0), GidKind::Process, 1);
+        let done = Gid::new(LocalityId(0), GidKind::Lco, 2);
+        let p = ProcessInner::new(gid, done, None, 1);
+        assert_eq!(
+            p.note_owned_lco(Gid::new(LocalityId(0), GidKind::Lco, 3)),
+            Some(1)
+        );
+        p.cancelled.store(true, Ordering::Release);
+        assert_eq!(
+            p.note_owned_lco(Gid::new(LocalityId(0), GidKind::Lco, 4)),
+            None
+        );
+        // Pruning drops entries the keeper rejects.
+        p.cancelled.store(false, Ordering::Release);
+        p.note_owned_lco(Gid::new(LocalityId(0), GidKind::Lco, 5));
+        p.prune_owned_lcos(|g| g.seq() != 3);
+        // [3, 5] pruned to [5]; the next note makes the list [5, 6].
+        assert_eq!(
+            p.note_owned_lco(Gid::new(LocalityId(0), GidKind::Lco, 6)),
+            Some(2)
+        );
+        assert_eq!(p.cancel_fault().cause, FaultCause::Cancelled);
+    }
+
+    #[test]
+    fn prefix_is_stable_per_gid() {
+        let gid = Gid::new(LocalityId(2), GidKind::Process, 17);
+        assert_eq!(prefix_of(gid), format!("/proc/{:x}", gid.0));
     }
 }

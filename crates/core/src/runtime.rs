@@ -31,7 +31,7 @@ use crossbeam::deque::Worker as WorkerDeque;
 use parking_lot::{Mutex, RwLock};
 use px_balance::BalanceConfig;
 use serde::{de::DeserializeOwned, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -241,6 +241,10 @@ pub struct RuntimeInner {
     pub(crate) wire: Wire,
     pub(crate) shutdown: AtomicBool,
     pub(crate) process_table: RwLock<FxHashMap<Gid, Arc<ProcessInner>>>,
+    /// Parallel processes created (roots + subprocesses).
+    pub(crate) processes_created: AtomicU64,
+    /// Parallel processes cancelled (each subtree member counts once).
+    pub(crate) processes_cancelled: AtomicU64,
     /// Whether the send path records AGAS access heat: true only when the
     /// balancer is on *and* its policy can act on heat
     /// ([`px_balance::BalancePolicy::uses_heat`]) — otherwise the
@@ -362,6 +366,8 @@ impl RuntimeBuilder {
             wire,
             shutdown: AtomicBool::new(false),
             process_table: RwLock::new(FxHashMap::default()),
+            processes_created: AtomicU64::new(0),
+            processes_cancelled: AtomicU64::new(0),
             track_heat,
             dead_letter: self.dead_letter,
             localities,
@@ -449,6 +455,8 @@ impl Runtime {
                 .collect(),
             migrations_manual,
             migrations_balancer,
+            processes_created: self.inner.processes_created.load(Ordering::Relaxed),
+            processes_cancelled: self.inner.processes_cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -656,9 +664,10 @@ impl Runtime {
         self.inner.agas.lookup_name(name)
     }
 
-    /// Create a parallel process homed at `home`.
+    /// Create a (root) parallel process homed at `home`. Subprocesses are
+    /// created through [`ProcessRef::create_subprocess`].
     pub fn create_process(&self, home: LocalityId) -> ProcessRef {
-        crate::process::create_process(&self.inner, home)
+        crate::process::create_process(&self.inner, home, None)
     }
 }
 
@@ -742,9 +751,12 @@ impl<'a> Ctx<'a> {
                 return self.spawn_at(LocalityId(t as u16), f);
             }
         }
+        if self.process_spawn_rejected(self.here()) {
+            return;
+        }
         let task = Task::thread(f).with_process(self.process);
         if let Some(p) = self.process {
-            self.rt.process_task_started(p);
+            self.rt.process_task_started(p, self.here());
         }
         match self.local {
             Some(deque) => {
@@ -759,8 +771,65 @@ impl<'a> Ctx<'a> {
     /// wire latency; for data-bearing work prefer actions + parcels).
     /// Inherits the current process.
     pub fn spawn_at(&mut self, dest: LocalityId, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
+        if self.process_spawn_rejected(dest) {
+            return;
+        }
         let task = Task::thread(f).with_process(self.process);
         self.rt.send_task(self.here(), dest, task);
+    }
+
+    /// Cancellation gate for spawns inheriting the current process: when
+    /// the process is cancelled the spawn is rejected loudly (counted at
+    /// `dest`, reported to the dead-letter hook) and true is returned.
+    /// One `Option` branch when no process is attached.
+    fn process_spawn_rejected(&self, dest: LocalityId) -> bool {
+        match self.process {
+            None => false,
+            Some(pg) => match self.rt.process_cancel_fault(pg) {
+                None => false,
+                Some(fault) => {
+                    crate::stats::bump!(self.rt.locality(dest).counters.tasks_cancelled);
+                    self.rt.notify_dead_letter(&fault);
+                    true
+                }
+            },
+        }
+    }
+
+    /// Record an LCO created by a process thread in the owning process so
+    /// cancellation can poison it. No-op outside a process.
+    fn own_lco(&self, gid: Gid) {
+        const PRUNE_EVERY: usize = 1024;
+        if let Some(pg) = self.process {
+            let p = self.rt.process_table.read().get(&pg).cloned();
+            if let Some(p) = p {
+                match p.note_owned_lco(gid) {
+                    None => {
+                        // The process was cancelled concurrently — poison
+                        // the fresh LCO now so its waiters cannot hang.
+                        let fault = p.cancel_fault();
+                        let loc = self.rt.locality(gid.birthplace());
+                        let _ = crate::sched::lco_sys_op(self.rt, loc, gid, move |l| {
+                            Ok(l.poison(fault))
+                        });
+                    }
+                    // Periodic compaction: drop entries whose LCO already
+                    // fired (or left its store) so a long-lived process —
+                    // the multi-tenant parent — tracks only LCOs a cancel
+                    // could still affect, not every future it ever made.
+                    Some(len) if len.is_multiple_of(PRUNE_EVERY) => {
+                        p.prune_owned_lcos(|g| match self.rt.locality(g.birthplace()).get(*g) {
+                            Some(crate::locality::Stored::Lco(l)) => {
+                                let l = l.lock();
+                                !l.is_ready() && !l.is_poisoned()
+                            }
+                            _ => false,
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
     }
 
     // ---- parcels -----------------------------------------------------------
@@ -794,26 +863,35 @@ impl<'a> Ctx<'a> {
 
     // ---- LCO creation -------------------------------------------------------
 
-    /// Create a local future.
+    /// Create a local future. Inside a process, the future is
+    /// process-owned: cancelling the process poisons it.
     pub fn new_future<T: Serialize + DeserializeOwned>(&mut self) -> FutureRef<T> {
-        FutureRef::from_gid(self.loc.new_future_lco())
+        let gid = self.loc.new_future_lco();
+        self.own_lco(gid);
+        FutureRef::from_gid(gid)
     }
 
-    /// Create a local and-gate over `n` events.
+    /// Create a local and-gate over `n` events (process-owned inside a
+    /// process, like [`Ctx::new_future`]).
     pub fn new_and_gate(&mut self, n: u64) -> Gid {
-        self.loc.insert(GidKind::Lco, |gid| {
+        let gid = self.loc.insert(GidKind::Lco, |gid| {
             Stored::Lco(Arc::new(Mutex::new(LcoCore::new_and_gate(gid, n))))
-        })
+        });
+        self.own_lco(gid);
+        gid
     }
 
-    /// Create a local dataflow template with `n` slots.
+    /// Create a local dataflow template with `n` slots (process-owned
+    /// inside a process).
     pub fn new_dataflow(&mut self, n: usize, combine: CombineFn) -> Gid {
-        self.loc.insert(GidKind::Lco, |gid| {
+        let gid = self.loc.insert(GidKind::Lco, |gid| {
             Stored::Lco(Arc::new(Mutex::new(LcoCore::new_dataflow(gid, n, combine))))
-        })
+        });
+        self.own_lco(gid);
+        gid
     }
 
-    /// Create a local reduction LCO.
+    /// Create a local reduction LCO (process-owned inside a process).
     pub fn new_reduce<T: Serialize + DeserializeOwned>(
         &mut self,
         n: u64,
@@ -826,14 +904,18 @@ impl<'a> Ctx<'a> {
                 gid, n, seed, fold,
             ))))
         });
+        self.own_lco(gid);
         Ok(FutureRef::from_gid(gid))
     }
 
-    /// Create a local counting semaphore.
+    /// Create a local counting semaphore (process-owned inside a
+    /// process).
     pub fn new_semaphore(&mut self, permits: u64) -> Gid {
-        self.loc.insert(GidKind::Lco, |gid| {
+        let gid = self.loc.insert(GidKind::Lco, |gid| {
             Stored::Lco(Arc::new(Mutex::new(LcoCore::new_semaphore(gid, permits))))
-        })
+        });
+        self.own_lco(gid);
+        gid
     }
 
     // ---- LCO events ----------------------------------------------------------
@@ -905,7 +987,7 @@ impl<'a> Ctx<'a> {
                 // matching completion must be issued by the continuation
                 // itself: when the LCO fires later, the generic waiter
                 // scheduling path has no process context.
-                self.rt.process_task_started(p);
+                self.rt.process_task_started(p, self.here());
                 let proc = self.process;
                 let acts = lco.lock().add_waiter(Waiter::Depleted(Box::new(
                     move |ctx: &mut Ctx<'_>, v: Value| {
@@ -924,6 +1006,7 @@ impl<'a> Ctx<'a> {
             }
         } else {
             let proxy = self.loc.new_future_lco();
+            self.own_lco(proxy);
             let p = Parcel::new(gid, sys::LCO_GET, Value::unit(), Continuation::set(proxy));
             self.rt.send_parcel(self.here(), p);
             self.when_ready(proxy, f);
@@ -998,6 +1081,7 @@ impl<'a> Ctx<'a> {
             self.rt.schedule_activations(self.loc, acts);
         } else {
             let proxy = self.loc.new_future_lco();
+            self.own_lco(proxy);
             let p = Parcel::new(
                 sem,
                 sys::LCO_ACQUIRE,

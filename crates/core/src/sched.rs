@@ -280,6 +280,25 @@ pub(crate) fn execute(
     task: Task,
 ) {
     let process = task.process;
+    // Cancellation gate (one branch when no process is attached): queued
+    // closure tasks of a cancelled process are dropped loudly here — the
+    // accounting decrement still runs, draining the process's activity
+    // counter. Only `Work::Thread` is gated: parcels fall through so
+    // `run_parcel` can deliver the fault to their continuations, and
+    // resumes always run because they ARE the fault-delivery path (a
+    // poisoned LCO resumes its depleted waiters with the fault, and the
+    // process accounting lives inside that closure — `Task::resume`
+    // never carries a process tag).
+    if let Some(pgid) = process {
+        if matches!(task.work, Work::Thread(_)) {
+            if let Some(fault) = rt.process_cancel_fault(pgid) {
+                bump!(loc.counters.tasks_cancelled);
+                rt.notify_dead_letter(&fault);
+                rt.process_task_done(pgid);
+                return;
+            }
+        }
+    }
     match task.work {
         Work::Thread(f) => {
             let mut ctx = Ctx::new(rt, loc, Some(local), process);
@@ -462,6 +481,18 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
     bump!(loc.counters.parcels_recv);
     if p.staged {
         bump!(loc.counters.staged_executed);
+    }
+
+    // Cancellation gate, kept to one branch when no process is attached:
+    // an in-flight parcel accounted to a cancelled process is killed
+    // loudly at dispatch — counted by cause, reported to the dead-letter
+    // hook, and its fault delivered to the continuation.
+    if let Some(pgid) = p.process {
+        if rt.process_cancel_fault(pgid).is_some() {
+            let msg = format!("owning process {pgid} cancelled");
+            kill_parcel(rt, loc, p, FaultCause::Cancelled, msg);
+            return;
+        }
     }
 
     // Ownership check for object-addressed parcels. Hardware names (the
@@ -780,7 +811,7 @@ impl RuntimeInner {
             let process = p.process;
             let task = Task::parcel(p).with_process(process);
             if let Some(pg) = process {
-                self.process_task_started(pg);
+                self.process_task_started(pg, owner);
             }
             if staged {
                 from_loc.push_staged(task);
@@ -790,7 +821,7 @@ impl RuntimeInner {
             return;
         }
         if let Some(pg) = p.process {
-            self.process_task_started(pg);
+            self.process_task_started(pg, owner);
         }
         // Balancer gossip bypasses the coalescing ports and lands in the
         // destination's control queue: it must outrun the very backlog it
@@ -817,7 +848,7 @@ impl RuntimeInner {
     pub(crate) fn send_task(self: &Arc<Self>, from: LocalityId, dest: LocalityId, task: Task) {
         let from_loc = &self.localities[from.0 as usize];
         if let Some(pg) = task.process {
-            self.process_task_started(pg);
+            self.process_task_started(pg, dest);
         }
         if dest == from {
             from_loc.push_task(task);
@@ -836,10 +867,23 @@ impl RuntimeInner {
 // decrement is issued by `execute` only if `Task::process` was set, so
 // `run_parcel` handles the wire case itself.
 impl RuntimeInner {
-    pub(crate) fn process_task_started(&self, gid: Gid) {
+    /// Account one dispatched activation at locality `at` (which is also
+    /// recorded in the process's touched-locality bitmap — the broadcast
+    /// fan-out set).
+    pub(crate) fn process_task_started(&self, gid: Gid, at: LocalityId) {
         if let Some(p) = self.process_table.read().get(&gid) {
+            p.note_touched(at);
             p.task_started();
         }
+    }
+
+    /// The cancellation fault of process `gid`, if it has been cancelled.
+    pub(crate) fn process_cancel_fault(&self, gid: Gid) -> Option<crate::error::Fault> {
+        let table = self.process_table.read();
+        table
+            .get(&gid)
+            .filter(|p| p.is_cancelled())
+            .map(|p| p.cancel_fault())
     }
 
     pub(crate) fn process_task_done(self: &Arc<Self>, gid: Gid) {

@@ -72,6 +72,13 @@ pub struct LocalityCounters {
     pub dead_panic: AtomicU64,
     /// Deaths: undecodable parcel, frame record, or payload.
     pub dead_decode: AtomicU64,
+    /// Deaths: parcel belonged to a cancelled parallel process and was
+    /// killed at dispatch.
+    pub dead_cancelled: AtomicU64,
+    /// Closure/resume PX-thread tasks dropped because their owning
+    /// process was cancelled (not parcels, so not in `dead_parcels`;
+    /// mirrors how thread panics live beside the parcel death counters).
+    pub tasks_cancelled: AtomicU64,
     /// PX-threads that panicked (isolated; the worker survives).
     pub panics: AtomicU64,
     /// Balancer rounds in which this locality was sampled and gossiped.
@@ -117,6 +124,7 @@ impl LocalityCounters {
             FaultCause::HandlerError => bump!(self.dead_handler_error, n),
             FaultCause::Panic => bump!(self.dead_panic, n),
             FaultCause::Decode => bump!(self.dead_decode, n),
+            FaultCause::Cancelled => bump!(self.dead_cancelled, n),
         }
     }
 
@@ -149,6 +157,8 @@ impl LocalityCounters {
             dead_handler_error: self.dead_handler_error.load(Ordering::Relaxed),
             dead_panic: self.dead_panic.load(Ordering::Relaxed),
             dead_decode: self.dead_decode.load(Ordering::Relaxed),
+            dead_cancelled: self.dead_cancelled.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
             gossip_parcels: self.gossip_parcels.load(Ordering::Relaxed),
@@ -191,6 +201,8 @@ pub struct LocalityStats {
     pub dead_handler_error: u64,
     pub dead_panic: u64,
     pub dead_decode: u64,
+    pub dead_cancelled: u64,
+    pub tasks_cancelled: u64,
     pub panics: u64,
     pub gossip_rounds: u64,
     pub gossip_parcels: u64,
@@ -202,15 +214,16 @@ pub struct LocalityStats {
 }
 
 impl LocalityStats {
-    /// Parcel deaths summed over the five by-cause counters. Always
-    /// equals [`LocalityStats::dead_parcels`] (the invariant tested in
-    /// the fault integration suite).
+    /// Parcel deaths summed over the by-cause counters. Always equals
+    /// [`LocalityStats::dead_parcels`] (the invariant tested in the
+    /// fault integration suite).
     pub fn deaths_by_cause_total(&self) -> u64 {
         self.dead_hop_cap
             + self.dead_unknown_action
             + self.dead_handler_error
             + self.dead_panic
             + self.dead_decode
+            + self.dead_cancelled
     }
 
     /// Fraction of worker time spent executing (1.0 = no starvation).
@@ -286,6 +299,8 @@ impl LocalityStats {
             dead_handler_error: self.dead_handler_error - earlier.dead_handler_error,
             dead_panic: self.dead_panic - earlier.dead_panic,
             dead_decode: self.dead_decode - earlier.dead_decode,
+            dead_cancelled: self.dead_cancelled - earlier.dead_cancelled,
+            tasks_cancelled: self.tasks_cancelled - earlier.tasks_cancelled,
             panics: self.panics - earlier.panics,
             gossip_rounds: self.gossip_rounds - earlier.gossip_rounds,
             gossip_parcels: self.gossip_parcels - earlier.gossip_parcels,
@@ -307,6 +322,11 @@ pub struct StatsSnapshot {
     pub migrations_manual: u64,
     /// AGAS migrations initiated by the balancer (heat-driven pulls).
     pub migrations_balancer: u64,
+    /// Parallel processes created over the runtime's lifetime (roots and
+    /// subprocesses).
+    pub processes_created: u64,
+    /// Parallel processes cancelled (each subtree member counts once).
+    pub processes_cancelled: u64,
 }
 
 impl StatsSnapshot {
@@ -340,6 +360,8 @@ impl StatsSnapshot {
             t.dead_handler_error += l.dead_handler_error;
             t.dead_panic += l.dead_panic;
             t.dead_decode += l.dead_decode;
+            t.dead_cancelled += l.dead_cancelled;
+            t.tasks_cancelled += l.tasks_cancelled;
             t.panics += l.panics;
             t.gossip_rounds += l.gossip_rounds;
             t.gossip_parcels += l.gossip_parcels;
@@ -375,6 +397,8 @@ impl StatsSnapshot {
                 .collect(),
             migrations_manual: self.migrations_manual - earlier.migrations_manual,
             migrations_balancer: self.migrations_balancer - earlier.migrations_balancer,
+            processes_created: self.processes_created - earlier.processes_created,
+            processes_cancelled: self.processes_cancelled - earlier.processes_cancelled,
         }
     }
 }
@@ -456,12 +480,16 @@ mod tests {
             localities: vec![b, b],
             migrations_manual: 2,
             migrations_balancer: 5,
+            processes_created: 3,
+            processes_cancelled: 1,
         };
         let d = later.delta_from(&snap);
         assert_eq!(d.localities[0].parcels_sent, 3);
         assert_eq!(d.localities[1].parcels_sent, 0);
         assert_eq!(d.migrations_manual, 2);
         assert_eq!(d.migrations_balancer, 5);
+        assert_eq!(d.processes_created, 3);
+        assert_eq!(d.processes_cancelled, 1);
     }
 
     #[test]

@@ -59,6 +59,28 @@ pub use frame::{
 };
 pub use ser::{to_bytes, to_writer, Serializer};
 
+/// Bit assignments of the parcel header *flags* byte.
+///
+/// The flags byte is the single extension point of the parcel header:
+/// every optional header field is gated on a bit here so that parcels not
+/// using a feature pay zero bytes for it and their encoding stays
+/// bit-identical as features are added. Fixed in `px-wire` (rather than
+/// in the parcel layer) because the frame format and any future peer
+/// implementation must agree on it.
+pub mod parcel_flags {
+    /// Deliver into the destination's percolation staging buffer.
+    pub const STAGED: u8 = 1 << 0;
+    /// The payload is an encoded [`crate::WireFault`], not action args.
+    pub const FAULT: u8 = 1 << 1;
+    /// An owning-process id (`u64`, little-endian) follows the flags
+    /// byte: the parcel is accounted to that parallel process for
+    /// hierarchical quiescence and is killed at dispatch if the process
+    /// has been cancelled.
+    pub const HAS_PID: u8 = 1 << 2;
+    /// Mask of bits a decoder of this version understands.
+    pub const KNOWN: u8 = STAGED | FAULT | HAS_PID;
+}
+
 /// Serialize a value and report the encoded size without keeping the bytes.
 ///
 /// Used by instrumentation that needs payload sizes (e.g. the work-to-data

@@ -1,0 +1,120 @@
+//! Multi-tenancy with hierarchical processes: one subprocess per request,
+//! a deadline that cancels the subtree, and `FaultCause::Cancelled`
+//! observed by every waiter.
+//!
+//! ```text
+//! cargo run --example multi_tenant --release
+//! ```
+//!
+//! The server pattern: each incoming request gets its own process under a
+//! per-tenant parent, so a runaway request can be killed mid-flight —
+//! parcels, queued threads, and LCO waiters included — without touching
+//! the rest of the tenant's (or anyone else's) work.
+
+use parallex::core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unit of request work: block for the given grain (I/O stand-in).
+struct Step;
+impl Action for Step {
+    const NAME: &'static str = "tenant/step";
+    type Args = u64;
+    type Out = u64;
+    fn execute(_ctx: &mut Ctx<'_>, _t: Gid, grain_ns: u64) -> u64 {
+        std::thread::sleep(Duration::from_nanos(grain_ns));
+        1
+    }
+}
+
+fn main() {
+    let rt = Arc::new(
+        RuntimeBuilder::new(Config::small(4, 1))
+            .register::<Step>()
+            .on_dead_letter(|fault| {
+                if fault.cause == FaultCause::Cancelled {
+                    // Every killed parcel / dropped thread of a cancelled
+                    // request lands here, loudly.
+                    println!("  dead-letter: {fault}");
+                }
+            })
+            .build()
+            .unwrap(),
+    );
+
+    // One parent process per tenant: its namespace holds the tenant's
+    // objects, and cancelling it would kill every in-flight request of
+    // that tenant at once.
+    let tenant = rt.create_process(LocalityId(0));
+    let scratch = rt.new_data_at(LocalityId(0), vec![0u8; 64]);
+    let path = tenant.register_name(&rt, "scratch", scratch).unwrap();
+    println!("tenant namespace entry: {path}");
+
+    // Request A: well-behaved — 8 quick steps fanned over localities.
+    let fast = tenant.create_subprocess(&rt, LocalityId(0)).unwrap();
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..8u16 {
+        let d = done.clone();
+        fast.spawn_at(&rt, LocalityId(i % 4), move |ctx| {
+            let fut = ctx
+                .call::<Step>(Gid::locality_root(ctx.here()), 200_000)
+                .unwrap();
+            let d = d.clone();
+            ctx.when_future(fut, move |_ctx, n| {
+                d.fetch_add(n, Ordering::SeqCst);
+            });
+        });
+    }
+    fast.finish_root(&rt);
+
+    // Request B: a runaway — hundreds of slow steps it will never finish
+    // in time.
+    let runaway = tenant.create_subprocess(&rt, LocalityId(1)).unwrap();
+    for i in 0..400u16 {
+        runaway.spawn_at(&rt, LocalityId(i % 4), |ctx| {
+            let _ = ctx.call::<Step>(Gid::locality_root(ctx.here()), 2_000_000);
+        });
+    }
+    runaway.finish_root(&rt);
+
+    // The request deadline: cancel the runaway's whole subtree.
+    let watchdog = {
+        let rt = rt.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            if runaway.active(&rt) > 0 {
+                println!("deadline hit — cancelling request B's subtree");
+                runaway.cancel(&rt);
+            }
+        })
+    };
+
+    match fast.wait(&rt) {
+        Ok(()) => println!(
+            "request A completed all {} steps",
+            done.load(Ordering::SeqCst)
+        ),
+        Err(e) => println!("request A unexpectedly failed: {e}"),
+    }
+    match runaway.wait(&rt) {
+        Err(PxError::Fault(f)) => {
+            assert_eq!(f.cause, FaultCause::Cancelled);
+            println!("request B resolved with: {f}");
+        }
+        other => println!("request B: {other:?} (deadline never fired?)"),
+    }
+    watchdog.join().unwrap();
+
+    let total = rt.stats().total();
+    println!(
+        "killed at dispatch: {} parcels, {} queued threads; {} process(es) cancelled",
+        total.dead_cancelled,
+        total.tasks_cancelled,
+        rt.stats().processes_cancelled
+    );
+    // The tenant itself is untouched: its namespace still resolves.
+    assert_eq!(tenant.lookup_name(&rt, "scratch").unwrap(), scratch);
+    println!("tenant namespace intact after the cancel");
+    rt.shutdown();
+}

@@ -298,6 +298,163 @@ proptest! {
         prop_assert_eq!(q.payload.fault().unwrap(), f);
     }
 
+    // ---- hierarchical processes ---------------------------------------------
+
+    /// Quiescence of a random subprocess tree can never be observed with
+    /// work still in flight: while a hostage task blocks somewhere in the
+    /// tree the root's done-future must not fire, and once the root
+    /// reports quiescence every task of every descendant has completed.
+    #[test]
+    fn hierarchical_quiescence_never_observes_zero_with_work_in_flight(
+        fanouts in proptest::collection::vec(1usize..3, 0..3),
+        tasks_per_node in 1usize..4,
+        hostage_depth_pick in 0usize..100,
+    ) {
+        use parallex::core::prelude::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        let finished = Arc::new(AtomicU64::new(0));
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+
+        // Build a chain-of-subprocess tree: level i has `fanouts[i]`
+        // children per node is overkill at proptest scale, so each level
+        // is one node wide with `fanouts[i]` sibling leaves.
+        let root = rt.create_process(LocalityId(0));
+        let mut chain = vec![root];
+        for &width in &fanouts {
+            let parent = *chain.last().unwrap();
+            let child = parent.create_subprocess(&rt, LocalityId(1)).unwrap();
+            for _ in 1..width {
+                // Extra siblings quiesce on their own.
+                let sib = parent.create_subprocess(&rt, LocalityId(0)).unwrap();
+                sib.finish_root(&rt);
+            }
+            chain.push(child);
+        }
+        let mut total = 0u64;
+        for proc in &chain {
+            for l in 0..2u16 {
+                for _ in 0..tasks_per_node {
+                    let f = finished.clone();
+                    proc.spawn_at(&rt, LocalityId(l), move |_ctx| {
+                        f.fetch_add(1, Ordering::SeqCst);
+                    });
+                    total += 1;
+                }
+            }
+        }
+        // One hostage task somewhere in the chain keeps the tree live
+        // until the driver releases it.
+        let hostage_holder = chain[hostage_depth_pick % chain.len()];
+        let rx = release_rx.clone();
+        hostage_holder.spawn_at(&rt, LocalityId(0), move |_ctx| {
+            rx.lock().unwrap().recv().unwrap();
+        });
+        for proc in &chain {
+            proc.finish_root(&rt);
+        }
+        // In flight (the hostage is provably unreleased): the root must
+        // not report quiescence.
+        let early = root
+            .done_future()
+            .wait_timeout(&rt, std::time::Duration::from_millis(5))
+            .unwrap();
+        prop_assert!(early.is_none(), "quiescence observed with work in flight");
+        release_tx.send(()).unwrap();
+        root.done_future()
+            .wait_timeout(&rt, std::time::Duration::from_secs(10))
+            .unwrap()
+            .expect("root quiesced after release");
+        // Zero observed ⇒ all work done, at every level.
+        prop_assert_eq!(finished.load(Ordering::SeqCst), total);
+        for proc in &chain {
+            prop_assert_eq!(proc.active(&rt), 0);
+        }
+        rt.shutdown();
+    }
+
+    /// Cancelling a process releases every waiter kind exactly once with
+    /// the cancellation fault: external OS threads blocked on owned
+    /// futures, depleted threads suspended on them, and done-future
+    /// waiters — no waiter hangs and none fires twice.
+    #[test]
+    fn cancel_releases_every_waiter_kind_exactly_once(
+        externals in 1usize..4,
+        depleted in 1usize..4,
+        done_waiters in 1usize..3,
+    ) {
+        use parallex::core::prelude::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let rt = Arc::new(RuntimeBuilder::new(Config::small(2, 1)).build().unwrap());
+        let proc = rt.create_process(LocalityId(0));
+        let resumed = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let r2 = resumed.clone();
+        let n_dep = depleted;
+        proc.spawn_at(&rt, LocalityId(0), move |ctx| {
+            let fut = ctx.new_future::<u64>(); // process-owned
+            for _ in 0..n_dep {
+                let r = r2.clone();
+                ctx.when_resolved(fut, move |_ctx, out| {
+                    assert!(out.is_err(), "cancel delivers a fault, not a value");
+                    r.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            tx.send(fut).unwrap();
+        });
+        let fut = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        proc.finish_root(&rt);
+        let ext: Vec<_> = (0..externals)
+            .map(|_| {
+                let rt = rt.clone();
+                std::thread::spawn(move || fut.wait_timeout(&rt, Duration::from_secs(10)))
+            })
+            .collect();
+        let dones: Vec<_> = (0..done_waiters)
+            .map(|_| {
+                let rt = rt.clone();
+                std::thread::spawn(move || {
+                    proc.done_future().wait_timeout(&rt, Duration::from_secs(10))
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(5));
+        proc.cancel(&rt);
+        proc.cancel(&rt); // idempotent: second cancel releases nothing new
+        for h in ext {
+            // Exactly once: the single wait() call returns the fault.
+            let f = match h.join().unwrap() {
+                Err(PxError::Fault(f)) => f,
+                other => panic!("external waiter got {other:?}"),
+            };
+            prop_assert_eq!(f.cause, FaultCause::Cancelled);
+        }
+        for h in dones {
+            match h.join().unwrap() {
+                Err(PxError::Fault(f)) => prop_assert_eq!(f.cause, FaultCause::Cancelled),
+                other => panic!("done waiter got {other:?}"),
+            }
+        }
+        // Every depleted thread resumed (with the fault) exactly once.
+        let t0 = std::time::Instant::now();
+        while resumed.load(Ordering::SeqCst) < depleted as u64 {
+            prop_assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "depleted threads never resumed"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        prop_assert_eq!(resumed.load(Ordering::SeqCst), depleted as u64);
+        rt.shutdown();
+    }
+
     // ---- AGAS ---------------------------------------------------------------
 
     #[test]

@@ -55,6 +55,42 @@ pub trait Serializer {
     fn put_opt_tag(&mut self, is_some: bool) -> Result<(), Self::Error>;
     /// Write an enum variant discriminant.
     fn put_variant(&mut self, index: u32) -> Result<(), Self::Error>;
+
+    // ---- structural markers (named-field formats) --------------------------
+    //
+    // The positional wire format carries no names, so these default to
+    // no-ops and the wire serializer ignores them — its byte output is
+    // unchanged by their existence. Self-describing emitters (the
+    // px-bench JSON writer) override them to recover struct and field
+    // names from the same derived `Serialize` impls.
+
+    /// Mark the start of a struct (or struct-like enum variant body) with
+    /// `fields` named fields.
+    fn begin_struct(&mut self, _name: &'static str, _fields: usize) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Mark the next value as the field `name` of the innermost struct.
+    fn field(&mut self, _name: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Mark the end of the innermost struct.
+    fn end_struct(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Mark the start of a tuple struct (or tuple enum variant body) with
+    /// `len` positional fields.
+    fn begin_tuple(&mut self, _len: usize) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Mark the end of the innermost tuple struct.
+    fn end_tuple(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Announce the *name* of the enum variant about to be written with
+    /// [`Serializer::put_variant`].
+    fn variant(&mut self, _name: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
 }
 
 /// A value that can be written to any [`Serializer`].

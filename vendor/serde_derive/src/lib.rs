@@ -190,6 +190,7 @@ fn parse_variant(chunk: &[TokenTree]) -> (String, Shape) {
 // ---- code generation -------------------------------------------------------
 
 const SER: &str = "::serde::ser::Serialize::serialize";
+const SZR: &str = "::serde::ser::Serializer";
 
 fn gen_serialize(input: &Input) -> String {
     let name = &input.name;
@@ -197,14 +198,22 @@ fn gen_serialize(input: &Input) -> String {
     match &input.kind {
         Kind::Struct(Shape::Unit) => {}
         Kind::Struct(Shape::Tuple(n)) => {
+            body.push_str(&format!("{SZR}::begin_tuple(&mut *__s, {n}usize)?;\n"));
             for idx in 0..*n {
                 body.push_str(&format!("{SER}(&self.{idx}, &mut *__s)?;\n"));
             }
+            body.push_str(&format!("{SZR}::end_tuple(&mut *__s)?;\n"));
         }
         Kind::Struct(Shape::Named(fields)) => {
+            body.push_str(&format!(
+                "{SZR}::begin_struct(&mut *__s, \"{name}\", {}usize)?;\n",
+                fields.len()
+            ));
             for f in fields {
+                body.push_str(&format!("{SZR}::field(&mut *__s, \"{f}\")?;\n"));
                 body.push_str(&format!("{SER}(&self.{f}, &mut *__s)?;\n"));
             }
+            body.push_str(&format!("{SZR}::end_struct(&mut *__s)?;\n"));
         }
         Kind::Enum(variants) => {
             body.push_str("match self {\n");
@@ -212,30 +221,39 @@ fn gen_serialize(input: &Input) -> String {
                 match shape {
                     Shape::Unit => body.push_str(&format!(
                         "{name}::{vname} => {{ \
-                         ::serde::ser::Serializer::put_variant(&mut *__s, {idx}u32)?; }}\n"
+                         {SZR}::variant(&mut *__s, \"{vname}\")?; \
+                         {SZR}::put_variant(&mut *__s, {idx}u32)?; }}\n"
                     )),
                     Shape::Tuple(n) => {
                         let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
                         let mut arm = format!(
                             "{name}::{vname}({}) => {{ \
-                             ::serde::ser::Serializer::put_variant(&mut *__s, {idx}u32)?;\n",
+                             {SZR}::variant(&mut *__s, \"{vname}\")?; \
+                             {SZR}::put_variant(&mut *__s, {idx}u32)?;\n\
+                             {SZR}::begin_tuple(&mut *__s, {n}usize)?;\n",
                             binds.join(", ")
                         );
                         for b in &binds {
                             arm.push_str(&format!("{SER}({b}, &mut *__s)?;\n"));
                         }
+                        arm.push_str(&format!("{SZR}::end_tuple(&mut *__s)?;\n"));
                         arm.push_str("}\n");
                         body.push_str(&arm);
                     }
                     Shape::Named(fields) => {
                         let mut arm = format!(
                             "{name}::{vname} {{ {} }} => {{ \
-                             ::serde::ser::Serializer::put_variant(&mut *__s, {idx}u32)?;\n",
-                            fields.join(", ")
+                             {SZR}::variant(&mut *__s, \"{vname}\")?; \
+                             {SZR}::put_variant(&mut *__s, {idx}u32)?;\n\
+                             {SZR}::begin_struct(&mut *__s, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
                         );
                         for f in fields {
+                            arm.push_str(&format!("{SZR}::field(&mut *__s, \"{f}\")?;\n"));
                             arm.push_str(&format!("{SER}({f}, &mut *__s)?;\n"));
                         }
+                        arm.push_str(&format!("{SZR}::end_struct(&mut *__s)?;\n"));
                         arm.push_str("}\n");
                         body.push_str(&arm);
                     }
