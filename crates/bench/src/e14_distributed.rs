@@ -1,0 +1,318 @@
+//! E14: the distributed transport — spawn/await over real sockets.
+//!
+//! The paper's parcel model is a substrate for *distributed* ensembles
+//! of localities; with the TCP backend that claim finally pays wire
+//! rent. This experiment runs the same spawn/await workload (action
+//! parcels spawn threads at the remote locality, continuation parcels
+//! carry results back to local futures) over three transports:
+//!
+//! * `inproc-instant` — the seed wire, zero injected latency: the
+//!   upper bound, every cost is a queue push;
+//! * `inproc-50us` — the seed wire with 50 µs injected latency: the
+//!   simulation the repo used for "remote" until this experiment;
+//! * `tcp-2proc` — two real OS processes over loopback TCP with
+//!   batched, checksummed frames (the bench re-executes itself as
+//!   rank 1).
+//!
+//! Two figures per transport: **pipelined throughput** (all parcels in
+//! flight at once — what latency *hiding* buys, §2.2) and **serial
+//! round-trip time** (one in flight — what latency *costs*). The model
+//! prediction: TCP loses badly on serial RTT (real wire + batching
+//! hold), but pipelining recovers most of the throughput gap — which is
+//! exactly the split-phase story the paper tells.
+//!
+//! `run()` prints the table and writes `BENCH_dist.json` (per-peer
+//! transport counters included) at the workspace root.
+
+use crate::table::{f2, print_table};
+use px_core::prelude::*;
+use px_core::stats::TransportStats;
+use serde::Serialize;
+use std::io::Read;
+use std::net::TcpListener;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The environment variable that turns a `px-bench` invocation into
+/// rank 1 of the E14 mesh.
+pub const RANK_ENV: &str = "PX_E14_RANK";
+const ADDRS_ENV: &str = "PX_E14_ADDRS";
+
+/// Experiment sizes (shrunk by `smoke`).
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Parcels in the pipelined throughput phase.
+    pub msgs: u64,
+    /// Round trips in the serial latency phase.
+    pub serial: u64,
+}
+
+/// Full-size parameters (the JSON run).
+pub const FULL: Params = Params {
+    msgs: 20_000,
+    serial: 1_000,
+};
+
+/// Smoke-test parameters (CI; loopback-only, fine on one core).
+pub const SMOKE: Params = Params {
+    msgs: 2_000,
+    serial: 100,
+};
+
+struct Sq;
+impl Action for Sq {
+    const NAME: &'static str = "e14/square";
+    type Args = u64;
+    type Out = u64;
+    fn execute(_ctx: &mut Ctx<'_>, _t: Gid, n: u64) -> u64 {
+        n * n
+    }
+}
+
+/// One measurement row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Transport under test.
+    pub transport: String,
+    /// Pipelined spawn/await throughput, parcels per second.
+    pub pipelined_per_s: f64,
+    /// Mean serial round-trip, microseconds.
+    pub serial_rtt_us: f64,
+}
+
+/// The committed JSON artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistJson {
+    /// Bench name (`"e14_distributed"`).
+    pub bench: String,
+    /// Parcels in the pipelined phase.
+    pub msgs: u64,
+    /// Round trips in the serial phase.
+    pub serial: u64,
+    /// All transports.
+    pub rows: Vec<Row>,
+    /// Throughput ratio: inproc-instant / tcp-2proc (the real cost of
+    /// leaving the address space, after pipelining).
+    pub tcp_pipelined_penalty: f64,
+    /// Per-peer counters of the TCP run (rank 0's view).
+    pub tcp_transport: TransportStats,
+}
+
+/// If this process was spawned as rank 1, serve and exit — call first
+/// from `main`. Serves until the parent closes stdin.
+pub fn maybe_child() {
+    let Ok(rank) = std::env::var(RANK_ENV) else {
+        return;
+    };
+    let rank: u16 = rank.parse().expect("numeric rank");
+    let addrs: Vec<String> = std::env::var(ADDRS_ENV)
+        .expect("rank 1 needs the address list")
+        .split(',')
+        .map(String::from)
+        .collect();
+    let cfg = Config::small(addrs.len(), 1)
+        .with_tcp(rank, addrs)
+        .with_max_batch_parcels(16);
+    let rt = RuntimeBuilder::new(cfg)
+        .register::<Sq>()
+        .build()
+        .expect("rank 1 bootstrap");
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_to_string(&mut sink);
+    rt.shutdown();
+    std::process::exit(0);
+}
+
+/// Run the workload against an already-built runtime.
+fn measure(rt: &Runtime, transport: &str, p: Params) -> Row {
+    // Pipelined: everything in flight, then await.
+    let t0 = Instant::now();
+    let futs: Vec<(u64, FutureRef<u64>)> = (0..p.msgs)
+        .map(|i| {
+            let fut = rt.new_future::<u64>(LocalityId(0));
+            rt.send_action::<Sq>(
+                Gid::locality_root(LocalityId(1)),
+                i,
+                Continuation::set(fut.gid()),
+            )
+            .unwrap();
+            (i, fut)
+        })
+        .collect();
+    for (i, fut) in futs {
+        assert_eq!(fut.wait(rt).unwrap(), i * i);
+    }
+    let pipelined = t0.elapsed();
+
+    // Serial: one in flight.
+    let t0 = Instant::now();
+    for i in 0..p.serial {
+        let fut = rt.new_future::<u64>(LocalityId(0));
+        rt.send_action::<Sq>(
+            Gid::locality_root(LocalityId(1)),
+            i,
+            Continuation::set(fut.gid()),
+        )
+        .unwrap();
+        assert_eq!(fut.wait(rt).unwrap(), i * i);
+    }
+    let serial = t0.elapsed();
+
+    Row {
+        transport: transport.to_string(),
+        pipelined_per_s: p.msgs as f64 / pipelined.as_secs_f64(),
+        serial_rtt_us: serial.as_secs_f64() * 1e6 / p.serial as f64,
+    }
+}
+
+fn inproc_rt(latency: Duration) -> Runtime {
+    let mut cfg = Config::small(2, 1).with_max_batch_parcels(16);
+    if !latency.is_zero() {
+        cfg = cfg.with_latency(latency);
+    }
+    RuntimeBuilder::new(cfg).register::<Sq>().build().unwrap()
+}
+
+/// Run the TCP leg: reserve ports, re-execute ourselves as rank 1,
+/// measure, tear down. Returns the row plus rank 0's transport stats.
+/// `child_args` lets a libtest caller route the re-execution to its
+/// `maybe_child`-calling test (the `px-bench` binary needs none).
+fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
+    let addrs: Vec<String> = (0..2)
+        .map(|_| {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+        })
+        .collect();
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .args(child_args)
+        .env(RANK_ENV, "1")
+        .env(ADDRS_ENV, addrs.join(","))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn rank 1");
+    let cfg = Config::small(2, 1)
+        .with_tcp(0, addrs)
+        .with_max_batch_parcels(16);
+    let rt = RuntimeBuilder::new(cfg)
+        .register::<Sq>()
+        .build()
+        .expect("rank 0 bootstrap");
+    let row = measure(&rt, "tcp-2proc", p);
+    let stats = rt.stats();
+    assert_eq!(
+        stats.total().dead_parcels,
+        0,
+        "healthy distributed run must lose nothing"
+    );
+    drop(child.stdin.take());
+    let status = child.wait().expect("join rank 1");
+    assert!(status.success(), "rank 1 failed: {status:?}");
+    rt.shutdown();
+    (row, stats.transport)
+}
+
+fn run_with(p: Params, write: bool) -> Vec<Row> {
+    println!(
+        "\n[E14] spawn/await over transports: {} pipelined + {} serial parcels",
+        p.msgs, p.serial
+    );
+    let mut rows = Vec::new();
+    for (name, latency) in [
+        ("inproc-instant", Duration::ZERO),
+        ("inproc-50us", Duration::from_micros(50)),
+    ] {
+        let rt = inproc_rt(latency);
+        rows.push(measure(&rt, name, p));
+        rt.shutdown();
+    }
+    let (tcp_row, tcp_stats) = tcp_leg(p, &[]);
+    rows.push(tcp_row);
+    print_table(
+        "E14 — distributed transport: spawn/await throughput and latency",
+        &["transport", "pipelined/s", "serial RTT µs"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.transport.clone(),
+                    format!("{:.0}", r.pipelined_per_s),
+                    f2(r.serial_rtt_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let penalty = rows[0].pipelined_per_s / rows[2].pipelined_per_s;
+    println!("tcp pipelined penalty vs in-proc instant: {}x", f2(penalty));
+    if write {
+        let doc = DistJson {
+            bench: "e14_distributed".into(),
+            msgs: p.msgs,
+            serial: p.serial,
+            rows: rows.clone(),
+            tcp_pipelined_penalty: penalty,
+            tcp_transport: tcp_stats,
+        };
+        let json = crate::json::to_json_pretty(&doc);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    rows
+}
+
+/// Full experiment: print the table and write `BENCH_dist.json`.
+pub fn run() -> Vec<Row> {
+    run_with(FULL, true)
+}
+
+/// CI smoke: scaled down, no JSON.
+pub fn smoke() -> Vec<Row> {
+    let rows = run_with(SMOKE, false);
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        assert!(
+            r.pipelined_per_s > 0.0 && r.serial_rtt_us > 0.0,
+            "degenerate measurement: {r:?}"
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Child entry for the re-executed *test* binary: a no-op unless
+    /// `PX_E14_RANK` is set (then it serves rank 1 and exits there).
+    #[test]
+    fn e14_child_entry() {
+        maybe_child();
+    }
+
+    /// The TCP leg completes a healthy spawn/await workload end-to-end
+    /// and reports per-peer traffic (the E14 smoke in miniature).
+    #[test]
+    fn tcp_leg_completes_and_counts() {
+        let _gate = crate::TIMING_GATE.lock();
+        let (row, stats) = tcp_leg(
+            Params {
+                msgs: 300,
+                serial: 20,
+            },
+            &[
+                "e14_distributed::tests::e14_child_entry",
+                "--exact",
+                "--nocapture",
+            ],
+        );
+        assert!(row.pipelined_per_s > 0.0);
+        let peer = stats.peers.iter().find(|p| p.peer == 1).unwrap();
+        assert!(peer.msgs_sent > 0 && peer.msgs_recv > 0);
+        assert!(peer.frames_sent > 0, "batched run should coalesce");
+    }
+}

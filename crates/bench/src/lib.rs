@@ -22,6 +22,7 @@
 //! | [`e11_starvation`] | §2.1 starvation under skewed load |
 //! | [`e12_balance`] | §2.1/§2.2 adaptive balancing: diffusion + migration |
 //! | [`e13_tenancy`] | §2.2 process trees: tenant isolation via cancellation |
+//! | [`e14_distributed`] | §2.2 parcels over a real network: TCP multi-process |
 //!
 //! All experiments are functions returning plain row structs so tests can
 //! assert the qualitative shapes (who wins, where crossovers fall) that
@@ -34,6 +35,7 @@ pub mod e10_datavortex;
 pub mod e11_starvation;
 pub mod e12_balance;
 pub mod e13_tenancy;
+pub mod e14_distributed;
 pub mod e1_design_point;
 pub mod e2_latency_hiding;
 pub mod e3_lco_vs_barrier;

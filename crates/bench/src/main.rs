@@ -5,14 +5,20 @@
 //! px-bench --smoke e12    # scaled-down E12 (CI smoke; no JSON)
 //! px-bench e13            # full E13 run (writes BENCH_tenancy.json)
 //! px-bench --smoke e13    # scaled-down E13 (CI smoke; no JSON)
+//! px-bench e14            # full E14 run (writes BENCH_dist.json)
+//! px-bench --smoke e14    # scaled-down E14 (CI smoke; no JSON)
 //! ```
+//!
+//! E14 re-executes this binary as rank 1 of a 2-process TCP mesh
+//! (`PX_E14_RANK`); `maybe_child` routes that invocation.
 
 fn usage() -> ! {
-    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12, e13");
+    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12, e13, e14");
     std::process::exit(2);
 }
 
 fn main() {
+    px_bench::e14_distributed::maybe_child();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (smoke, name) = match args.as_slice() {
         [name] => (false, name.as_str()),
@@ -31,6 +37,12 @@ fn main() {
         }
         ("e13", false) => {
             px_bench::e13_tenancy::run();
+        }
+        ("e14", true) => {
+            px_bench::e14_distributed::smoke();
+        }
+        ("e14", false) => {
+            px_bench::e14_distributed::run();
         }
         ("e11", _) => {
             px_bench::e11_starvation::run();

@@ -72,7 +72,17 @@ pub(crate) fn balancer_main(rt: Arc<RuntimeInner>, stop: Receiver<()>) {
         sample_all(&rt, round, &mut last_parks);
         if n > 1 {
             gossip_round(&rt, round, n);
-            act_round(&rt, &cfg, debug);
+            // In a multi-process system the pulse is telemetry-only:
+            // gossip rides the TCP control lane and every rank's view
+            // fills in, but the *actions* — shedding closure tasks,
+            // spawn redirection, heat pulls — all move work or objects
+            // across what is now an OS-process boundary. Closures do not
+            // serialize and the AGAS directory is per-process, so acting
+            // here would lose work; placement over TCP stays with the
+            // application until those land.
+            if !rt.distributed() {
+                act_round(&rt, &cfg, debug);
+            }
         }
     }
 }
@@ -80,6 +90,10 @@ pub(crate) fn balancer_main(rt: Arc<RuntimeInner>, stop: Receiver<()>) {
 /// Record one load sample per locality and self-observe the new score.
 fn sample_all(rt: &Arc<RuntimeInner>, round: u64, last_parks: &mut [u64]) {
     for (i, loc) in rt.localities.iter().enumerate() {
+        if !rt.owns(crate::gid::LocalityId(i as u16)) {
+            // Another OS process samples that locality.
+            continue;
+        }
         let Some(b) = &loc.balance else { continue };
         let parks_now = loc.counters.parks.load(Ordering::Relaxed);
         let sample = LoadSample {
@@ -103,6 +117,9 @@ fn sample_all(rt: &Arc<RuntimeInner>, round: u64, last_parks: &mut [u64]) {
 fn gossip_round(rt: &Arc<RuntimeInner>, round: u64, n: usize) {
     let offset = 1 + (round as usize - 1) % (n - 1);
     for (i, loc) in rt.localities.iter().enumerate() {
+        if !rt.owns(crate::gid::LocalityId(i as u16)) {
+            continue;
+        }
         let Some(b) = &loc.balance else { continue };
         let peer = LocalityId(((i + offset) % n) as u16);
         let payload = b.peers.lock().encode_gossip();

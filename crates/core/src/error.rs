@@ -30,6 +30,11 @@ pub enum FaultCause {
     /// killed at dispatch (or an LCO it fed was poisoned) by
     /// [`crate::process::ProcessRef::cancel`].
     Cancelled,
+    /// The transport could not deliver: the peer's connection dropped (or
+    /// a closure task was addressed to a locality owned by another OS
+    /// process). Raised by the TCP backend so waiters on the lost work
+    /// resolve instead of hanging.
+    Transport,
 }
 
 impl FaultCause {
@@ -42,6 +47,7 @@ impl FaultCause {
             FaultCause::Panic => 3,
             FaultCause::Decode => 4,
             FaultCause::Cancelled => 5,
+            FaultCause::Transport => 6,
         }
     }
 
@@ -54,6 +60,7 @@ impl FaultCause {
             3 => FaultCause::Panic,
             4 => FaultCause::Decode,
             5 => FaultCause::Cancelled,
+            6 => FaultCause::Transport,
             _ => FaultCause::HandlerError,
         }
     }
@@ -68,6 +75,7 @@ impl fmt::Display for FaultCause {
             FaultCause::Panic => "panicked action",
             FaultCause::Decode => "undecodable payload",
             FaultCause::Cancelled => "process cancelled",
+            FaultCause::Transport => "transport failure",
         })
     }
 }

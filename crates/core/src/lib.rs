@@ -78,10 +78,10 @@ pub mod prelude {
     pub use crate::error::{Fault, FaultCause, PxError, PxResult};
     pub use crate::gid::{Gid, GidKind, LocalityId};
     pub use crate::lco::FutureRef;
-    pub use crate::net::{BatchPolicy, WireModel};
+    pub use crate::net::{BatchPolicy, TcpConfig, WireModel};
     pub use crate::parcel::{Continuation, Parcel};
     pub use crate::process::ProcessRef;
-    pub use crate::runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder};
+    pub use crate::runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder, TransportKind};
     pub use crate::stats::StatsSnapshot;
     pub use px_balance::{Adaptive, BalanceConfig, BalancePolicy, DataToWork, WorkToData};
 }
@@ -90,6 +90,6 @@ pub use action::{Action, ActionId, Value};
 pub use error::{Fault, FaultCause, PxError, PxResult};
 pub use gid::{Gid, GidKind, LocalityId};
 pub use lco::FutureRef;
-pub use net::{BatchPolicy, WireModel};
+pub use net::{BatchPolicy, TcpConfig, WireModel};
 pub use parcel::{Continuation, Parcel};
-pub use runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder};
+pub use runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder, TransportKind};

@@ -163,6 +163,10 @@ pub struct Locality {
     pub staged_priority: bool,
     /// Balancer state; `None` unless `Config::balance` is set.
     pub(crate) balance: Option<BalanceState>,
+    /// This locality's workers run in another OS process (TCP transport):
+    /// the local struct is a routing stub and must not mint GIDs — two
+    /// processes allocating from the same locality id would collide.
+    pub(crate) remote_stub: bool,
 }
 
 impl std::fmt::Debug for Locality {
@@ -188,6 +192,7 @@ impl Locality {
             sleep: SleepCtl::default(),
             staged_priority,
             balance: None,
+            remote_stub: false,
         }
     }
 
@@ -195,6 +200,12 @@ impl Locality {
     /// is shared).
     pub(crate) fn enable_balance(&mut self, n_localities: usize, window: usize) {
         self.balance = Some(BalanceState::new(n_localities, window));
+    }
+
+    /// Mark this struct as a stub for a locality owned by another OS
+    /// process (called by the builder, before the locality is shared).
+    pub(crate) fn mark_remote_stub(&mut self) {
+        self.remote_stub = true;
     }
 
     /// Tasks waiting in the general run queue (balancer telemetry; the
@@ -239,7 +250,19 @@ impl Locality {
     // ---- object store ----------------------------------------------------
 
     /// Insert a pre-built object under a fresh GID of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// In a multi-process (TCP) runtime, panics when called on a
+    /// locality owned by another OS process: the allocator here would
+    /// mint GIDs the owning process also mints. Create objects at your
+    /// own locality and share their GIDs via parcels.
     pub fn insert(&self, kind: GidKind, build: impl FnOnce(Gid) -> Stored) -> Gid {
+        assert!(
+            !self.remote_stub,
+            "locality {} is owned by another OS process; objects must be created at the owning rank",
+            self.id
+        );
         let gid = self.alloc.alloc(kind);
         let obj = build(gid);
         self.store.write().insert(gid, obj);

@@ -1,0 +1,100 @@
+//! The in-process transport backend: the seed runtime's wire, unchanged.
+//!
+//! All localities live in one OS process; "delivery" is a push onto the
+//! destination locality's run queue (general, staging, or control),
+//! optionally held back by a [`DelayLine`] so the latency/overhead/
+//! starvation phenomena of a real interconnect stay measurable. This
+//! backend is the behavioral baseline the `Transport` refactor is
+//! pinned against: version-1 frames, identical delay arithmetic,
+//! identical queue discipline, zero added bytes.
+
+use super::delay::DelayLine;
+use super::{Transport, TransportSubmitter, WireModel, WireMsg};
+use crate::locality::Locality;
+use crate::sched::Task;
+use std::sync::Arc;
+
+/// Queue-push transport with injectable latency (the default backend).
+pub(crate) struct InProcTransport {
+    line: DelayLine<WireMsg>,
+}
+
+impl InProcTransport {
+    /// Build the backend for `localities` under `model`.
+    pub(crate) fn new(model: WireModel, localities: Arc<Vec<Arc<Locality>>>) -> InProcTransport {
+        let sink: Arc<dyn Fn(WireMsg) + Send + Sync> = Arc::new(move |msg| match msg {
+            WireMsg::Parcel {
+                dest,
+                staged,
+                bytes,
+            } => {
+                let loc = &localities[dest.0 as usize];
+                let task = Task::parcel_bytes(bytes);
+                if staged {
+                    loc.push_staged(task);
+                } else {
+                    loc.push_task(task);
+                }
+            }
+            WireMsg::Frame {
+                dest,
+                staged,
+                bytes,
+            } => {
+                let loc = &localities[dest.0 as usize];
+                let task = Task::parcel_frame(bytes);
+                if staged {
+                    loc.push_staged(task);
+                } else {
+                    loc.push_task(task);
+                }
+            }
+            WireMsg::Task { dest, task } => {
+                localities[dest.0 as usize].push_task(task);
+            }
+            WireMsg::Control { dest, bytes } => {
+                localities[dest.0 as usize].push_control(Task::parcel_bytes(bytes));
+            }
+        });
+        InProcTransport {
+            line: DelayLine::new(model, sink),
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn submit(&self, msg: WireMsg, bytes: usize) {
+        self.line.send(msg, bytes);
+    }
+
+    fn submitter(&self) -> TransportSubmitter {
+        // Bind directly to the delay thread (or the inline sink on an
+        // instant model) so the flusher shares the line's delay
+        // arithmetic. The `LineSender` keeps the delay channel open; the
+        // wire joins the flusher — the only holder — before `shutdown`.
+        match self.line.sender() {
+            Some(sender) => {
+                Arc::new(move |msg, bytes| sender.send(msg, bytes)) as TransportSubmitter
+            }
+            None => {
+                let sink = self.line.sink();
+                Arc::new(move |msg, _bytes| sink(msg)) as TransportSubmitter
+            }
+        }
+    }
+
+    fn model(&self) -> WireModel {
+        self.line.model()
+    }
+
+    fn supports_batching(&self) -> bool {
+        // Batching an instant wire would only add latency (there is no
+        // per-message transport cost to amortize, and no delay thread to
+        // ride); the policy check upstream keeps the pre-refactor gating.
+        !self.line.model().is_instant()
+    }
+
+    fn shutdown(&mut self) {
+        self.line.shutdown();
+    }
+}

@@ -1,30 +1,72 @@
-//! The wire layer: inter-locality transport with injectable latency and
-//! bandwidth, and per-destination parcel batching.
+//! The wire layer: inter-locality transport behind a backend-independent
+//! `Transport` seam, with per-destination parcel batching.
 //!
-//! The real ParalleX target is a machine whose localities are separated by
-//! hundreds-to-thousands of cycles of interconnect (§2.1 "latency … to
-//! access remote data or services"). On one host we *inject* that latency:
-//! every cross-locality message is routed through a [`DelayLine`] thread
-//! that holds it until `now + latency + bytes·per_byte` before delivering
-//! it to the destination locality's run queue.
+//! ## Architecture
 //!
-//! With a zero latency model the wire is bypassed entirely (direct push),
-//! which is the "same box" configuration used by unit tests.
+//! ```text
+//!  send_parcel ──► PortSet (per-dest coalescing) ──► Transport::submit
+//!                       ▲                                 │
+//!                  flusher thread                  ┌──────┴───────┐
+//!                                                  ▼              ▼
+//!                                           InProcTransport  TcpTransport
+//!                                           (DelayLine +     (sockets, one
+//!                                            queue pushes)    peer/process)
+//! ```
+//!
+//! Everything above the `Transport` trait — `WireMsg` submission, the
+//! control-plane priority lane, [`BatchPolicy`] coalescing ports, flush
+//! accounting — is backend-independent. Two backends exist:
+//!
+//! * `inproc::InProcTransport` (default): all localities share one OS
+//!   process; messages are queue pushes routed through a [`DelayLine`]
+//!   with injectable latency/bandwidth ([`WireModel`]). This is the seed
+//!   runtime's wire, preserved bit-for-bit: version-1 frames, identical
+//!   delay arithmetic, identical counters.
+//! * `tcp::TcpTransport`: each OS process owns one locality and peers
+//!   over TCP sockets carrying the same length-prefixed records inside
+//!   [`px_wire::stream`] messages, with checksummed (version-2) frames.
+//!
+//! ## The `Transport` contract
+//!
+//! A backend implements `Transport` and must honor, in order of
+//! importance:
+//!
+//! 1. **No silent loss.** A message that cannot be delivered (peer gone,
+//!    closure task addressed across an OS-process boundary) must die
+//!    *loudly*: count the death (`FaultCause::Transport`
+//!    / `dead_transport`), notify the dead-letter hook, and deliver the
+//!    fault to each dead parcel's continuation so downstream waiters
+//!    resolve with `PxError::Fault` instead of hanging.
+//! 2. **Queue discipline at the destination.** `WireMsg::Parcel`/`Frame`
+//!    land in the destination's general run queue (staging buffer when
+//!    `staged`); `WireMsg::Control` lands in the priority control queue,
+//!    never coalesced and never behind data backlog; `WireMsg::Task` is
+//!    an in-memory closure handoff — backends that cross address spaces
+//!    must reject it loudly rather than pretend.
+//! 3. **Submission is non-blocking-ish.** `submit` may block briefly for
+//!    backpressure (a bounded peer queue) but must never deadlock
+//!    against the port locks: fault delivery triggered *inside* `submit`
+//!    is deferred to a scheduler task, because the caller may hold the
+//!    coalescing-port lock of the very destination a fault continuation
+//!    routes back to.
+//! 4. **Shutdown flushes.** Pending messages are delivered (or killed
+//!    loudly) before `shutdown` returns; afterwards `submit` is a silent
+//!    no-op so teardown races stay benign.
 //!
 //! ## Batching ([`BatchPolicy`], `PortSet`)
 //!
-//! Per-parcel transport overhead — a `Vec` allocation, a channel
-//! submission, a delay-heap operation, an injector push, and a worker
-//! wakeup for every message — dominates at fine grain (the AMT overhead
-//! studies in PAPERS.md measure exactly this). When batching is enabled,
-//! each sender-visible destination gets a **port**: a coalescing
-//! [`px_wire::FrameBuf`] into which parcels are encoded *in place*. A port
-//! flushes its frame as one wire message when it reaches
+//! Per-parcel transport overhead — a `Vec` allocation, a channel or
+//! socket submission, an injector push, and a worker wakeup for every
+//! message — dominates at fine grain (the AMT overhead studies in
+//! PAPERS.md measure exactly this). When batching is enabled, each
+//! sender-visible destination gets a **port**: a coalescing
+//! [`px_wire::FrameBuf`] into which parcels are encoded *in place*. A
+//! port flushes its frame as one wire message when it reaches
 //! `max_batch_parcels` records or `max_batch_bytes` bytes, or when the
 //! background flusher finds records older than `flush_interval`. The
-//! delay model is applied per frame (`delay_for(frame_bytes)`), so the
-//! latency and bandwidth arithmetic stays honest while the fixed per-
-//! message costs amortize across the batch.
+//! in-process delay model is applied per frame (`delay_for(frame_bytes)`),
+//! so the latency and bandwidth arithmetic stays honest while the fixed
+//! per-message costs amortize across the batch.
 //!
 //! Ordering: under a pure-latency model, parcels to the same destination
 //! stay in submission order within and across frames (frames ride the
@@ -41,12 +83,10 @@
 //!   visible to a subsequently spawned closure must sequence through an
 //!   LCO, not through submission order.
 //!
-//! See `ordering_preserved_for_equal_delays`.
-//!
-//! [`DelayLine`] is public so the CSP/BSP baseline runtime
-//! (`px-baseline`) can route its messages through the *identical*
-//! mechanism — the experiments then compare execution models, not
-//! transport implementations.
+//! Over TCP both relaxations hold trivially (the network reorders
+//! nothing per connection, but frames and single parcels share one
+//! ordered byte stream per peer, so same-peer order is in fact *stronger*
+//! than the delay-line's).
 //!
 //! Messages are encoded parcels (the normal case — they pay the
 //! serialization cost honestly), multi-parcel frames, or boxed tasks
@@ -54,21 +94,26 @@
 //! handoff of a depleted thread and are accounted with a nominal header
 //! size).
 
+pub mod delay;
+pub(crate) mod inproc;
+pub mod tcp;
+
+pub use delay::DelayLine;
+pub use tcp::TcpConfig;
+
 use crate::gid::LocalityId;
 use crate::locality::Locality;
 use crate::parcel::Parcel;
 use crate::sched::Task;
-use crate::stats::bump;
+use crate::stats::{bump, TransportStats};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use px_wire::FrameBuf;
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Latency/bandwidth model for the wire.
+/// Latency/bandwidth model for the in-process wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireModel {
     /// Fixed one-way latency added to every cross-locality message.
@@ -170,193 +215,6 @@ impl BatchPolicy {
     }
 }
 
-struct Pending<T> {
-    at: Instant,
-    seq: u64,
-    msg: T,
-}
-
-impl<T> PartialEq for Pending<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<T> Eq for Pending<T> {}
-impl<T> PartialOrd for Pending<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Pending<T> {
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        // Min-heap by (time, seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// A generic software delay line: messages submitted with a byte size are
-/// delivered to the sink after `model.delay_for(bytes)`.
-///
-/// With an instant model the sink is invoked inline by the sender and no
-/// thread is spawned. On shutdown (or drop) pending messages are flushed
-/// after their remaining delay, then the thread exits.
-pub struct DelayLine<T: Send + 'static> {
-    model: WireModel,
-    tx: Option<Sender<Pending<T>>>,
-    handle: Option<JoinHandle<()>>,
-    sink: Arc<dyn Fn(T) + Send + Sync + 'static>,
-}
-
-impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DelayLine")
-            .field("model", &self.model)
-            .finish()
-    }
-}
-
-/// A cheap cloneable submit handle onto a running delay line (used by
-/// the port flusher so the timer path shares `DelayLine`'s delay
-/// arithmetic instead of re-implementing it).
-pub(crate) struct LineSender<T: Send + 'static> {
-    tx: Sender<Pending<T>>,
-    model: WireModel,
-}
-
-impl<T: Send + 'static> Clone for LineSender<T> {
-    fn clone(&self) -> Self {
-        LineSender {
-            tx: self.tx.clone(),
-            model: self.model,
-        }
-    }
-}
-
-impl<T: Send + 'static> LineSender<T> {
-    /// Submit a message of logical size `bytes`.
-    pub(crate) fn send(&self, msg: T, bytes: usize) {
-        let at = Instant::now() + self.model.delay_for(bytes);
-        // seq is assigned by the delay thread; simultaneous messages are
-        // unordered by design (like a real network).
-        if self.tx.send(Pending { at, seq: 0, msg }).is_err() {
-            // Delay line already shut down (runtime teardown).
-        }
-    }
-}
-
-impl<T: Send + 'static> DelayLine<T> {
-    /// Build a delay line delivering into `sink`.
-    pub fn new(model: WireModel, sink: Arc<dyn Fn(T) + Send + Sync + 'static>) -> DelayLine<T> {
-        if model.is_instant() {
-            return DelayLine {
-                model,
-                tx: None,
-                handle: None,
-                sink,
-            };
-        }
-        let (tx, rx) = bounded::<Pending<T>>(65536);
-        let thread_sink = sink.clone();
-        let handle = std::thread::Builder::new()
-            .name("px-delay-line".into())
-            .spawn(move || delay_loop(rx, thread_sink))
-            .expect("spawn delay-line thread");
-        DelayLine {
-            model,
-            tx: Some(tx),
-            handle: Some(handle),
-            sink,
-        }
-    }
-
-    /// Submit a message of logical size `bytes`.
-    pub fn send(&self, msg: T, bytes: usize) {
-        match &self.tx {
-            None => (self.sink)(msg),
-            Some(tx) => {
-                let at = Instant::now() + self.model.delay_for(bytes);
-                // seq is assigned by the delay thread; simultaneous
-                // messages are unordered by design (like a real network).
-                if tx.send(Pending { at, seq: 0, msg }).is_err() {
-                    // Delay line already shut down (runtime teardown).
-                }
-            }
-        }
-    }
-
-    /// Submit handle bound to the delay thread (`None` on instant lines,
-    /// which deliver inline and have no thread).
-    pub(crate) fn sender(&self) -> Option<LineSender<T>> {
-        self.tx.as_ref().map(|tx| LineSender {
-            tx: tx.clone(),
-            model: self.model,
-        })
-    }
-
-    /// The active model.
-    pub fn model(&self) -> WireModel {
-        self.model
-    }
-
-    /// Stop the thread, flushing pending messages first.
-    pub fn shutdown(&mut self) {
-        self.tx = None; // closing the channel stops the thread
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl<T: Send + 'static> Drop for DelayLine<T> {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn delay_loop<T: Send>(rx: Receiver<Pending<T>>, sink: Arc<dyn Fn(T) + Send + Sync>) {
-    let mut heap: BinaryHeap<Pending<T>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    loop {
-        // Deliver everything due.
-        let now = Instant::now();
-        while heap.peek().is_some_and(|p| p.at <= now) {
-            let p = heap.pop().unwrap();
-            sink(p.msg);
-        }
-        // Wait for the next due time or the next submission.
-        let wait = heap
-            .peek()
-            .map(|p| p.at.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(wait) {
-            Ok(mut p) => {
-                seq += 1;
-                p.seq = seq;
-                heap.push(p);
-                // Drain any backlog without sleeping.
-                while let Ok(mut p) = rx.try_recv() {
-                    seq += 1;
-                    p.seq = seq;
-                    heap.push(p);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                // Flush what remains (delivery beats dropping work on
-                // shutdown races), then exit.
-                while let Some(p) = heap.pop() {
-                    let rem = p.at.saturating_duration_since(Instant::now());
-                    if !rem.is_zero() {
-                        std::thread::sleep(rem);
-                    }
-                    sink(p.msg);
-                }
-                return;
-            }
-        }
-    }
-}
-
 /// A message in flight between localities.
 pub(crate) enum WireMsg {
     /// Single encoded parcel (unbatched path; staged parcels land in the
@@ -378,7 +236,9 @@ pub(crate) enum WireMsg {
         /// Encoded frame bytes (see [`px_wire::FrameBuf`]).
         bytes: Vec<u8>,
     },
-    /// Direct task transfer (closure crossing localities in-process).
+    /// Direct task transfer (closure crossing localities in-process; a
+    /// cross-process backend must reject it loudly — closures do not
+    /// serialize).
     Task {
         /// Destination locality.
         dest: LocalityId,
@@ -395,6 +255,53 @@ pub(crate) enum WireMsg {
         /// Encoded parcel bytes.
         bytes: Vec<u8>,
     },
+}
+
+/// Cloneable submission handle onto a transport, handed to background
+/// threads (the port flusher) so they can ship frames without owning the
+/// backend. Dropped before the transport shuts down.
+pub(crate) type TransportSubmitter = Arc<dyn Fn(WireMsg, usize) + Send + Sync + 'static>;
+
+/// The backend seam of the wire layer. See the module docs for the full
+/// contract (loud failure, queue discipline, deferred fault delivery,
+/// flush-on-shutdown).
+pub(crate) trait Transport: Send + Sync {
+    /// Deliver `msg` toward its destination, charging `bytes` logical
+    /// bytes to whatever latency/bandwidth physics the backend has.
+    fn submit(&self, msg: WireMsg, bytes: usize);
+
+    /// A cloneable submission handle for background threads. Must remain
+    /// harmless (silent no-op) if used after `shutdown`.
+    fn submitter(&self) -> TransportSubmitter;
+
+    /// The injected latency/bandwidth model ([`WireModel::instant`] for
+    /// backends with real physics, i.e. TCP).
+    fn model(&self) -> WireModel;
+
+    /// True when the coalescing ports may engage. The in-process backend
+    /// requires a delay thread (batching an instant wire would only add
+    /// latency); socket backends always benefit.
+    fn supports_batching(&self) -> bool;
+
+    /// Frame format version the ports should encode with
+    /// ([`px_wire::FRAME_VERSION`] in-process — bit-identical frames —
+    /// [`px_wire::FRAME_VERSION_CHECKSUM`] across process boundaries).
+    fn frame_version(&self) -> u8 {
+        px_wire::FRAME_VERSION
+    }
+
+    /// Late-bind the runtime (needed for fault delivery: a transport is
+    /// constructed before the `RuntimeInner` that owns it).
+    fn bind(&self, _rt: &Arc<crate::runtime::RuntimeInner>) {}
+
+    /// Per-peer transport statistics (empty for in-process).
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+
+    /// Stop background threads, flushing or loudly killing pending
+    /// messages first. Called with the port flusher already joined.
+    fn shutdown(&mut self);
 }
 
 /// Why a port's frame was flushed (drives stats attribution).
@@ -421,13 +328,13 @@ pub(crate) struct PortSet {
 }
 
 impl PortSet {
-    fn new(policy: BatchPolicy, localities: usize) -> PortSet {
+    fn new(policy: BatchPolicy, localities: usize, frame_version: u8) -> PortSet {
         PortSet {
             policy,
             ports: (0..localities * 2)
                 .map(|_| {
                     Mutex::new(Port {
-                        frame: FrameBuf::new(),
+                        frame: FrameBuf::with_version(frame_version),
                         opened_at: None,
                     })
                 })
@@ -441,10 +348,11 @@ impl PortSet {
     }
 }
 
-/// The runtime's wire: coalescing ports in front of a [`DelayLine`]
-/// sinking into locality run queues.
+/// The runtime's wire: coalescing ports in front of a `Transport`
+/// backend sinking into locality run queues (directly in-process, over
+/// sockets across OS processes).
 pub(crate) struct Wire {
-    line: DelayLine<WireMsg>,
+    transport: Box<dyn Transport>,
     ports: Option<Arc<PortSet>>,
     localities: Arc<Vec<Arc<Locality>>>,
     flusher_stop: Option<Sender<()>>,
@@ -452,52 +360,22 @@ pub(crate) struct Wire {
 }
 
 impl Wire {
-    /// Build the wire for `localities` under `model`, coalescing per
-    /// `policy`. Batching engages only when the model is not instant and
+    /// Build the wire over `transport` for `localities`, coalescing per
+    /// `policy`. Batching engages only when the backend supports it and
     /// the policy asks for more than one parcel per message.
     pub(crate) fn new(
-        model: WireModel,
+        transport: Box<dyn Transport>,
         localities: Arc<Vec<Arc<Locality>>>,
         policy: BatchPolicy,
     ) -> Wire {
-        let sink_locs = localities.clone();
-        let sink: Arc<dyn Fn(WireMsg) + Send + Sync> = Arc::new(move |msg| match msg {
-            WireMsg::Parcel {
-                dest,
-                staged,
-                bytes,
-            } => {
-                let loc = &sink_locs[dest.0 as usize];
-                let task = Task::parcel_bytes(bytes);
-                if staged {
-                    loc.push_staged(task);
-                } else {
-                    loc.push_task(task);
-                }
-            }
-            WireMsg::Frame {
-                dest,
-                staged,
-                bytes,
-            } => {
-                let loc = &sink_locs[dest.0 as usize];
-                let task = Task::parcel_frame(bytes);
-                if staged {
-                    loc.push_staged(task);
-                } else {
-                    loc.push_task(task);
-                }
-            }
-            WireMsg::Task { dest, task } => {
-                sink_locs[dest.0 as usize].push_task(task);
-            }
-            WireMsg::Control { dest, bytes } => {
-                sink_locs[dest.0 as usize].push_control(Task::parcel_bytes(bytes));
-            }
+        let batching = policy.is_batching() && transport.supports_batching();
+        let ports = batching.then(|| {
+            Arc::new(PortSet::new(
+                policy,
+                localities.len(),
+                transport.frame_version(),
+            ))
         });
-        let line = DelayLine::new(model, sink);
-        let batching = policy.is_batching() && !model.is_instant();
-        let ports = batching.then(|| Arc::new(PortSet::new(policy, localities.len())));
         let (flusher_stop, flusher) = match &ports {
             None => (None, None),
             Some(ports) => {
@@ -505,17 +383,17 @@ impl Wire {
                 let handle = {
                     let ports = ports.clone();
                     let localities = localities.clone();
-                    let sender = line.sender().expect("batching implies a delay thread");
+                    let submit = transport.submitter();
                     std::thread::Builder::new()
                         .name("px-port-flusher".into())
-                        .spawn(move || flusher_loop(ports, localities, sender, stop_rx))
+                        .spawn(move || flusher_loop(ports, localities, submit, stop_rx))
                         .expect("spawn port-flusher thread")
                 };
                 (Some(stop_tx), Some(handle))
             }
         };
         Wire {
-            line,
+            transport,
             ports,
             localities,
             flusher_stop,
@@ -530,7 +408,7 @@ impl Wire {
             // Unbatched path: identical to the pre-batching wire.
             let bytes = p.encode();
             let n = bytes.len();
-            self.line.send(
+            self.transport.submit(
                 WireMsg::Parcel {
                     dest,
                     staged: p.staged,
@@ -559,7 +437,7 @@ impl Wire {
                 p.staged,
                 FlushCause::Full,
                 dest_loc,
-                |msg, bytes| self.line.send(msg, bytes),
+                |msg, bytes| self.transport.submit(msg, bytes),
             );
         }
         n
@@ -569,31 +447,41 @@ impl Wire {
     /// that bypass batching).
     #[inline]
     pub(crate) fn send(&self, msg: WireMsg, bytes: usize) {
-        self.line.send(msg, bytes);
+        self.transport.submit(msg, bytes);
     }
 
     /// The active model.
     pub(crate) fn model(&self) -> WireModel {
-        self.line.model()
+        self.transport.model()
+    }
+
+    /// Late-bind the runtime for transport-level fault delivery.
+    pub(crate) fn bind(&self, rt: &Arc<crate::runtime::RuntimeInner>) {
+        self.transport.bind(rt);
+    }
+
+    /// Per-peer transport statistics.
+    pub(crate) fn transport_stats(&self) -> TransportStats {
+        self.transport.transport_stats()
     }
 
     /// Drain every port (shutdown, or tests that need determinism).
     pub(crate) fn flush_all(&self) {
         if let Some(ports) = &self.ports {
             flush_aged(ports, &self.localities, Duration::ZERO, |msg, bytes| {
-                self.line.send(msg, bytes)
+                self.transport.submit(msg, bytes)
             });
         }
     }
 
-    /// Stop the flusher, drain the ports, stop the delay line.
+    /// Stop the flusher, drain the ports, stop the transport.
     pub(crate) fn shutdown(&mut self) {
         self.flusher_stop = None; // closing the channel stops the flusher
         if let Some(h) = self.flusher.take() {
             let _ = h.join();
         }
         self.flush_all();
-        self.line.shutdown();
+        self.transport.shutdown();
     }
 }
 
@@ -667,7 +555,7 @@ fn flush_aged(
 fn flusher_loop(
     ports: Arc<PortSet>,
     localities: Arc<Vec<Arc<Locality>>>,
-    sender: LineSender<WireMsg>,
+    submit: TransportSubmitter,
     stop_rx: Receiver<()>,
 ) {
     let interval = ports.policy.flush_interval;
@@ -676,7 +564,7 @@ fn flusher_loop(
         match stop_rx.recv_timeout(tick) {
             Err(RecvTimeoutError::Timeout) => {
                 flush_aged(&ports, &localities, interval, |msg, bytes| {
-                    sender.send(msg, bytes)
+                    submit(msg, bytes)
                 });
             }
             Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
@@ -686,11 +574,12 @@ fn flusher_loop(
 
 #[cfg(test)]
 mod tests {
+    use super::inproc::InProcTransport;
     use super::*;
     use crate::action::Value;
     use crate::gid::Gid;
     use crate::parcel::Continuation;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn model_delay_arithmetic() {
@@ -707,110 +596,6 @@ mod tests {
         assert!(!m.is_instant());
     }
 
-    #[test]
-    fn instant_line_delivers_inline() {
-        let hits = Arc::new(AtomicUsize::new(0));
-        let h = hits.clone();
-        let line: DelayLine<u32> = DelayLine::new(
-            WireModel::instant(),
-            Arc::new(move |_| {
-                h.fetch_add(1, Ordering::SeqCst);
-            }),
-        );
-        line.send(1, 100);
-        assert_eq!(hits.load(Ordering::SeqCst), 1, "inline delivery expected");
-    }
-
-    #[test]
-    fn delayed_line_holds_messages() {
-        let hits = Arc::new(AtomicUsize::new(0));
-        let h = hits.clone();
-        let mut line: DelayLine<u32> = DelayLine::new(
-            WireModel::with_latency(Duration::from_millis(30)),
-            Arc::new(move |_| {
-                h.fetch_add(1, Ordering::SeqCst);
-            }),
-        );
-        let t0 = Instant::now();
-        line.send(7, 0);
-        assert_eq!(hits.load(Ordering::SeqCst), 0, "must not arrive instantly");
-        while hits.load(Ordering::SeqCst) == 0 {
-            assert!(t0.elapsed() < Duration::from_secs(5), "message lost");
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        assert!(
-            t0.elapsed() >= Duration::from_millis(25),
-            "arrived too early: {:?}",
-            t0.elapsed()
-        );
-        line.shutdown();
-    }
-
-    #[test]
-    fn bandwidth_cost_scales_with_bytes() {
-        let hits = Arc::new(AtomicUsize::new(0));
-        let h = hits.clone();
-        let line: DelayLine<u32> = DelayLine::new(
-            WireModel {
-                latency: Duration::ZERO,
-                ns_per_byte: 20_000, // 20 µs per byte — exaggerated for test
-            },
-            Arc::new(move |_| {
-                h.fetch_add(1, Ordering::SeqCst);
-            }),
-        );
-        let t0 = Instant::now();
-        line.send(1, 1000); // 20 ms
-        while hits.load(Ordering::SeqCst) == 0 {
-            assert!(t0.elapsed() < Duration::from_secs(5));
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        assert!(t0.elapsed() >= Duration::from_millis(15));
-    }
-
-    #[test]
-    fn shutdown_flushes_pending() {
-        let hits = Arc::new(AtomicUsize::new(0));
-        let h = hits.clone();
-        let mut line: DelayLine<u32> = DelayLine::new(
-            WireModel::with_latency(Duration::from_millis(10)),
-            Arc::new(move |_| {
-                h.fetch_add(1, Ordering::SeqCst);
-            }),
-        );
-        line.send(1, 0);
-        line.shutdown();
-        assert_eq!(
-            hits.load(Ordering::SeqCst),
-            1,
-            "pending message should be flushed on shutdown"
-        );
-    }
-
-    #[test]
-    fn ordering_preserved_for_equal_delays() {
-        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let s = seen.clone();
-        let mut line: DelayLine<u32> = DelayLine::new(
-            WireModel::with_latency(Duration::from_millis(5)),
-            Arc::new(move |v| s.lock().push(v)),
-        );
-        for i in 0..50 {
-            line.send(i, 0);
-        }
-        line.shutdown();
-        let seen = seen.lock();
-        assert_eq!(seen.len(), 50);
-        // Same-latency messages submitted in order arrive in order (seq
-        // tiebreak), modulo batching races at the heap boundary — allow
-        // sortedness check. With ports enabled the same relaxation applies
-        // at frame boundaries: records within a frame are strictly
-        // ordered, frames inherit this (time, seq) discipline.
-        let mut sorted = seen.clone();
-        sorted.sort_unstable();
-        assert_eq!(*seen, sorted);
-    }
-
     // ---- batching ---------------------------------------------------------
 
     fn test_localities(n: usize) -> Arc<Vec<Arc<Locality>>> {
@@ -818,6 +603,14 @@ mod tests {
             (0..n)
                 .map(|i| Arc::new(Locality::new(LocalityId(i as u16), false)))
                 .collect(),
+        )
+    }
+
+    fn test_wire(model: WireModel, locs: &Arc<Vec<Arc<Locality>>>, policy: BatchPolicy) -> Wire {
+        Wire::new(
+            Box::new(InProcTransport::new(model, locs.clone())),
+            locs.clone(),
+            policy,
         )
     }
 
@@ -844,9 +637,9 @@ mod tests {
     #[test]
     fn batch_flushes_on_parcel_count() {
         let locs = test_localities(2);
-        let wire = Wire::new(
+        let wire = test_wire(
             WireModel::with_latency(Duration::from_micros(50)),
-            locs.clone(),
+            &locs,
             BatchPolicy {
                 max_batch_parcels: 4,
                 max_batch_bytes: usize::MAX,
@@ -886,9 +679,9 @@ mod tests {
     #[test]
     fn batch_flushes_on_byte_budget() {
         let locs = test_localities(2);
-        let wire = Wire::new(
+        let wire = test_wire(
             WireModel::with_latency(Duration::from_micros(50)),
-            locs.clone(),
+            &locs,
             BatchPolicy {
                 max_batch_parcels: usize::MAX,
                 max_batch_bytes: 64,
@@ -914,9 +707,9 @@ mod tests {
     #[test]
     fn flusher_ships_stragglers() {
         let locs = test_localities(2);
-        let wire = Wire::new(
+        let wire = test_wire(
             WireModel::with_latency(Duration::from_micros(10)),
-            locs.clone(),
+            &locs,
             BatchPolicy {
                 max_batch_parcels: 1000,
                 max_batch_bytes: usize::MAX,
@@ -948,9 +741,9 @@ mod tests {
     #[test]
     fn shutdown_drains_ports() {
         let locs = test_localities(2);
-        let mut wire = Wire::new(
+        let mut wire = test_wire(
             WireModel::with_latency(Duration::from_micros(10)),
-            locs.clone(),
+            &locs,
             BatchPolicy {
                 max_batch_parcels: 1000,
                 max_batch_bytes: usize::MAX,
@@ -970,9 +763,9 @@ mod tests {
     #[test]
     fn staged_and_plain_parcels_batch_separately() {
         let locs = test_localities(2);
-        let mut wire = Wire::new(
+        let mut wire = test_wire(
             WireModel::with_latency(Duration::from_micros(10)),
-            locs.clone(),
+            &locs,
             BatchPolicy {
                 max_batch_parcels: 1000,
                 max_batch_bytes: usize::MAX,
@@ -997,9 +790,9 @@ mod tests {
     #[test]
     fn unbatched_policy_sends_single_parcels() {
         let locs = test_localities(2);
-        let mut wire = Wire::new(
+        let mut wire = test_wire(
             WireModel::with_latency(Duration::from_micros(10)),
-            locs.clone(),
+            &locs,
             BatchPolicy::single(),
         );
         let p = noop_parcel(LocalityId(1));
@@ -1013,5 +806,43 @@ mod tests {
             0,
             "no frames on the single-parcel path"
         );
+    }
+
+    /// Acceptance pin: the in-process backend ships version-1 frames
+    /// whose bytes are identical to encoding the same parcels into a
+    /// plain `FrameBuf` — the transport refactor added no bytes to the
+    /// in-process wire.
+    #[test]
+    fn inproc_frames_are_bit_identical_to_frame_buf() {
+        let locs = test_localities(2);
+        let mut wire = test_wire(
+            WireModel::with_latency(Duration::from_micros(10)),
+            &locs,
+            BatchPolicy {
+                max_batch_parcels: 1000,
+                max_batch_bytes: usize::MAX,
+                flush_interval: Duration::from_secs(10),
+            },
+        );
+        let p = noop_parcel(LocalityId(1));
+        for _ in 0..3 {
+            wire.send_parcel(LocalityId(1), &p);
+        }
+        wire.shutdown();
+        let mut expected = px_wire::FrameBuf::new();
+        for _ in 0..3 {
+            expected.push_record(&p.encode());
+        }
+        let expected = expected.take();
+        let mut frames = 0;
+        while let crossbeam::deque::Steal::Success(t) = locs[1].injector.steal() {
+            frames += 1;
+            assert_eq!(
+                t.frame_bytes().expect("frame task"),
+                expected.as_slice(),
+                "in-proc wire bytes drifted from the version-1 frame format"
+            );
+        }
+        assert_eq!(frames, 1);
     }
 }

@@ -245,6 +245,15 @@ impl ProcessInner {
     pub fn spawned(&self) -> u64 {
         self.spawned.load(Ordering::Relaxed)
     }
+
+    /// True once the record is only history: the process has exited
+    /// (first quiescence or cancellation ran its cleanup) and no
+    /// activation is outstanding. Such a record can be reaped; a late
+    /// `task_done` after the reap degrades to a no-op, which the
+    /// "done-future re-trigger tolerated" contract already allows.
+    pub(crate) fn reapable(&self) -> bool {
+        self.exited.load(Ordering::Acquire) && self.active.load(Ordering::Acquire) == 0
+    }
 }
 
 /// The AGAS namespace prefix of process `gid` (no trailing slash).
@@ -544,6 +553,11 @@ fn reject_if_cancelled(rt: &Arc<RuntimeInner>, gid: Gid, dest: LocalityId) -> bo
 
 /// Create a process homed at `home`. Registered in the runtime's process
 /// table and the home locality's store.
+/// Sweep the process table every this many creations, so a server that
+/// makes one process per request stays bounded without anyone calling
+/// [`Runtime::reap_processes`] by hand.
+const REAP_EVERY: u64 = 64;
+
 pub(crate) fn create_process(
     rt: &Arc<RuntimeInner>,
     home: LocalityId,
@@ -556,8 +570,59 @@ pub(crate) fn create_process(
     inner.note_touched(home);
     loc.insert_at(gid, Stored::Process(inner.clone()));
     rt.process_table.write().insert(gid, inner);
-    rt.processes_created.fetch_add(1, Ordering::Relaxed);
+    let created = rt.processes_created.fetch_add(1, Ordering::Relaxed) + 1;
+    if created.is_multiple_of(REAP_EVERY) {
+        reap_processes(rt);
+    }
     ProcessRef::new(gid, done)
+}
+
+/// Process-table GC: remove records that are exited, quiesced, and
+/// unreferenced outside the runtime's own bookkeeping. Returns how many
+/// were reaped (also accumulated in `StatsSnapshot::processes_reaped`).
+///
+/// "Unreferenced" is an `Arc::strong_count` check: the table and the
+/// home locality's object store each hold one reference; anything beyond
+/// those (a `task_done` in flight, a driver thread mid-query) defers the
+/// record to a later sweep. `ProcessRef` is `Copy` and holds no
+/// reference — queries through a kept handle simply see an absent
+/// record after the reap (zero `active`, no children), and the done
+/// future itself survives in the object store, so waiting on it still
+/// resolves.
+pub(crate) fn reap_processes(rt: &Arc<RuntimeInner>) -> usize {
+    // The candidate clone below is reference #3.
+    const EXPECTED_REFS: usize = 3;
+    let candidates: Vec<Arc<ProcessInner>> = rt
+        .process_table
+        .read()
+        .values()
+        .filter(|p| p.reapable())
+        .cloned()
+        .collect();
+    let mut reaped = 0usize;
+    for p in candidates {
+        let gid = p.gid;
+        {
+            let mut table = rt.process_table.write();
+            // Re-check under the write lock: a late activation or a
+            // transient clone (e.g. `process_task_started` on a racing
+            // worker) defers the record to the next sweep.
+            let still = table
+                .get(&gid)
+                .is_some_and(|cur| Arc::ptr_eq(cur, &p) && cur.reapable());
+            if !still || Arc::strong_count(&p) != EXPECTED_REFS {
+                continue;
+            }
+            table.remove(&gid);
+        }
+        rt.locality(gid.birthplace()).remove(gid);
+        reaped += 1;
+    }
+    if reaped > 0 {
+        rt.processes_reaped
+            .fetch_add(reaped as u64, Ordering::Relaxed);
+    }
+    reaped
 }
 
 /// Create a subprocess of `parent` homed at `home`, wiring the hierarchy:

@@ -22,7 +22,7 @@ use crate::fxmap::FxHashMap;
 use crate::gid::{Gid, GidKind, LocalityId};
 use crate::lco::{CombineFn, ExtSlot, FutureRef, LcoCore, ReduceFn, Waiter};
 use crate::locality::{DataObject, Locality, Stored};
-use crate::net::{BatchPolicy, Wire, WireModel};
+use crate::net::{BatchPolicy, TcpConfig, Wire, WireModel};
 use crate::parcel::{Continuation, Parcel};
 use crate::process::{ProcessInner, ProcessRef};
 use crate::sched::{sys, Task};
@@ -36,6 +36,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which transport backend carries inter-locality traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportKind {
+    /// All localities share this OS process; messages are queue pushes
+    /// routed through a delay line with the configured [`WireModel`]
+    /// (the default, and the seed runtime's behavior, bit-for-bit).
+    InProc,
+    /// Each OS process owns one locality and peers over TCP sockets
+    /// ([`crate::net::tcp`]). The [`WireModel`] is ignored — the
+    /// network's latency is real — and `RuntimeBuilder::build` blocks on
+    /// the bootstrap barrier until all N processes are connected.
+    Tcp(TcpConfig),
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -45,6 +59,8 @@ pub struct Config {
     pub workers_per_locality: usize,
     /// Inter-locality wire model.
     pub wire: WireModel,
+    /// Transport backend selection (defaults to [`TransportKind::InProc`]).
+    pub transport: TransportKind,
     /// Per-destination parcel coalescing policy. Defaults to
     /// [`BatchPolicy::single`] (one parcel per wire message — no added
     /// latency); throughput-oriented deployments enable
@@ -67,6 +83,7 @@ impl Default for Config {
             localities: 4,
             workers_per_locality: 1,
             wire: WireModel::instant(),
+            transport: TransportKind::InProc,
             batch: BatchPolicy::single(),
             accelerators: Vec::new(),
             balance: None,
@@ -133,6 +150,28 @@ impl Config {
     pub fn with_flush_interval(mut self, interval: Duration) -> Config {
         self.batch.flush_interval = interval;
         self
+    }
+
+    /// Run over TCP as one locality of a multi-process system (builder
+    /// style): this process owns locality `rank`; `addrs[i]` is the
+    /// listen address of locality `i`. `localities` is set to
+    /// `addrs.len()` — one process per locality. See the README's
+    /// "Distributed deployment".
+    pub fn with_tcp(mut self, rank: u16, addrs: Vec<String>) -> Config {
+        self.localities = addrs.len();
+        self.transport = TransportKind::Tcp(TcpConfig::new(rank, addrs));
+        self
+    }
+
+    /// Full control over the transport backend (builder style).
+    pub fn with_transport(mut self, transport: TransportKind) -> Config {
+        self.transport = transport;
+        self
+    }
+
+    /// True when this configuration spans multiple OS processes.
+    pub fn is_distributed(&self) -> bool {
+        matches!(self.transport, TransportKind::Tcp(_))
     }
 
     /// Mark a locality as a percolation-priority accelerator.
@@ -208,6 +247,26 @@ impl Config {
                 "flush_interval must be nonzero when batching".into(),
             ));
         }
+        if let TransportKind::Tcp(tcp) = &self.transport {
+            if tcp.addrs.len() != self.localities {
+                return Err(PxError::BadConfig(format!(
+                    "tcp transport needs one address per locality: {} addrs for {} localities",
+                    tcp.addrs.len(),
+                    self.localities
+                )));
+            }
+            if tcp.rank as usize >= self.localities {
+                return Err(PxError::BadConfig(format!(
+                    "tcp rank {} out of range for {} localities",
+                    tcp.rank, self.localities
+                )));
+            }
+            if tcp.bootstrap_timeout.is_zero() {
+                return Err(PxError::BadConfig(
+                    "tcp bootstrap_timeout must be nonzero".into(),
+                ));
+            }
+        }
         if let Some(b) = &self.balance {
             if b.gossip_interval.is_zero() {
                 return Err(PxError::BadConfig(
@@ -245,6 +304,14 @@ pub struct RuntimeInner {
     pub(crate) processes_created: AtomicU64,
     /// Parallel processes cancelled (each subtree member counts once).
     pub(crate) processes_cancelled: AtomicU64,
+    /// Exited-and-unreferenced process records reaped from the table.
+    pub(crate) processes_reaped: AtomicU64,
+    /// The locality driver-level sends originate from: locality 0
+    /// in-process (the seed convention), this process's rank over TCP.
+    pub(crate) origin: LocalityId,
+    /// The single locality whose workers run in this OS process (`None`
+    /// in-process: all of them do).
+    pub(crate) owned: Option<LocalityId>,
     /// Whether the send path records AGAS access heat: true only when the
     /// balancer is on *and* its policy can act on heat
     /// ([`px_balance::BalancePolicy::uses_heat`]) — otherwise the
@@ -291,6 +358,18 @@ impl RuntimeInner {
         if let Some(hook) = &self.dead_letter {
             hook(fault);
         }
+    }
+
+    /// True when locality `id`'s workers run in this OS process.
+    #[inline]
+    pub(crate) fn owns(&self, id: LocalityId) -> bool {
+        self.owned.is_none_or(|o| o == id)
+    }
+
+    /// True when this runtime is one rank of a multi-process system.
+    #[inline]
+    pub(crate) fn distributed(&self) -> bool {
+        self.owned.is_some()
     }
 }
 
@@ -340,6 +419,10 @@ impl RuntimeBuilder {
         }
         self.config.validate()?;
         let n = self.config.localities;
+        let owned = match &self.config.transport {
+            TransportKind::InProc => None,
+            TransportKind::Tcp(tcp) => Some(LocalityId(tcp.rank)),
+        };
         let balance_window = self.config.balance.as_ref().map(|b| b.window);
         let localities: Arc<Vec<Arc<Locality>>> = Arc::new(
             (0..n)
@@ -350,16 +433,33 @@ impl RuntimeBuilder {
                     if let Some(window) = balance_window {
                         loc.enable_balance(n, window);
                     }
+                    // In a multi-process system the structs for other
+                    // ranks are routing stubs: creating objects there
+                    // would mint GIDs another process also mints.
+                    if owned.is_some_and(|o| o != id) {
+                        loc.mark_remote_stub();
+                    }
                     Arc::new(loc)
                 })
                 .collect(),
         );
-        let wire = Wire::new(self.config.wire, localities.clone(), self.config.batch);
+        let transport: Box<dyn crate::net::Transport> = match &self.config.transport {
+            TransportKind::InProc => Box::new(crate::net::inproc::InProcTransport::new(
+                self.config.wire,
+                localities.clone(),
+            )),
+            TransportKind::Tcp(tcp) => Box::new(crate::net::tcp::TcpTransport::bootstrap(
+                tcp,
+                localities.clone(),
+            )?),
+        };
+        let wire = Wire::new(transport, localities.clone(), self.config.batch);
         let track_heat = self
             .config
             .balance
             .as_ref()
             .is_some_and(|b| b.policy.uses_heat());
+        let origin = owned.unwrap_or(LocalityId(0));
         let inner = Arc::new(RuntimeInner {
             agas: Agas::new(n),
             registry: self.registry,
@@ -368,16 +468,27 @@ impl RuntimeBuilder {
             process_table: RwLock::new(FxHashMap::default()),
             processes_created: AtomicU64::new(0),
             processes_cancelled: AtomicU64::new(0),
+            processes_reaped: AtomicU64::new(0),
+            origin,
+            owned,
             track_heat,
             dead_letter: self.dead_letter,
             localities,
             config: self.config,
         });
+        // Late-bind the runtime into the transport so undeliverable
+        // messages can be killed loudly (fault to continuation).
+        inner.wire.bind(&inner);
 
         // Boot workers: deques and stealers are wired before any thread
         // starts, so `Locality::stealers` is effectively immutable after.
+        // In a multi-process system only the owned rank gets workers;
+        // the other locality structs are reached via the transport.
         let mut joins = Vec::new();
         for (li, loc) in inner.localities.iter().enumerate() {
+            if !inner.owns(LocalityId(li as u16)) {
+                continue;
+            }
             let deques: Vec<WorkerDeque<Task>> = (0..inner.config.workers_per_locality)
                 .map(|_| WorkerDeque::new_lifo())
                 .collect();
@@ -457,6 +568,8 @@ impl Runtime {
             migrations_balancer,
             processes_created: self.inner.processes_created.load(Ordering::Relaxed),
             processes_cancelled: self.inner.processes_cancelled.load(Ordering::Relaxed),
+            processes_reaped: self.inner.processes_reaped.load(Ordering::Relaxed),
+            transport: self.inner.wire.transport_stats(),
         }
     }
 
@@ -489,7 +602,8 @@ impl Runtime {
         self.inner.send_task(dest, dest, Task::thread(f));
     }
 
-    /// Send an action parcel (origin is locality 0 by driver convention).
+    /// Send an action parcel (origin is locality 0 by driver convention;
+    /// in a multi-process system, the locality this process owns).
     pub fn send_action<A: Action>(
         &self,
         target: Gid,
@@ -497,7 +611,7 @@ impl Runtime {
         cont: Continuation,
     ) -> PxResult<()> {
         let p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
-        self.inner.send_parcel(LocalityId(0), p);
+        self.inner.send_parcel(self.inner.origin, p);
         Ok(())
     }
 
@@ -557,7 +671,7 @@ impl Runtime {
     /// Trigger any LCO with an encoded value, routed like a parcel.
     pub fn trigger<T: Serialize>(&self, gid: Gid, value: &T) -> PxResult<()> {
         let v = Value::encode(value)?;
-        let from = self.inner.locality(LocalityId(0));
+        let from = self.inner.locality(self.inner.origin);
         self.inner.lco_route(from, gid, sys::LCO_SET, v);
         Ok(())
     }
@@ -639,6 +753,13 @@ impl Runtime {
         if gid.kind() != GidKind::Data {
             return Err(PxError::NotMigratable(gid));
         }
+        if self.inner.distributed() {
+            // The AGAS directory is per-process today: moving an object
+            // between ranks would leave the other processes routing on a
+            // stale home. Refuse loudly until the directory is
+            // distributed.
+            return Err(PxError::NotMigratable(gid));
+        }
         let from = self.inner.agas.authoritative_owner(gid);
         if from == to {
             return Ok(());
@@ -668,6 +789,21 @@ impl Runtime {
     /// created through [`ProcessRef::create_subprocess`].
     pub fn create_process(&self, home: LocalityId) -> ProcessRef {
         crate::process::create_process(&self.inner, home, None)
+    }
+
+    /// Reap exited-and-unreferenced process records from the runtime
+    /// table now (the sweep also runs automatically every 64 process
+    /// creations). Returns how many records were removed; the total is
+    /// reported as `StatsSnapshot::processes_reaped`. Done-futures
+    /// survive the reap — waiting on one still resolves — and a late
+    /// activity decrement against a reaped record is a tolerated no-op.
+    pub fn reap_processes(&self) -> usize {
+        crate::process::reap_processes(&self.inner)
+    }
+
+    /// Live records in the process table (diagnostics for the GC).
+    pub fn process_table_size(&self) -> usize {
+        self.inner.process_table.read().len()
     }
 }
 

@@ -156,6 +156,15 @@ impl Task {
         }
     }
 
+    /// Raw frame bytes carried by this task, if it is a frame (tests).
+    #[cfg(test)]
+    pub(crate) fn frame_bytes(&self) -> Option<&[u8]> {
+        match &self.work {
+            Work::ParcelFrame(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+
     /// Decoded parcel (local short-circuit).
     pub(crate) fn parcel(p: Parcel) -> Task {
         Task {
@@ -391,8 +400,15 @@ fn run_wire_parcel(
         Ok(p) => {
             let proc_gid = p.process;
             run_parcel(rt, loc, local, p);
+            // Mirror of the send-side gate in `route_parcel`: in a
+            // distributed runtime every wire delivery crossed an
+            // OS-process boundary, so no token was taken in *this*
+            // process for it — decrementing would drain someone else's
+            // counter to a premature quiescence.
             if let Some(pg) = proc_gid {
-                rt.process_task_done(pg);
+                if !rt.distributed() {
+                    rt.process_task_done(pg);
+                }
             }
         }
         Err(e) => {
@@ -820,8 +836,17 @@ impl RuntimeInner {
             }
             return;
         }
+        // Process activity tokens never cross an OS-process boundary:
+        // the increment here and the decrement at the receiver must land
+        // in the *same* table, or a cross-rank parcel leaks a token and
+        // `ProcessRef::wait` hangs forever. In a distributed runtime a
+        // parcel bound for another rank therefore carries its pid for
+        // cancellation context only; quiescence meters in-process work
+        // (see the README's "Distributed deployment").
         if let Some(pg) = p.process {
-            self.process_task_started(pg, owner);
+            if self.owns(owner) {
+                self.process_task_started(pg, owner);
+            }
         }
         // Balancer gossip bypasses the coalescing ports and lands in the
         // destination's control queue: it must outrun the very backlog it
@@ -847,6 +872,22 @@ impl RuntimeInner {
     /// module docs — pays wire latency with a nominal 64-byte size).
     pub(crate) fn send_task(self: &Arc<Self>, from: LocalityId, dest: LocalityId, task: Task) {
         let from_loc = &self.localities[from.0 as usize];
+        // Closures cannot cross an OS-process boundary (they do not
+        // serialize). Die loudly here — before any queue push — so a
+        // `spawn_at` to a remote rank is a counted, reported failure
+        // instead of a task rotting on an unowned stub's queue.
+        if !self.owns(dest) {
+            let own = self.locality(self.origin);
+            own.counters
+                .count_death(crate::error::FaultCause::Transport, 1);
+            self.notify_dead_letter(&Fault::new(
+                crate::error::FaultCause::Transport,
+                ActionId(0),
+                Gid::locality_root(dest),
+                "closure task cannot cross an OS-process boundary; use action parcels",
+            ));
+            return;
+        }
         if let Some(pg) = task.process {
             self.process_task_started(pg, dest);
         }

@@ -75,6 +75,9 @@ pub struct LocalityCounters {
     /// Deaths: parcel belonged to a cancelled parallel process and was
     /// killed at dispatch.
     pub dead_cancelled: AtomicU64,
+    /// Deaths: the transport could not deliver (peer connection dropped,
+    /// or a closure task addressed across an OS-process boundary).
+    pub dead_transport: AtomicU64,
     /// Closure/resume PX-thread tasks dropped because their owning
     /// process was cancelled (not parcels, so not in `dead_parcels`;
     /// mirrors how thread panics live beside the parcel death counters).
@@ -125,6 +128,7 @@ impl LocalityCounters {
             FaultCause::Panic => bump!(self.dead_panic, n),
             FaultCause::Decode => bump!(self.dead_decode, n),
             FaultCause::Cancelled => bump!(self.dead_cancelled, n),
+            FaultCause::Transport => bump!(self.dead_transport, n),
         }
     }
 
@@ -158,6 +162,7 @@ impl LocalityCounters {
             dead_panic: self.dead_panic.load(Ordering::Relaxed),
             dead_decode: self.dead_decode.load(Ordering::Relaxed),
             dead_cancelled: self.dead_cancelled.load(Ordering::Relaxed),
+            dead_transport: self.dead_transport.load(Ordering::Relaxed),
             tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
@@ -202,6 +207,7 @@ pub struct LocalityStats {
     pub dead_panic: u64,
     pub dead_decode: u64,
     pub dead_cancelled: u64,
+    pub dead_transport: u64,
     pub tasks_cancelled: u64,
     pub panics: u64,
     pub gossip_rounds: u64,
@@ -224,6 +230,7 @@ impl LocalityStats {
             + self.dead_panic
             + self.dead_decode
             + self.dead_cancelled
+            + self.dead_transport
     }
 
     /// Fraction of worker time spent executing (1.0 = no starvation).
@@ -300,6 +307,7 @@ impl LocalityStats {
             dead_panic: self.dead_panic - earlier.dead_panic,
             dead_decode: self.dead_decode - earlier.dead_decode,
             dead_cancelled: self.dead_cancelled - earlier.dead_cancelled,
+            dead_transport: self.dead_transport - earlier.dead_transport,
             tasks_cancelled: self.tasks_cancelled - earlier.tasks_cancelled,
             panics: self.panics - earlier.panics,
             gossip_rounds: self.gossip_rounds - earlier.gossip_rounds,
@@ -311,6 +319,37 @@ impl LocalityStats {
             chase_cap_violations: self.chase_cap_violations - earlier.chase_cap_violations,
         }
     }
+}
+
+/// Send/receive accounting for one TCP peer (all zeros for the
+/// in-process transport, which has no peers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PeerStats {
+    /// The peer's locality id.
+    pub peer: u16,
+    /// Stream messages written toward the peer (parcels + frames +
+    /// control).
+    pub msgs_sent: u64,
+    /// Bytes written toward the peer (bodies + stream headers).
+    pub bytes_sent: u64,
+    /// Multi-parcel frames among `msgs_sent`.
+    pub frames_sent: u64,
+    /// Stream messages received from the peer.
+    pub msgs_recv: u64,
+    /// Raw bytes read from the peer's connection.
+    pub bytes_recv: u64,
+    /// Times the outgoing connection to the peer was re-established
+    /// after a write failure.
+    pub reconnects: u64,
+}
+
+/// Transport-level statistics: one entry per TCP peer; empty for the
+/// in-process backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransportStats {
+    /// Per-peer counters, ascending by peer id (the own locality is
+    /// absent — a process does not peer with itself).
+    pub peers: Vec<PeerStats>,
 }
 
 /// Runtime-wide snapshot: one entry per locality plus totals.
@@ -327,6 +366,11 @@ pub struct StatsSnapshot {
     pub processes_created: u64,
     /// Parallel processes cancelled (each subtree member counts once).
     pub processes_cancelled: u64,
+    /// Exited-and-unreferenced process records reaped from the process
+    /// table (the process-table GC).
+    pub processes_reaped: u64,
+    /// Per-peer transport counters (TCP backend only).
+    pub transport: TransportStats,
 }
 
 impl StatsSnapshot {
@@ -361,6 +405,7 @@ impl StatsSnapshot {
             t.dead_panic += l.dead_panic;
             t.dead_decode += l.dead_decode;
             t.dead_cancelled += l.dead_cancelled;
+            t.dead_transport += l.dead_transport;
             t.tasks_cancelled += l.tasks_cancelled;
             t.panics += l.panics;
             t.gossip_rounds += l.gossip_rounds;
@@ -399,6 +444,24 @@ impl StatsSnapshot {
             migrations_balancer: self.migrations_balancer - earlier.migrations_balancer,
             processes_created: self.processes_created - earlier.processes_created,
             processes_cancelled: self.processes_cancelled - earlier.processes_cancelled,
+            processes_reaped: self.processes_reaped - earlier.processes_reaped,
+            transport: TransportStats {
+                peers: self
+                    .transport
+                    .peers
+                    .iter()
+                    .zip(earlier.transport.peers.iter())
+                    .map(|(now, then)| PeerStats {
+                        peer: now.peer,
+                        msgs_sent: now.msgs_sent - then.msgs_sent,
+                        bytes_sent: now.bytes_sent - then.bytes_sent,
+                        frames_sent: now.frames_sent - then.frames_sent,
+                        msgs_recv: now.msgs_recv - then.msgs_recv,
+                        bytes_recv: now.bytes_recv - then.bytes_recv,
+                        reconnects: now.reconnects - then.reconnects,
+                    })
+                    .collect(),
+            },
         }
     }
 }
@@ -482,6 +545,8 @@ mod tests {
             migrations_balancer: 5,
             processes_created: 3,
             processes_cancelled: 1,
+            processes_reaped: 4,
+            ..Default::default()
         };
         let d = later.delta_from(&snap);
         assert_eq!(d.localities[0].parcels_sent, 3);
@@ -490,6 +555,38 @@ mod tests {
         assert_eq!(d.migrations_balancer, 5);
         assert_eq!(d.processes_created, 3);
         assert_eq!(d.processes_cancelled, 1);
+        assert_eq!(d.processes_reaped, 4);
+    }
+
+    #[test]
+    fn transport_stats_delta() {
+        let then = StatsSnapshot {
+            transport: TransportStats {
+                peers: vec![PeerStats {
+                    peer: 1,
+                    msgs_sent: 10,
+                    bytes_sent: 100,
+                    ..Default::default()
+                }],
+            },
+            ..Default::default()
+        };
+        let now = StatsSnapshot {
+            transport: TransportStats {
+                peers: vec![PeerStats {
+                    peer: 1,
+                    msgs_sent: 25,
+                    bytes_sent: 400,
+                    reconnects: 1,
+                    ..Default::default()
+                }],
+            },
+            ..Default::default()
+        };
+        let d = now.delta_from(&then);
+        assert_eq!(d.transport.peers[0].msgs_sent, 15);
+        assert_eq!(d.transport.peers[0].bytes_sent, 300);
+        assert_eq!(d.transport.peers[0].reconnects, 1);
     }
 
     #[test]

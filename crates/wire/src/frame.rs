@@ -24,18 +24,48 @@
 //! Decoding is zero-copy: [`FrameView`] validates the header eagerly and
 //! yields `&[u8]` record slices lazily, preserving the scheduler's
 //! lazy-per-parcel decode.
+//!
+//! ## Integrity (version 2)
+//!
+//! Frames that leave the process boundary (the TCP transport) use
+//! version [`FRAME_VERSION_CHECKSUM`]: the same layout plus a 4-byte
+//! FNV-1a trailer over header + records, appended when the frame is
+//! shipped ([`FrameBuf::take`]) and verified by [`FrameView::parse`]. A
+//! corrupt frame then dies loudly at the decode layer instead of
+//! misparsing records. The checksum is *version-gated*: version-1 frames
+//! (the in-process transport) carry no trailer and their bytes are
+//! bit-identical to the pre-checksum format.
 
 use crate::buf::{WireReader, WireWriter};
 use crate::error::{WireError, WireResult};
 
-/// Current frame format version byte.
+/// Original frame format version byte (no integrity trailer).
 pub const FRAME_VERSION: u8 = 1;
+
+/// Frame format with a 4-byte FNV-1a checksum trailer (used by
+/// transports that cross a process boundary).
+pub const FRAME_VERSION_CHECKSUM: u8 = 2;
 
 /// Bytes of frame header (version + record count).
 pub const FRAME_HEADER_LEN: usize = 1 + 4;
 
 /// Per-record framing overhead (the `u32` length prefix).
 pub const RECORD_HEADER_LEN: usize = 4;
+
+/// Bytes of the version-2 integrity trailer.
+pub const FRAME_TRAILER_LEN: usize = 4;
+
+/// FNV-1a 32-bit checksum (the version-2 frame trailer). Cheap, no
+/// table, good enough to catch the torn/corrupt frames a socket stream
+/// can produce; it is an integrity check, not an authenticity one.
+pub fn frame_checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// A reusable encode buffer accumulating length-prefixed records.
 ///
@@ -47,6 +77,7 @@ pub const RECORD_HEADER_LEN: usize = 4;
 pub struct FrameBuf {
     w: WireWriter,
     count: u32,
+    version: u8,
 }
 
 impl Default for FrameBuf {
@@ -56,17 +87,43 @@ impl Default for FrameBuf {
 }
 
 impl FrameBuf {
-    /// New empty frame.
+    /// New empty version-1 frame (no integrity trailer; the bit-identical
+    /// in-process format).
     pub fn new() -> FrameBuf {
         FrameBuf::with_capacity(0)
     }
 
-    /// New empty frame with reserved capacity.
+    /// New empty version-1 frame with reserved capacity.
     pub fn with_capacity(cap: usize) -> FrameBuf {
+        FrameBuf::with_capacity_version(cap, FRAME_VERSION)
+    }
+
+    /// New empty frame of `version` ([`FRAME_VERSION`] or
+    /// [`FRAME_VERSION_CHECKSUM`]).
+    pub fn with_version(version: u8) -> FrameBuf {
+        FrameBuf::with_capacity_version(0, version)
+    }
+
+    /// New empty frame of `version` with reserved capacity.
+    pub fn with_capacity_version(cap: usize, version: u8) -> FrameBuf {
+        debug_assert!(
+            version == FRAME_VERSION || version == FRAME_VERSION_CHECKSUM,
+            "unknown frame version {version}"
+        );
         let mut w = WireWriter::with_capacity(cap.max(FRAME_HEADER_LEN));
-        w.put_u8(FRAME_VERSION);
+        w.put_u8(version);
         w.put_u32(0);
-        FrameBuf { w, count: 0 }
+        FrameBuf {
+            w,
+            count: 0,
+            version,
+        }
+    }
+
+    /// The frame format version this buffer encodes.
+    #[inline]
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Number of records in the frame.
@@ -107,23 +164,31 @@ impl FrameBuf {
         record_len
     }
 
-    /// The encoded frame (always a valid frame, even mid-fill).
+    /// The encoded frame. For version 1 this is always a valid frame,
+    /// even mid-fill; a version-2 frame is finalized (checksum trailer
+    /// appended) only by [`FrameBuf::take`].
     #[inline]
     pub fn as_bytes(&self) -> &[u8] {
         self.w.as_slice()
     }
 
-    /// Ship the frame: returns the encoded bytes and resets `self` to an
-    /// empty frame sized like the one just taken.
+    /// Ship the frame: returns the encoded bytes (appending the
+    /// integrity trailer on version-2 frames) and resets `self` to an
+    /// empty frame of the same version sized like the one just taken.
     pub fn take(&mut self) -> Vec<u8> {
-        let fresh = FrameBuf::with_capacity(self.w.len());
-        std::mem::replace(self, fresh).w.into_bytes()
+        let fresh = FrameBuf::with_capacity_version(self.w.len(), self.version);
+        let mut w = std::mem::replace(self, fresh).w;
+        if self.version == FRAME_VERSION_CHECKSUM {
+            let sum = frame_checksum(w.as_slice());
+            w.put_u32(sum);
+        }
+        w.into_bytes()
     }
 
-    /// Drop all records, retaining the allocation.
+    /// Drop all records, retaining the allocation and version.
     pub fn clear(&mut self) {
         self.w.clear();
-        self.w.put_u8(FRAME_VERSION);
+        self.w.put_u8(self.version);
         self.w.put_u32(0);
         self.count = 0;
     }
@@ -137,25 +202,48 @@ pub struct FrameView<'a> {
 }
 
 impl<'a> FrameView<'a> {
-    /// Validate the header of `bytes` and wrap it.
+    /// Validate the header of `bytes` (and, for version-2 frames, verify
+    /// the checksum trailer) and wrap it.
     pub fn parse(bytes: &'a [u8]) -> WireResult<FrameView<'a>> {
         let mut r = WireReader::new(bytes);
         let version = r.get_u8()?;
-        if version != FRAME_VERSION {
-            return Err(WireError::Message(format!(
-                "unsupported frame version {version}"
-            )));
-        }
+        let records_end = match version {
+            FRAME_VERSION => bytes.len(),
+            FRAME_VERSION_CHECKSUM => {
+                if bytes.len() < FRAME_HEADER_LEN + FRAME_TRAILER_LEN {
+                    return Err(WireError::Message(
+                        "checksummed frame shorter than header + trailer".into(),
+                    ));
+                }
+                let body_end = bytes.len() - FRAME_TRAILER_LEN;
+                let want = u32::from_le_bytes(bytes[body_end..].try_into().unwrap());
+                let got = frame_checksum(&bytes[..body_end]);
+                if want != got {
+                    return Err(WireError::Message(format!(
+                        "frame checksum mismatch: trailer {want:#010x}, computed {got:#010x}"
+                    )));
+                }
+                body_end
+            }
+            _ => {
+                return Err(WireError::Message(format!(
+                    "unsupported frame version {version}"
+                )))
+            }
+        };
         let count = r.get_u32()?;
-        // Each record costs at least its length prefix.
-        if u64::from(count) * RECORD_HEADER_LEN as u64 > r.remaining() as u64 {
+        // Each record costs at least its length prefix. (`records_end` is
+        // at least FRAME_HEADER_LEN: the u32 read above succeeded, and the
+        // v2 arm checked header + trailer explicitly.)
+        let remaining = records_end - FRAME_HEADER_LEN;
+        if u64::from(count) * RECORD_HEADER_LEN as u64 > remaining as u64 {
             return Err(WireError::LengthExceedsInput {
                 len: u64::from(count),
-                remaining: r.remaining(),
+                remaining,
             });
         }
         Ok(FrameView {
-            records: &bytes[FRAME_HEADER_LEN..],
+            records: &bytes[FRAME_HEADER_LEN..records_end],
             count,
         })
     }
@@ -301,6 +389,70 @@ mod tests {
         let items: Vec<_> = v.records().collect();
         assert_eq!(items.len(), 1);
         assert!(items[0].is_err());
+    }
+
+    /// Golden layout pin for both versions: the version-1 bytes must be
+    /// exactly the pre-checksum format (the in-process transport promises
+    /// bit-identical frames), and version 2 must differ only in the
+    /// version byte plus a 4-byte FNV-1a trailer.
+    #[test]
+    fn golden_layout_v1_and_v2() {
+        let mut expected_v1 = vec![FRAME_VERSION];
+        expected_v1.extend_from_slice(&1u32.to_le_bytes()); // count
+        expected_v1.extend_from_slice(&5u32.to_le_bytes()); // record len
+        expected_v1.extend_from_slice(b"alpha");
+        let mut f1 = FrameBuf::new();
+        f1.push_record(b"alpha");
+        assert_eq!(f1.take(), expected_v1, "v1 layout drifted");
+
+        let mut expected_v2 = expected_v1.clone();
+        expected_v2[0] = FRAME_VERSION_CHECKSUM;
+        let sum = frame_checksum(&expected_v2);
+        expected_v2.extend_from_slice(&sum.to_le_bytes());
+        let mut f2 = FrameBuf::with_version(FRAME_VERSION_CHECKSUM);
+        f2.push_record(b"alpha");
+        assert_eq!(f2.take(), expected_v2, "v2 layout drifted");
+    }
+
+    #[test]
+    fn checksummed_frame_roundtrips() {
+        let mut f = FrameBuf::with_version(FRAME_VERSION_CHECKSUM);
+        f.push_record(b"one");
+        f.push_record(b"two");
+        let bytes = f.take();
+        assert!(f.is_empty());
+        assert_eq!(f.version(), FRAME_VERSION_CHECKSUM, "take keeps version");
+        assert_eq!(collect(&bytes), vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_checksummed_frame_rejected() {
+        let mut f = FrameBuf::with_version(FRAME_VERSION_CHECKSUM);
+        f.push_record(b"payload bytes here");
+        let mut bytes = f.take();
+        // Flip one payload bit: v1 parsing would happily misparse this;
+        // the trailer catches it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = FrameView::parse(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "expected checksum error, got: {err}"
+        );
+        // Too-short v2 input is rejected before touching the trailer.
+        assert!(FrameView::parse(&[FRAME_VERSION_CHECKSUM, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn clear_retains_version() {
+        let mut f = FrameBuf::with_version(FRAME_VERSION_CHECKSUM);
+        f.push_record(b"x");
+        f.clear();
+        assert!(f.is_empty());
+        f.push_record(b"y");
+        let bytes = f.take();
+        assert_eq!(bytes[0], FRAME_VERSION_CHECKSUM);
+        assert_eq!(collect(&bytes), vec![b"y".to_vec()]);
     }
 
     #[test]

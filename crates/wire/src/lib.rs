@@ -49,13 +49,15 @@ mod error;
 mod fault;
 mod frame;
 mod ser;
+pub mod stream;
 
 pub use buf::{WireReader, WireWriter};
 pub use de::{from_bytes, Deserializer};
 pub use error::{WireError, WireResult};
 pub use fault::WireFault;
 pub use frame::{
-    FrameBuf, FrameRecords, FrameView, FRAME_HEADER_LEN, FRAME_VERSION, RECORD_HEADER_LEN,
+    frame_checksum, FrameBuf, FrameRecords, FrameView, FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
+    FRAME_VERSION, FRAME_VERSION_CHECKSUM, RECORD_HEADER_LEN,
 };
 pub use ser::{to_bytes, to_writer, Serializer};
 

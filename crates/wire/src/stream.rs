@@ -1,0 +1,246 @@
+//! Byte-stream message framing: what ParalleX TCP peers speak.
+//!
+//! A socket delivers a *byte stream*; the runtime's wire units (encoded
+//! parcels and multi-parcel frames) must be re-framed on top of it. Each
+//! stream message is
+//!
+//! ```text
+//! +-----------+------------+---------+
+//! | kind: u8  |  len: u32  |  body   |
+//! |           |    (LE)    | (len B) |
+//! +-----------+------------+---------+
+//! ```
+//!
+//! where `kind` is one of [`msg_kind`] and `body` is the encoded parcel
+//! or frame exactly as the in-process transport would have carried it —
+//! the stream layer adds framing, never re-encodes.
+//!
+//! [`StreamAssembler`] is the receive half: feed it the arbitrary chunks
+//! `read(2)` returns and it yields complete `(kind, body)` messages,
+//! regardless of how the stream was split (a message may arrive across
+//! many reads, or many messages in one read). A property test pins the
+//! invariant: any chunking of a message sequence reassembles to the same
+//! messages as feeding the bytes whole.
+//!
+//! ## Connection handshake
+//!
+//! The first bytes on every connection are a fixed-size hello:
+//! `MAGIC (u32 LE) ++ STREAM_VERSION (u8) ++ locality id (u16 LE)`,
+//! built/parsed by [`encode_handshake`]/[`decode_handshake`]. The magic
+//! rejects strangers (port scanners, misconfigured peers) before any
+//! runtime state is touched; the locality id tells the acceptor which
+//! peer this inbound byte stream belongs to.
+
+use crate::error::{WireError, WireResult};
+
+/// Stream protocol magic: `"PXS1"` little-endian.
+pub const STREAM_MAGIC: u32 = 0x3153_5850;
+
+/// Stream protocol version (bumped on any header/handshake change).
+pub const STREAM_VERSION: u8 = 1;
+
+/// Bytes of the per-message header (`kind` + `len`).
+pub const MSG_HEADER_LEN: usize = 1 + 4;
+
+/// Bytes of the connection handshake (`magic` + `version` + `locality`).
+pub const HANDSHAKE_LEN: usize = 4 + 1 + 2;
+
+/// Upper bound on a single stream message body. Far above any real frame
+/// (ports cap frames at `max_batch_bytes`); its job is to turn a
+/// desynchronized or hostile length prefix into a loud error instead of
+/// an attempted multi-gigabyte allocation.
+pub const MAX_MSG_LEN: usize = 256 * 1024 * 1024;
+
+/// Message kinds carried over a peer stream.
+pub mod msg_kind {
+    /// One encoded parcel, for the destination's general run queue.
+    pub const PARCEL: u8 = 0;
+    /// One encoded parcel, for the percolation staging buffer.
+    pub const PARCEL_STAGED: u8 = 1;
+    /// A multi-parcel frame ([`crate::FrameBuf`]), general run queue.
+    pub const FRAME: u8 = 2;
+    /// A multi-parcel frame, percolation staging buffer.
+    pub const FRAME_STAGED: u8 = 3;
+    /// Control-plane parcel (balancer gossip): delivered to the
+    /// destination's priority control queue, never coalesced.
+    pub const CONTROL: u8 = 4;
+    /// Highest kind a decoder of this version understands.
+    pub const MAX: u8 = CONTROL;
+}
+
+/// Encode a message header for a body of `len` bytes.
+pub fn encode_msg_header(kind: u8, len: u32) -> [u8; MSG_HEADER_LEN] {
+    let mut h = [0u8; MSG_HEADER_LEN];
+    h[0] = kind;
+    h[1..5].copy_from_slice(&len.to_le_bytes());
+    h
+}
+
+/// Encode the connection hello for `locality`.
+pub fn encode_handshake(locality: u16) -> [u8; HANDSHAKE_LEN] {
+    let mut h = [0u8; HANDSHAKE_LEN];
+    h[0..4].copy_from_slice(&STREAM_MAGIC.to_le_bytes());
+    h[4] = STREAM_VERSION;
+    h[5..7].copy_from_slice(&locality.to_le_bytes());
+    h
+}
+
+/// Validate a connection hello; returns the peer's locality id.
+pub fn decode_handshake(bytes: &[u8; HANDSHAKE_LEN]) -> WireResult<u16> {
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != STREAM_MAGIC {
+        return Err(WireError::Message(format!(
+            "bad stream magic {magic:#010x} (not a ParalleX peer?)"
+        )));
+    }
+    if bytes[4] != STREAM_VERSION {
+        return Err(WireError::Message(format!(
+            "unsupported stream version {}",
+            bytes[4]
+        )));
+    }
+    Ok(u16::from_le_bytes(bytes[5..7].try_into().unwrap()))
+}
+
+/// Incremental reassembler for the message stream.
+///
+/// Feed raw chunks with [`StreamAssembler::feed`]; pull complete
+/// messages with [`StreamAssembler::next_msg`]. An error (unknown kind
+/// or an impossible length) means the stream is desynchronized and the
+/// connection must be dropped — there is no way to resynchronize a
+/// length-prefixed stream after a bad prefix.
+#[derive(Debug, Default)]
+pub struct StreamAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    pos: usize,
+}
+
+impl StreamAssembler {
+    /// New empty assembler.
+    pub fn new() -> StreamAssembler {
+        StreamAssembler::default()
+    }
+
+    /// Append a chunk read from the stream.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        // Compact before growing: once every buffered message has been
+        // consumed the allocation is reused from the start, so steady
+        // state never grows beyond (largest message + one chunk).
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 0 && self.pos >= self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as messages.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Next complete message, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err` means the stream is
+    /// corrupt/desynchronized and must be dropped.
+    pub fn next_msg(&mut self) -> WireResult<Option<(u8, Vec<u8>)>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < MSG_HEADER_LEN {
+            return Ok(None);
+        }
+        let kind = avail[0];
+        if kind > msg_kind::MAX {
+            return Err(WireError::Message(format!(
+                "unknown stream message kind {kind}"
+            )));
+        }
+        let len = u32::from_le_bytes(avail[1..5].try_into().unwrap()) as usize;
+        if len > MAX_MSG_LEN {
+            return Err(WireError::Message(format!(
+                "stream message of {len} bytes exceeds the {MAX_MSG_LEN}-byte cap"
+            )));
+        }
+        if avail.len() < MSG_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let body = avail[MSG_HEADER_LEN..MSG_HEADER_LEN + len].to_vec();
+        self.pos += MSG_HEADER_LEN + len;
+        Ok(Some((kind, body)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_msg(kind: u8, body: &[u8]) -> Vec<u8> {
+        let mut out = encode_msg_header(kind, body.len() as u32).to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+
+    #[test]
+    fn whole_feed_yields_all_messages() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_msg(msg_kind::PARCEL, b"abc"));
+        stream.extend_from_slice(&encode_msg(msg_kind::FRAME, b""));
+        stream.extend_from_slice(&encode_msg(msg_kind::CONTROL, b"gossip"));
+        let mut a = StreamAssembler::new();
+        a.feed(&stream);
+        assert_eq!(
+            a.next_msg().unwrap(),
+            Some((msg_kind::PARCEL, b"abc".to_vec()))
+        );
+        assert_eq!(a.next_msg().unwrap(), Some((msg_kind::FRAME, Vec::new())));
+        assert_eq!(
+            a.next_msg().unwrap(),
+            Some((msg_kind::CONTROL, b"gossip".to_vec()))
+        );
+        assert_eq!(a.next_msg().unwrap(), None);
+        assert_eq!(a.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembles() {
+        let msg = encode_msg(msg_kind::PARCEL_STAGED, &[7u8; 100]);
+        let mut a = StreamAssembler::new();
+        for &b in &msg[..msg.len() - 1] {
+            a.feed(&[b]);
+            assert_eq!(a.next_msg().unwrap(), None, "incomplete must not yield");
+        }
+        a.feed(&msg[msg.len() - 1..]);
+        assert_eq!(
+            a.next_msg().unwrap(),
+            Some((msg_kind::PARCEL_STAGED, vec![7u8; 100]))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_fatal() {
+        let mut a = StreamAssembler::new();
+        a.feed(&encode_msg(9, b"x"));
+        assert!(a.next_msg().is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_fatal() {
+        let mut a = StreamAssembler::new();
+        a.feed(&encode_msg_header(msg_kind::FRAME, u32::MAX));
+        assert!(a.next_msg().is_err());
+    }
+
+    #[test]
+    fn handshake_roundtrip_and_rejection() {
+        let h = encode_handshake(42);
+        assert_eq!(decode_handshake(&h).unwrap(), 42);
+        let mut bad = h;
+        bad[0] ^= 0xff;
+        assert!(decode_handshake(&bad).is_err());
+        let mut wrong_version = h;
+        wrong_version[4] = 99;
+        assert!(decode_handshake(&wrong_version).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the TCP stream layer: a message sequence fed to
+//! [`StreamAssembler`] in arbitrary chunks — frames split at arbitrary
+//! byte boundaries across reads, many messages per read, one byte per
+//! read — must reassemble to exactly the messages the whole-buffer feed
+//! yields, and checksummed frames carried as message bodies must decode
+//! identically to whole-frame decode.
+
+use proptest::prelude::*;
+use px_wire::stream::{encode_msg_header, msg_kind, StreamAssembler};
+use px_wire::{FrameBuf, FrameView, FRAME_VERSION_CHECKSUM};
+
+/// Encode `(kind, body)` messages into one contiguous byte stream.
+fn encode_stream(msgs: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (kind, body) in msgs {
+        out.extend_from_slice(&encode_msg_header(*kind, body.len() as u32));
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Feed `bytes` split at `cuts` (relative positions) and collect every
+/// reassembled message.
+fn reassemble_chunked(bytes: &[u8], cuts: &[usize]) -> Vec<(u8, Vec<u8>)> {
+    let mut a = StreamAssembler::new();
+    let mut out = Vec::new();
+    let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries.push(bytes.len());
+    let mut start = 0;
+    for end in boundaries {
+        if end < start {
+            continue;
+        }
+        a.feed(&bytes[start..end]);
+        while let Some(msg) = a.next_msg().expect("valid stream never errors") {
+            out.push(msg);
+        }
+        start = end;
+    }
+    assert_eq!(a.pending_bytes(), 0, "no residue after a complete stream");
+    out
+}
+
+fn arb_msgs() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            0u8..msg_kind::MAX + 1,
+            proptest::collection::vec(any::<u8>(), 0..300),
+        ),
+        0..12,
+    )
+}
+
+proptest! {
+    /// Any chunking reproduces the whole-feed message sequence.
+    #[test]
+    fn arbitrary_splits_reassemble_identically(
+        msgs in arb_msgs(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..40),
+    ) {
+        let stream = encode_stream(&msgs);
+        let whole = reassemble_chunked(&stream, &[]);
+        let chunked = reassemble_chunked(&stream, &cuts);
+        prop_assert_eq!(&whole, &msgs);
+        prop_assert_eq!(chunked, msgs);
+    }
+
+    /// A checksummed multi-parcel frame split at arbitrary read
+    /// boundaries decodes to the same records as whole-frame decode.
+    #[test]
+    fn split_checksummed_frames_decode_identically(
+        records in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128),
+            0..16,
+        ),
+        cuts in proptest::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let mut f = FrameBuf::with_version(FRAME_VERSION_CHECKSUM);
+        for r in &records {
+            f.push_record(r);
+        }
+        let frame_bytes = f.take();
+        let whole: Vec<Vec<u8>> = FrameView::parse(&frame_bytes)
+            .expect("frame parses")
+            .records()
+            .map(|r| r.expect("record ok").to_vec())
+            .collect();
+        prop_assert_eq!(&whole, &records);
+
+        let stream = encode_stream(&[(msg_kind::FRAME, frame_bytes)]);
+        let msgs = reassemble_chunked(&stream, &cuts);
+        prop_assert_eq!(msgs.len(), 1);
+        let (kind, body) = &msgs[0];
+        prop_assert_eq!(*kind, msg_kind::FRAME);
+        let split: Vec<Vec<u8>> = FrameView::parse(body)
+            .expect("reassembled frame parses")
+            .records()
+            .map(|r| r.expect("record ok").to_vec())
+            .collect();
+        prop_assert_eq!(split, records);
+    }
+}

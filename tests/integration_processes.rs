@@ -328,3 +328,93 @@ fn broadcast_on_cancelled_process_is_rejected_and_inflight_poisoned() {
     ));
     rt.shutdown();
 }
+
+// ---- process-table GC -------------------------------------------------------
+
+#[test]
+fn reap_removes_quiesced_processes_and_keeps_the_done_contract() {
+    let rt = rt(2);
+    let mut done_futures = Vec::new();
+    let mut procs = Vec::new();
+    for i in 0..10u64 {
+        let proc = rt.create_process(LocalityId((i % 2) as u16));
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = counter.clone();
+        proc.spawn_at(&rt, LocalityId(0), move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        proc.finish_root(&rt);
+        proc.wait(&rt).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        done_futures.push(proc.done_future());
+        procs.push(proc);
+    }
+    assert_eq!(rt.process_table_size(), 10);
+    assert_eq!(rt.stats().processes_reaped, 0, "no sweep ran yet");
+    // `wait` resolves when the done future fires, which happens just
+    // before the record's exit cleanup — poll until every record is
+    // reapable.
+    let t0 = std::time::Instant::now();
+    let mut reaped = 0;
+    while reaped < 10 {
+        reaped += rt.reap_processes();
+        assert!(t0.elapsed() < BOUND, "records never became reapable");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(rt.process_table_size(), 0);
+    assert_eq!(rt.stats().processes_reaped, 10);
+    // The done-future contract survives the reap: done futures still
+    // resolve for late waiters, and handle queries degrade gracefully.
+    for fut in done_futures {
+        fut.wait(&rt).unwrap();
+    }
+    for proc in &procs {
+        assert_eq!(proc.active(&rt), 0);
+        assert!(proc.children(&rt).is_empty());
+        assert!(!proc.is_cancelled(&rt));
+    }
+    // A re-sweep is a no-op.
+    assert_eq!(rt.reap_processes(), 0);
+    rt.shutdown();
+}
+
+#[test]
+fn reap_runs_automatically_and_spares_live_processes() {
+    let rt = rt(1);
+    // A long-lived tenant parent that must survive every sweep.
+    let parent = rt.create_process(LocalityId(0));
+    // Churn enough one-shot processes to cross the periodic sweep
+    // threshold several times.
+    for _ in 0..200 {
+        let p = rt.create_process(LocalityId(0));
+        p.finish_root(&rt);
+        p.wait(&rt).unwrap();
+    }
+    let t0 = std::time::Instant::now();
+    while rt.stats().processes_reaped == 0 {
+        assert!(t0.elapsed() < BOUND, "automatic sweep never fired");
+        let p = rt.create_process(LocalityId(0));
+        p.finish_root(&rt);
+        p.wait(&rt).unwrap();
+    }
+    assert!(
+        rt.process_table_size() < 200,
+        "table should shrink: {} records",
+        rt.process_table_size()
+    );
+    // The live parent was never reaped: it still accepts subprocesses.
+    assert!(parent.create_subprocess(&rt, LocalityId(0)).is_ok());
+    // Cancelled subtrees become reapable too, once drained.
+    parent.cancel(&rt);
+    let t0 = std::time::Instant::now();
+    loop {
+        rt.reap_processes();
+        let gone = parent.active(&rt) == 0 && rt.process_table_size() == 0;
+        if gone {
+            break;
+        }
+        assert!(t0.elapsed() < BOUND, "cancelled subtree never reaped");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    rt.shutdown();
+}
