@@ -21,8 +21,17 @@
 //! hold), but pipelining recovers most of the throughput gap — which is
 //! exactly the split-phase story the paper tells.
 //!
-//! `run()` prints the table and writes `BENCH_dist.json` (per-peer
-//! transport counters included) at the workspace root.
+//! The **mesh legs** scale the same workload to N-rank meshes (rank 0
+//! spawns ranks 1..N as real OS processes and round-robins the
+//! spawn/await traffic across all of them) and report each rank's OS
+//! thread count alongside throughput. With the event-loop transport the
+//! thread count is *flat* in mesh size — one `px-tcp-io` thread per
+//! rank whether it peers with 1 or 63 others — which is what makes
+//! 64-rank meshes on one box feasible at all (the per-peer
+//! thread-pair design needed 2(N−1) transport threads per rank).
+//!
+//! `run()` prints the tables and writes `BENCH_dist.json` (per-peer
+//! transport counters and mesh rows included) at the workspace root.
 
 use crate::table::{f2, print_table};
 use px_core::prelude::*;
@@ -69,6 +78,25 @@ impl Action for Sq {
     }
 }
 
+/// Report the executing process's OS thread count — the mesh legs send
+/// this to every peer so `BENCH_dist.json` can show per-rank threads.
+struct Threads;
+impl Action for Threads {
+    const NAME: &'static str = "e14/threads";
+    type Args = ();
+    type Out = u64;
+    fn execute(_ctx: &mut Ctx<'_>, _t: Gid, (): ()) -> u64 {
+        count_threads()
+    }
+}
+
+/// OS threads in this process (Linux procfs; 0 elsewhere).
+pub fn count_threads() -> u64 {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count() as u64)
+        .unwrap_or(0)
+}
+
 /// One measurement row.
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
@@ -78,6 +106,20 @@ pub struct Row {
     pub pipelined_per_s: f64,
     /// Mean serial round-trip, microseconds.
     pub serial_rtt_us: f64,
+}
+
+/// One N-rank mesh measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeshRow {
+    /// Mesh size (OS processes, rank 0 included).
+    pub ranks: u64,
+    /// Pipelined spawn/await throughput across all peers, parcels/s.
+    pub pipelined_per_s: f64,
+    /// OS thread count of the rank-0 process.
+    pub threads_rank0: u64,
+    /// Largest OS thread count among ranks 1..N (via the `Threads`
+    /// action — measured in-band over the mesh itself).
+    pub threads_max_peer: u64,
 }
 
 /// The committed JSON artifact.
@@ -96,17 +138,19 @@ pub struct DistJson {
     pub tcp_pipelined_penalty: f64,
     /// Per-peer counters of the TCP run (rank 0's view).
     pub tcp_transport: TransportStats,
+    /// N-rank mesh scaling (thread counts flat by design).
+    pub mesh: Vec<MeshRow>,
 }
 
-/// If this process was spawned as rank 1, serve and exit — call first
-/// from `main`. Serves until the parent closes stdin.
+/// If this process was spawned as a mesh peer (any rank ≥ 1), serve and
+/// exit — call first from `main`. Serves until the parent closes stdin.
 pub fn maybe_child() {
     let Ok(rank) = std::env::var(RANK_ENV) else {
         return;
     };
     let rank: u16 = rank.parse().expect("numeric rank");
     let addrs: Vec<String> = std::env::var(ADDRS_ENV)
-        .expect("rank 1 needs the address list")
+        .expect("mesh peers need the address list")
         .split(',')
         .map(String::from)
         .collect();
@@ -115,8 +159,9 @@ pub fn maybe_child() {
         .with_max_batch_parcels(16);
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
+        .register::<Threads>()
         .build()
-        .expect("rank 1 bootstrap");
+        .expect("mesh peer bootstrap");
     let mut sink = String::new();
     let _ = std::io::stdin().read_to_string(&mut sink);
     rt.shutdown();
@@ -173,26 +218,53 @@ fn inproc_rt(latency: Duration) -> Runtime {
     RuntimeBuilder::new(cfg).register::<Sq>().build().unwrap()
 }
 
-/// Run the TCP leg: reserve ports, re-execute ourselves as rank 1,
-/// measure, tear down. Returns the row plus rank 0's transport stats.
-/// `child_args` lets a libtest caller route the re-execution to its
-/// `maybe_child`-calling test (the `px-bench` binary needs none).
-fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
-    let addrs: Vec<String> = (0..2)
+/// Reserve `n` loopback listen addresses.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    (0..n)
         .map(|_| {
             let l = TcpListener::bind("127.0.0.1:0").unwrap();
             format!("127.0.0.1:{}", l.local_addr().unwrap().port())
         })
-        .collect();
+        .collect()
+}
+
+/// Re-execute this binary as mesh ranks 1..n (they serve until their
+/// stdin closes). `child_args` lets a libtest caller route the
+/// re-execution to its `maybe_child`-calling test (the `px-bench`
+/// binary needs none).
+fn spawn_peers(addrs: &[String], child_args: &[&str]) -> Vec<std::process::Child> {
     let exe = std::env::current_exe().expect("own path");
-    let mut child = Command::new(exe)
-        .args(child_args)
-        .env(RANK_ENV, "1")
-        .env(ADDRS_ENV, addrs.join(","))
-        .stdin(Stdio::piped())
-        .stdout(Stdio::null())
-        .spawn()
-        .expect("spawn rank 1");
+    (1..addrs.len())
+        .map(|rank| {
+            Command::new(&exe)
+                .args(child_args)
+                .env(RANK_ENV, rank.to_string())
+                .env(ADDRS_ENV, addrs.join(","))
+                .stdin(Stdio::piped())
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn mesh peer")
+        })
+        .collect()
+}
+
+/// Close the peers' stdin (their exit signal) and reap them.
+fn join_peers(peers: Vec<std::process::Child>) {
+    let mut peers = peers;
+    for child in &mut peers {
+        drop(child.stdin.take());
+    }
+    for mut child in peers {
+        let status = child.wait().expect("join mesh peer");
+        assert!(status.success(), "mesh peer failed: {status:?}");
+    }
+}
+
+/// Run the TCP leg: reserve ports, re-execute ourselves as rank 1,
+/// measure, tear down. Returns the row plus rank 0's transport stats.
+fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
+    let addrs = reserve_addrs(2);
+    let peers = spawn_peers(&addrs, child_args);
     let cfg = Config::small(2, 1)
         .with_tcp(0, addrs)
         .with_max_batch_parcels(16);
@@ -207,11 +279,72 @@ fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
         0,
         "healthy distributed run must lose nothing"
     );
-    drop(child.stdin.take());
-    let status = child.wait().expect("join rank 1");
-    assert!(status.success(), "rank 1 failed: {status:?}");
+    join_peers(peers);
     rt.shutdown();
     (row, stats.transport)
+}
+
+/// Run one N-rank mesh leg: rank 0 (this process) plus `ranks - 1`
+/// spawned peers, spawn/await traffic round-robined across every peer,
+/// thread counts collected in-band via the `Threads` action.
+fn mesh_leg(ranks: usize, p: Params, child_args: &[&str]) -> MeshRow {
+    let addrs = reserve_addrs(ranks);
+    let peers = spawn_peers(&addrs, child_args);
+    let cfg = Config::small(ranks, 1)
+        .with_tcp(0, addrs)
+        .with_max_batch_parcels(16);
+    let rt = RuntimeBuilder::new(cfg)
+        .register::<Sq>()
+        .register::<Threads>()
+        .build()
+        .expect("rank 0 bootstrap");
+
+    // Pipelined: every parcel in flight at once, spread over all peers.
+    let t0 = Instant::now();
+    let futs: Vec<(u64, FutureRef<u64>)> = (0..p.msgs)
+        .map(|i| {
+            let dest = LocalityId((i % (ranks as u64 - 1) + 1) as u16);
+            let fut = rt.new_future::<u64>(LocalityId(0));
+            rt.send_action::<Sq>(Gid::locality_root(dest), i, Continuation::set(fut.gid()))
+                .unwrap();
+            (i, fut)
+        })
+        .collect();
+    for (i, fut) in futs {
+        assert_eq!(fut.wait(&rt).unwrap(), i * i);
+    }
+    let pipelined = t0.elapsed();
+
+    // Per-rank thread counts, measured over the mesh itself.
+    let threads_max_peer = (1..ranks as u16)
+        .map(|r| {
+            let fut = rt.new_future::<u64>(LocalityId(0));
+            rt.send_action::<Threads>(
+                Gid::locality_root(LocalityId(r)),
+                (),
+                Continuation::set(fut.gid()),
+            )
+            .unwrap();
+            fut.wait(&rt).unwrap()
+        })
+        .max()
+        .expect("at least one peer");
+
+    let stats = rt.stats();
+    assert_eq!(
+        stats.total().dead_parcels,
+        0,
+        "healthy mesh run must lose nothing"
+    );
+    let row = MeshRow {
+        ranks: ranks as u64,
+        pipelined_per_s: p.msgs as f64 / pipelined.as_secs_f64(),
+        threads_rank0: count_threads(),
+        threads_max_peer,
+    };
+    join_peers(peers);
+    rt.shutdown();
+    row
 }
 
 fn run_with(p: Params, write: bool) -> Vec<Row> {
@@ -247,6 +380,11 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
     let penalty = rows[0].pipelined_per_s / rows[2].pipelined_per_s;
     println!("tcp pipelined penalty vs in-proc instant: {}x", f2(penalty));
     if write {
+        let mesh = [8usize, 16]
+            .iter()
+            .map(|&ranks| mesh_leg(ranks, p, &[]))
+            .collect::<Vec<_>>();
+        print_mesh_table(&mesh);
         let doc = DistJson {
             bench: "e14_distributed".into(),
             msgs: p.msgs,
@@ -254,6 +392,7 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
             rows: rows.clone(),
             tcp_pipelined_penalty: penalty,
             tcp_transport: tcp_stats,
+            mesh,
         };
         let json = crate::json::to_json_pretty(&doc);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");
@@ -265,7 +404,25 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
     rows
 }
 
-/// Full experiment: print the table and write `BENCH_dist.json`.
+fn print_mesh_table(mesh: &[MeshRow]) {
+    print_table(
+        "E14 — mesh scaling: threads stay flat as ranks grow",
+        &["ranks", "pipelined/s", "threads rank0", "threads max peer"],
+        &mesh
+            .iter()
+            .map(|m| {
+                vec![
+                    m.ranks.to_string(),
+                    format!("{:.0}", m.pipelined_per_s),
+                    m.threads_rank0.to_string(),
+                    m.threads_max_peer.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// Full experiment: print the tables and write `BENCH_dist.json`.
 pub fn run() -> Vec<Row> {
     run_with(FULL, true)
 }
@@ -281,6 +438,19 @@ pub fn smoke() -> Vec<Row> {
         );
     }
     rows
+}
+
+/// CI smoke for the mesh legs: an 8-rank mesh end-to-end, with the
+/// flat-thread-budget claim sanity-checked in-band.
+pub fn mesh_smoke() -> MeshRow {
+    let row = mesh_leg(8, SMOKE, &[]);
+    print_mesh_table(std::slice::from_ref(&row));
+    assert!(row.pipelined_per_s > 0.0, "degenerate mesh measurement");
+    assert!(
+        row.threads_rank0 > 0 && row.threads_max_peer > 0,
+        "thread counts must be observable: {row:?}"
+    );
+    row
 }
 
 #[cfg(test)]
@@ -314,5 +484,27 @@ mod tests {
         let peer = stats.peers.iter().find(|p| p.peer == 1).unwrap();
         assert!(peer.msgs_sent > 0 && peer.msgs_recv > 0);
         assert!(peer.frames_sent > 0, "batched run should coalesce");
+    }
+
+    /// A 4-rank mesh completes a round-robined workload and reports
+    /// observable per-rank thread counts (the mesh leg in miniature).
+    #[test]
+    fn mesh_leg_spreads_work_and_counts_threads() {
+        let _gate = crate::TIMING_GATE.lock();
+        let row = mesh_leg(
+            4,
+            Params {
+                msgs: 300,
+                serial: 0,
+            },
+            &[
+                "e14_distributed::tests::e14_child_entry",
+                "--exact",
+                "--nocapture",
+            ],
+        );
+        assert_eq!(row.ranks, 4);
+        assert!(row.pipelined_per_s > 0.0);
+        assert!(row.threads_rank0 > 0 && row.threads_max_peer > 0);
     }
 }

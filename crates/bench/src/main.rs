@@ -7,13 +7,14 @@
 //! px-bench --smoke e13    # scaled-down E13 (CI smoke; no JSON)
 //! px-bench e14            # full E14 run (writes BENCH_dist.json)
 //! px-bench --smoke e14    # scaled-down E14 (CI smoke; no JSON)
+//! px-bench --smoke e14mesh # 8-rank mesh smoke (CI; no JSON)
 //! ```
 //!
-//! E14 re-executes this binary as rank 1 of a 2-process TCP mesh
-//! (`PX_E14_RANK`); `maybe_child` routes that invocation.
+//! E14 re-executes this binary as the other ranks of a TCP mesh
+//! (`PX_E14_RANK`); `maybe_child` routes those invocations.
 
 fn usage() -> ! {
-    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12, e13, e14");
+    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12, e13, e14, e14mesh");
     std::process::exit(2);
 }
 
@@ -43,6 +44,9 @@ fn main() {
         }
         ("e14", false) => {
             px_bench::e14_distributed::run();
+        }
+        ("e14mesh", _) => {
+            px_bench::e14_distributed::mesh_smoke();
         }
         ("e11", _) => {
             px_bench::e11_starvation::run();

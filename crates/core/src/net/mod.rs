@@ -43,12 +43,18 @@
 //!    never coalesced and never behind data backlog; `WireMsg::Task` is
 //!    an in-memory closure handoff — backends that cross address spaces
 //!    must reject it loudly rather than pretend.
-//! 3. **Submission is non-blocking-ish.** `submit` may block briefly for
-//!    backpressure (a bounded peer queue) but must never deadlock
-//!    against the port locks: fault delivery triggered *inside* `submit`
-//!    is deferred to a scheduler task, because the caller may hold the
-//!    coalescing-port lock of the very destination a fault continuation
-//!    routes back to.
+//! 3. **Submission is non-blocking-ish.** `submit` hands the message to
+//!    the backend and returns — it never performs I/O on the caller's
+//!    thread (the TCP backend queues and wakes its event loop; socket
+//!    writes happen on the I/O thread). It may block briefly for
+//!    backpressure (a bounded peer queue in *bytes*; the control lane is
+//!    exempt so gossip never waits behind the backlog it reports) but
+//!    must never deadlock against the port locks: fault delivery
+//!    triggered *inside* `submit` is deferred to a scheduler task,
+//!    because the caller may hold the coalescing-port lock of the very
+//!    destination a fault continuation routes back to. Peer-loss faults
+//!    therefore surface *after* `submit` returns, in bounded time — not
+//!    as a submit error.
 //! 4. **Shutdown flushes.** Pending messages are delivered (or killed
 //!    loudly) before `shutdown` returns; afterwards `submit` is a silent
 //!    no-op so teardown races stay benign.

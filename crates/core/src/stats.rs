@@ -341,6 +341,16 @@ pub struct PeerStats {
     /// Times the outgoing connection to the peer was re-established
     /// after a write failure.
     pub reconnects: u64,
+    /// Messages currently waiting in the peer's outbound send queue —
+    /// a *gauge*, sampled at snapshot time (deltas keep the newer
+    /// sample). A persistently high depth means the peer reads slower
+    /// than this rank sends: backpressure is imminent.
+    pub queue_depth: u64,
+    /// High-watermark of bytes ever queued toward the peer at once — a
+    /// *gauge* (deltas keep the newer sample). Compare against the
+    /// transport's queue bound to see how close a slow peer has come to
+    /// stalling this rank's senders.
+    pub queue_bytes_hwm: u64,
 }
 
 /// Transport-level statistics: one entry per TCP peer; empty for the
@@ -459,6 +469,9 @@ impl StatsSnapshot {
                         msgs_recv: now.msgs_recv - then.msgs_recv,
                         bytes_recv: now.bytes_recv - then.bytes_recv,
                         reconnects: now.reconnects - then.reconnects,
+                        // Gauges, not counters: keep the newer sample.
+                        queue_depth: now.queue_depth,
+                        queue_bytes_hwm: now.queue_bytes_hwm,
                     })
                     .collect(),
             },
@@ -566,6 +579,8 @@ mod tests {
                     peer: 1,
                     msgs_sent: 10,
                     bytes_sent: 100,
+                    queue_depth: 9,
+                    queue_bytes_hwm: 512,
                     ..Default::default()
                 }],
             },
@@ -578,6 +593,8 @@ mod tests {
                     msgs_sent: 25,
                     bytes_sent: 400,
                     reconnects: 1,
+                    queue_depth: 2,
+                    queue_bytes_hwm: 4096,
                     ..Default::default()
                 }],
             },
@@ -587,6 +604,9 @@ mod tests {
         assert_eq!(d.transport.peers[0].msgs_sent, 15);
         assert_eq!(d.transport.peers[0].bytes_sent, 300);
         assert_eq!(d.transport.peers[0].reconnects, 1);
+        // Gauges carry the newer sample, not a difference.
+        assert_eq!(d.transport.peers[0].queue_depth, 2);
+        assert_eq!(d.transport.peers[0].queue_bytes_hwm, 4096);
     }
 
     #[test]

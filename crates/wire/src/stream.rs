@@ -172,6 +172,140 @@ impl StreamAssembler {
     }
 }
 
+/// The send half of the message stream: queued messages exposed as
+/// scatter-gather slices with explicit partial-write carry-over.
+///
+/// A nonblocking socket consumes however many bytes the kernel has room
+/// for — possibly mid-header, possibly mid-body. `WriteBatch` owns the
+/// queued `(kind, body)` messages, hands out the *unwritten* tail as
+/// [`std::io::IoSlice`]s for `write_vectored`, and [`WriteBatch::advance`]s
+/// by whatever the write returned, popping fully-written messages and
+/// remembering the byte offset into the front one. A property test pins
+/// the mirror-image invariant of [`StreamAssembler`]'s: any split of the
+/// writes reassembles to the same messages.
+///
+/// On a connection loss the unwritten tail is still here:
+/// [`WriteBatch::rewind`] restarts the front message from byte 0 for a
+/// reconnect re-send (at-least-once), and [`WriteBatch::drain_msgs`]
+/// surrenders the messages for loud per-parcel kills when the peer is
+/// declared dead.
+#[derive(Debug, Default)]
+pub struct WriteBatch {
+    msgs: std::collections::VecDeque<([u8; MSG_HEADER_LEN], Vec<u8>)>,
+    /// Bytes of the front message (header ++ body) already written.
+    offset: usize,
+    /// Unwritten bytes across all queued messages.
+    remaining: usize,
+}
+
+impl WriteBatch {
+    /// New empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// No unwritten bytes queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Queued messages not yet fully written.
+    pub fn msg_count(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Unwritten bytes (headers + bodies).
+    pub fn remaining_bytes(&self) -> usize {
+        self.remaining
+    }
+
+    /// Queue one message.
+    pub fn push(&mut self, kind: u8, body: Vec<u8>) {
+        let header = encode_msg_header(kind, body.len() as u32);
+        self.remaining += MSG_HEADER_LEN + body.len();
+        self.msgs.push_back((header, body));
+    }
+
+    /// Collect the unwritten tail as at most `max_slices` I/O slices
+    /// (callers cap below the platform's `IOV_MAX`; the rest of the tail
+    /// just waits for the next call). Returns the byte total of the
+    /// collected slices.
+    pub fn unwritten_slices<'a>(
+        &'a self,
+        out: &mut Vec<std::io::IoSlice<'a>>,
+        max_slices: usize,
+    ) -> usize {
+        out.clear();
+        let mut total = 0;
+        for (i, (header, body)) in self.msgs.iter().enumerate() {
+            if out.len() >= max_slices {
+                break;
+            }
+            let offset = if i == 0 { self.offset } else { 0 };
+            if offset < MSG_HEADER_LEN {
+                out.push(std::io::IoSlice::new(&header[offset..]));
+                total += MSG_HEADER_LEN - offset;
+                if !body.is_empty() && out.len() < max_slices {
+                    out.push(std::io::IoSlice::new(body));
+                    total += body.len();
+                }
+            } else if offset - MSG_HEADER_LEN < body.len() {
+                out.push(std::io::IoSlice::new(&body[offset - MSG_HEADER_LEN..]));
+                total += body.len() - (offset - MSG_HEADER_LEN);
+            }
+        }
+        total
+    }
+
+    /// Consume `n` written bytes: fully-written messages pop, a partially
+    /// written front message records its offset for the next slices.
+    pub fn advance(&mut self, n: usize) {
+        self.advance_with(n, |_| {});
+    }
+
+    /// [`WriteBatch::advance`], reporting the `kind` of every message
+    /// that became fully written — the hook where a transport counts
+    /// messages as *sent* (bytes handed to the kernel) rather than as
+    /// queued.
+    pub fn advance_with(&mut self, mut n: usize, mut on_sent: impl FnMut(u8)) {
+        debug_assert!(n <= self.remaining, "advanced past the queued bytes");
+        self.remaining -= n;
+        while n > 0 {
+            let (kind, front_len) = {
+                let (header, body) = self.msgs.front().expect("advance with messages queued");
+                (header[0], MSG_HEADER_LEN + body.len())
+            };
+            let left = front_len - self.offset;
+            if n >= left {
+                self.msgs.pop_front();
+                self.offset = 0;
+                n -= left;
+                on_sent(kind);
+            } else {
+                self.offset += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// Restart the front message from byte 0 (reconnect re-send). Bytes
+    /// already written to the dead connection are written again on the
+    /// new one: at-least-once across a reconnect, as documented by the
+    /// TCP backend.
+    pub fn rewind(&mut self) {
+        self.remaining += self.offset;
+        self.offset = 0;
+    }
+
+    /// Surrender every queued message (peer declared dead; the transport
+    /// kills each one loudly). The batch is empty afterwards.
+    pub fn drain_msgs(&mut self) -> Vec<(u8, Vec<u8>)> {
+        self.offset = 0;
+        self.remaining = 0;
+        self.msgs.drain(..).map(|(h, body)| (h[0], body)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +364,89 @@ mod tests {
         let mut a = StreamAssembler::new();
         a.feed(&encode_msg_header(msg_kind::FRAME, u32::MAX));
         assert!(a.next_msg().is_err());
+    }
+
+    #[test]
+    fn write_batch_byte_at_a_time_matches_whole_write() {
+        let mut batch = WriteBatch::new();
+        batch.push(msg_kind::PARCEL, b"abc".to_vec());
+        batch.push(msg_kind::FRAME, Vec::new());
+        batch.push(msg_kind::CONTROL, b"gossip".to_vec());
+        let total = batch.remaining_bytes();
+        let mut wire = Vec::new();
+        for _ in 0..total {
+            {
+                let mut slices = Vec::new();
+                let n = batch.unwritten_slices(&mut slices, 64);
+                assert!(n >= 1);
+                wire.push(slices[0][0]);
+            }
+            batch.advance(1);
+        }
+        assert!(batch.is_empty());
+        assert_eq!(batch.unwritten_slices(&mut Vec::new(), 64), 0);
+        let mut asm = StreamAssembler::new();
+        asm.feed(&wire);
+        assert_eq!(
+            asm.next_msg().unwrap(),
+            Some((msg_kind::PARCEL, b"abc".to_vec()))
+        );
+        assert_eq!(asm.next_msg().unwrap(), Some((msg_kind::FRAME, Vec::new())));
+        assert_eq!(
+            asm.next_msg().unwrap(),
+            Some((msg_kind::CONTROL, b"gossip".to_vec()))
+        );
+        assert_eq!(asm.next_msg().unwrap(), None);
+    }
+
+    #[test]
+    fn write_batch_slice_cap_and_accounting() {
+        let mut batch = WriteBatch::new();
+        for i in 0..10u8 {
+            batch.push(msg_kind::PARCEL, vec![i; 3]);
+        }
+        assert_eq!(batch.msg_count(), 10);
+        let mut slices = Vec::new();
+        // Cap of 4 slices = 2 messages (header + body each).
+        let n = batch.unwritten_slices(&mut slices, 4);
+        assert_eq!(slices.len(), 4);
+        assert_eq!(n, 2 * (MSG_HEADER_LEN + 3));
+        batch.advance(n);
+        assert_eq!(batch.msg_count(), 8);
+        assert_eq!(batch.remaining_bytes(), 8 * (MSG_HEADER_LEN + 3));
+    }
+
+    #[test]
+    fn write_batch_rewind_resends_partial_front() {
+        let mut batch = WriteBatch::new();
+        batch.push(msg_kind::PARCEL, b"hello".to_vec());
+        batch.advance(MSG_HEADER_LEN + 2); // "he" written
+        batch.rewind();
+        assert_eq!(batch.remaining_bytes(), MSG_HEADER_LEN + 5);
+        let mut slices = Vec::new();
+        let mut wire = Vec::new();
+        batch.unwritten_slices(&mut slices, 64);
+        for s in &slices {
+            wire.extend_from_slice(s);
+        }
+        let mut asm = StreamAssembler::new();
+        asm.feed(&wire);
+        assert_eq!(
+            asm.next_msg().unwrap(),
+            Some((msg_kind::PARCEL, b"hello".to_vec()))
+        );
+    }
+
+    #[test]
+    fn write_batch_drain_surrenders_unwritten_messages() {
+        let mut batch = WriteBatch::new();
+        batch.push(msg_kind::PARCEL, b"a".to_vec());
+        batch.push(msg_kind::CONTROL, b"bb".to_vec());
+        batch.advance(MSG_HEADER_LEN + 1); // first fully written
+        let dead = batch.drain_msgs();
+        assert_eq!(dead, vec![(msg_kind::CONTROL, b"bb".to_vec())]);
+        assert!(batch.is_empty());
+        assert_eq!(batch.remaining_bytes(), 0);
     }
 
     #[test]

@@ -54,10 +54,15 @@ fn build_rt(rank: u16, addrs: Vec<String>, batched: bool) -> Runtime {
 }
 
 fn spawn_child(mode: &str, addrs: &[String]) -> Child {
+    spawn_child_at(mode, addrs, 1)
+}
+
+fn spawn_child_at(mode: &str, addrs: &[String], rank: u16) -> Child {
     Command::new(std::env::current_exe().unwrap())
         .args(["dist_child_entry", "--exact", "--nocapture"])
         .env("PX_DIST_MODE", mode)
         .env("PX_DIST_ADDRS", addrs.join(","))
+        .env("PX_DIST_RANK", rank.to_string())
         .stdin(Stdio::piped())
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
@@ -77,7 +82,10 @@ fn dist_child_entry() {
         .split(',')
         .map(String::from)
         .collect();
-    let rt = build_rt(1, addrs, mode.starts_with("serve"));
+    let rank: u16 = std::env::var("PX_DIST_RANK")
+        .map(|r| r.parse().expect("numeric rank"))
+        .unwrap_or(1);
+    let rt = build_rt(rank, addrs, mode.starts_with("serve"));
     match mode.as_str() {
         // Vanish right after the barrier, without shutdown: sockets die
         // with the process, like a crashed node.
@@ -184,6 +192,69 @@ fn killing_a_peer_resolves_waiters_with_fault_in_bounded_time() {
     assert!(rt.stats().total().dead_transport > 0);
     let _ = child.wait();
     rt.shutdown();
+}
+
+/// The event-loop transport's headline invariant, measured across real
+/// OS processes: this rank's thread count is **flat** as the mesh grows
+/// from 1 peer to 7 — the transport always runs exactly one I/O thread,
+/// never a thread (pair) per peer.
+#[test]
+fn thread_count_stays_flat_from_one_peer_to_seven() {
+    fn total_threads() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("linux procfs")
+            .count()
+    }
+    fn tcp_threads() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("linux procfs")
+            .filter_map(|t| {
+                let name = std::fs::read_to_string(t.ok()?.path().join("comm")).ok()?;
+                name.starts_with("px-tcp").then_some(())
+            })
+            .count()
+    }
+    // Run one mesh of each size, pushing a round of real traffic to
+    // every peer so all connections are live when we count.
+    let mut counts = Vec::new();
+    for ranks in [2usize, 8] {
+        let addrs = free_addrs(ranks);
+        let mut children: Vec<Child> = (1..ranks as u16)
+            .map(|r| spawn_child_at("serve", &addrs, r))
+            .collect();
+        let rt = build_rt(0, addrs, true);
+        for r in 1..ranks as u16 {
+            let fut = rt.new_future::<u64>(LocalityId(0));
+            rt.send_action::<Square>(
+                Gid::locality_root(LocalityId(r)),
+                u64::from(r),
+                Continuation::set(fut.gid()),
+            )
+            .unwrap();
+            let got = rt
+                .wait_future_timeout(fut, BOUND)
+                .unwrap()
+                .expect("remote result within the bound");
+            assert_eq!(got, u64::from(r) * u64::from(r));
+        }
+        assert_eq!(
+            tcp_threads(),
+            1,
+            "exactly one transport I/O thread at {ranks} ranks"
+        );
+        counts.push(total_threads());
+        for child in &mut children {
+            drop(child.stdin.take());
+        }
+        for mut child in children {
+            assert!(child.wait().unwrap().success());
+        }
+        rt.shutdown();
+    }
+    assert_eq!(
+        counts[0], counts[1],
+        "process thread count must not grow with peers: {counts:?}"
+    );
 }
 
 /// Closure spawns cannot cross the process boundary: they die loudly
