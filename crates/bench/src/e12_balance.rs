@@ -153,7 +153,7 @@ fn collect_row(setting: Setting, makespan: Duration, stats: &StatsSnapshot) -> R
 /// trigger parcel back to the gate — the balanced runs carry that cost
 /// honestly and win anyway.
 pub fn run_skewed_spawn(setting: Setting, p: Params) -> Row {
-    let rt = RuntimeBuilder::new(setting.config(p.tasks))
+    let rt = RuntimeBuilder::new(crate::apply_trace(setting.config(p.tasks)))
         .build()
         .unwrap();
     let homes = zipf_assign(p.tasks, LOCALITIES, SKEW, 0xe12);
@@ -170,6 +170,7 @@ pub fn run_skewed_spawn(setting: Setting, p: Params) -> Row {
     rt.wait_future(fut).unwrap();
     let makespan = t0.elapsed();
     let stats = rt.stats();
+    crate::print_slowest_trace(&format!("e12/skewed-spawn/{}", setting.label()), &rt);
     rt.shutdown();
     collect_row(setting, makespan, &stats)
 }
@@ -190,7 +191,7 @@ impl Action for Touch {
 /// 0, caller affinity `object k ↔ locality k mod L`. Every touch rides a
 /// parcel with a continuation contributing to one completion gate.
 pub fn run_hot_objects(setting: Setting, p: Params) -> Row {
-    let rt = RuntimeBuilder::new(setting.config(p.tasks))
+    let rt = RuntimeBuilder::new(crate::apply_trace(setting.config(p.tasks)))
         .register::<Touch>()
         .build()
         .unwrap();
@@ -216,6 +217,7 @@ pub fn run_hot_objects(setting: Setting, p: Params) -> Row {
     rt.wait_future(fut).unwrap();
     let makespan = t0.elapsed();
     let stats = rt.stats();
+    crate::print_slowest_trace(&format!("e12/hot-objects/{}", setting.label()), &rt);
     rt.shutdown();
     collect_row(setting, makespan, &stats)
 }

@@ -130,9 +130,11 @@ pub fn run_fleet_with_stats(
     deadline: Option<Duration>,
 ) -> (Row, px_core::stats::LocalityStats) {
     let rt = Arc::new(
-        RuntimeBuilder::new(Config::small(LOCALITIES, 1).with_latency(Duration::from_micros(20)))
-            .build()
-            .unwrap(),
+        RuntimeBuilder::new(crate::apply_trace(
+            Config::small(LOCALITIES, 1).with_latency(Duration::from_micros(20)),
+        ))
+        .build()
+        .unwrap(),
     );
     // Zipf-split the task budget over tenants.
     let assignment = zipf_assign(p.tasks, p.tenants, SKEW, 0xe13);
@@ -210,6 +212,7 @@ pub fn run_fleet_with_stats(
     if let Some(k) = killer {
         k.join().unwrap();
     }
+    crate::print_slowest_trace("e13", &rt);
     // Snapshot after shutdown: the workers have fully drained (and
     // counted) the cancelled tenants' queued tasks by then.
     rt.shutdown();

@@ -46,6 +46,10 @@ use std::time::{Duration, Instant};
 /// rank 1 of the E14 mesh.
 pub const RANK_ENV: &str = "PX_E14_RANK";
 const ADDRS_ENV: &str = "PX_E14_ADDRS";
+/// Set on mesh children when the parent runs with `--trace`, so every
+/// rank of the mesh records (a cross-rank trace is only as complete as
+/// the rings of the ranks it crossed).
+const TRACE_ENV: &str = "PX_E14_TRACE";
 
 /// Experiment sizes (shrunk by `smoke`).
 #[derive(Debug, Clone, Copy)]
@@ -154,9 +158,14 @@ pub fn maybe_child() {
         .split(',')
         .map(String::from)
         .collect();
-    let cfg = Config::small(addrs.len(), 1)
-        .with_tcp(rank, addrs)
-        .with_max_batch_parcels(16);
+    if std::env::var(TRACE_ENV).is_ok() {
+        crate::TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    let cfg = crate::apply_trace(
+        Config::small(addrs.len(), 1)
+            .with_tcp(rank, addrs)
+            .with_max_batch_parcels(16),
+    );
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
         .register::<Threads>()
@@ -189,19 +198,41 @@ fn measure(rt: &Runtime, transport: &str, p: Params) -> Row {
     }
     let pipelined = t0.elapsed();
 
-    // Serial: one in flight.
+    // Serial: one in flight. Under `--trace` every round trip carries an
+    // explicit trace id so the slowest one can be replayed afterwards.
+    let mut slowest: Option<(Duration, u64)> = None;
     let t0 = Instant::now();
     for i in 0..p.serial {
         let fut = rt.new_future::<u64>(LocalityId(0));
-        rt.send_action::<Sq>(
+        let trace = crate::trace_enabled().then(|| rt.new_trace_id()).flatten();
+        let r0 = Instant::now();
+        let (target, cont) = (
             Gid::locality_root(LocalityId(1)),
-            i,
             Continuation::set(fut.gid()),
-        )
-        .unwrap();
+        );
+        match trace {
+            Some(t) => rt.send_action_traced::<Sq>(target, i, cont, t).unwrap(),
+            None => rt.send_action::<Sq>(target, i, cont).unwrap(),
+        }
         assert_eq!(fut.wait(rt).unwrap(), i * i);
+        if let Some(t) = trace {
+            let rtt = r0.elapsed();
+            if slowest.is_none_or(|(d, _)| rtt > d) {
+                slowest = Some((rtt, t));
+            }
+        }
     }
     let serial = t0.elapsed();
+    if let Some((rtt, t)) = slowest {
+        // Over TCP this timeline is rank 0's half of the causal chain
+        // (the peer's slice lives in its own process); in-proc it is the
+        // whole request.
+        println!(
+            "[trace] {transport}: slowest traced serial round trip {t:#018x} took {:.1} us:",
+            rtt.as_secs_f64() * 1e6
+        );
+        print!("{}", rt.trace_dump_for(t).render());
+    }
 
     Row {
         transport: transport.to_string(),
@@ -215,7 +246,10 @@ fn inproc_rt(latency: Duration) -> Runtime {
     if !latency.is_zero() {
         cfg = cfg.with_latency(latency);
     }
-    RuntimeBuilder::new(cfg).register::<Sq>().build().unwrap()
+    RuntimeBuilder::new(crate::apply_trace(cfg))
+        .register::<Sq>()
+        .build()
+        .unwrap()
 }
 
 /// Reserve `n` loopback listen addresses.
@@ -236,14 +270,16 @@ fn spawn_peers(addrs: &[String], child_args: &[&str]) -> Vec<std::process::Child
     let exe = std::env::current_exe().expect("own path");
     (1..addrs.len())
         .map(|rank| {
-            Command::new(&exe)
-                .args(child_args)
+            let mut cmd = Command::new(&exe);
+            cmd.args(child_args)
                 .env(RANK_ENV, rank.to_string())
                 .env(ADDRS_ENV, addrs.join(","))
                 .stdin(Stdio::piped())
-                .stdout(Stdio::null())
-                .spawn()
-                .expect("spawn mesh peer")
+                .stdout(Stdio::null());
+            if crate::trace_enabled() {
+                cmd.env(TRACE_ENV, "1");
+            }
+            cmd.spawn().expect("spawn mesh peer")
         })
         .collect()
 }
@@ -265,9 +301,11 @@ fn join_peers(peers: Vec<std::process::Child>) {
 fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
     let addrs = reserve_addrs(2);
     let peers = spawn_peers(&addrs, child_args);
-    let cfg = Config::small(2, 1)
-        .with_tcp(0, addrs)
-        .with_max_batch_parcels(16);
+    let cfg = crate::apply_trace(
+        Config::small(2, 1)
+            .with_tcp(0, addrs)
+            .with_max_batch_parcels(16),
+    );
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
         .build()
@@ -290,9 +328,11 @@ fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
 fn mesh_leg(ranks: usize, p: Params, child_args: &[&str]) -> MeshRow {
     let addrs = reserve_addrs(ranks);
     let peers = spawn_peers(&addrs, child_args);
-    let cfg = Config::small(ranks, 1)
-        .with_tcp(0, addrs)
-        .with_max_batch_parcels(16);
+    let cfg = crate::apply_trace(
+        Config::small(ranks, 1)
+            .with_tcp(0, addrs)
+            .with_max_batch_parcels(16),
+    );
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
         .register::<Threads>()

@@ -392,6 +392,21 @@ mod tests {
         assert_eq!(json.matches("\"policy\"").count(), 2);
     }
 
+    /// The trace ring counters ride the derived `Serialize` like every
+    /// other stats field — `BENCH_*.json` artifacts that embed
+    /// `LocalityStats` report tracing overhead without emitter changes.
+    #[test]
+    fn locality_stats_emit_trace_counters() {
+        let stats = px_core::stats::LocalityStats {
+            trace_events_recorded: 42,
+            trace_events_dropped: 7,
+            ..Default::default()
+        };
+        let json = to_json_pretty(&stats);
+        assert!(json.contains("\"trace_events_recorded\": 42"), "{json}");
+        assert!(json.contains("\"trace_events_dropped\": 7"), "{json}");
+    }
+
     #[test]
     fn strings_are_escaped() {
         #[derive(Serialize)]

@@ -53,6 +53,66 @@ pub mod table;
 /// Every timing-sensitive test takes this lock first.
 pub static TIMING_GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
 
+/// The global `--trace` switch, set by `main` (or a mesh child's
+/// environment) before any experiment builds a runtime.
+pub static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// True when `--trace` was passed: experiments enable sampled causal
+/// tracing and print the slowest traced request's timeline.
+pub fn trace_enabled() -> bool {
+    TRACE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Apply the bench tracing policy to a config when `--trace` is on:
+/// sample one root parcel in 64 into 64Ki-event per-locality rings —
+/// cheap enough to leave on for a whole run, dense enough that every
+/// phase of an experiment catches several requests.
+pub fn apply_trace(cfg: px_core::prelude::Config) -> px_core::prelude::Config {
+    if trace_enabled() {
+        cfg.with_trace_sampling(64)
+            .with_trace_ring_capacity(1 << 16)
+    } else {
+        cfg
+    }
+}
+
+/// Print the slowest traced request's causal timeline (the trace id
+/// whose recorded events span the longest wall-clock interval in this
+/// process) plus the ring counters. No-op unless `--trace` is on.
+pub fn print_slowest_trace(label: &str, rt: &px_core::prelude::Runtime) {
+    if !trace_enabled() {
+        return;
+    }
+    let total = rt.stats().total();
+    println!(
+        "[trace] {label}: {} events recorded, {} dropped",
+        total.trace_events_recorded, total.trace_events_dropped
+    );
+    let dump = rt.trace_dump();
+    let slowest = dump
+        .trace_ids()
+        .into_iter()
+        .filter(|&t| t != 0) // id 0 carries parcel-less runtime events
+        .map(|t| {
+            let d = dump.filter(t);
+            let span = d.events.iter().map(|e| e.at_ns).max().unwrap_or(0)
+                - d.events.iter().map(|e| e.at_ns).min().unwrap_or(0);
+            (span, t, d)
+        })
+        .max_by_key(|&(span, t, _)| (span, t));
+    match slowest {
+        Some((span, t, d)) => {
+            println!(
+                "[trace] {label}: slowest traced request {t:#018x} spans {:.1} us over {} events:",
+                span as f64 / 1e3,
+                d.events.len()
+            );
+            print!("{}", d.render());
+        }
+        None => println!("[trace] {label}: no traced requests captured"),
+    }
+}
+
 /// True when the host exposes at least `n` hardware threads. Comparative
 /// wall-clock experiments (barrier vs dataflow, static vs work-queue)
 /// need real parallelism: on a single core every placement serializes to

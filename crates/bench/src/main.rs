@@ -10,17 +10,26 @@
 //! px-bench --smoke e14mesh # 8-rank mesh smoke (CI; no JSON)
 //! ```
 //!
+//! `--trace` (combinable with `--smoke`; e12/e13/e14) enables sampled
+//! causal tracing and prints the slowest traced request's timeline.
+//!
 //! E14 re-executes this binary as the other ranks of a TCP mesh
 //! (`PX_E14_RANK`); `maybe_child` routes those invocations.
 
 fn usage() -> ! {
-    eprintln!("usage: px-bench [--smoke] <experiment>\nexperiments: e11, e12, e13, e14, e14mesh");
+    eprintln!(
+        "usage: px-bench [--smoke] [--trace] <experiment>\nexperiments: e11, e12, e13, e14, e14mesh"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     px_bench::e14_distributed::maybe_child();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--trace") {
+        args.retain(|a| a != "--trace");
+        px_bench::TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     let (smoke, name) = match args.as_slice() {
         [name] => (false, name.as_str()),
         [flag, name] if flag == "--smoke" => (true, name.as_str()),

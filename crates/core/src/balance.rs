@@ -211,6 +211,12 @@ pub(crate) fn shed_tasks(
                     bump!(loc.counters.tasks_shed);
                     bump!(loc.counters.parcels_sent);
                     bump!(loc.counters.bytes_sent, 64);
+                    loc.trace_event(
+                        task.trace,
+                        crate::trace::TraceEventKind::BalanceShed,
+                        0,
+                        u64::from(dest.0),
+                    );
                     rt.wire.send(crate::net::WireMsg::Task { dest, task }, 64);
                     shed += 1;
                 } else {
@@ -307,6 +313,15 @@ pub(crate) fn migrate_object(
     rt.locality(to).insert_at(gid, obj);
     rt.agas.record_migration_caused(gid, to, cause);
     rt.locality(from).remove(gid);
+    // Migrations are driver- or balancer-initiated (no parcel, no trace
+    // id); record under the never-sampled id 0 so a dump still shows the
+    // moves that the chase events around them refer to.
+    rt.locality(from).trace_event(
+        Some(0),
+        crate::trace::TraceEventKind::Migrate,
+        gid.0,
+        u64::from(to.0),
+    );
     Ok(())
 }
 

@@ -344,7 +344,7 @@ pub(crate) fn handle_sys(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel)
             }
             Value::from_bytes(w.into_bytes())
         };
-        crate::sched::apply_continuation(rt, loc, p.cont, reply);
+        crate::sched::apply_continuation(rt, loc, p.cont, reply, p.trace);
     }
 }
 

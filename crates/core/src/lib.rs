@@ -71,6 +71,7 @@ pub mod process;
 pub mod runtime;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -83,6 +84,7 @@ pub mod prelude {
     pub use crate::process::ProcessRef;
     pub use crate::runtime::{Config, Ctx, DeadLetterHook, Runtime, RuntimeBuilder, TransportKind};
     pub use crate::stats::StatsSnapshot;
+    pub use crate::trace::{TraceConfig, TraceDump, TraceEvent, TraceEventKind};
     pub use px_balance::{Adaptive, BalanceConfig, BalancePolicy, DataToWork, WorkToData};
 }
 

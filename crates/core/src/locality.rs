@@ -163,6 +163,9 @@ pub struct Locality {
     pub staged_priority: bool,
     /// Balancer state; `None` unless `Config::balance` is set.
     pub(crate) balance: Option<BalanceState>,
+    /// Causal-trace event ring; `None` unless `Config::trace` is enabled,
+    /// so untraced runs pay one `Option` check per hook.
+    pub(crate) trace: Option<Arc<crate::trace::TraceRing>>,
     /// This locality's workers run in another OS process (TCP transport):
     /// the local struct is a routing stub and must not mint GIDs — two
     /// processes allocating from the same locality id would collide.
@@ -192,6 +195,7 @@ impl Locality {
             sleep: SleepCtl::default(),
             staged_priority,
             balance: None,
+            trace: None,
             remote_stub: false,
         }
     }
@@ -206,6 +210,31 @@ impl Locality {
     /// process (called by the builder, before the locality is shared).
     pub(crate) fn mark_remote_stub(&mut self) {
         self.remote_stub = true;
+    }
+
+    /// Attach a causal-trace event ring (called by the builder, before
+    /// the locality is shared).
+    pub(crate) fn enable_trace(&mut self, ring: Arc<crate::trace::TraceRing>) {
+        self.trace = Some(ring);
+    }
+
+    /// Record one trace event here, if tracing is on and the parcel/task
+    /// is traced (`trace != None`). Bumps the recorded/dropped counters.
+    #[inline]
+    pub(crate) fn trace_event(
+        &self,
+        trace: Option<u64>,
+        kind: crate::trace::TraceEventKind,
+        gid: u64,
+        aux: u64,
+    ) {
+        if let (Some(ring), Some(t)) = (&self.trace, trace) {
+            let dropped = ring.record(t, kind, gid, aux);
+            crate::stats::bump!(self.counters.trace_events_recorded);
+            if dropped {
+                crate::stats::bump!(self.counters.trace_events_dropped);
+            }
+        }
     }
 
     /// Tasks waiting in the general run queue (balancer telemetry; the

@@ -58,6 +58,14 @@
 //! 4. **Shutdown flushes.** Pending messages are delivered (or killed
 //!    loudly) before `shutdown` returns; afterwards `submit` is a silent
 //!    no-op so teardown races stay benign.
+//! 5. **Parcel bytes are opaque — including trace extensions.** A
+//!    backend carries encoded parcels and frame records verbatim: it
+//!    must not strip, reorder, or re-encode the flags byte or the
+//!    optional extensions it gates (the owning pid and the
+//!    `parcel_flags::HAS_TRACE` trace id — see [`crate::trace`]).
+//!    Cross-rank causal tracing depends on the trace id arriving
+//!    bit-identical at the destination; a backend that wants to observe
+//!    it peeks ([`Parcel::peek_trace`]) rather than decodes.
 //!
 //! ## Batching ([`BatchPolicy`], `PortSet`)
 //!

@@ -253,6 +253,35 @@ impl TcpShared {
         }
     }
 
+    /// Record a transport trace event for every traced parcel record
+    /// inside one stream message. Gated on the owned locality having a
+    /// trace ring, so the untraced path pays one pointer check; a frame
+    /// is walked only when tracing is live, reusing the record
+    /// boundaries the frame already carries — no parcel decode.
+    fn trace_stream_msg(
+        &self,
+        kind: crate::trace::TraceEventKind,
+        msg: u8,
+        body: &[u8],
+        peer: u16,
+    ) {
+        let loc = self.own();
+        if loc.trace.is_none() {
+            return;
+        }
+        match msg {
+            msg_kind::FRAME | msg_kind::FRAME_STAGED => {
+                if let Ok(view) = px_wire::FrameView::parse(body) {
+                    for rec in view.records().flatten() {
+                        trace_record(loc, kind, rec, peer);
+                    }
+                }
+            }
+            msg_kind::CONTROL => {} // gossip is never traced
+            _ => trace_record(loc, kind, body, peer),
+        }
+    }
+
     fn submit(&self, msg: WireMsg) {
         if self.shutting_down.load(Ordering::Acquire) {
             return;
@@ -315,6 +344,14 @@ impl TcpShared {
             self.deliver_local(kind, bytes);
             return;
         }
+        // Submission intent is recorded before the dead check: a message
+        // toward a lost peer shows NetSubmit followed by its NetFault.
+        self.trace_stream_msg(
+            crate::trace::TraceEventKind::NetSubmit,
+            kind,
+            &bytes,
+            dest.0,
+        );
         let slot = self.peer(dest.0);
         if slot.dead.load(Ordering::Acquire) {
             self.kill_undeliverable(dest.0, vec![(kind, bytes)]);
@@ -375,6 +412,14 @@ impl TcpShared {
         slot.room.notify_all();
         let newly_dead = !slot.dead.swap(true, Ordering::AcqRel);
         if newly_dead && !self.shutting_down.load(Ordering::Acquire) {
+            // Peer-death transition under the never-sampled id 0: visible
+            // in full dumps even when no traced parcel was in flight.
+            self.own().trace_event(
+                Some(0),
+                crate::trace::TraceEventKind::NetFault,
+                0,
+                u64::from(peer),
+            );
             if let Some(rt) = self.rt() {
                 rt.notify_dead_letter(&Fault::new(
                     FaultCause::Transport,
@@ -424,6 +469,18 @@ impl TcpShared {
     }
 }
 
+/// Record one transport event for a single encoded parcel record, if the
+/// record carries a trace id. The destination gid doubles as the event's
+/// subject; `aux` names the peer rank on the far side of the hop.
+fn trace_record(loc: &Locality, kind: crate::trace::TraceEventKind, bytes: &[u8], peer: u16) {
+    if let Some(t) = Parcel::peek_trace(bytes) {
+        let dest = bytes
+            .get(..8)
+            .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("8 bytes")));
+        loc.trace_event(Some(t), kind, dest, u64::from(peer));
+    }
+}
+
 /// Parcel records inside one stream message (for counting deaths when no
 /// runtime is bound).
 fn count_records(kind: u8, body: &[u8]) -> u64 {
@@ -456,6 +513,9 @@ fn kill_stream_msg(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, kind: u8, body: 
 fn kill_record(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, bytes: &[u8], why: &str) {
     match Parcel::decode(bytes) {
         Ok(p) => {
+            // The transport flavor of this death, under the parcel's own
+            // trace id (kill_parcel adds the ParcelKill right after).
+            loc.trace_event(p.trace, crate::trace::TraceEventKind::NetFault, p.dest.0, 0);
             // No activity token to release: cross-rank parcels are not
             // accounted to their process at the sender (tokens never
             // cross an OS-process boundary — see `route_parcel`), and
@@ -1019,6 +1079,12 @@ impl IoLoop {
                                 .counters
                                 .reconnects
                                 .fetch_add(1, Ordering::Relaxed);
+                            self.shared.own().trace_event(
+                                Some(0),
+                                crate::trace::TraceEventKind::NetReconnect,
+                                0,
+                                u64::from(j),
+                            );
                             // Reconnect revives a dead-marked peer (the
                             // queue reopens only if it was closed by a
                             // *failed episode*, never after shutdown).
@@ -1320,6 +1386,12 @@ impl IoLoop {
                 match conn.asm.next_msg() {
                     Ok(Some((kind, body))) => {
                         c.msgs_recv.fetch_add(1, Ordering::Relaxed);
+                        self.shared.trace_stream_msg(
+                            crate::trace::TraceEventKind::NetRecv,
+                            kind,
+                            &body,
+                            peer,
+                        );
                         self.shared.deliver_local(kind, body);
                     }
                     Ok(None) => break,

@@ -106,6 +106,10 @@ pub struct Parcel {
     /// Owning parallel process, if any: the spawned thread is accounted to
     /// this process for termination detection.
     pub process: Option<Gid>,
+    /// Causal trace id, if this parcel is traced: every event it causes
+    /// (dispatch, LCO trigger, fault, follow-on parcels) is recorded
+    /// under this id so the request can be replayed end to end.
+    pub trace: Option<u64>,
     /// Number of times this parcel has been forwarded after a stale AGAS
     /// resolution (each hop increments; bounded by the migration rate).
     pub hops: u8,
@@ -126,6 +130,7 @@ impl Parcel {
             cont,
             src: LocalityId(0),
             process: None,
+            trace: None,
             hops: 0,
             staged: false,
         }
@@ -164,9 +169,15 @@ impl Parcel {
         if self.process.is_some() {
             flags |= pf::HAS_PID;
         }
+        if self.trace.is_some() {
+            flags |= pf::HAS_TRACE;
+        }
         w.put_u8(flags);
         if let Some(g) = self.process {
             w.put_u64(g.0);
+        }
+        if let Some(t) = self.trace {
+            w.put_u64(t);
         }
         w.put_varint(self.cont.steps.len() as u64);
         for step in &self.cont.steps {
@@ -214,6 +225,11 @@ impl Parcel {
         } else {
             None
         };
+        let trace = if flags & pf::HAS_TRACE != 0 {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
         let n = r.get_varint()? as usize;
         let mut steps = Vec::with_capacity(n);
         for _ in 0..n {
@@ -235,9 +251,24 @@ impl Parcel {
             cont: Continuation { steps },
             src,
             process,
+            trace,
             hops,
             staged,
         })
+    }
+
+    /// Read the trace id out of already-encoded parcel bytes without a
+    /// full decode — the transport-side trace hooks peek at in-flight
+    /// records and must not pay a decode per parcel. Returns `None` for
+    /// untraced or malformed bytes.
+    pub fn peek_trace(bytes: &[u8]) -> Option<u64> {
+        use px_wire::parcel_flags as pf;
+        let flags = *bytes.get(19)?;
+        if flags & pf::HAS_TRACE == 0 {
+            return None;
+        }
+        let at = if flags & pf::HAS_PID != 0 { 28 } else { 20 };
+        Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
     }
 
     /// Wire size in bytes (without re-encoding).
@@ -245,6 +276,9 @@ impl Parcel {
         let mut n = 8 + 8 + 2 + 1 + 1; // dest + action + src + hops + flags
         if self.process.is_some() {
             n += 8; // owning pid, present only when flagged
+        }
+        if self.trace.is_some() {
+            n += 8; // trace id, present only when flagged
         }
         n += varint_len(self.steps_len() as u64);
         for step in &self.cont.steps {
@@ -295,6 +329,7 @@ mod tests {
         );
         p.src = LocalityId(5);
         p.process = Some(Gid::new(LocalityId(0), GidKind::Process, 17));
+        p.trace = Some(0xfeed_beef_cafe_f00d);
         p.hops = 2;
         p.staged = true;
         p
@@ -311,6 +346,7 @@ mod tests {
         assert_eq!(q.hops, p.hops);
         assert_eq!(q.staged, p.staged);
         assert_eq!(q.process, p.process);
+        assert_eq!(q.trace, p.trace);
         assert_eq!(q.cont, p.cont);
         assert_eq!(q.payload.bytes(), p.payload.bytes());
     }
@@ -349,6 +385,7 @@ mod tests {
         assert!(q.cont.is_none());
         assert!(q.payload.is_empty());
         assert_eq!(q.process, None);
+        assert_eq!(q.trace, None);
     }
 
     #[test]
@@ -411,6 +448,48 @@ mod tests {
         assert_eq!(&qb[20..28], &pid.0.to_le_bytes());
         assert_eq!(&qb[..19], &expected[..19]);
         assert_eq!(&qb[28..], &expected[20..]);
+
+        // Attaching a trace id changes exactly two things: the HAS_TRACE
+        // flag bit and eight trace bytes after the flags byte — untraced
+        // parcels stay bit-identical whether or not tracing is compiled
+        // in, configured, or active elsewhere in the run.
+        let trace = 0x0123_4567_89ab_cdefu64;
+        let mut t = p.clone();
+        t.trace = Some(trace);
+        let tb = t.encode();
+        assert_eq!(tb.len(), expected.len() + 8);
+        assert_eq!(tb[19], expected[19] | px_wire::parcel_flags::HAS_TRACE);
+        assert_eq!(&tb[20..28], &trace.to_le_bytes());
+        assert_eq!(&tb[..19], &expected[..19]);
+        assert_eq!(&tb[28..], &expected[20..]);
+
+        // With both optional fields present the pid comes first, then the
+        // trace id.
+        let mut b = p.clone();
+        b.process = Some(pid);
+        b.trace = Some(trace);
+        let bb = b.encode();
+        assert_eq!(bb.len(), expected.len() + 16);
+        assert_eq!(
+            bb[19],
+            expected[19] | px_wire::parcel_flags::HAS_PID | px_wire::parcel_flags::HAS_TRACE
+        );
+        assert_eq!(&bb[20..28], &pid.0.to_le_bytes());
+        assert_eq!(&bb[28..36], &trace.to_le_bytes());
+        assert_eq!(&bb[36..], &expected[20..]);
+    }
+
+    #[test]
+    fn peek_trace_reads_without_decoding() {
+        let p = sample_parcel(); // pid + trace both present
+        assert_eq!(Parcel::peek_trace(&p.encode()), p.trace);
+        let mut q = sample_parcel();
+        q.process = None;
+        assert_eq!(Parcel::peek_trace(&q.encode()), q.trace);
+        q.trace = None;
+        assert_eq!(Parcel::peek_trace(&q.encode()), None);
+        assert_eq!(Parcel::peek_trace(&[]), None);
+        assert_eq!(Parcel::peek_trace(&q.encode()[..10]), None);
     }
 
     #[test]

@@ -131,7 +131,8 @@ impl ProcessInner {
             // on a quiesce/re-activate cycle are tolerated by the LCO, and
             // a cancel-poisoned done future rejects the trigger (fine: its
             // waiters already hold the fault).
-            let _ = crate::sched::lco_sys_op(rt, home, self.done, |l| l.trigger(Value::unit()));
+            let _ =
+                crate::sched::lco_sys_op(rt, home, self.done, None, |l| l.trigger(Value::unit()));
             self.first_exit(rt);
         }
     }
@@ -656,7 +657,7 @@ fn poison_lco(rt: &Arc<RuntimeInner>, gid: Gid, fault: &Fault) {
     let f = fault.clone();
     // Missing objects (already freed) are fine to skip; poison itself is
     // idempotent.
-    let _ = crate::sched::lco_sys_op(rt, loc, gid, move |l| Ok(l.poison(f)));
+    let _ = crate::sched::lco_sys_op(rt, loc, gid, None, move |l| Ok(l.poison(f)));
 }
 
 /// Cancel `gid` and its whole subtree (idempotent, depth-first).
@@ -669,6 +670,15 @@ pub(crate) fn cancel_process(rt: &Arc<RuntimeInner>, gid: Gid) {
     }
     rt.processes_cancelled.fetch_add(1, Ordering::Relaxed);
     let fault = p.cancel_fault();
+    // Cancellation has no parcel to carry a trace id, so the event is
+    // recorded unconditionally under the never-sampled id 0 when tracing
+    // is on: a dump still shows *that* and *when* the subtree died.
+    rt.locality(gid.birthplace()).trace_event(
+        Some(0),
+        crate::trace::TraceEventKind::ProcessCancel,
+        gid.0,
+        0,
+    );
     rt.notify_dead_letter(&fault);
     // 1. Poison the done-future first: `wait` and `done_future` waiters
     //    resolve immediately, before the subtree teardown begins.

@@ -75,6 +75,10 @@ pub struct Config {
     /// runtime behavior and parcel counts are identical to a build
     /// without the subsystem.
     pub balance: Option<BalanceConfig>,
+    /// Causal tracing (off by default: no ids sampled, no events
+    /// recorded, untraced parcels bit-identical on the wire). See
+    /// [`crate::trace`] and the README's "Tracing & debugging".
+    pub trace: crate::trace::TraceConfig,
 }
 
 impl Default for Config {
@@ -87,6 +91,7 @@ impl Default for Config {
             batch: BatchPolicy::single(),
             accelerators: Vec::new(),
             balance: None,
+            trace: crate::trace::TraceConfig::default(),
         }
     }
 }
@@ -217,6 +222,22 @@ impl Config {
         self
     }
 
+    /// Enable causal tracing, sampling one in `n` untraced root parcels
+    /// (builder style; `1` traces everything, `0` turns tracing off).
+    /// Parcels given an explicit id — [`Runtime::send_action_traced`] —
+    /// are always recorded regardless of the sampling rate.
+    pub fn with_trace_sampling(mut self, n: u64) -> Config {
+        self.trace.sample_every = n;
+        self
+    }
+
+    /// Set the per-locality trace ring capacity in events (builder
+    /// style). Asking for a ring size does not by itself enable tracing.
+    pub fn with_trace_ring_capacity(mut self, events: usize) -> Config {
+        self.trace.ring_capacity = events;
+        self
+    }
+
     fn validate(&self) -> PxResult<()> {
         if self.localities == 0 || self.localities > u16::MAX as usize {
             return Err(PxError::BadConfig(format!(
@@ -266,6 +287,11 @@ impl Config {
                     "tcp bootstrap_timeout must be nonzero".into(),
                 ));
             }
+        }
+        if self.trace.enabled() && self.trace.ring_capacity == 0 {
+            return Err(PxError::BadConfig(
+                "trace ring_capacity must be ≥ 1 when tracing is enabled".into(),
+            ));
         }
         if let Some(b) = &self.balance {
             if b.gossip_interval.is_zero() {
@@ -321,6 +347,13 @@ pub struct RuntimeInner {
     /// deaths and dead-ended LCO errors). `None` by default — faults are
     /// still counted and delivered to continuations either way.
     pub(crate) dead_letter: Option<DeadLetterHook>,
+    /// Trace-aware dead-letter hook: like `dead_letter` but also handed
+    /// the dying trace's captured event slice (empty when the fault's
+    /// parcel carried no trace id).
+    pub(crate) dead_letter_traced: Option<TracedDeadLetterHook>,
+    /// Trace sampler and id allocator (`Some` iff `config.trace` is
+    /// enabled).
+    pub(crate) trace: Option<crate::trace::TraceState>,
 }
 
 /// Observer invoked (synchronously, on the worker that raised it) for
@@ -334,6 +367,17 @@ pub struct RuntimeInner {
 /// `panics` counter only) and [`Ctx::acquire`] continuations dropped at
 /// a poisoned semaphore.
 pub type DeadLetterHook = Arc<dyn Fn(&Fault) + Send + Sync + 'static>;
+
+/// Trace-aware dead-letter observer, registered via
+/// [`RuntimeBuilder::on_dead_letter_traced`]. Sees every fault the plain
+/// [`DeadLetterHook`] sees, plus the causally ordered slice of trace
+/// events captured for the dying parcel's trace id at the moment of death
+/// — the full chase/forward/poison history when tracing is on. The dump
+/// is empty when the fault's parcel carried no trace id (tracing off, or
+/// the parcel was not sampled). Same contract: synchronous, keep it
+/// cheap.
+pub type TracedDeadLetterHook =
+    Arc<dyn Fn(&Fault, &crate::trace::TraceDump) + Send + Sync + 'static>;
 
 impl std::fmt::Debug for RuntimeInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -358,6 +402,40 @@ impl RuntimeInner {
         if let Some(hook) = &self.dead_letter {
             hook(fault);
         }
+        if let Some(hook) = &self.dead_letter_traced {
+            hook(fault, &crate::trace::TraceDump::default());
+        }
+    }
+
+    /// Report a fault raised by a *traced* parcel: the plain hook sees
+    /// the fault as usual; the traced hook additionally receives the
+    /// trace's captured event slice (what `trace_dump_for` would return
+    /// at this instant). Falls back to [`RuntimeInner::notify_dead_letter`]
+    /// when no trace id is attached.
+    pub(crate) fn notify_dead_letter_traced(&self, fault: &Fault, trace: Option<u64>) {
+        if let Some(hook) = &self.dead_letter {
+            hook(fault);
+        }
+        if let Some(hook) = &self.dead_letter_traced {
+            let dump = match trace {
+                Some(t) => self.local_trace_dump().filter(t),
+                None => crate::trace::TraceDump::default(),
+            };
+            hook(fault, &dump);
+        }
+    }
+
+    /// Merge every owned locality's trace ring into one causally ordered
+    /// dump (this OS process's view only; see
+    /// [`Runtime::trace_dump`] for the cross-rank story).
+    pub(crate) fn local_trace_dump(&self) -> crate::trace::TraceDump {
+        let mut events = Vec::new();
+        for loc in self.localities.iter() {
+            if let Some(ring) = &loc.trace {
+                events.extend(ring.snapshot());
+            }
+        }
+        crate::trace::TraceDump::new(events)
     }
 
     /// True when locality `id`'s workers run in this OS process.
@@ -380,6 +458,7 @@ pub struct RuntimeBuilder {
     registry: ActionRegistry,
     errors: Vec<PxError>,
     dead_letter: Option<DeadLetterHook>,
+    dead_letter_traced: Option<TracedDeadLetterHook>,
 }
 
 impl RuntimeBuilder {
@@ -390,6 +469,7 @@ impl RuntimeBuilder {
             registry: ActionRegistry::new(),
             errors: Vec::new(),
             dead_letter: None,
+            dead_letter_traced: None,
         }
     }
 
@@ -412,6 +492,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Install a trace-aware dead-letter hook: sees every fault
+    /// [`RuntimeBuilder::on_dead_letter`] sees, plus the dying trace's
+    /// captured event slice (see [`TracedDeadLetterHook`]). Both hooks
+    /// may be installed; each observes every fault.
+    pub fn on_dead_letter_traced(
+        mut self,
+        hook: impl Fn(&Fault, &crate::trace::TraceDump) + Send + Sync + 'static,
+    ) -> Self {
+        self.dead_letter_traced = Some(Arc::new(hook));
+        self
+    }
+
     /// Validate, construct, and boot the runtime.
     pub fn build(self) -> PxResult<Runtime> {
         if let Some(e) = self.errors.into_iter().next() {
@@ -424,6 +516,13 @@ impl RuntimeBuilder {
             TransportKind::Tcp(tcp) => Some(LocalityId(tcp.rank)),
         };
         let balance_window = self.config.balance.as_ref().map(|b| b.window);
+        // One causality domain per OS process: in-process runs are domain
+        // 0; over TCP each rank is its own domain (clocks incomparable).
+        let domain = owned.map_or(0, |o| o.0);
+        // One epoch shared by every ring of this runtime, so in-process
+        // timestamps are comparable.
+        let trace_epoch = self.config.trace.enabled().then(std::time::Instant::now);
+        let trace_capacity = self.config.trace.ring_capacity;
         let localities: Arc<Vec<Arc<Locality>>> = Arc::new(
             (0..n)
                 .map(|i| {
@@ -432,6 +531,18 @@ impl RuntimeBuilder {
                     let mut loc = Locality::new(id, accel);
                     if let Some(window) = balance_window {
                         loc.enable_balance(n, window);
+                    }
+                    // Rings only where workers will run: a remote stub
+                    // never executes anything worth recording.
+                    if let Some(epoch) = trace_epoch {
+                        if owned.is_none_or(|o| o == id) {
+                            loc.enable_trace(Arc::new(crate::trace::TraceRing::new(
+                                trace_capacity,
+                                id,
+                                domain,
+                                epoch,
+                            )));
+                        }
                     }
                     // In a multi-process system the structs for other
                     // ranks are routing stubs: creating objects there
@@ -473,6 +584,12 @@ impl RuntimeBuilder {
             owned,
             track_heat,
             dead_letter: self.dead_letter,
+            dead_letter_traced: self.dead_letter_traced,
+            trace: self
+                .config
+                .trace
+                .enabled()
+                .then(|| crate::trace::TraceState::new(self.config.trace.sample_every, domain)),
             localities,
             config: self.config,
         });
@@ -571,6 +688,45 @@ impl Runtime {
             processes_reaped: self.inner.processes_reaped.load(Ordering::Relaxed),
             transport: self.inner.wire.transport_stats(),
         }
+    }
+
+    /// Merge every locality's trace ring into one causally ordered
+    /// [`crate::trace::TraceDump`] (empty when tracing is off). In a
+    /// multi-process system this is *this rank's* slice only; fetch the
+    /// peers' dumps (e.g. with an action returning
+    /// `rt.trace_dump().events`) and combine with
+    /// [`crate::trace::TraceDump::merge`] for the cross-rank replay.
+    pub fn trace_dump(&self) -> crate::trace::TraceDump {
+        self.inner.local_trace_dump()
+    }
+
+    /// [`Runtime::trace_dump`] filtered to one trace id.
+    pub fn trace_dump_for(&self, trace: u64) -> crate::trace::TraceDump {
+        self.inner.local_trace_dump().filter(trace)
+    }
+
+    /// Allocate a fresh trace id for [`Runtime::send_action_traced`]
+    /// (`None` when tracing is off). Ids are unique across ranks without
+    /// coordination: the rank lives in the high bits.
+    pub fn new_trace_id(&self) -> Option<u64> {
+        self.inner.trace.as_ref().map(|t| t.fresh_id())
+    }
+
+    /// [`Runtime::send_action`] with an explicit trace id: the parcel and
+    /// everything it causes — follow-on parcels, LCO events, faults —
+    /// record under `trace` regardless of the sampling rate. The id rides
+    /// the wire, so the chain is recorded on every rank it crosses.
+    pub fn send_action_traced<A: Action>(
+        &self,
+        target: Gid,
+        args: A::Args,
+        cont: Continuation,
+        trace: u64,
+    ) -> PxResult<()> {
+        let mut p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
+        p.trace = Some(trace);
+        self.inner.send_parcel(self.inner.origin, p);
+        Ok(())
     }
 
     /// Stop accepting work, wake and join all workers, stop the wire.
@@ -672,7 +828,8 @@ impl Runtime {
     pub fn trigger<T: Serialize>(&self, gid: Gid, value: &T) -> PxResult<()> {
         let v = Value::encode(value)?;
         let from = self.inner.locality(self.inner.origin);
-        self.inner.lco_route(from, gid, sys::LCO_SET, v);
+        self.inner
+            .lco_route_traced(from, gid, sys::LCO_SET, v, None);
         Ok(())
     }
 
@@ -824,6 +981,7 @@ pub struct Ctx<'a> {
     loc: &'a Arc<Locality>,
     local: Option<&'a WorkerDeque<Task>>,
     pub(crate) process: Option<Gid>,
+    pub(crate) trace: Option<u64>,
 }
 
 impl<'a> Ctx<'a> {
@@ -832,13 +990,32 @@ impl<'a> Ctx<'a> {
         loc: &'a Arc<Locality>,
         local: Option<&'a WorkerDeque<Task>>,
         process: Option<Gid>,
+        trace: Option<u64>,
     ) -> Self {
         Ctx {
             rt,
             loc,
             local,
             process,
+            trace,
         }
+    }
+
+    /// The trace id this thread runs under (`Some` when the parcel or
+    /// spawn chain that caused it was traced). Inherited by everything
+    /// this context sends or spawns.
+    #[inline]
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace
+    }
+
+    /// This rank's merged trace dump (empty when tracing is off) — the
+    /// same view as [`Runtime::trace_dump`], available from inside an
+    /// action so a peer can fetch another rank's slice *in-band*: send an
+    /// action that returns `ctx.trace_dump().filter(id).events` and merge
+    /// the reply with the local dump.
+    pub fn trace_dump(&self) -> crate::trace::TraceDump {
+        self.rt.local_trace_dump()
     }
 
     /// The locality this thread serves (threads are ephemeral and serve a
@@ -890,7 +1067,9 @@ impl<'a> Ctx<'a> {
         if self.process_spawn_rejected(self.here()) {
             return;
         }
-        let task = Task::thread(f).with_process(self.process);
+        let task = Task::thread(f)
+            .with_process(self.process)
+            .with_trace(self.trace);
         if let Some(p) = self.process {
             self.rt.process_task_started(p, self.here());
         }
@@ -910,7 +1089,9 @@ impl<'a> Ctx<'a> {
         if self.process_spawn_rejected(dest) {
             return;
         }
-        let task = Task::thread(f).with_process(self.process);
+        let task = Task::thread(f)
+            .with_process(self.process)
+            .with_trace(self.trace);
         self.rt.send_task(self.here(), dest, task);
     }
 
@@ -945,7 +1126,8 @@ impl<'a> Ctx<'a> {
                         // the fresh LCO now so its waiters cannot hang.
                         let fault = p.cancel_fault();
                         let loc = self.rt.locality(gid.birthplace());
-                        let _ = crate::sched::lco_sys_op(self.rt, loc, gid, move |l| {
+                        let trace = self.trace;
+                        let _ = crate::sched::lco_sys_op(self.rt, loc, gid, trace, move |l| {
                             Ok(l.poison(fault))
                         });
                     }
@@ -980,6 +1162,7 @@ impl<'a> Ctx<'a> {
     ) -> PxResult<()> {
         let mut p = Parcel::new(target, A::id(), Value::encode(&args)?, cont);
         p.process = self.process;
+        p.trace = self.trace;
         self.rt.send_parcel(self.here(), p);
         Ok(())
     }
@@ -994,6 +1177,7 @@ impl<'a> Ctx<'a> {
     /// Send a raw parcel (advanced; normal code uses [`Ctx::send`]).
     pub fn send_parcel(&mut self, mut p: Parcel) {
         p.process = p.process.or(self.process);
+        p.trace = p.trace.or(self.trace);
         self.rt.send_parcel(self.here(), p);
     }
 
@@ -1059,13 +1243,15 @@ impl<'a> Ctx<'a> {
     /// Trigger an LCO (anywhere) with a typed value.
     pub fn trigger<T: Serialize>(&mut self, gid: Gid, value: &T) -> PxResult<()> {
         let v = Value::encode(value)?;
-        self.rt.lco_route(self.loc, gid, sys::LCO_SET, v);
+        self.rt
+            .lco_route_traced(self.loc, gid, sys::LCO_SET, v, self.trace);
         Ok(())
     }
 
     /// Trigger an LCO with an already-encoded value.
     pub fn trigger_value(&mut self, gid: Gid, value: Value) {
-        self.rt.lco_route(self.loc, gid, sys::LCO_SET, value);
+        self.rt
+            .lco_route_traced(self.loc, gid, sys::LCO_SET, value, self.trace);
     }
 
     /// Fill a typed future.
@@ -1081,19 +1267,20 @@ impl<'a> Ctx<'a> {
     pub fn set_slot<T: Serialize>(&mut self, gid: Gid, idx: u32, value: &T) -> PxResult<()> {
         let v = Value::encode(value)?;
         if gid.birthplace() == self.here() && self.loc.contains(gid) {
-            crate::sched::lco_sys_op(self.rt, self.loc, gid, |l| {
+            crate::sched::lco_sys_op(self.rt, self.loc, gid, self.trace, |l| {
                 l.trigger_slot(idx as usize, v.clone())
             })?;
         } else {
             let mut w = px_wire::WireWriter::with_capacity(4 + v.len());
             w.put_u32(idx);
             w.put_bytes(v.bytes());
-            let p = Parcel::new(
+            let mut p = Parcel::new(
                 gid,
                 sys::LCO_SET_SLOT,
                 Value::from_bytes(w.into_bytes()),
                 Continuation::none(),
             );
+            p.trace = self.trace;
             self.rt.send_parcel(self.here(), p);
         }
         Ok(())
@@ -1102,7 +1289,8 @@ impl<'a> Ctx<'a> {
     /// Contribute to a reduction LCO (anywhere).
     pub fn contribute<T: Serialize>(&mut self, gid: Gid, value: &T) -> PxResult<()> {
         let v = Value::encode(value)?;
-        self.rt.lco_route(self.loc, gid, sys::LCO_CONTRIBUTE, v);
+        self.rt
+            .lco_route_traced(self.loc, gid, sys::LCO_CONTRIBUTE, v, self.trace);
         Ok(())
     }
 
@@ -1125,9 +1313,11 @@ impl<'a> Ctx<'a> {
                 // scheduling path has no process context.
                 self.rt.process_task_started(p, self.here());
                 let proc = self.process;
+                let trace = self.trace;
                 let acts = lco.lock().add_waiter(Waiter::Depleted(Box::new(
                     move |ctx: &mut Ctx<'_>, v: Value| {
                         ctx.process = proc;
+                        ctx.trace = trace.or(ctx.trace);
                         f(ctx, v);
                         if let Some(pg) = proc {
                             let rt = ctx.rt.clone();
@@ -1135,15 +1325,29 @@ impl<'a> Ctx<'a> {
                         }
                     },
                 )));
-                self.rt.schedule_activations(self.loc, acts);
+                self.rt
+                    .schedule_activations_traced(self.loc, acts, self.trace);
+            } else if let Some(trace) = self.trace {
+                // The suspended continuation belongs to this trace even
+                // though the eventual trigger may be untraced.
+                let acts = lco.lock().add_waiter(Waiter::Depleted(Box::new(
+                    move |ctx: &mut Ctx<'_>, v: Value| {
+                        ctx.trace = Some(trace);
+                        f(ctx, v);
+                    },
+                )));
+                self.rt
+                    .schedule_activations_traced(self.loc, acts, self.trace);
             } else {
                 let acts = lco.lock().add_waiter(Waiter::Depleted(Box::new(f)));
-                self.rt.schedule_activations(self.loc, acts);
+                self.rt
+                    .schedule_activations_traced(self.loc, acts, self.trace);
             }
         } else {
             let proxy = self.loc.new_future_lco();
             self.own_lco(proxy);
-            let p = Parcel::new(gid, sys::LCO_GET, Value::unit(), Continuation::set(proxy));
+            let mut p = Parcel::new(gid, sys::LCO_GET, Value::unit(), Continuation::set(proxy));
+            p.trace = self.trace;
             self.rt.send_parcel(self.here(), p);
             self.when_ready(proxy, f);
         }
@@ -1214,16 +1418,18 @@ impl<'a> Ctx<'a> {
                     run_or_report(ctx, sem, v, f)
                 })))
                 .unwrap_or_default();
-            self.rt.schedule_activations(self.loc, acts);
+            self.rt
+                .schedule_activations_traced(self.loc, acts, self.trace);
         } else {
             let proxy = self.loc.new_future_lco();
             self.own_lco(proxy);
-            let p = Parcel::new(
+            let mut p = Parcel::new(
                 sem,
                 sys::LCO_ACQUIRE,
                 Value::unit(),
                 Continuation::set(proxy),
             );
+            p.trace = self.trace;
             self.rt.send_parcel(self.here(), p);
             self.when_ready(proxy, move |ctx, v| run_or_report(ctx, sem, v, f));
         }
@@ -1234,9 +1440,11 @@ impl<'a> Ctx<'a> {
         if sem.birthplace() == self.here() && self.loc.contains(sem) {
             // Releasing a missing/poisoned semaphore has no observer to
             // tell; the release is simply lost (as before).
-            let _ = crate::sched::lco_sys_op(self.rt, self.loc, sem, |l| Ok(l.release()));
+            let _ =
+                crate::sched::lco_sys_op(self.rt, self.loc, sem, self.trace, |l| Ok(l.release()));
         } else {
-            let p = Parcel::new(sem, sys::LCO_RELEASE, Value::unit(), Continuation::none());
+            let mut p = Parcel::new(sem, sys::LCO_RELEASE, Value::unit(), Continuation::none());
+            p.trace = self.trace;
             self.rt.send_parcel(self.here(), p);
         }
     }
@@ -1270,12 +1478,13 @@ impl<'a> Ctx<'a> {
     /// (data-to-work movement; the comparison point for E6).
     pub fn fetch_data(&mut self, gid: Gid) -> FutureRef<Vec<u8>> {
         let fut = self.new_future::<Vec<u8>>();
-        let p = Parcel::new(
+        let mut p = Parcel::new(
             gid,
             sys::DATA_GET,
             Value::unit(),
             Continuation::set(fut.gid()),
         );
+        p.trace = self.trace;
         self.rt.send_parcel(self.here(), p);
         fut
     }
@@ -1284,12 +1493,13 @@ impl<'a> Ctx<'a> {
     /// (unit) when the write is applied.
     pub fn store_data(&mut self, gid: Gid, bytes: &[u8]) -> PxResult<FutureRef<()>> {
         let fut = self.new_future::<()>();
-        let p = Parcel::new(
+        let mut p = Parcel::new(
             gid,
             sys::DATA_PUT,
             Value::encode(&bytes)?,
             Continuation::set(fut.gid()),
         );
+        p.trace = self.trace;
         self.rt.send_parcel(self.here(), p);
         Ok(fut)
     }

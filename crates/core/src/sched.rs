@@ -96,6 +96,9 @@ pub struct Task {
     pub(crate) work: Work,
     /// Parallel process this activation is accounted to.
     pub(crate) process: Option<Gid>,
+    /// Trace id this activation runs under (inherited by everything it
+    /// sends or spawns; parcels carry their own id inside the bytes).
+    pub(crate) trace: Option<u64>,
 }
 
 impl std::fmt::Debug for Task {
@@ -117,6 +120,7 @@ impl Task {
         Task {
             work: Work::Thread(Box::new(f)),
             process: None,
+            trace: None,
         }
     }
 
@@ -125,6 +129,7 @@ impl Task {
         Task {
             work: Work::Resume(f, v),
             process: None,
+            trace: None,
         }
     }
 
@@ -133,6 +138,7 @@ impl Task {
         Task {
             work: Work::ParcelBytes(bytes),
             process: None,
+            trace: None,
         }
     }
 
@@ -141,6 +147,7 @@ impl Task {
         Task {
             work: Work::ParcelFrame(bytes),
             process: None,
+            trace: None,
         }
     }
 
@@ -170,12 +177,19 @@ impl Task {
         Task {
             work: Work::Parcel(p),
             process: None,
+            trace: None,
         }
     }
 
     /// Attach process accounting.
     pub(crate) fn with_process(mut self, p: Option<Gid>) -> Task {
         self.process = p;
+        self
+    }
+
+    /// Attach a trace id (inherited like the process tag).
+    pub(crate) fn with_trace(mut self, t: Option<u64>) -> Task {
+        self.trace = t;
         self
     }
 }
@@ -289,6 +303,7 @@ pub(crate) fn execute(
     task: Task,
 ) {
     let process = task.process;
+    let trace = task.trace;
     // Cancellation gate (one branch when no process is attached): queued
     // closure tasks of a cancelled process are dropped loudly here — the
     // accounting decrement still runs, draining the process's activity
@@ -310,7 +325,7 @@ pub(crate) fn execute(
     }
     match task.work {
         Work::Thread(f) => {
-            let mut ctx = Ctx::new(rt, loc, Some(local), process);
+            let mut ctx = Ctx::new(rt, loc, Some(local), process, trace);
             // A closure thread has no continuation to notify; the panic
             // counter and dead-letter hook are its only observers.
             if let Err(msg) = run_guarded(loc, || f(&mut ctx)) {
@@ -319,7 +334,7 @@ pub(crate) fn execute(
             bump!(loc.counters.threads_executed);
         }
         Work::Resume(f, v) => {
-            let mut ctx = Ctx::new(rt, loc, Some(local), process);
+            let mut ctx = Ctx::new(rt, loc, Some(local), process, trace);
             if let Err(msg) = run_guarded(loc, || f(&mut ctx, v)) {
                 report_thread_panic(rt, loc, msg);
             }
@@ -485,9 +500,17 @@ pub(crate) fn kill_parcel(
 ) {
     let fault = Fault::new(cause, p.action, p.dest, message);
     loc.counters.count_death(cause, 1);
-    rt.notify_dead_letter(&fault);
+    // Record the death before notifying, so a traced dead-letter hook's
+    // captured slice includes this very event.
+    loc.trace_event(
+        p.trace,
+        crate::trace::TraceEventKind::ParcelKill,
+        p.dest.0,
+        u64::from(cause.code()),
+    );
+    rt.notify_dead_letter_traced(&fault, p.trace);
     if !p.cont.is_none() {
-        apply_continuation(rt, loc, p.cont, Value::error(&fault));
+        apply_continuation(rt, loc, p.cont, Value::error(&fault), p.trace);
     }
 }
 
@@ -495,6 +518,12 @@ pub(crate) fn kill_parcel(
 /// registry dispatch, then continuation application.
 fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>, p: Parcel) {
     bump!(loc.counters.parcels_recv);
+    loc.trace_event(
+        p.trace,
+        crate::trace::TraceEventKind::ParcelDispatch,
+        p.dest.0,
+        p.action.0,
+    );
     if p.staged {
         bump!(loc.counters.staged_executed);
     }
@@ -529,6 +558,12 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             rt.agas.repair_cache(p.src, p.dest, owner);
             let mut fwd = p;
             fwd.hops += 1;
+            loc.trace_event(
+                fwd.trace,
+                crate::trace::TraceEventKind::ParcelForward,
+                fwd.dest.0,
+                u64::from(fwd.hops),
+            );
             rt.route_parcel(loc.id, owner, fwd);
             return;
         }
@@ -551,7 +586,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
     // *delivering* the fault to them is how an LCO gets poisoned.
     let a = p.action;
     if p.payload.is_fault() && a != sys::LCO_SET && a != sys::LCO_CONTRIBUTE {
-        apply_continuation(rt, loc, p.cont, p.payload);
+        apply_continuation(rt, loc, p.cont, p.payload, p.trace);
         return;
     }
 
@@ -560,14 +595,17 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
     if a == sys::NOOP {
         return;
     } else if a == sys::PING {
-        apply_continuation(rt, loc, p.cont, p.payload);
+        apply_continuation(rt, loc, p.cont, p.payload, p.trace);
         return;
     } else if a == sys::LCO_SET {
         // The ack must be honest: a rejected trigger (double-trigger of a
         // single-assignment LCO, wrong kind, missing object) sends the
         // error back instead of a unit "success".
-        match lco_sys_op(rt, loc, p.dest, |l| l.trigger(p.payload.clone())) {
-            Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit()),
+        match lco_sys_op(rt, loc, p.dest, p.trace, |l| l.trigger(p.payload.clone())) {
+            Ok(()) => {
+                record_lco_event(loc, p.trace, p.dest, &p.payload);
+                apply_continuation(rt, loc, p.cont, Value::unit(), p.trace)
+            }
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
         return;
@@ -576,8 +614,11 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         if bytes.len() >= 4 {
             let idx = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
             let v = Value::from_bytes(bytes[4..].to_vec());
-            match lco_sys_op(rt, loc, p.dest, |l| l.trigger_slot(idx, v.clone())) {
-                Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit()),
+            match lco_sys_op(rt, loc, p.dest, p.trace, |l| l.trigger_slot(idx, v.clone())) {
+                Ok(()) => {
+                    record_lco_event(loc, p.trace, p.dest, &p.payload);
+                    apply_continuation(rt, loc, p.cont, Value::unit(), p.trace)
+                }
                 Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
             }
         } else {
@@ -591,25 +632,30 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         }
         return;
     } else if a == sys::LCO_CONTRIBUTE {
-        if let Err(e) = lco_sys_op(rt, loc, p.dest, |l| l.contribute(p.payload.clone())) {
-            kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
+        match lco_sys_op(rt, loc, p.dest, p.trace, |l| {
+            l.contribute(p.payload.clone())
+        }) {
+            Ok(()) => record_lco_event(loc, p.trace, p.dest, &p.payload),
+            Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
         return;
     } else if a == sys::LCO_GET {
-        if let Err(e) = lco_sys_op(rt, loc, p.dest, |l| {
+        if let Err(e) = lco_sys_op(rt, loc, p.dest, p.trace, |l| {
             Ok(l.add_waiter(Waiter::Cont(p.cont.clone())))
         }) {
             kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
         }
         return;
     } else if a == sys::LCO_ACQUIRE {
-        if let Err(e) = lco_sys_op(rt, loc, p.dest, |l| l.acquire(Waiter::Cont(p.cont.clone()))) {
+        if let Err(e) = lco_sys_op(rt, loc, p.dest, p.trace, |l| {
+            l.acquire(Waiter::Cont(p.cont.clone()))
+        }) {
             kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
         }
         return;
     } else if a == sys::LCO_RELEASE {
-        match lco_sys_op(rt, loc, p.dest, |l| Ok(l.release())) {
-            Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit()),
+        match lco_sys_op(rt, loc, p.dest, p.trace, |l| Ok(l.release())) {
+            Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit(), p.trace),
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
         return;
@@ -618,7 +664,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             Ok(d) => {
                 let bytes = d.read().bytes.clone();
                 let v = Value::encode(&bytes).expect("Vec<u8> encodes");
-                apply_continuation(rt, loc, p.cont, v);
+                apply_continuation(rt, loc, p.cont, v, p.trace);
             }
             // The object left between the residency check and the store
             // access (a migration's final remove interleaved): chase it
@@ -639,7 +685,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
                     let mut g = d.write();
                     g.bytes = bytes;
                     g.version += 1;
-                    apply_continuation(rt, loc, p.cont, Value::unit());
+                    apply_continuation(rt, loc, p.cont, Value::unit(), p.trace);
                 }
                 Err(PxError::NoSuchObject(_)) => retry_after_migration(rt, loc, p),
                 Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
@@ -668,12 +714,12 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
     // User action via the registry.
     match rt.registry.get(a) {
         Ok(handler) => {
-            let mut ctx = Ctx::new(rt, loc, Some(local), p.process);
+            let mut ctx = Ctx::new(rt, loc, Some(local), p.process, p.trace);
             let handler = handler.clone();
             let result = run_guarded(loc, || handler(&mut ctx, p.dest, p.payload.bytes()));
             bump!(loc.counters.threads_executed);
             match result {
-                Ok(Ok(v)) => apply_continuation(rt, loc, p.cont, v),
+                Ok(Ok(v)) => apply_continuation(rt, loc, p.cont, v, p.trace),
                 Ok(Err(e)) => {
                     let cause = cause_of(&e);
                     kill_parcel(rt, loc, p, cause, e.to_string());
@@ -699,6 +745,12 @@ fn retry_after_migration(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel)
         let owner = rt.agas.authoritative_owner(p.dest);
         let mut retry = p;
         retry.hops += 1;
+        loc.trace_event(
+            retry.trace,
+            crate::trace::TraceEventKind::Chase,
+            retry.dest.0,
+            u64::from(owner.0),
+        );
         rt.route_parcel(loc.id, owner, retry);
     } else {
         bump!(loc.counters.chase_cap_violations);
@@ -707,16 +759,35 @@ fn retry_after_migration(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel)
     }
 }
 
+/// Record the trace event for a *successful* LCO trigger/contribute: a
+/// fault value poisons the object, anything else triggers it. One branch
+/// when the parcel is untraced.
+fn record_lco_event(loc: &Locality, trace: Option<u64>, gid: Gid, payload: &Value) {
+    if trace.is_some() {
+        let (kind, aux) = match payload.fault() {
+            Some(f) => (
+                crate::trace::TraceEventKind::LcoPoison,
+                u64::from(f.cause.code()),
+            ),
+            None => (crate::trace::TraceEventKind::LcoTrigger, 0),
+        };
+        loc.trace_event(trace, kind, gid.0, aux);
+    }
+}
+
 /// Run an LCO operation on a local object and schedule any released
 /// waiters. The closure runs under the object lock and must not call back
-/// into the runtime; activations run after unlock. Errors (missing
-/// object, wrong kind, protocol violations like double-trigger) are
-/// returned so the caller can deliver them — a parcel-driven caller kills
-/// the parcel with the error, an API-driven caller returns it.
+/// into the runtime; activations run after unlock, inheriting `trace` —
+/// the causality of a released waiter flows from the event that released
+/// it. Errors (missing object, wrong kind, protocol violations like
+/// double-trigger) are returned so the caller can deliver them — a
+/// parcel-driven caller kills the parcel with the error, an API-driven
+/// caller returns it.
 pub(crate) fn lco_sys_op(
     rt: &Arc<RuntimeInner>,
     loc: &Arc<Locality>,
     gid: Gid,
+    trace: Option<u64>,
     op: impl FnOnce(&mut LcoCore) -> crate::error::PxResult<crate::lco::Activations>,
 ) -> crate::error::PxResult<()> {
     bump!(loc.counters.lco_events);
@@ -725,24 +796,37 @@ pub(crate) fn lco_sys_op(
         let mut g = lco.lock();
         op(&mut g)
     }?;
-    rt.schedule_activations(loc, acts);
+    if !acts.is_empty() {
+        loc.trace_event(
+            trace,
+            crate::trace::TraceEventKind::LcoRelease,
+            gid.0,
+            acts.len() as u64,
+        );
+    }
+    rt.schedule_activations_traced(loc, acts, trace);
     Ok(())
 }
 
 /// Apply a continuation specifier with the result value. Local LCO steps
-/// run immediately; remote steps and calls become parcels.
+/// run immediately; remote steps and calls become parcels. The causing
+/// parcel's trace id rides along every step.
 pub(crate) fn apply_continuation(
     rt: &Arc<RuntimeInner>,
     loc: &Arc<Locality>,
     cont: Continuation,
     value: Value,
+    trace: Option<u64>,
 ) {
     for step in cont.steps {
         match step {
-            ContStep::SetLco(g) => rt.lco_route(loc, g, sys::LCO_SET, value.clone()),
-            ContStep::Contribute(g) => rt.lco_route(loc, g, sys::LCO_CONTRIBUTE, value.clone()),
+            ContStep::SetLco(g) => rt.lco_route_traced(loc, g, sys::LCO_SET, value.clone(), trace),
+            ContStep::Contribute(g) => {
+                rt.lco_route_traced(loc, g, sys::LCO_CONTRIBUTE, value.clone(), trace)
+            }
             ContStep::Call { action, target } => {
-                let p = Parcel::new(target, action, value.clone(), Continuation::none());
+                let mut p = Parcel::new(target, action, value.clone(), Continuation::none());
+                p.trace = trace;
                 rt.send_parcel(loc.id, p);
             }
         }
@@ -751,48 +835,72 @@ pub(crate) fn apply_continuation(
 
 impl RuntimeInner {
     /// Route an LCO event: local objects are handled in place, remote ones
-    /// become system parcels.
-    pub(crate) fn lco_route(
+    /// become system parcels (carrying `trace`, so the chain survives the
+    /// hop).
+    pub(crate) fn lco_route_traced(
         self: &Arc<Self>,
         from: &Arc<Locality>,
         gid: Gid,
         action: ActionId,
         value: Value,
+        trace: Option<u64>,
     ) {
         let owner = self.agas.resolve_counted(from, gid);
         if owner == from.id && from.contains(gid) {
             let op_action = action;
-            let r = lco_sys_op(self, from, gid, |l| {
+            let r = lco_sys_op(self, from, gid, trace, |l| {
                 if op_action == sys::LCO_SET {
                     l.trigger(value.clone())
                 } else {
                     l.contribute(value.clone())
                 }
             });
-            if let Err(e) = r {
-                // Local LCO event with no parcel continuation to notify:
-                // the error dead-ends here. Count it like the parcel path
-                // would and let the dead-letter hook see it.
-                let fault = Fault::new(cause_of(&e), action, gid, e.to_string());
-                from.counters.count_death(fault.cause, 1);
-                self.notify_dead_letter(&fault);
+            match r {
+                Ok(()) => record_lco_event(from, trace, gid, &value),
+                Err(e) => {
+                    // Local LCO event with no parcel continuation to notify:
+                    // the error dead-ends here. Count it like the parcel path
+                    // would and let the dead-letter hook see it.
+                    let fault = Fault::new(cause_of(&e), action, gid, e.to_string());
+                    from.counters.count_death(fault.cause, 1);
+                    from.trace_event(
+                        trace,
+                        crate::trace::TraceEventKind::ParcelKill,
+                        gid.0,
+                        u64::from(fault.cause.code()),
+                    );
+                    self.notify_dead_letter_traced(&fault, trace);
+                }
             }
         } else {
-            let p = Parcel::new(gid, action, value, Continuation::none());
+            let mut p = Parcel::new(gid, action, value, Continuation::none());
+            p.trace = trace;
             self.send_parcel(from.id, p);
         }
     }
 
     /// Schedule LCO waiter activations at `loc` (the LCO's locality).
+    /// Untraced convenience wrapper.
     pub(crate) fn schedule_activations(
         self: &Arc<Self>,
         loc: &Arc<Locality>,
         acts: crate::lco::Activations,
     ) {
+        self.schedule_activations_traced(loc, acts, None);
+    }
+
+    /// Schedule activations under the trace of the releasing event:
+    /// resumed depleted threads and fired continuations inherit it.
+    pub(crate) fn schedule_activations_traced(
+        self: &Arc<Self>,
+        loc: &Arc<Locality>,
+        acts: crate::lco::Activations,
+        trace: Option<u64>,
+    ) {
         for (w, v) in acts {
             match w {
-                Waiter::Depleted(f) => loc.push_task(Task::resume(f, v)),
-                Waiter::Cont(c) => apply_continuation(self, loc, c, v),
+                Waiter::Depleted(f) => loc.push_task(Task::resume(f, v).with_trace(trace)),
+                Waiter::Cont(c) => apply_continuation(self, loc, c, v, trace),
                 Waiter::External(slot) => slot.fill(v),
             }
         }
@@ -802,6 +910,15 @@ impl RuntimeInner {
     /// wire cost when it crosses localities.
     pub(crate) fn send_parcel(self: &Arc<Self>, from: LocalityId, p: Parcel) {
         let from_loc = &self.localities[from.0 as usize];
+        let mut p = p;
+        // Trace sampler: an untraced parcel entering the send path is a
+        // root; one in `sample_every` gets a fresh id here. One `Option`
+        // branch when tracing is off.
+        if p.trace.is_none() {
+            if let Some(ts) = &self.trace {
+                p.trace = ts.maybe_sample();
+            }
+        }
         let owner = self.agas.resolve_counted(from_loc, p.dest);
         // Balancer heat hook: remember that we keep addressing this
         // remote object, so the balancer can pull it toward us (heat is
@@ -811,7 +928,12 @@ impl RuntimeInner {
         if self.track_heat && owner != from && p.dest.kind() == crate::gid::GidKind::Data {
             self.agas.note_access(from, p.dest);
         }
-        let mut p = p;
+        from_loc.trace_event(
+            p.trace,
+            crate::trace::TraceEventKind::ParcelSend,
+            p.dest.0,
+            u64::from(owner.0),
+        );
         p.src = from;
         self.route_parcel(from, owner, p);
     }

@@ -103,6 +103,12 @@ pub struct LocalityCounters {
     /// Parcels killed here by the forwarding hop cap (chase budget
     /// exhausted: migration storm or a freed object).
     pub chase_cap_violations: AtomicU64,
+    /// Causal-trace events recorded into this locality's ring (zero
+    /// unless `Config::trace` is enabled).
+    pub trace_events_recorded: AtomicU64,
+    /// Trace events lost to ring overwrite — a non-zero value means the
+    /// ring is too small for the sampling rate and dump cadence.
+    pub trace_events_dropped: AtomicU64,
 }
 
 macro_rules! bump {
@@ -172,6 +178,8 @@ impl LocalityCounters {
             chase_hops_total: self.chase_hops_total.load(Ordering::Relaxed),
             chased_parcels: self.chased_parcels.load(Ordering::Relaxed),
             chase_cap_violations: self.chase_cap_violations.load(Ordering::Relaxed),
+            trace_events_recorded: self.trace_events_recorded.load(Ordering::Relaxed),
+            trace_events_dropped: self.trace_events_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -217,6 +225,8 @@ pub struct LocalityStats {
     pub chase_hops_total: u64,
     pub chased_parcels: u64,
     pub chase_cap_violations: u64,
+    pub trace_events_recorded: u64,
+    pub trace_events_dropped: u64,
 }
 
 impl LocalityStats {
@@ -317,6 +327,8 @@ impl LocalityStats {
             chase_hops_total: self.chase_hops_total - earlier.chase_hops_total,
             chased_parcels: self.chased_parcels - earlier.chased_parcels,
             chase_cap_violations: self.chase_cap_violations - earlier.chase_cap_violations,
+            trace_events_recorded: self.trace_events_recorded - earlier.trace_events_recorded,
+            trace_events_dropped: self.trace_events_dropped - earlier.trace_events_dropped,
         }
     }
 }
@@ -425,6 +437,8 @@ impl StatsSnapshot {
             t.chase_hops_total += l.chase_hops_total;
             t.chased_parcels += l.chased_parcels;
             t.chase_cap_violations += l.chase_cap_violations;
+            t.trace_events_recorded += l.trace_events_recorded;
+            t.trace_events_dropped += l.trace_events_dropped;
         }
         t
     }

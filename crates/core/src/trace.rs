@@ -1,0 +1,522 @@
+//! Causal tracing: replay a request end to end across localities and ranks.
+//!
+//! ParalleX computations are split-phase — a request is a *chain* of
+//! parcels, LCO triggers, and continuations, not a call stack — so when a
+//! parcel dies or a tail-latency outlier appears, no stack trace exists to
+//! explain it. This module supplies the missing causality:
+//!
+//! * a **64-bit trace id** rides in the parcel header (gated on
+//!   [`px_wire::parcel_flags::HAS_TRACE`], zero bytes when absent) and is
+//!   inherited by everything a traced parcel causes: spawned threads,
+//!   LCO triggers and poisons, fault deliveries, migration chases,
+//!   balancer sheds, and follow-on parcels — across ranks, because the id
+//!   is part of the wire encoding;
+//! * each locality records compact [`TraceEvent`]s into a fixed-size,
+//!   lock-light [`TraceRing`] (one atomic cursor, per-slot mutexes that
+//!   are only ever contended on wrap collisions);
+//! * [`crate::runtime::Runtime::trace_dump`] merges the rings into a
+//!   [`TraceDump`], which can be filtered by trace id, serialized, shipped
+//!   between ranks, merged with another rank's dump, and ordered causally
+//!   (in-rank by recording order; cross-rank by matching each network
+//!   receive with its submit).
+//!
+//! Tracing is **off by default** and costs one `Option` branch per hook
+//! when off; [`TraceConfig::sample_every`] enables it for one in N root
+//! parcels so production runs can keep it always-on.
+
+use crate::gid::LocalityId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Tracing knobs ([`crate::runtime::Config::trace`]; off by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Assign a fresh trace id to one in this many untraced root parcels
+    /// (`0` = tracing off, `1` = trace everything). Parcels that already
+    /// carry a trace id — inherited or explicit — are always recorded.
+    pub sample_every: u64,
+    /// Events per locality ring; the oldest events are overwritten when
+    /// full (counted in `trace_events_dropped`).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_every: 0,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// True when tracing is on (ids are sampled and events recorded).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sample_every > 0
+    }
+}
+
+/// What happened (the discriminant of a [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A parcel entered the runtime's send path (`aux` = dest locality).
+    ParcelSend,
+    /// A parcel began executing at its destination.
+    ParcelDispatch,
+    /// A parcel was forwarded after a stale AGAS resolution
+    /// (`aux` = hops so far).
+    ParcelForward,
+    /// A parcel was killed (`aux` = [`crate::error::FaultCause`] wire
+    /// code).
+    ParcelKill,
+    /// An LCO was triggered with a value (`gid` = the LCO).
+    LcoTrigger,
+    /// An LCO was poisoned with a fault (`aux` = cause wire code).
+    LcoPoison,
+    /// An LCO released a waiter (resumed thread or fired continuation).
+    LcoRelease,
+    /// A parallel process was cancelled (`gid` = the process).
+    ProcessCancel,
+    /// An object migrated between localities (`aux` = new home).
+    Migrate,
+    /// An AGAS chase hop: a resolution was stale and repaired
+    /// (`aux` = the corrected locality).
+    Chase,
+    /// The balancer shed queued work to a less-loaded peer
+    /// (`aux` = the receiving locality).
+    BalanceShed,
+    /// The transport accepted a traced message for a peer
+    /// (`aux` = destination rank).
+    NetSubmit,
+    /// The transport received a traced message from a peer
+    /// (`aux` = source rank).
+    NetRecv,
+    /// The transport reconnected to a peer; queued traced messages will
+    /// be resent (`aux` = peer rank).
+    NetReconnect,
+    /// The transport declared a traced message undeliverable
+    /// (`aux` = peer rank).
+    NetFault,
+}
+
+impl TraceEventKind {
+    /// Short lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::ParcelSend => "parcel-send",
+            TraceEventKind::ParcelDispatch => "parcel-dispatch",
+            TraceEventKind::ParcelForward => "parcel-forward",
+            TraceEventKind::ParcelKill => "parcel-kill",
+            TraceEventKind::LcoTrigger => "lco-trigger",
+            TraceEventKind::LcoPoison => "lco-poison",
+            TraceEventKind::LcoRelease => "lco-release",
+            TraceEventKind::ProcessCancel => "process-cancel",
+            TraceEventKind::Migrate => "migrate",
+            TraceEventKind::Chase => "chase",
+            TraceEventKind::BalanceShed => "balance-shed",
+            TraceEventKind::NetSubmit => "net-submit",
+            TraceEventKind::NetRecv => "net-recv",
+            TraceEventKind::NetReconnect => "net-reconnect",
+            TraceEventKind::NetFault => "net-fault",
+        }
+    }
+}
+
+/// One recorded event. Compact and `Copy`: six words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The trace this event belongs to.
+    pub trace: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Subject gid (parcel dest, LCO, or process; `0` if not applicable).
+    pub gid: u64,
+    /// Kind-specific detail: fault-cause wire code, peer rank, hop count.
+    pub aux: u64,
+    /// Monotonic nanoseconds since the recording runtime's trace epoch.
+    /// Comparable within one OS process only — cross-rank ordering uses
+    /// causal matching, not clocks.
+    pub at_ns: u64,
+    /// Recording-order sequence number within the ring (ties on `at_ns`).
+    pub seq: u64,
+    /// Recording locality.
+    pub locality: u16,
+    /// Recording rank (one causality domain per OS process): events with
+    /// equal `domain` are totally ordered by `seq`; events across domains
+    /// only by send/recv matching.
+    pub domain: u16,
+}
+
+/// Fixed-size, lock-light per-locality event ring.
+///
+/// Writers claim a slot with one `fetch_add` on the cursor and write it
+/// under a per-slot mutex — uncontended unless two writers collide on the
+/// same slot a full ring apart. Readers snapshot by locking slots one at
+/// a time; a torn read is impossible and a concurrent writer at worst
+/// replaces an old event with a newer one.
+pub struct TraceRing {
+    locality: u16,
+    domain: u16,
+    epoch: Instant,
+    cursor: AtomicU64,
+    slots: Vec<parking_lot::Mutex<Option<TraceEvent>>>,
+}
+
+impl TraceRing {
+    /// Build a ring of `capacity` slots for `locality` on rank `domain`,
+    /// stamping timestamps relative to `epoch` (shared by every ring of
+    /// one runtime so in-process timestamps are comparable).
+    pub fn new(capacity: usize, locality: LocalityId, domain: u16, epoch: Instant) -> TraceRing {
+        TraceRing {
+            locality: locality.0,
+            domain,
+            epoch,
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity.max(1))
+                .map(|_| parking_lot::Mutex::new(None))
+                .collect(),
+        }
+    }
+
+    /// Record one event under `trace`. Returns `true` when an older event
+    /// was overwritten (the ring wrapped).
+    pub fn record(&self, trace: u64, kind: TraceEventKind, gid: u64, aux: u64) -> bool {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent {
+            trace,
+            kind,
+            gid,
+            aux,
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            seq,
+            locality: self.locality,
+            domain: self.domain,
+        };
+        let slot = (seq % self.slots.len() as u64) as usize;
+        self.slots[slot].lock().replace(ev).is_some()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the surviving events, in recording order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.slots.iter().filter_map(|s| *s.lock()).collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+/// A merged, orderable set of trace events — what
+/// [`crate::runtime::Runtime::trace_dump`] returns. Serializable so one
+/// rank's slice can be shipped to another (e.g. over a parcel) and merged
+/// into a cross-rank replay.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// The events, causally ordered (see [`TraceDump::order_causally`]).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceDump {
+    /// Build from raw events (orders them causally).
+    pub fn new(events: Vec<TraceEvent>) -> TraceDump {
+        let mut d = TraceDump { events };
+        d.order_causally();
+        d
+    }
+
+    /// The distinct trace ids present, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.events.iter().map(|e| e.trace).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Only the events of `trace`, causally ordered.
+    pub fn filter(&self, trace: u64) -> TraceDump {
+        TraceDump {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.trace == trace)
+                .collect(),
+        }
+    }
+
+    /// Merge with another rank's dump and re-order causally.
+    pub fn merge(mut self, other: TraceDump) -> TraceDump {
+        self.events.extend(other.events);
+        self.order_causally();
+        self
+    }
+
+    /// Order events causally: within a domain (one OS process) by
+    /// recording order; across domains, a [`TraceEventKind::NetRecv`] of
+    /// trace `t` from rank `r` is placed after a matching
+    /// [`TraceEventKind::NetSubmit`] of `t` sent from `r` — clocks are
+    /// never compared across domains. If ring overwrites leave a receive
+    /// unmatched, the ordering degrades gracefully to timestamp order for
+    /// the stuck fronts rather than stalling.
+    pub fn order_causally(&mut self) {
+        // Per-domain queues in recording order.
+        let mut domains: HashMap<u16, Vec<TraceEvent>> = HashMap::new();
+        for e in self.events.drain(..) {
+            domains.entry(e.domain).or_default().push(e);
+        }
+        let mut queues: Vec<(Vec<TraceEvent>, usize)> = domains
+            .into_values()
+            .map(|mut v| {
+                v.sort_by_key(|e| e.seq);
+                (v, 0usize)
+            })
+            .collect();
+        queues.sort_by_key(|(v, _)| v.first().map(|e| e.domain).unwrap_or(0));
+        // Emitted-submit minus emitted-recv counts, keyed by
+        // (trace, from-rank, to-rank).
+        let mut in_flight: HashMap<(u64, u64, u64), i64> = HashMap::new();
+        let mut out = Vec::with_capacity(queues.iter().map(|(v, _)| v.len()).sum());
+        loop {
+            let mut best: Option<usize> = None;
+            let mut fallback: Option<usize> = None;
+            for (qi, (q, at)) in queues.iter().enumerate() {
+                let Some(e) = q.get(*at) else { continue };
+                let enabled = match e.kind {
+                    TraceEventKind::NetRecv => in_flight
+                        .get(&(e.trace, e.aux, e.domain as u64))
+                        .is_some_and(|n| *n > 0),
+                    _ => true,
+                };
+                let better = |cur: Option<usize>| {
+                    cur.is_none_or(|c| {
+                        let (cq, cat) = &queues[c];
+                        let ce = cq[*cat];
+                        (e.at_ns, e.domain, e.seq) < (ce.at_ns, ce.domain, ce.seq)
+                    })
+                };
+                if enabled && better(best) {
+                    best = Some(qi);
+                }
+                if better(fallback) {
+                    fallback = Some(qi);
+                }
+            }
+            // No enabled front means an unmatched receive (its submit was
+            // overwritten): make progress on the earliest front anyway.
+            let Some(pick) = best.or(fallback) else { break };
+            let (q, at) = &mut queues[pick];
+            let e = q[*at];
+            *at += 1;
+            match e.kind {
+                TraceEventKind::NetSubmit => {
+                    *in_flight
+                        .entry((e.trace, e.domain as u64, e.aux))
+                        .or_insert(0) += 1;
+                }
+                TraceEventKind::NetRecv => {
+                    *in_flight
+                        .entry((e.trace, e.aux, e.domain as u64))
+                        .or_insert(0) -= 1;
+                }
+                _ => {}
+            }
+            out.push(e);
+        }
+        self.events = out;
+    }
+
+    /// Render a human-readable timeline, one event per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                s,
+                "  [rank{} L{} +{:>9.1}us] {:<15} trace={:#018x} gid={:#x} aux={}",
+                e.domain,
+                e.locality,
+                e.at_ns as f64 / 1e3,
+                e.kind.label(),
+                e.trace,
+                e.gid,
+                e.aux,
+            );
+        }
+        s
+    }
+}
+
+/// Runtime-wide trace state: the sampler and the id allocator.
+pub(crate) struct TraceState {
+    /// `Config::trace.sample_every` (non-zero: tracing on).
+    sample_every: u64,
+    /// Untraced root parcels seen by the sampler.
+    seen: AtomicU64,
+    /// Ids handed out (the low bits of the next id).
+    next: AtomicU64,
+    /// This rank, baked into the id's high bits so ids never collide
+    /// across ranks without coordination.
+    domain: u16,
+}
+
+impl TraceState {
+    pub(crate) fn new(sample_every: u64, domain: u16) -> TraceState {
+        TraceState {
+            sample_every,
+            seen: AtomicU64::new(0),
+            next: AtomicU64::new(0),
+            domain,
+        }
+    }
+
+    /// Sample one untraced root parcel: `Some(fresh id)` for one in
+    /// `sample_every`, `None` otherwise.
+    pub(crate) fn maybe_sample(&self) -> Option<u64> {
+        if self.sample_every == 0 {
+            return None;
+        }
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.sample_every) {
+            Some(self.fresh_id())
+        } else {
+            None
+        }
+    }
+
+    /// Allocate a fresh, never-zero trace id unique to this rank:
+    /// `(rank + 1) << 48 | counter`.
+    pub(crate) fn fresh_id(&self) -> u64 {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        ((self.domain as u64 + 1) << 48) | (seq & 0xffff_ffff_ffff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: u64, kind: TraceEventKind, domain: u16, seq: u64, at_ns: u64) -> TraceEvent {
+        TraceEvent {
+            trace,
+            kind,
+            gid: 0,
+            aux: 0,
+            at_ns,
+            seq,
+            locality: domain,
+            domain,
+        }
+    }
+
+    #[test]
+    fn ring_records_and_wraps() {
+        let r = TraceRing::new(4, LocalityId(2), 0, Instant::now());
+        for i in 0..6u64 {
+            let wrapped = r.record(7, TraceEventKind::ParcelSend, i, 0);
+            assert_eq!(wrapped, i >= 4, "wrap starts at capacity");
+        }
+        assert_eq!(r.recorded(), 6);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4, "ring keeps the newest `capacity` events");
+        // The survivors are the newest four, in recording order.
+        assert_eq!(snap.iter().map(|e| e.gid).collect::<Vec<_>>(), [2, 3, 4, 5]);
+        assert!(snap.iter().all(|e| e.locality == 2 && e.trace == 7));
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn zero_capacity_ring_degrades_to_one_slot() {
+        let r = TraceRing::new(0, LocalityId(0), 0, Instant::now());
+        r.record(1, TraceEventKind::ParcelSend, 0, 0);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn sampler_rate_and_id_uniqueness() {
+        let s = TraceState::new(4, 3);
+        let hits: Vec<Option<u64>> = (0..8).map(|_| s.maybe_sample()).collect();
+        assert!(hits[0].is_some() && hits[4].is_some());
+        assert_eq!(hits.iter().flatten().count(), 2);
+        let a = hits[0].unwrap();
+        let b = hits[4].unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a >> 48, 4, "rank baked into the high bits");
+        assert_ne!(a, 0, "ids are never zero");
+        let off = TraceState::new(0, 0);
+        assert!(off.maybe_sample().is_none());
+    }
+
+    #[test]
+    fn dump_filter_and_ids() {
+        let d = TraceDump::new(vec![
+            ev(1, TraceEventKind::ParcelSend, 0, 0, 0),
+            ev(2, TraceEventKind::ParcelSend, 0, 1, 1),
+            ev(1, TraceEventKind::ParcelDispatch, 0, 2, 2),
+        ]);
+        assert_eq!(d.trace_ids(), [1, 2]);
+        assert_eq!(d.filter(1).events.len(), 2);
+        assert!(d.filter(9).events.is_empty());
+        assert!(d.render().contains("parcel-dispatch"));
+    }
+
+    /// The acceptance shape: cross-rank order comes from send/recv
+    /// matching, not from comparing clocks of different processes — here
+    /// rank 1's clock reads *earlier* than rank 0's throughout, and the
+    /// merged order is still send → recv → dispatch → fault → poison.
+    #[test]
+    fn cross_rank_merge_orders_causally_despite_skewed_clocks() {
+        let t = 42;
+        let rank0 = TraceDump {
+            events: vec![
+                ev(t, TraceEventKind::ParcelSend, 0, 0, 1000),
+                {
+                    let mut e = ev(t, TraceEventKind::NetSubmit, 0, 1, 1001);
+                    e.aux = 1; // to rank 1
+                    e
+                },
+                {
+                    let mut e = ev(t, TraceEventKind::NetFault, 0, 2, 1002);
+                    e.aux = 1;
+                    e
+                },
+                ev(t, TraceEventKind::ParcelKill, 0, 3, 1003),
+                ev(t, TraceEventKind::LcoPoison, 0, 4, 1004),
+            ],
+        };
+        let rank1 = TraceDump {
+            events: vec![
+                {
+                    // Skewed: rank 1's timestamps all predate rank 0's.
+                    let mut e = ev(t, TraceEventKind::NetRecv, 1, 0, 10);
+                    e.aux = 0; // from rank 0
+                    e
+                },
+                ev(t, TraceEventKind::ParcelDispatch, 1, 1, 11),
+            ],
+        };
+        let merged = rank0.merge(rank1);
+        let kinds: Vec<TraceEventKind> = merged.events.iter().map(|e| e.kind).collect();
+        let pos = |k: TraceEventKind| kinds.iter().position(|&x| x == k).unwrap();
+        assert!(pos(TraceEventKind::NetSubmit) < pos(TraceEventKind::NetRecv));
+        assert!(pos(TraceEventKind::NetRecv) < pos(TraceEventKind::ParcelDispatch));
+        assert!(pos(TraceEventKind::ParcelKill) < pos(TraceEventKind::LcoPoison));
+        assert_eq!(merged.events.len(), 7);
+    }
+
+    /// An unmatched receive (its submit overwritten by ring wrap) cannot
+    /// stall the merge.
+    #[test]
+    fn unmatched_recv_still_makes_progress() {
+        let mut recv = ev(5, TraceEventKind::NetRecv, 1, 0, 10);
+        recv.aux = 0;
+        let d = TraceDump::new(vec![recv, ev(5, TraceEventKind::ParcelDispatch, 1, 1, 11)]);
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].kind, TraceEventKind::NetRecv);
+    }
+}

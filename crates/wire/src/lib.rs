@@ -79,8 +79,14 @@ pub mod parcel_flags {
     /// hierarchical quiescence and is killed at dispatch if the process
     /// has been cancelled.
     pub const HAS_PID: u8 = 1 << 2;
+    /// A causal trace id (`u64`, little-endian) follows the optional
+    /// owning-process id: every event the parcel causes (dispatch,
+    /// LCO trigger, fault, follow-on parcels) is recorded under this id
+    /// so a request can be replayed end to end across localities and
+    /// ranks. Untraced parcels carry zero bytes for it.
+    pub const HAS_TRACE: u8 = 1 << 3;
     /// Mask of bits a decoder of this version understands.
-    pub const KNOWN: u8 = STAGED | FAULT | HAS_PID;
+    pub const KNOWN: u8 = STAGED | FAULT | HAS_PID | HAS_TRACE;
 }
 
 /// Serialize a value and report the encoded size without keeping the bytes.

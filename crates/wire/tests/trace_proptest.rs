@@ -1,0 +1,168 @@
+//! Property tests for the trace-id wire extension: parcel-shaped records
+//! carrying the `parcel_flags::HAS_TRACE` extension must survive frame
+//! batching and arbitrary stream splits bit-identical — the trace id a
+//! sender stamps is exactly the id the receiver peeks, and records
+//! without the flag never grow one.
+//!
+//! The byte layout mirrored here is px-core's parcel header (the wire
+//! crate deliberately doesn't know it): dest u64 @0, action u64 @8,
+//! src u16 @16, hops u8 @18, flags u8 @19, then the optional pid u64
+//! (`HAS_PID`) and optional trace u64 (`HAS_TRACE`), in that order.
+
+use proptest::prelude::*;
+use px_wire::stream::{encode_msg_header, msg_kind, StreamAssembler};
+use px_wire::{parcel_flags, FrameBuf, FrameView};
+
+const FLAGS_AT: usize = 19;
+const EXT_AT: usize = 20;
+
+/// A synthetic parcel record for the wire: fixed-size header, optional
+/// pid/trace extensions, arbitrary trailing bytes standing in for the
+/// continuation and payload.
+#[derive(Debug, Clone)]
+struct FakeParcel {
+    dest: u64,
+    pid: Option<u64>,
+    trace: Option<u64>,
+    tail: Vec<u8>,
+}
+
+impl FakeParcel {
+    fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(EXT_AT + 16 + self.tail.len());
+        b.extend_from_slice(&self.dest.to_le_bytes());
+        b.extend_from_slice(&0xfeed_face_dead_beefu64.to_le_bytes()); // action
+        b.extend_from_slice(&7u16.to_le_bytes()); // src
+        b.push(3); // hops
+        let mut flags = 0u8;
+        if self.pid.is_some() {
+            flags |= parcel_flags::HAS_PID;
+        }
+        if self.trace.is_some() {
+            flags |= parcel_flags::HAS_TRACE;
+        }
+        b.push(flags);
+        assert_eq!(b.len(), EXT_AT);
+        if let Some(pid) = self.pid {
+            b.extend_from_slice(&pid.to_le_bytes());
+        }
+        if let Some(t) = self.trace {
+            b.extend_from_slice(&t.to_le_bytes());
+        }
+        b.extend_from_slice(&self.tail);
+        b
+    }
+}
+
+/// Test-local mirror of `Parcel::peek_trace`: read the trace id (if any)
+/// straight from encoded bytes without decoding the parcel.
+fn peek_trace(bytes: &[u8]) -> Option<u64> {
+    let flags = *bytes.get(FLAGS_AT)?;
+    if flags & parcel_flags::HAS_TRACE == 0 {
+        return None;
+    }
+    let at = if flags & parcel_flags::HAS_PID != 0 {
+        EXT_AT + 8
+    } else {
+        EXT_AT
+    };
+    let raw = bytes.get(at..at + 8)?;
+    Some(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+}
+
+fn arb_parcel() -> impl Strategy<Value = FakeParcel> {
+    (
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<u64>()),
+        proptest::collection::vec(any::<u8>(), 0..120),
+    )
+        .prop_map(|(dest, pid, trace, tail)| FakeParcel {
+            dest,
+            pid,
+            trace,
+            tail,
+        })
+}
+
+/// Feed `bytes` to a [`StreamAssembler`] split at `cuts` and collect the
+/// reassembled messages.
+fn reassemble(bytes: &[u8], cuts: &[usize]) -> Vec<(u8, Vec<u8>)> {
+    let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries.push(bytes.len());
+    let mut a = StreamAssembler::new();
+    let mut out = Vec::new();
+    let mut start = 0;
+    for end in boundaries {
+        if end < start {
+            continue;
+        }
+        a.feed(&bytes[start..end]);
+        while let Some(msg) = a.next_msg().expect("valid stream never errors") {
+            out.push(msg);
+        }
+        start = end;
+    }
+    out
+}
+
+proptest! {
+    /// Trace ids survive frame batching plus arbitrary stream splits:
+    /// the receiver peeks exactly the ids the sender stamped, record for
+    /// record, and untraced records stay untraced.
+    #[test]
+    fn trace_ids_survive_batching_and_splits(
+        parcels in proptest::collection::vec(arb_parcel(), 1..24),
+        cuts in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let mut f = FrameBuf::new();
+        for p in &parcels {
+            f.push_record(&p.encode());
+        }
+        let frame = f.take();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_msg_header(msg_kind::FRAME, frame.len() as u32));
+        stream.extend_from_slice(&frame);
+
+        let msgs = reassemble(&stream, &cuts);
+        prop_assert_eq!(msgs.len(), 1);
+        let (kind, body) = &msgs[0];
+        prop_assert_eq!(*kind, msg_kind::FRAME);
+        let view = FrameView::parse(body).expect("frame parses");
+        prop_assert_eq!(view.record_count() as usize, parcels.len());
+        for (rec, p) in view.records().zip(&parcels) {
+            let rec = rec.expect("record ok");
+            prop_assert_eq!(peek_trace(rec), p.trace, "trace id must ride bit-identical");
+            prop_assert_eq!(rec, p.encode().as_slice());
+        }
+    }
+
+    /// Unframed parcel messages (the unbatched fast path) carry the
+    /// trace id through arbitrary splits too.
+    #[test]
+    fn unbatched_parcels_keep_trace_ids(
+        p in arb_parcel(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let body = p.encode();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_msg_header(msg_kind::PARCEL, body.len() as u32));
+        stream.extend_from_slice(&body);
+        let msgs = reassemble(&stream, &cuts);
+        prop_assert_eq!(msgs.len(), 1);
+        prop_assert_eq!(peek_trace(&msgs[0].1), p.trace);
+        prop_assert_eq!(&msgs[0].1, &body);
+    }
+
+    /// The flags byte alone decides presence: flipping `HAS_TRACE` off a
+    /// traced record makes the peek miss, so no stray bytes are ever
+    /// misread as a trace id.
+    #[test]
+    fn peek_is_gated_on_the_flag(p in arb_parcel()) {
+        let mut bytes = p.encode();
+        bytes[FLAGS_AT] &= !parcel_flags::HAS_TRACE;
+        prop_assert_eq!(peek_trace(&bytes), None);
+    }
+}

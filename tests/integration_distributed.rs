@@ -36,7 +36,20 @@ fn free_addrs(n: usize) -> Vec<String> {
         .collect()
 }
 
-fn build_rt(rank: u16, addrs: Vec<String>, batched: bool) -> Runtime {
+/// Return this rank's slice of a trace: every locally recorded event of
+/// the id, in recording order. The parent merges it with its own dump
+/// for a cross-rank causal replay.
+struct Slice;
+impl Action for Slice {
+    const NAME: &'static str = "dist/trace-slice";
+    type Args = u64;
+    type Out = Vec<TraceEvent>;
+    fn execute(ctx: &mut Ctx<'_>, _t: Gid, trace: u64) -> Vec<TraceEvent> {
+        ctx.trace_dump().filter(trace).events
+    }
+}
+
+fn build_rt(rank: u16, addrs: Vec<String>, batched: bool, traced: bool) -> Runtime {
     let mut cfg = Config::small(addrs.len(), 1).with_tcp(rank, addrs);
     if batched {
         // Batching exercises coalesced checksummed frames over the
@@ -47,8 +60,12 @@ fn build_rt(rank: u16, addrs: Vec<String>, batched: bool) -> Runtime {
             .with_flush_interval(Duration::from_micros(500))
             .with_gossip_interval(Duration::from_millis(5));
     }
+    if traced {
+        cfg = cfg.with_trace_sampling(1);
+    }
     RuntimeBuilder::new(cfg)
         .register::<Square>()
+        .register::<Slice>()
         .build()
         .unwrap()
 }
@@ -85,7 +102,12 @@ fn dist_child_entry() {
     let rank: u16 = std::env::var("PX_DIST_RANK")
         .map(|r| r.parse().expect("numeric rank"))
         .unwrap_or(1);
-    let rt = build_rt(rank, addrs, mode.starts_with("serve"));
+    let rt = build_rt(
+        rank,
+        addrs,
+        mode.starts_with("serve"),
+        mode == "serve-trace",
+    );
     match mode.as_str() {
         // Vanish right after the barrier, without shutdown: sockets die
         // with the process, like a crashed node.
@@ -106,7 +128,7 @@ fn dist_child_entry() {
 fn two_process_spawn_await_workload_completes() {
     let addrs = free_addrs(2);
     let mut child = spawn_child("serve", &addrs);
-    let rt = build_rt(0, addrs, true);
+    let rt = build_rt(0, addrs, true, false);
     const N: u64 = 200;
     let futs: Vec<(u64, FutureRef<u64>)> = (0..N)
         .map(|i| {
@@ -166,7 +188,7 @@ fn killing_a_peer_resolves_waiters_with_fault_in_bounded_time() {
     let mut child = spawn_child("crash", &addrs);
     // The barrier passes (the child builds its runtime before exiting);
     // right after, the peer is gone.
-    let rt = build_rt(0, addrs, false);
+    let rt = build_rt(0, addrs, false, false);
     let deadline = Instant::now() + BOUND;
     let fault = loop {
         let fut = rt.new_future::<u64>(LocalityId(0));
@@ -222,7 +244,7 @@ fn thread_count_stays_flat_from_one_peer_to_seven() {
         let mut children: Vec<Child> = (1..ranks as u16)
             .map(|r| spawn_child_at("serve", &addrs, r))
             .collect();
-        let rt = build_rt(0, addrs, true);
+        let rt = build_rt(0, addrs, true, false);
         for r in 1..ranks as u16 {
             let fut = rt.new_future::<u64>(LocalityId(0));
             rt.send_action::<Square>(
@@ -288,5 +310,142 @@ fn remote_closure_spawn_dies_loudly() {
     assert!(rt.stats().total().dead_transport >= 1);
     drop(child.stdin.take());
     let _ = child.wait();
+    rt.shutdown();
+}
+
+/// Tentpole acceptance across real OS processes: one traced request is
+/// replayed end to end from BOTH ranks — the send and its network
+/// submission at rank 0, the receive and dispatch at rank 1 — and when
+/// rank 1 is then killed mid-flight, the same trace id captures the
+/// transport fault and the waiter's poisoning. The merged dump is
+/// causally ordered without ever comparing clocks across processes.
+#[test]
+fn killed_peer_leaves_a_causally_ordered_cross_rank_trace() {
+    let addrs = free_addrs(2);
+    let mut child = spawn_child("serve-trace", &addrs);
+    let rt = build_rt(0, addrs, false, true);
+
+    // One explicitly traced request, answered by the remote rank.
+    let trace = rt.new_trace_id().expect("tracing is on");
+    let fut = rt.new_future::<u64>(LocalityId(0));
+    rt.send_action_traced::<Square>(
+        Gid::locality_root(LocalityId(1)),
+        9,
+        Continuation::set(fut.gid()),
+        trace,
+    )
+    .unwrap();
+    assert_eq!(
+        rt.wait_future_timeout(fut, BOUND)
+            .unwrap()
+            .expect("remote result within the bound"),
+        81
+    );
+
+    // Fetch rank 1's slice of the trace in-band (an untraced action so
+    // the fetch doesn't pollute the timeline). Recording races the
+    // reply, so retry until the remote dispatch has landed in the ring.
+    let deadline = Instant::now() + BOUND;
+    let remote = loop {
+        let fut = rt.new_future::<Vec<TraceEvent>>(LocalityId(0));
+        rt.send_action::<Slice>(
+            Gid::locality_root(LocalityId(1)),
+            trace,
+            Continuation::set(fut.gid()),
+        )
+        .unwrap();
+        let events = rt
+            .wait_future_timeout(fut, BOUND)
+            .unwrap()
+            .expect("slice within the bound");
+        if events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::ParcelDispatch)
+            && events.iter().any(|e| e.kind == TraceEventKind::NetRecv)
+        {
+            break events;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "remote slice never showed the dispatch: {events:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert!(
+        remote.iter().all(|e| e.trace == trace && e.domain == 1),
+        "the remote slice is rank 1's view of this trace: {remote:?}"
+    );
+
+    // Kill the peer and drive the same trace id into the dead socket
+    // until the transport fault poisons a waiter.
+    child.kill().expect("kill child rank");
+    let _ = child.wait();
+    let deadline = Instant::now() + BOUND;
+    let fault = loop {
+        let fut = rt.new_future::<u64>(LocalityId(0));
+        rt.send_action_traced::<Square>(
+            Gid::locality_root(LocalityId(1)),
+            7,
+            Continuation::set(fut.gid()),
+            trace,
+        )
+        .unwrap();
+        match rt.wait_future_timeout(fut, Duration::from_millis(200)) {
+            Ok(Some(_)) | Ok(None) => {}
+            Err(PxError::Fault(f)) => break f,
+            Err(e) => panic!("unexpected error: {e:?}"),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "peer death never resolved a waiter"
+        );
+    };
+    assert_eq!(fault.cause, FaultCause::Transport, "{fault}");
+
+    // Ring writes race the waiter's wakeup (recording is off the hot
+    // path): give the worker a bounded moment to land the fault events.
+    let deadline = Instant::now() + BOUND;
+    let local = loop {
+        let local = rt.trace_dump_for(trace);
+        let has = |kind| local.events.iter().any(|e: &TraceEvent| e.kind == kind);
+        if has(TraceEventKind::NetFault) && has(TraceEventKind::LcoPoison) {
+            break local;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fault events never landed:\n{}",
+            local.render()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+
+    // Merge both ranks' slices: the replay must interleave the domains
+    // in causal order.
+    let merged = local.merge(TraceDump::new(remote));
+    let pos = |kind: TraceEventKind, domain: u16| {
+        merged
+            .events
+            .iter()
+            .position(|e| e.kind == kind && e.domain == domain)
+    };
+    let submit0 = pos(TraceEventKind::NetSubmit, 0).expect("rank 0 recorded the submission");
+    let recv1 = pos(TraceEventKind::NetRecv, 1).expect("rank 1 recorded the receive");
+    let dispatch1 = pos(TraceEventKind::ParcelDispatch, 1).expect("rank 1 recorded the dispatch");
+    assert!(
+        submit0 < recv1 && recv1 < dispatch1,
+        "send -> recv -> dispatch across the process boundary:\n{}",
+        merged.render()
+    );
+    let fault0 = pos(TraceEventKind::NetFault, 0).expect("rank 0 recorded the transport fault");
+    let poison0 = pos(TraceEventKind::LcoPoison, 0).expect("rank 0 recorded the waiter poison");
+    assert!(
+        fault0 < poison0,
+        "the transport fault precedes the waiter's poisoning:\n{}",
+        merged.render()
+    );
+    assert!(
+        merged.events.iter().all(|e| e.trace == trace),
+        "one request, one id, both ranks"
+    );
     rt.shutdown();
 }

@@ -293,6 +293,69 @@ fn zero_count_gates_fire_immediately() {
     rt.shutdown();
 }
 
+/// Satellite regression for the tracing tentpole: a hop-cap death must
+/// hand the traced dead-letter hook its full chase history — every
+/// bounced hop, causally ordered, ending in the kill itself. Before
+/// causal tracing the fault carried only the final "budget exhausted"
+/// message with no way to see *where* the parcel wandered.
+#[test]
+fn traced_hop_cap_death_reports_its_chase_history() {
+    let captured: Arc<Mutex<Option<(Fault, TraceDump)>>> = Arc::new(Mutex::new(None));
+    let sink = captured.clone();
+    let rt = RuntimeBuilder::new(Config::small(2, 1).with_trace_sampling(1))
+        .on_dead_letter_traced(move |f, d| {
+            if f.cause == FaultCause::HopCap {
+                *sink.lock().unwrap() = Some((f.clone(), d.clone()));
+            }
+        })
+        .build()
+        .unwrap();
+    let bogus = Gid::new(LocalityId(0), GidKind::Data, 0x00C0FFEE);
+    let fut = rt.run_blocking(LocalityId(1), move |ctx| ctx.fetch_data(bogus));
+    expect_fault(rt.wait_future_timeout(fut, BOUND));
+    let (fault, dump) = captured
+        .lock()
+        .unwrap()
+        .take()
+        .expect("traced dead-letter hook observed the hop-cap death");
+    assert_eq!(fault.cause, FaultCause::HopCap);
+    assert_eq!(
+        dump.trace_ids().len(),
+        1,
+        "the captured slice is exactly the dying trace: {}",
+        dump.render()
+    );
+    let chases = dump
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceEventKind::Chase | TraceEventKind::ParcelForward
+            )
+        })
+        .count();
+    assert!(
+        chases >= 8,
+        "the full chase history must be visible, got {chases} hops:\n{}",
+        dump.render()
+    );
+    let last = dump.events.last().expect("non-empty slice");
+    assert_eq!(
+        last.kind,
+        TraceEventKind::ParcelKill,
+        "the kill is the causally last captured event:\n{}",
+        dump.render()
+    );
+    assert_eq!(last.gid, bogus.0, "the kill names the chased gid");
+    assert_eq!(
+        last.aux,
+        u64::from(FaultCause::HopCap.code()),
+        "the kill carries the cause code"
+    );
+    rt.shutdown();
+}
+
 #[test]
 fn healthy_workloads_see_no_faults() {
     // The off-path guarantee: a non-failing workload's stats show zero
