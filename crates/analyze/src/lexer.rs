@@ -1,0 +1,477 @@
+//! A hand-rolled Rust lexer, sufficient for rule checking.
+//!
+//! The container has no crates.io access, so there is no `syn`/`proc-macro2`
+//! to lean on. This lexer handles the constructs that break naive regex
+//! scanning over Rust source:
+//!
+//! * raw strings with arbitrary hash fences (`r#"..."#`, `br##"..."##`),
+//! * nested block comments (`/* /* */ */`),
+//! * lifetimes vs char literals (`'a` vs `'a'` vs `'\n'`),
+//! * raw identifiers (`r#match`, normalized to `match`),
+//! * string escapes (`"\""`, `'\''`, `"\u{1F600}"`).
+//!
+//! Comments are kept as tokens (several rules key off `// SAFETY:` and
+//! `// px-analyze: allow(...)` comments) and every token carries the
+//! 1-based line it starts on. Whitespace is dropped; multi-character
+//! operators are emitted as single-character [`TokKind::Punct`] runs
+//! (`::` is `:`,`:`), which keeps the lexer trivial and the rule matchers
+//! explicit.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`r#ident` is normalized to `ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (text keeps the leading quote).
+    Lifetime,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Cooked string literal, including `b"..."` and `c"..."`.
+    Str,
+    /// Raw string literal (`r"..."`, `br#"..."#`).
+    RawStr,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// `// ...` comment (text includes the slashes, excludes the newline).
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (normalized for raw identifiers).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for comment tokens (skipped by most structural matchers).
+    #[inline]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this is an identifier with exactly this text.
+    #[inline]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is a punctuation token with exactly this character.
+    #[inline]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+#[inline]
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+#[inline]
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Never fails: malformed source degrades to
+/// punctuation tokens rather than panicking, because the analyzer must
+/// not crash on the code it is criticizing.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        c: src.chars().collect(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    c: Vec<char>,
+    i: usize,
+    line: u32,
+    toks: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.c.len() {
+            let start = self.i;
+            let line = self.line;
+            let ch = self.c[self.i];
+            match ch {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.cooked_string(start, line),
+                '\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident_or_prefixed(line),
+                c => {
+                    self.i += 1;
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.c.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Token { kind, text, line });
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        self.c[start..self.i].iter().collect()
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.c.len() && self.c[self.i] != '\n' {
+            self.i += 1;
+        }
+        let text = self.text_from(start);
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.i += 2;
+        let mut depth = 1u32;
+        while self.i < self.c.len() && depth > 0 {
+            if self.c[self.i] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.c[self.i] == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.c[self.i] == '\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        let text = self.text_from(start);
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Cooked string body starting at the opening `"` (prefix, if any,
+    /// already consumed; `start` points at the prefix for the token text).
+    fn cooked_string(&mut self, start: usize, line: u32) {
+        debug_assert_eq!(self.c[self.i], '"');
+        self.i += 1;
+        while self.i < self.c.len() {
+            match self.c[self.i] {
+                '\\' => {
+                    // Escape: skip the backslash and the escaped char.
+                    // `\u{...}` needs no special case — the braces and hex
+                    // digits that follow are consumed by the normal loop.
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.i = (self.i + 2).min(self.c.len());
+                }
+                '"' => {
+                    self.i += 1;
+                    let text = self.text_from(start);
+                    self.push(TokKind::Str, text, line);
+                    return;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        // Unterminated: emit what we have.
+        let text = self.text_from(start);
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string body: `self.i` points at the first `#` or the `"`.
+    fn raw_string(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        self.i += hashes;
+        debug_assert_eq!(self.c.get(self.i), Some(&'"'));
+        self.i += 1;
+        while self.i < self.c.len() {
+            if self.c[self.i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(1 + k) == Some('#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.i += 1 + hashes;
+                    let text = self.text_from(start);
+                    self.push(TokKind::RawStr, text, line);
+                    return;
+                }
+            }
+            if self.c[self.i] == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        let text = self.text_from(start);
+        self.push(TokKind::RawStr, text, line);
+    }
+
+    /// `'` starts a lifetime (`'a`), a char literal (`'a'`, `'\n'`), or a
+    /// labelled loop label (`'outer:` — lexes as a lifetime, fine).
+    fn quote(&mut self, line: u32) {
+        let start = self.i;
+        self.i += 1; // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Char literal with an escape: skip `\x`, then scan to the
+                // closing quote (covers `'\u{1F600}'`).
+                self.i = (self.i + 2).min(self.c.len());
+                while self.i < self.c.len() && self.c[self.i] != '\'' {
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.c.len());
+                let text = self.text_from(start);
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Ident chars follow: `'a'` is a char literal, `'a` (no
+                // closing quote) is a lifetime. `'static`, `'_` lifetimes;
+                // `'_'`, `'é'` char literals.
+                let mut j = self.i;
+                while j < self.c.len() && is_ident_continue(self.c[j]) {
+                    j += 1;
+                }
+                if self.c.get(j) == Some(&'\'') {
+                    self.i = j + 1;
+                    let text = self.text_from(start);
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.i = j;
+                    let text = self.text_from(start);
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(_) => {
+                // Non-ident char literal: `'1'`, `' '`, `'+'`.
+                self.i += 1;
+                if self.peek(0) == Some('\'') {
+                    self.i += 1;
+                }
+                let text = self.text_from(start);
+                self.push(TokKind::Char, text, line);
+            }
+            None => self.push(TokKind::Punct, "'".into(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.c.len() && (is_ident_continue(self.c[self.i])) {
+            self.i += 1;
+        }
+        // Fractional part: only when a digit follows the dot, so `0..6`
+        // stays three tokens and `x.1` tuple access is untouched.
+        if self.c.get(self.i) == Some(&'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.c.len() && is_ident_continue(self.c[self.i]) {
+                self.i += 1;
+            }
+        }
+        // Exponent sign: `1e-5` — the `e` was consumed above.
+        if matches!(self.c.get(self.i), Some('+') | Some('-'))
+            && self
+                .c
+                .get(self.i.wrapping_sub(1))
+                .is_some_and(|c| *c == 'e' || *c == 'E')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.i += 1;
+            while self.i < self.c.len() && is_ident_continue(self.c[self.i]) {
+                self.i += 1;
+            }
+        }
+        let text = self.text_from(start);
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// Identifier, or a string prefixed with `r`/`b`/`c`/`br`/`cr`, or a
+    /// raw identifier `r#ident`.
+    fn ident_or_prefixed(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.c.len() && is_ident_continue(self.c[self.i]) {
+            self.i += 1;
+        }
+        let word = self.text_from(start);
+        match (word.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", Some('"')) => self.raw_string(start, line),
+            ("r" | "br" | "cr", Some('#')) => {
+                // `r#"..."#` raw string, or `r#ident` raw identifier.
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.raw_string(start, line);
+                } else if word == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    self.i += 1; // the hash
+                    let id_start = self.i;
+                    while self.i < self.c.len() && is_ident_continue(self.c[self.i]) {
+                        self.i += 1;
+                    }
+                    // Normalized: `r#match` lexes as the ident `match`.
+                    let text = self.text_from(id_start);
+                    self.push(TokKind::Ident, text, line);
+                } else {
+                    self.push(TokKind::Ident, word, line);
+                }
+            }
+            ("b" | "c", Some('"')) => self.cooked_string(start, line),
+            ("b", Some('\'')) => {
+                self.quote(line);
+                // Re-tag with the `b` prefix included.
+                if let Some(last) = self.toks.last_mut() {
+                    last.kind = TokKind::Char;
+                    last.text = self.c[start..self.i].iter().collect();
+                    last.line = line;
+                }
+            }
+            _ => self.push(TokKind::Ident, word, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let toks = kinds(r####"let s = r#"quote " inside"# ;"####);
+        assert_eq!(toks[3].0, TokKind::RawStr);
+        assert_eq!(toks[3].1, r###"r#"quote " inside"#"###);
+        assert!(toks[4].1 == ";");
+        // Double fence with an embedded single fence.
+        let toks = kinds(r#####"r##"a "# b"##"#####);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        // Byte raw string.
+        let toks = kinds(r####"br#"x"#"####);
+        assert_eq!(toks[0].0, TokKind::RawStr);
+    }
+
+    #[test]
+    fn raw_string_hides_code_from_rules() {
+        // The string contains things every rule matches on; none may
+        // surface as real tokens.
+        let src = r###"let s = r#"unsafe { x.lock(); Ordering::Relaxed }"#;"###;
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks.iter().all(|t| !t.is_ident("lock")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::RawStr).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.ends_with("still outer */"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let d = '\\n'; let e = '_'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Lifetime)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokKind::Char)
+            .map(|t| t.1.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'", "'\\n'", "'_'"]);
+        // `'static` and `'_` are lifetimes.
+        let toks = kinds("&'static str; &'_ T");
+        assert_eq!(toks.iter().filter(|t| t.0 == TokKind::Lifetime).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_normalize() {
+        let toks = kinds("let r#match = r#fn + other;");
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "match"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "fn"));
+        assert!(toks.iter().any(|t| t.0 == TokKind::Ident && t.1 == "other"));
+        // But `r#"..."#` right after is still a raw string.
+        let toks = kinds(r####"r#fn r#"s"#"####);
+        assert_eq!(toks[0].0, TokKind::Ident);
+        assert_eq!(toks[1].0, TokKind::RawStr);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_strings() {
+        let toks = kinds(r#"let s = "a \" b \\" ; let t = "\u{1F600}!";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].1, r#""a \" b \\""#);
+        assert_eq!(strs[1].1, r#""\u{1F600}!""#);
+    }
+
+    #[test]
+    fn line_numbers_and_comments() {
+        let src = "line1\n// c2\nline3 /* spans\nlines */ after\n";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[3].kind, TokKind::BlockComment);
+        assert_eq!(toks[3].line, 3);
+        // `after` lands on line 4: the block comment advanced the counter.
+        assert_eq!(toks[4].line, 4);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0..6");
+        assert_eq!(toks.len(), 4); // 0 . . 6
+        assert_eq!(toks[0].0, TokKind::Num);
+        let toks = kinds("1.5e-3 0xff_u64 1 << 0");
+        assert_eq!(toks[0].1, "1.5e-3");
+        assert_eq!(toks[1].1, "0xff_u64");
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let toks = kinds(r"b'\n' b'x'");
+        assert_eq!(toks.len(), 2);
+        assert!(toks.iter().all(|t| t.0 == TokKind::Char));
+    }
+}

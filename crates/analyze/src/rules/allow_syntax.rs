@@ -1,0 +1,95 @@
+//! `allow-syntax`: every `px-analyze` suppression comment must parse,
+//! name a real rule, and carry a justification.
+//!
+//! Why: a suppression that silently fails to parse is worse than no
+//! suppression (the author believes the line is covered), and a
+//! justification-free allow defeats the audit trail the whole tool
+//! exists to build. This meta-rule turns both mistakes into findings, so
+//! the only way to quiet the checker is a well-formed, explained,
+//! line-level allow.
+
+use crate::{is_doc_comment, parse_allow_comment, FileCtx, Finding, RULE_IDS};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for t in &ctx.toks {
+        if !t.is_comment() || is_doc_comment(&t.text) {
+            continue;
+        }
+        // Only comments *attempting* the allow syntax are checked: prose
+        // mentioning the tool (docs, this file) is not a suppression.
+        let Some(at) = t.text.find("px-analyze:") else {
+            continue;
+        };
+        if !t.text[at + "px-analyze:".len()..]
+            .trim_start()
+            .starts_with("allow")
+        {
+            continue;
+        }
+        let msg = match parse_allow_comment(&t.text) {
+            None => Some(
+                "malformed suppression: expected `px-analyze: allow(rule-id): justification`"
+                    .to_string(),
+            ),
+            Some((rule, _)) if !RULE_IDS.contains(&rule.as_str()) => {
+                Some(format!("unknown rule id `{rule}` in allow"))
+            }
+            Some((_, why)) if why.is_empty() => {
+                Some("allow without a justification after the colon".to_string())
+            }
+            Some(_) => None,
+        };
+        if let Some(msg) = msg {
+            findings.push(Finding {
+                file: ctx.rel.clone(),
+                line: t.line,
+                rule: "allow-syntax",
+                msg,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze_files;
+
+    fn run(src: &str) -> Vec<String> {
+        analyze_files(&[("crates/core/src/x.rs".into(), src.into())])
+            .into_iter()
+            .filter(|f| f.rule == "allow-syntax")
+            .map(|f| f.msg)
+            .collect()
+    }
+
+    #[test]
+    fn malformed_allows_flagged() {
+        assert_eq!(run("// px-analyze: allow(lock-order)").len(), 1);
+        assert_eq!(run("// px-analyze: allow(not-a-rule): because").len(), 1);
+        assert_eq!(run("// px-analyze: allowlock-order: x").len(), 1);
+        assert_eq!(run("// px-analyze: allow(lock-order):").len(), 1);
+    }
+
+    #[test]
+    fn wellformed_allow_passes() {
+        assert!(run("// px-analyze: allow(lock-order): B is only taken read-side here").is_empty());
+    }
+
+    // Regression note (ISSUE 8): this comment itself mentions px-analyze
+    // in prose without being an allow — prose must not be flagged, only
+    // comments that *attempt* the allow syntax and fail. The parser keys
+    // on the `px-analyze:` prefix with `allow(` following.
+    #[test]
+    fn prose_mentioning_the_tool_passes() {
+        assert!(run("// run px-analyze before committing").is_empty());
+    }
+
+    // Docs may show the syntax as an example without it being a (possibly
+    // malformed) live suppression — only plain `//` comments count.
+    #[test]
+    fn doc_comments_showing_the_syntax_pass() {
+        assert!(run("/// Write `// px-analyze: allow(rule-id): why` on the line.").is_empty());
+        assert!(run("//! px-analyze: allow(rule-id): placeholder example").is_empty());
+    }
+}

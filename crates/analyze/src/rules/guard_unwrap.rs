@@ -1,0 +1,98 @@
+//! `guard-unwrap`: no `.lock().unwrap()` / `.read().unwrap()` /
+//! `.write().unwrap()` in non-test code.
+//!
+//! Why: the workspace standardizes on the (vendored) `parking_lot` lock
+//! API, whose guards are infallible — a poisoned-`std`-mutex `.unwrap()`
+//! indicates a stray `std::sync` lock slipped in, where a panicking
+//! worker would cascade into bare `PoisonError` unwraps on every other
+//! thread instead of one loud, attributable failure. The 2025-08 audit of
+//! `sched.rs`/`runtime.rs` hot paths (ISSUE 8, satellite 3) found **zero**
+//! poison-prone guard unwraps precisely because of that convention; this
+//! rule keeps the result true instead of letting it silently rot.
+//! (`.expect(...)` counts too: same poison path, nicer message, still the
+//! wrong layer to handle it.)
+
+use crate::segment::next_sig;
+use crate::{FileCtx, Finding};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let is_acquire = t.is_ident("lock") || t.is_ident("read") || t.is_ident("write");
+        if !is_acquire || ctx.in_test(i) {
+            continue;
+        }
+        // Shape: `.lock ( )` — empty argument list distinguishes a lock
+        // acquisition from `io::Read::read(&mut buf)`.
+        let Some(prev) = i
+            .checked_sub(1)
+            .and_then(|p| crate::segment::prev_sig(toks, p))
+        else {
+            continue;
+        };
+        if !toks[prev].is_punct('.') {
+            continue;
+        }
+        let Some(open) = next_sig(toks, i + 1) else {
+            continue;
+        };
+        let Some(close) = next_sig(toks, open + 1) else {
+            continue;
+        };
+        if !(toks[open].is_punct('(') && toks[close].is_punct(')')) {
+            continue;
+        }
+        // Followed by `.unwrap()` or `.expect(`?
+        let Some(dot) = next_sig(toks, close + 1) else {
+            continue;
+        };
+        let Some(m) = next_sig(toks, dot + 1) else {
+            continue;
+        };
+        if toks[dot].is_punct('.') && (toks[m].is_ident("unwrap") || toks[m].is_ident("expect")) {
+            findings.push(Finding {
+                file: ctx.rel.clone(),
+                line: toks[m].line,
+                rule: "guard-unwrap",
+                msg: format!(
+                    "`.{}().{}(..)` on a lock guard: use the parking_lot API \
+                     (infallible guards) instead of unwrapping poison",
+                    t.text, toks[m].text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze_files;
+
+    fn run(src: &str) -> usize {
+        analyze_files(&[("crates/core/src/x.rs".into(), src.into())])
+            .iter()
+            .filter(|f| f.rule == "guard-unwrap")
+            .count()
+    }
+
+    #[test]
+    fn std_guard_unwraps_flagged() {
+        assert_eq!(run("fn f() { let g = m.lock().unwrap(); }"), 1);
+        assert_eq!(run("fn f() { let g = t.read().expect(\"poisoned\"); }"), 1);
+        assert_eq!(run("fn f() { let g = t.write().unwrap(); }"), 1);
+    }
+
+    #[test]
+    fn parking_lot_style_passes() {
+        assert_eq!(run("fn f() { let g = m.lock(); g.push(1); }"), 0);
+        // io::Read with arguments is not a lock acquisition.
+        assert_eq!(run("fn f() { s.read(&mut buf).unwrap(); }"), 0);
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { m.lock().unwrap(); } }";
+        assert_eq!(run(src), 0);
+    }
+}

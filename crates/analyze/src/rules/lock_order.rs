@@ -1,0 +1,399 @@
+//! `lock-order`: nested lock acquisitions must agree on a single global
+//! order; cycles are reported with the witnessing call paths.
+//!
+//! Why: the runtime holds locks briefly and almost never nested — but
+//! "almost" is how deadlocks ship. If function `f` takes `a` then `b`
+//! while `g` takes `b` then `a`, both pass every test until two threads
+//! interleave under load. The rule extracts, per function, the sequence
+//! of `.lock()`/`.read()`/`.write()` acquisitions on *named* receivers
+//! (fields, statics, locals) that overlap in time, builds the global
+//! acquired-before graph, and reports every cycle with the `file:line`
+//! of each witnessing edge so the fix (pick one order) is mechanical.
+//!
+//! Heuristics, stated honestly:
+//! - A guard bound by a plain `let g = x.lock();` statement is held
+//!   until its block ends or `drop(g)`; any other acquisition (a
+//!   temporary in a larger expression) is held to the end of the
+//!   statement.
+//! - Receivers are compared by trailing name (`self.ports.port(d, s)
+//!   .lock()` is the lock named `port`); distinct objects sharing a
+//!   field name collapse into one node. That can over-approximate, and
+//!   a justified line-level allow is the escape hatch.
+//! - Test code is excluded: tests serialize on their own threads and
+//!   routinely nest locks to stage fixtures.
+//!
+//! Re-entrant acquisition of the *same* named lock while it is held is
+//! reported too — the vendored `parking_lot` mutex deadlocks on
+//! re-lock rather than panicking.
+
+use crate::lexer::{TokKind, Token};
+use crate::segment::{next_sig, prev_sig, receiver_name};
+use crate::{FileCtx, Finding};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One witnessed acquired-before edge: `first` was held while `second`
+/// was acquired.
+#[derive(Debug, Clone)]
+struct Edge {
+    first: String,
+    second: String,
+    file: String,
+    line: u32,
+    func: String,
+}
+
+/// A lock currently held at some point in a function walk.
+struct Held {
+    name: String,
+    /// Guard binding (`let g = ...lock();`), if the guard persists.
+    guard: Option<String>,
+    /// Brace depth the guard lives at; popped when the block closes.
+    depth: usize,
+    /// Statement-temporary guard: released at the next `;`.
+    temp: bool,
+}
+
+/// Is the token at `i` a lock acquisition (`.lock()` / `.read()` /
+/// `.write()` with an empty argument list)? Returns the close paren.
+fn acquisition(toks: &[Token], i: usize) -> Option<usize> {
+    let t = &toks[i];
+    if !(t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")) {
+        return None;
+    }
+    let prev = prev_sig(toks, i.checked_sub(1)?)?;
+    if !toks[prev].is_punct('.') {
+        return None;
+    }
+    let open = next_sig(toks, i + 1)?;
+    let close = next_sig(toks, open + 1)?;
+    (toks[open].is_punct('(') && toks[close].is_punct(')')).then_some(close)
+}
+
+/// Walk one function body collecting acquired-before edges.
+fn walk_fn(ctx: &FileCtx, f: &crate::segment::FnItem, edges: &mut Vec<Edge>) {
+    let toks = &ctx.toks;
+    let (open, close) = f.body;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i <= close {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.temp || h.depth <= depth);
+        } else if t.is_punct(';') {
+            held.retain(|h| !h.temp);
+        } else if t.is_ident("drop") {
+            // `drop(g)` releases a named guard early.
+            if let Some(o) = next_sig(toks, i + 1) {
+                if toks[o].is_punct('(') {
+                    if let Some(a) = next_sig(toks, o + 1) {
+                        if toks[a].kind == TokKind::Ident {
+                            let g = toks[a].text.clone();
+                            held.retain(|h| h.guard.as_deref() != Some(g.as_str()));
+                        }
+                    }
+                }
+            }
+        } else if let Some(cl) = acquisition(toks, i) {
+            if let Some(recv) = receiver_name(toks, i) {
+                for h in &held {
+                    edges.push(Edge {
+                        first: h.name.clone(),
+                        second: recv.clone(),
+                        file: ctx.rel.clone(),
+                        line: t.line,
+                        func: f.name.clone(),
+                    });
+                }
+                // Persistent iff the statement is `let [mut] g = <recv
+                // chain>.lock();` — `let` starts the statement and `;`
+                // directly follows the call.
+                let mut guard = None;
+                let stmt_is_let = {
+                    let mut j = i as isize - 1;
+                    let mut d = 0i64;
+                    loop {
+                        if j < 0 {
+                            break None;
+                        }
+                        let p = &toks[j as usize];
+                        if p.is_comment() {
+                            j -= 1;
+                            continue;
+                        }
+                        if p.is_punct(')') || p.is_punct(']') {
+                            d += 1;
+                        } else if p.is_punct('(') || p.is_punct('[') {
+                            d -= 1;
+                        }
+                        if d <= 0 && (p.is_punct(';') || p.is_punct('{') || p.is_punct('}')) {
+                            break None;
+                        }
+                        if d == 0 && p.is_ident("let") {
+                            break Some(j as usize);
+                        }
+                        j -= 1;
+                    }
+                };
+                if let Some(l) = stmt_is_let {
+                    if toks.get(cl + 1).is_some_and(|n| n.is_punct(';')) {
+                        let mut n = next_sig(toks, l + 1);
+                        if let Some(m) = n {
+                            if toks[m].is_ident("mut") {
+                                n = next_sig(toks, m + 1);
+                            }
+                        }
+                        if let Some(g) = n {
+                            if toks[g].kind == TokKind::Ident {
+                                guard = Some(toks[g].text.clone());
+                            }
+                        }
+                    }
+                }
+                let temp = guard.is_none();
+                held.push(Held {
+                    name: recv,
+                    guard,
+                    depth,
+                    temp,
+                });
+                i = cl; // resume after the call's `()`
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Run the rule across all files.
+pub fn check(ctxs: &[FileCtx], findings: &mut Vec<Finding>) {
+    let mut edges: Vec<Edge> = Vec::new();
+    for ctx in ctxs {
+        for f in &ctx.fns {
+            if f.in_test {
+                continue;
+            }
+            walk_fn(ctx, f, &mut edges);
+        }
+    }
+
+    // Re-entrant same-lock acquisition is its own finding.
+    for e in &edges {
+        if e.first == e.second {
+            findings.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "lock-order",
+                msg: format!(
+                    "re-entrant acquisition of `{}` while already held in `{}` \
+                     (parking_lot deadlocks on re-lock)",
+                    e.second, e.func
+                ),
+            });
+        }
+    }
+
+    // Global order graph on distinct locks.
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        if e.first != e.second {
+            graph.entry(&e.first).or_default().insert(&e.second);
+        }
+    }
+    // DFS cycle detection; each cycle reported once, canonicalized by
+    // rotating its smallest node first.
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = graph.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<&str> = vec![start];
+        let mut path: Vec<&str> = Vec::new();
+        dfs(start, &graph, &mut path, &mut stack, &mut seen_cycles);
+    }
+    for cycle in &seen_cycles {
+        // Describe each edge in the cycle with one witness.
+        let mut legs = Vec::new();
+        let mut first_witness: Option<&Edge> = None;
+        for w in 0..cycle.len() {
+            let a = &cycle[w];
+            let b = &cycle[(w + 1) % cycle.len()];
+            if let Some(e) = edges.iter().find(|e| &e.first == a && &e.second == b) {
+                legs.push(format!(
+                    "`{a}` then `{b}` at {}:{} (fn {})",
+                    e.file, e.line, e.func
+                ));
+                first_witness.get_or_insert(e);
+            }
+        }
+        let Some(w) = first_witness else { continue };
+        findings.push(Finding {
+            file: w.file.clone(),
+            line: w.line,
+            rule: "lock-order",
+            msg: format!(
+                "lock-order cycle {{{}}}: {}",
+                cycle.join(" -> "),
+                legs.join("; ")
+            ),
+        });
+    }
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    graph: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    path: &mut Vec<&'a str>,
+    _stack: &mut Vec<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    if let Some(pos) = path.iter().position(|&n| n == node) {
+        let cyc: Vec<&str> = path[pos..].to_vec();
+        // Canonical rotation: smallest node first.
+        let min = cyc
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i);
+        if let Some(mi) = min {
+            let mut rot: Vec<String> = Vec::with_capacity(cyc.len());
+            for k in 0..cyc.len() {
+                rot.push(cyc[(mi + k) % cyc.len()].to_string());
+            }
+            cycles.insert(rot);
+        }
+        return;
+    }
+    path.push(node);
+    if let Some(nexts) = graph.get(node) {
+        for &n in nexts {
+            dfs(n, graph, path, _stack, cycles);
+        }
+    }
+    path.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze_files;
+
+    fn run(files: &[(&str, &str)]) -> Vec<String> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        analyze_files(&owned)
+            .into_iter()
+            .filter(|f| f.rule == "lock-order")
+            .map(|f| f.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn opposite_nesting_orders_reported_with_both_witnesses() {
+        let found = run(&[
+            (
+                "crates/core/src/a.rs",
+                "fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); drop(g); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "fn g(s: &S) { let g = s.beta.lock(); s.alpha.lock().push(1); drop(g); }",
+            ),
+        ]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("alpha -> beta") || found[0].contains("beta -> alpha"));
+        assert!(found[0].contains("crates/core/src/a.rs:1"));
+        assert!(found[0].contains("crates/core/src/b.rs:1"));
+        assert!(found[0].contains("fn f") && found[0].contains("fn g"));
+    }
+
+    #[test]
+    fn consistent_order_passes() {
+        let found = run(&[
+            (
+                "crates/core/src/a.rs",
+                "fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "fn g(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(2); }",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn dropped_guard_ends_nesting() {
+        // `drop(g)` before the second lock: no overlap, no edge.
+        let found = run(&[
+            (
+                "crates/core/src/a.rs",
+                "fn f(s: &S) { let g = s.alpha.lock(); drop(g); s.beta.lock().push(1); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "fn g(s: &S) { let g = s.beta.lock(); drop(g); s.alpha.lock().push(1); }",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn statement_temporary_released_at_semicolon() {
+        // `x.lock().push(..);` holds only within its statement.
+        let found = run(&[
+            (
+                "crates/core/src/a.rs",
+                "fn f(s: &S) { s.alpha.lock().push(1); s.beta.lock().push(1); }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "fn g(s: &S) { s.beta.lock().push(1); s.alpha.lock().push(1); }",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_let_guard() {
+        let found = run(&[(
+            "crates/core/src/a.rs",
+            "fn f(s: &S) { { let g = s.alpha.lock(); } s.alpha.lock().push(1); }",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn reentrant_same_lock_reported() {
+        let found = run(&[(
+            "crates/core/src/a.rs",
+            "fn f(s: &S) { let g = s.alpha.lock(); s.alpha.lock().push(1); }",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("re-entrant"));
+    }
+
+    #[test]
+    fn three_cycle_reported_once() {
+        let found = run(&[(
+            "crates/core/src/a.rs",
+            "fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); }\n\
+                 fn g(s: &S) { let g = s.beta.lock(); s.gamma.lock().push(1); }\n\
+                 fn h(s: &S) { let g = s.gamma.lock(); s.alpha.lock().push(1); }",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("alpha -> beta -> gamma"));
+    }
+
+    #[test]
+    fn test_code_excluded() {
+        let found = run(&[(
+            "crates/core/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n\
+             fn f(s: &S) { let g = s.alpha.lock(); s.beta.lock().push(1); }\n\
+             fn g(s: &S) { let g = s.beta.lock(); s.alpha.lock().push(1); }\n}",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,439 @@
+//! Brace-matched item segmentation over the token stream: functions,
+//! `impl` blocks, `#[cfg(test)]` ranges, and closure bodies, plus the
+//! shared token-walking helpers the rules are built from.
+
+use crate::lexer::{TokKind, Token};
+
+/// A function item: its name, signature range, and brace-matched body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (the ident after `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token index range `[open, close]` of the body braces, inclusive.
+    pub body: (usize, usize),
+    /// True when the function sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// An `impl` block: `impl Type { .. }` or `impl Trait for Type { .. }`.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// The implemented-on type name (last path segment, generics dropped).
+    pub type_name: String,
+    /// Trait name for `impl Trait for Type` (last path segment).
+    pub trait_name: Option<String>,
+    /// Token index range `[open, close]` of the body braces, inclusive.
+    pub body: (usize, usize),
+}
+
+/// Index of the next non-comment token at or after `i`.
+pub fn next_sig(toks: &[Token], mut i: usize) -> Option<usize> {
+    while i < toks.len() {
+        if !toks[i].is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the nearest non-comment token at or before `i`.
+pub fn prev_sig(toks: &[Token], i: usize) -> Option<usize> {
+    let mut j = i as isize;
+    while j >= 0 {
+        if !toks[j as usize].is_comment() {
+            return Some(j as usize);
+        }
+        j -= 1;
+    }
+    None
+}
+
+/// Token index of the `}` matching the `{` at `open` (or the last token
+/// if unbalanced — the analyzer degrades rather than panics).
+pub fn matching_brace(toks: &[Token], open: usize) -> usize {
+    debug_assert!(toks[open].is_punct('{'));
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Token index of the `)` matching the `(` at `open` (or the last token
+/// if unbalanced).
+pub fn matching_close_paren(toks: &[Token], open: usize) -> usize {
+    debug_assert!(toks[open].is_punct('('));
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Given the index of a `)` token, return the index of its matching `(`.
+pub fn matching_open_paren(toks: &[Token], close: usize) -> usize {
+    debug_assert!(toks[close].is_punct(')'));
+    let mut depth = 0i64;
+    let mut i = close as isize;
+    while i >= 0 {
+        let t = &toks[i as usize];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return i as usize;
+            }
+        }
+        i -= 1;
+    }
+    0
+}
+
+/// The receiver name of a method call: for the method ident at `m_idx`
+/// (with `toks[m_idx-1] == '.'`), the last *named* segment of the
+/// receiver chain:
+///
+/// * `self.queue.lock()` → `queue`
+/// * `ports.port(dest, staged).lock()` → `port` (the producing call)
+/// * `self.slots[i].lock()` → `slots`
+/// * `STATIC.lock()` → `STATIC`
+pub fn receiver_name(toks: &[Token], m_idx: usize) -> Option<String> {
+    let dot = prev_sig(toks, m_idx.checked_sub(1)?)?;
+    if !toks[dot].is_punct('.') {
+        return None;
+    }
+    let mut j = prev_sig(toks, dot.checked_sub(1)?)?;
+    // Skip a trailing index `[...]` or call `(...)` group.
+    loop {
+        if toks[j].is_punct(']') {
+            let mut depth = 0i64;
+            let mut k = j as isize;
+            while k >= 0 {
+                if toks[k as usize].is_punct(']') {
+                    depth += 1;
+                } else if toks[k as usize].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            j = prev_sig(toks, (k.max(0) as usize).checked_sub(1)?)?;
+        } else if toks[j].is_punct(')') {
+            let open = matching_open_paren(toks, j);
+            j = prev_sig(toks, open.checked_sub(1)?)?;
+        } else {
+            break;
+        }
+    }
+    if toks[j].kind == TokKind::Ident && toks[j].text != "self" {
+        return Some(toks[j].text.clone());
+    }
+    // `self.lock()` or an expression we cannot name.
+    None
+}
+
+/// All functions in the token stream. Scans linearly for `fn` keywords;
+/// trait-method declarations without bodies are skipped. `fn` pointer
+/// types (`fn(..) -> T`) are skipped because no name ident follows.
+pub fn functions(toks: &[Token]) -> Vec<FnItem> {
+    let test_ranges = cfg_test_ranges(toks);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            let fn_idx = i;
+            let Some(name_idx) = next_sig(toks, i + 1) else {
+                break;
+            };
+            if toks[name_idx].kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = toks[name_idx].text.clone();
+            // Find the body `{` at bracket/paren depth 0, or a `;`
+            // (bodyless declaration). Generic angle brackets need no
+            // tracking: `{` cannot appear inside a signature's generics
+            // or argument types in this codebase's (and most) Rust.
+            let mut depth = 0i64;
+            let mut j = name_idx + 1;
+            let mut body_open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('{') {
+                    body_open = Some(j);
+                    break;
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body_open {
+                let close = matching_brace(toks, open);
+                out.push(FnItem {
+                    name,
+                    line: toks[fn_idx].line,
+                    fn_idx,
+                    body: (open, close),
+                    in_test: test_ranges.iter().any(|r| r.0 <= fn_idx && fn_idx <= r.1),
+                });
+                // Continue scanning *inside* the body too (nested fns).
+                i = open + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All `impl` blocks.
+pub fn impls(toks: &[Token]) -> Vec<ImplItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            // Collect path segments up to the body `{`, tracking a `for`.
+            let mut j = i + 1;
+            let mut angle = 0i64;
+            let mut last_ident: Option<String> = None;
+            let mut before_for: Option<String> = None;
+            let mut open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                } else if angle == 0 && t.kind == TokKind::Ident && t.text == "for" {
+                    before_for = last_ident.take();
+                } else if angle == 0 && t.kind == TokKind::Ident && t.text != "where" {
+                    last_ident = Some(t.text.clone());
+                } else if angle <= 0 && t.is_punct('{') {
+                    open = Some(j);
+                    break;
+                } else if t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let (Some(open), Some(type_name)) = (open, last_ident) {
+                let close = matching_brace(toks, open);
+                out.push(ImplItem {
+                    type_name,
+                    trait_name: before_for,
+                    body: (open, close),
+                });
+                i = open + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token ranges of `#[cfg(test)] mod ... { ... }` bodies.
+pub fn cfg_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        if toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']')
+        {
+            // Find the next `mod`'s `{`.
+            if let Some(m) = next_sig(toks, i + 7) {
+                if toks[m].is_ident("mod") {
+                    let mut j = m;
+                    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].is_punct('{') {
+                        out.push((j, matching_brace(toks, j)));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token ranges of closure bodies `|args| { ... }`. Single-expression
+/// closures (no braces) are not tracked — a `return` cannot hide in one
+/// without braces in practice. The `|` is recognized as a closure head
+/// (not bitwise-or) when the preceding significant token cannot end an
+/// operand.
+pub fn closure_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let opens_closure = if t.is_punct('|') {
+            match i.checked_sub(1).and_then(|p| prev_sig(toks, p)) {
+                None => true,
+                Some(p) => {
+                    let pt = &toks[p];
+                    pt.is_punct('(')
+                        || pt.is_punct(',')
+                        || pt.is_punct('=')
+                        || pt.is_punct('{')
+                        || pt.is_punct(';')
+                        || pt.is_punct('>') // `=>` arm
+                        || pt.is_ident("move")
+                        || pt.is_ident("return")
+                }
+            }
+        } else {
+            false
+        };
+        if opens_closure {
+            // Empty params `||` or scan to the closing `|`.
+            let params_end = if toks.get(i + 1).is_some_and(|t| t.is_punct('|')) {
+                i + 1
+            } else {
+                let mut j = i + 1;
+                let mut depth = 0i64; // parens/brackets inside patterns
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct('|') {
+                        break;
+                    }
+                    j += 1;
+                }
+                j
+            };
+            // Skip an optional `-> Type` to the body.
+            let mut k = params_end + 1;
+            while k < toks.len()
+                && !toks[k].is_punct('{')
+                && !toks[k].is_punct(';')
+                && !toks[k].is_punct(',')
+                && !toks[k].is_punct(')')
+            {
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct('{') {
+                out.push((k, matching_brace(toks, k)));
+            }
+            i = params_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let toks = lex("impl Foo { fn a(&self) -> u32 { 1 } }\n\
+             fn b<T: Fn() -> usize>(x: T) { x(); }\n\
+             trait T { fn decl(&self); fn with_default(&self) {} }");
+        let fns = functions(&toks);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "with_default"]);
+        for f in &fns {
+            assert!(toks[f.body.0].is_punct('{'));
+            assert!(toks[f.body.1].is_punct('}'));
+        }
+    }
+
+    #[test]
+    fn fn_keyword_in_string_is_not_an_item() {
+        let toks = lex(r#"fn real() { let s = "fn fake() {"; s.len() }"#);
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+        // The body closes at the real `}`, not inside the string.
+        assert_eq!(fns[0].body.1, toks.len() - 1);
+    }
+
+    #[test]
+    fn cfg_test_marks_functions() {
+        let toks = lex("fn prod() {}\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { prod(); }\n}");
+        let fns = functions(&toks);
+        assert!(!fns.iter().find(|f| f.name == "prod").unwrap().in_test);
+        assert!(fns.iter().find(|f| f.name == "t").unwrap().in_test);
+    }
+
+    #[test]
+    fn receiver_names() {
+        let toks = lex("self.queue.lock(); ports.port(dest, p.staged).lock(); x[i].read();");
+        let mut names = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("lock") || t.is_ident("read") {
+                names.push(receiver_name(&toks, i));
+            }
+        }
+        assert_eq!(
+            names,
+            [Some("queue".into()), Some("port".into()), Some("x".into())]
+        );
+    }
+
+    #[test]
+    fn impl_blocks() {
+        let toks = lex("impl TraceRing { fn a() {} } impl Drop for Wire { fn drop(&mut self) {} } impl<T: Clone> Holder<T> {}");
+        let im = impls(&toks);
+        assert_eq!(im.len(), 3);
+        assert_eq!(im[0].type_name, "TraceRing");
+        assert!(im[0].trait_name.is_none());
+        assert_eq!(im[1].type_name, "Wire");
+        assert_eq!(im[1].trait_name.as_deref(), Some("Drop"));
+        assert_eq!(im[2].type_name, "Holder");
+    }
+
+    #[test]
+    fn closures() {
+        let toks = lex("items.map(|x| { x + 1 }); let f = move |a, b| { a * b }; a | b;");
+        let ranges = closure_ranges(&toks);
+        assert_eq!(ranges.len(), 2);
+        // Bitwise-or `a | b` did not produce a closure.
+    }
+}

@@ -31,6 +31,7 @@
 //!   stock implementations [`WorkToData`], [`DataToWork`], and
 //!   [`Adaptive`], configured through [`BalanceConfig`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod monitor;

@@ -89,9 +89,10 @@ pub struct WorldInner {
 
 impl WorldInner {
     fn send_env(&self, to: usize, env: Envelope) {
+        // Relaxed: diagnostic tally, read after the world quiesces.
         self.messages.fetch_add(1, Ordering::Relaxed);
         let size = env.payload.len() + 16; // header estimate, matches parcels
-        self.bytes.fetch_add(size as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(size as u64, Ordering::Relaxed); // Relaxed: as above
         self.line.send(Routed { to, env }, size);
     }
 }
@@ -351,6 +352,7 @@ impl Rank {
 
     /// Messages sent world-wide so far.
     pub fn world_messages(&self) -> u64 {
+        // Relaxed: counter read for reporting, not synchronization.
         self.inner.messages.load(Ordering::Relaxed)
     }
 

@@ -164,6 +164,7 @@ pub fn run_fleet_with_stats(
             let executed = executed.clone();
             tenants[t].spawn_at(&rt, LocalityId((k % LOCALITIES) as u16), move |_ctx| {
                 sleep_for_ns(grain);
+                // Relaxed: completion tally, read after the run joins.
                 executed.fetch_add(1, Ordering::Relaxed);
             });
             k += 1;
@@ -227,6 +228,7 @@ pub fn run_fleet_with_stats(
         makespan_ms: makespan.as_secs_f64() * 1e3,
         tenants_completed: completed,
         tenants_cancelled: cancelled,
+        // Relaxed: the runtime has shut down; no writer remains.
         tasks_executed: executed.load(Ordering::Relaxed),
         tasks_cancelled: total.tasks_cancelled + total.dead_cancelled,
         processes_cancelled: stats.processes_cancelled,

@@ -159,6 +159,7 @@ pub fn maybe_child() {
         .map(String::from)
         .collect();
     if std::env::var(TRACE_ENV).is_ok() {
+        // Relaxed: flag set during single-threaded child startup.
         crate::TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
     }
     let cfg = crate::apply_trace(

@@ -87,6 +87,7 @@ pub fn run_echo() -> Row {
                 let sc = stale_count.clone();
                 echo::commit::<u64, _>(ctx, root, version, move |ctx, outcome| {
                     if matches!(outcome, Ok(echo::CommitOutcome::Stale { .. })) {
+                        // Relaxed: stat tally, read after the run joins.
                         sc.fetch_add(1, Ordering::Relaxed);
                     }
                     ctx.trigger_value(gate, px_core::action::Value::unit());

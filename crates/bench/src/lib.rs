@@ -29,6 +29,7 @@
 //! EXPERIMENTS.md records. `BENCH_*.json` artifacts are emitted through
 //! derived `Serialize` impls by the [`json`] module.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod e10_datavortex;
@@ -60,6 +61,7 @@ pub static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool:
 /// True when `--trace` was passed: experiments enable sampled causal
 /// tracing and print the slowest traced request's timeline.
 pub fn trace_enabled() -> bool {
+    // Relaxed: a boolean flag written once during startup.
     TRACE.load(std::sync::atomic::Ordering::Relaxed)
 }
 

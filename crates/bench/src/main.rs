@@ -28,6 +28,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--trace") {
         args.retain(|a| a != "--trace");
+        // Relaxed: flag set in main before any runtime thread exists.
         px_bench::TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
     }
     let (smoke, name) = match args.as_slice() {

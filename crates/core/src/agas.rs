@@ -68,6 +68,7 @@ pub struct Agas {
 impl std::fmt::Debug for Agas {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Agas")
+            // Relaxed: debug snapshot of a stat counter.
             .field("migrations", &self.migrations.load(Ordering::Relaxed))
             .field("names", &self.names.read().len())
             .finish()
@@ -140,8 +141,11 @@ impl Agas {
 
     /// Record a migration with an explicit cause.
     pub fn record_migration_caused(&self, gid: Gid, to: LocalityId, cause: MigrationCause) {
+        // Relaxed: migration tallies are monotonic stat counters; the
+        // directory write below is what synchronizes the move itself.
         self.migrations.fetch_add(1, Ordering::Relaxed);
         match cause {
+            // Relaxed: same counter discipline as the total above.
             MigrationCause::Manual => self.migrations_manual.fetch_add(1, Ordering::Relaxed),
             MigrationCause::Balancer => self.migrations_balancer.fetch_add(1, Ordering::Relaxed),
         };
@@ -166,6 +170,7 @@ impl Agas {
 
     /// Total migrations recorded.
     pub fn migrations(&self) -> u64 {
+        // Relaxed: counter read for reporting.
         self.migrations.load(Ordering::Relaxed)
     }
 
@@ -178,6 +183,7 @@ impl Agas {
     /// Migrations split by cause: `(manual, balancer)`.
     pub fn migrations_by_cause(&self) -> (u64, u64) {
         (
+            // Relaxed: counter reads for reporting.
             self.migrations_manual.load(Ordering::Relaxed),
             self.migrations_balancer.load(Ordering::Relaxed),
         )

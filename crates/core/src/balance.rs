@@ -143,6 +143,8 @@ fn act_round(rt: &Arc<RuntimeInner>, cfg: &BalanceConfig, debug: bool) {
         };
         let Some((least_idx, least_score)) = least else {
             // No gossip heard yet: nothing to compare against.
+            // Relaxed: the target is an advisory hint — a stale read
+            // routes one spawn suboptimally, nothing more.
             b.spawn_target.store(NO_SPAWN_TARGET, Ordering::Relaxed);
             continue;
         };
@@ -164,6 +166,7 @@ fn act_round(rt: &Arc<RuntimeInner>, cfg: &BalanceConfig, debug: bool) {
         } else {
             NO_SPAWN_TARGET
         };
+        // Relaxed: advisory hint, republished every round (see above).
         b.spawn_target.store(target, Ordering::Relaxed);
         let want = cfg.policy.shed(&sq);
         if debug {

@@ -53,6 +53,7 @@
 //! data) or *suspends* by depositing its continuation in an LCO (a
 //! "depleted thread" in the paper's terminology).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod action;

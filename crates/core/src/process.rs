@@ -87,10 +87,12 @@ impl std::fmt::Debug for ProcessInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProcessInner")
             .field("gid", &self.gid)
+            // Relaxed: debug snapshot; exactness is not required.
             .field("active", &self.active.load(Ordering::Relaxed))
             .field("spawned", &self.spawned.load(Ordering::Relaxed))
             .field("parent", &self.parent)
             .field("children", &self.children.lock().len())
+            // Relaxed: debug snapshot; exactness is not required.
             .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
             .finish()
     }
@@ -119,6 +121,7 @@ impl ProcessInner {
     /// Account one dispatched activation.
     pub(crate) fn task_started(&self) {
         self.active.fetch_add(1, Ordering::AcqRel);
+        // Relaxed: lifetime tally; `active` above carries the ordering.
         self.spawned.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -160,6 +163,9 @@ impl ProcessInner {
         if let Some(w) = self.touched.get(word) {
             // Avoid the RMW when the bit is already set (the common case
             // on a steady-state process).
+            // Relaxed: the bitmap is only read after the process
+            // quiesces (the AcqRel `active` count hitting zero orders
+            // these sets before that read); bits only ever turn on.
             if w.load(Ordering::Relaxed) & (1 << bit) == 0 {
                 w.fetch_or(1 << bit, Ordering::Relaxed);
             }
@@ -244,6 +250,7 @@ impl ProcessInner {
 
     /// Total activations accounted over the process lifetime.
     pub fn spawned(&self) -> u64 {
+        // Relaxed: counter read for reporting.
         self.spawned.load(Ordering::Relaxed)
     }
 

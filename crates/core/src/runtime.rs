@@ -1054,6 +1054,8 @@ impl<'a> Ctx<'a> {
     /// pulse; see the `balance` module).
     pub fn spawn(&mut self, f: impl FnOnce(&mut Ctx<'_>) + Send + 'static) {
         if let Some(b) = &self.loc.balance {
+            // Relaxed: advisory redirect hint republished every balancer
+            // round; a stale read routes one spawn suboptimally.
             let t = b.spawn_target.load(std::sync::atomic::Ordering::Relaxed);
             if t != crate::locality::NO_SPAWN_TARGET
                 && b.spawn_seq

@@ -509,9 +509,9 @@ pub(crate) fn kill_parcel(
         u64::from(cause.code()),
     );
     rt.notify_dead_letter_traced(&fault, p.trace);
-    if !p.cont.is_none() {
-        apply_continuation(rt, loc, p.cont, Value::error(&fault), p.trace);
-    }
+    // Unconditional handoff: an empty continuation applies as a no-op,
+    // and every other one resolves its waiters with the fault.
+    apply_continuation(rt, loc, p.cont, Value::error(&fault), p.trace);
 }
 
 /// Execute a parcel: ownership check (with forwarding), then system or
@@ -593,6 +593,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
     // System actions first: they bypass the registry and use raw payload
     // framing.
     if a == sys::NOOP {
+        // px-analyze: allow(no-silent-loss): a NOOP parcel carries no payload or continuation — being dropped after dispatch accounting is its entire contract.
         return;
     } else if a == sys::PING {
         apply_continuation(rt, loc, p.cont, p.payload, p.trace);
@@ -638,6 +639,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             Ok(()) => record_lco_event(loc, p.trace, p.dest, &p.payload),
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
+        // px-analyze: allow(no-silent-loss): contributions are fire-and-forget by contract — the payload was delivered to the LCO (or the parcel killed) above; there is no ack continuation to resolve.
         return;
     } else if a == sys::LCO_GET {
         if let Err(e) = lco_sys_op(rt, loc, p.dest, p.trace, |l| {
@@ -645,6 +647,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         }) {
             kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
         }
+        // px-analyze: allow(no-silent-loss): on success the continuation lives on as the LCO's registered waiter — a handoff, not a loss; on error the parcel was killed above.
         return;
     } else if a == sys::LCO_ACQUIRE {
         if let Err(e) = lco_sys_op(rt, loc, p.dest, p.trace, |l| {
@@ -652,6 +655,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         }) {
             kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
         }
+        // px-analyze: allow(no-silent-loss): on success the continuation is queued as the semaphore's waiter (released or resumed later) — a handoff; on error the parcel was killed above.
         return;
     } else if a == sys::LCO_RELEASE {
         match lco_sys_op(rt, loc, p.dest, p.trace, |l| Ok(l.release())) {
@@ -707,7 +711,9 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             }
         }
         // Without balance state (possible only if a user forges the
-        // action name) the parcel is silently dropped.
+        // action name) the parcel is dropped by design: gossip is
+        // advisory, carries no continuation, and was counted above.
+        // px-analyze: allow(no-silent-loss): gossip is advisory control traffic with no continuation — on the decode path it merged or was killed above; the forged-action path drops a counted parcel by design.
         return;
     }
 
@@ -939,6 +945,7 @@ impl RuntimeInner {
     }
 
     /// Route a parcel to a known owner locality.
+    // px-analyze: allow(no-silent-loss): the tail path hands the parcel to `Wire::send_parcel`, which encodes it onto the wire — the local copy is spent, not lost.
     pub(crate) fn route_parcel(self: &Arc<Self>, from: LocalityId, owner: LocalityId, p: Parcel) {
         let from_loc = &self.localities[from.0 as usize];
         bump!(from_loc.counters.parcels_sent);
@@ -979,6 +986,7 @@ impl RuntimeInner {
             self.wire
                 .send(crate::net::WireMsg::Control { dest: owner, bytes }, n);
             bump!(from_loc.counters.bytes_sent, n as u64);
+            // px-analyze: allow(no-silent-loss): the encoded gossip frame is already on the wire (accounted above) — the in-memory parcel is spent, not lost.
             return;
         }
         // Parcel-borne process accounting: the receiving worker decrements

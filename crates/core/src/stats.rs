@@ -113,9 +113,12 @@ pub struct LocalityCounters {
 
 macro_rules! bump {
     ($field:expr) => {{
+        // Relaxed: every bump! target is a monotonic stats counter,
+        // never a synchronization point.
         let _ = $field.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
     }};
     ($field:expr, $n:expr) => {{
+        // Relaxed: see the single-increment arm above — counters only.
         let _ = $field.fetch_add($n, ::std::sync::atomic::Ordering::Relaxed);
     }};
 }

@@ -12,8 +12,9 @@
 //!   balancer sheds, and follow-on parcels — across ranks, because the id
 //!   is part of the wire encoding;
 //! * each locality records compact [`TraceEvent`]s into a fixed-size,
-//!   lock-light [`TraceRing`] (one atomic cursor, per-slot mutexes that
-//!   are only ever contended on wrap collisions);
+//!   lock-free [`TraceRing`] (one atomic ticket cursor, per-slot
+//!   seqlocks; a writer that collides with another a full ring ahead
+//!   drops its event rather than blocking);
 //! * [`crate::runtime::Runtime::trace_dump`] merges the rings into a
 //!   [`TraceDump`], which can be filtered by trace id, serialized, shipped
 //!   between ranks, merged with another rank's dump, and ordered causally
@@ -103,6 +104,34 @@ pub enum TraceEventKind {
 }
 
 impl TraceEventKind {
+    /// Compact code for in-ring packing (see [`TraceRing`]); inverse of
+    /// [`TraceEventKind::from_code`].
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Decode a packed kind; `None` for codes no variant carries.
+    pub fn from_code(code: u16) -> Option<TraceEventKind> {
+        Some(match code {
+            0 => TraceEventKind::ParcelSend,
+            1 => TraceEventKind::ParcelDispatch,
+            2 => TraceEventKind::ParcelForward,
+            3 => TraceEventKind::ParcelKill,
+            4 => TraceEventKind::LcoTrigger,
+            5 => TraceEventKind::LcoPoison,
+            6 => TraceEventKind::LcoRelease,
+            7 => TraceEventKind::ProcessCancel,
+            8 => TraceEventKind::Migrate,
+            9 => TraceEventKind::Chase,
+            10 => TraceEventKind::BalanceShed,
+            11 => TraceEventKind::NetSubmit,
+            12 => TraceEventKind::NetRecv,
+            13 => TraceEventKind::NetReconnect,
+            14 => TraceEventKind::NetFault,
+            _ => return None,
+        })
+    }
+
     /// Short lowercase label for rendering.
     pub fn label(self) -> &'static str {
         match self {
@@ -150,19 +179,32 @@ pub struct TraceEvent {
     pub domain: u16,
 }
 
-/// Fixed-size, lock-light per-locality event ring.
+/// One seqlock-protected slot: `seq` is `0` when never written, odd while
+/// a writer owns the slot, and even `>= 2` once an event is published in
+/// `words`. Six data words hold one packed [`TraceEvent`]:
+/// `[trace, gid, aux, at_ns, ticket, kind | locality << 16 | domain << 32]`.
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; 6],
+}
+
+/// Fixed-size, lock-free per-locality event ring.
 ///
-/// Writers claim a slot with one `fetch_add` on the cursor and write it
-/// under a per-slot mutex — uncontended unless two writers collide on the
-/// same slot a full ring apart. Readers snapshot by locking slots one at
-/// a time; a torn read is impossible and a concurrent writer at worst
-/// replaces an old event with a newer one.
+/// Writers take a ticket with one `fetch_add` on the cursor, claim the
+/// slot by CASing its seqlock even→odd, store the six data words, and
+/// publish with a Release store of the next even value. A writer that
+/// loses the claim CAS collided with another writer a full ring ahead —
+/// it drops its own event (the caller counts it in
+/// `trace_events_dropped`) instead of blocking or tearing the slot.
+/// Readers enter with an Acquire load of the seqlock, copy the words,
+/// and revalidate the sequence behind an Acquire fence; a torn slot is
+/// skipped, never surfaced.
 pub struct TraceRing {
     locality: u16,
     domain: u16,
     epoch: Instant,
     cursor: AtomicU64,
-    slots: Vec<parking_lot::Mutex<Option<TraceEvent>>>,
+    slots: Vec<Slot>,
 }
 
 impl TraceRing {
@@ -176,37 +218,92 @@ impl TraceRing {
             epoch,
             cursor: AtomicU64::new(0),
             slots: (0..capacity.max(1))
-                .map(|_| parking_lot::Mutex::new(None))
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    words: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
                 .collect(),
         }
     }
 
-    /// Record one event under `trace`. Returns `true` when an older event
-    /// was overwritten (the ring wrapped).
+    /// Record one event under `trace`. Returns `true` when an event was
+    /// lost — either an older one overwritten (the ring wrapped) or this
+    /// one dropped after losing the slot-claim race.
     pub fn record(&self, trace: u64, kind: TraceEventKind, gid: u64, aux: u64) -> bool {
-        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let ev = TraceEvent {
+        // Relaxed ticket: it only picks a slot; the claim CAS below is
+        // what orders the write.
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let seq = &slot.seq;
+        let seq0 = seq.load(Ordering::Acquire);
+        if seq0 & 1 == 1 {
+            // A writer a full ring ahead owns the slot: drop this event.
+            return true;
+        }
+        // Relaxed failure ordering: losing the claim race means this
+        // event is dropped, nothing is read or written.
+        let claim = seq.compare_exchange(seq0, seq0 + 1, Ordering::Acquire, Ordering::Relaxed);
+        if claim.is_err() {
+            return true;
+        }
+        let packed = [
             trace,
-            kind,
             gid,
             aux,
-            at_ns: self.epoch.elapsed().as_nanos() as u64,
-            seq,
-            locality: self.locality,
-            domain: self.domain,
-        };
-        let slot = (seq % self.slots.len() as u64) as usize;
-        self.slots[slot].lock().replace(ev).is_some()
+            self.epoch.elapsed().as_nanos() as u64,
+            ticket,
+            kind.code() as u64 | (self.locality as u64) << 16 | (self.domain as u64) << 32,
+        ];
+        for (cell, word) in slot.words.iter().zip(packed) {
+            // Relaxed data stores: the Release publication below orders
+            // them for any reader that sees the new sequence.
+            cell.store(word, Ordering::Relaxed);
+        }
+        seq.store(seq0 + 2, Ordering::Release);
+        seq0 != 0
     }
 
-    /// Total events ever recorded (including overwritten ones).
+    /// Total events ever recorded (including overwritten and dropped
+    /// ones).
     pub fn recorded(&self) -> u64 {
+        // Relaxed: a monotonic counter read for reporting.
         self.cursor.load(Ordering::Relaxed)
     }
 
-    /// Copy out the surviving events, in recording order.
+    /// Copy out the surviving events, in recording order. Slots a writer
+    /// is mid-way through are skipped (the wrap already counts the old
+    /// event as overwritten), so the snapshot never contains a torn
+    /// event.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let mut out: Vec<TraceEvent> = self.slots.iter().filter_map(|s| *s.lock()).collect();
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 & 1 == 1 {
+                continue; // never written, or a writer owns it right now
+            }
+            // Relaxed data reads: the Acquire fence below orders them
+            // before the revalidation load.
+            let words: [u64; 6] = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            std::sync::atomic::fence(Ordering::Acquire);
+            // Relaxed revalidation load: the fence provides the edge.
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 != s2 {
+                continue; // a writer claimed the slot mid-read: skip it
+            }
+            let Some(kind) = TraceEventKind::from_code((words[5] & 0xffff) as u16) else {
+                continue;
+            };
+            out.push(TraceEvent {
+                trace: words[0],
+                gid: words[1],
+                aux: words[2],
+                at_ns: words[3],
+                seq: words[4],
+                kind,
+                locality: (words[5] >> 16) as u16,
+                domain: (words[5] >> 32) as u16,
+            });
+        }
         out.sort_by_key(|e| e.seq);
         out
     }
@@ -428,6 +525,51 @@ mod tests {
         assert_eq!(snap.iter().map(|e| e.gid).collect::<Vec<_>>(), [2, 3, 4, 5]);
         assert!(snap.iter().all(|e| e.locality == 2 && e.trace == 7));
         assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=14u16 {
+            let k = TraceEventKind::from_code(code).expect("code in range");
+            assert_eq!(k.code(), code);
+        }
+        assert!(TraceEventKind::from_code(15).is_none());
+    }
+
+    /// Seqlock integrity: under concurrent writers a snapshot may miss
+    /// in-flight slots but must never surface a torn event (mixed-up
+    /// words would show as a wrong locality/domain/kind here).
+    #[test]
+    fn concurrent_writers_never_tear_the_ring() {
+        use std::sync::Arc;
+        let r = Arc::new(TraceRing::new(8, LocalityId(1), 2, Instant::now()));
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        r.record(t, TraceEventKind::LcoTrigger, i, t);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            for e in r.snapshot() {
+                assert_eq!(e.kind, TraceEventKind::LcoTrigger);
+                assert_eq!(e.locality, 1);
+                assert_eq!(e.domain, 2);
+                assert!(e.trace < 4 && e.gid < 500 && e.aux == e.trace);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 2000);
+        assert_eq!(
+            r.snapshot().len(),
+            8,
+            "quiescent ring: every slot published"
+        );
     }
 
     #[test]

@@ -222,18 +222,24 @@ mod imp {
         wakefd: RawFd,
     }
 
-    // Raw fds are just integers; every syscall here is thread-safe.
+    // SAFETY: Poller holds two raw fds (plain integers, no interior
+    // state); epoll_ctl/epoll_wait/eventfd syscalls are documented
+    // thread-safe, so the type may move and be shared across threads.
     unsafe impl Send for Poller {}
     unsafe impl Sync for Poller {}
 
     impl Poller {
         /// Create the epoll instance and its wake eventfd.
         pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 and eventfd take flag integers, no
+            // pointers; a failed return is surfaced by `cvt`.
             let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
             let wakefd = match cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })
             {
                 Ok(fd) => fd,
                 Err(e) => {
+                    // SAFETY: epfd was created above, is not shared yet,
+                    // and this error path is its only close.
                     unsafe { sys::close(epfd) };
                     return Err(e);
                 }
@@ -255,6 +261,8 @@ mod imp {
                 events: flags,
                 data: token,
             };
+            // SAFETY: `ev` is a live stack value for the duration of the
+            // call; the fds are integers the kernel validates.
             cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) })?;
             Ok(())
         }
@@ -274,6 +282,8 @@ mod imp {
         /// this is for keeping an fd open but quiet.)
         pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
             let mut ev = sys::EpollEvent { events: 0, data: 0 };
+            // SAFETY: `ev` is a live stack value (pre-2.6.9 kernels
+            // require a non-null pointer even for DEL).
             cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
             Ok(())
         }
@@ -295,6 +305,8 @@ mod imp {
             const MAX_EVENTS: usize = 64;
             let mut raw = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
             let n = loop {
+                // SAFETY: `raw` holds MAX_EVENTS writable entries — the
+                // same count passed as the buffer capacity.
                 match cvt(unsafe {
                     sys::epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms)
                 }) {
@@ -332,6 +344,8 @@ mod imp {
         pub fn wake(&self) {
             let one: u64 = 1;
             // A full eventfd counter (EAGAIN) already guarantees a wake.
+            // SAFETY: the buffer is the 8 live bytes of `one`, matching
+            // the length passed.
             let _ = unsafe {
                 sys::write(
                     self.wakefd,
@@ -343,6 +357,8 @@ mod imp {
 
         fn drain_wake(&self) {
             let mut buf = 0u64;
+            // SAFETY: the buffer is the 8 writable bytes of `buf`,
+            // matching the length passed.
             let _ = unsafe {
                 sys::read(
                     self.wakefd,
@@ -355,6 +371,8 @@ mod imp {
 
     impl Drop for Poller {
         fn drop(&mut self) {
+            // SAFETY: both fds are owned by this Poller, never exposed,
+            // and closed exactly once — here.
             unsafe {
                 sys::close(self.wakefd);
                 sys::close(self.epfd);
@@ -371,6 +389,8 @@ mod imp {
             SocketAddr::V4(_) => sys::AF_INET,
             SocketAddr::V6(_) => sys::AF_INET6,
         };
+        // SAFETY: socket takes integer arguments only; failure is
+        // surfaced by `cvt`.
         let fd = cvt(unsafe {
             sys::socket(
                 domain,
@@ -379,8 +399,11 @@ mod imp {
             )
         })?;
         // From here the fd is owned by the stream: any error path drops it.
+        // SAFETY: `fd` is a fresh, valid socket owned by no one else;
+        // from_raw_fd transfers that ownership to the stream.
         let stream = unsafe { TcpStream::from_raw_fd(fd) };
         let nodelay: c_int = 1;
+        // SAFETY: `nodelay` is a live c_int and its exact size is passed.
         let _ = unsafe {
             sys::setsockopt(
                 fd,
@@ -398,6 +421,8 @@ mod imp {
                     sin_addr: u32::from_ne_bytes(a.ip().octets()),
                     sin_zero: [0; 8],
                 };
+                // SAFETY: `raw` is a live, fully-initialized SockaddrIn
+                // and its exact size is passed.
                 unsafe {
                     sys::connect(
                         fd,
@@ -414,6 +439,8 @@ mod imp {
                     sin6_addr: a.ip().octets(),
                     sin6_scope_id: a.scope_id(),
                 };
+                // SAFETY: `raw` is a live, fully-initialized SockaddrIn6
+                // and its exact size is passed.
                 unsafe {
                     sys::connect(
                         fd,
@@ -439,6 +466,8 @@ mod imp {
         use std::os::unix::io::AsRawFd;
         let mut err: c_int = 0;
         let mut len = std::mem::size_of::<c_int>() as u32;
+        // SAFETY: `err` and `len` are live stack slots; `len` starts at
+        // `err`'s exact size, as getsockopt requires.
         cvt(unsafe {
             sys::getsockopt(
                 stream.as_raw_fd(),

@@ -41,6 +41,7 @@
 //! schema, which is always true for parcels because the action registry
 //! fixes the argument type on both sides.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod buf;

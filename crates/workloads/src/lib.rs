@@ -17,6 +17,7 @@
 //! | [`graphs`] | scale-free semantic-net generator + BFS | E8 extension |
 //! | [`synth`] | imbalance distributions, Zipf skew, temporal-locality streams, calibrated spin-work | E2, E3, E4, E7, E11 |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod amr;

@@ -11,7 +11,8 @@
 //! ```
 
 use parallex::core::prelude::*;
-use std::sync::{Arc, Mutex};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// An action that always fails: stands in for the crashed handler, bad
@@ -33,7 +34,7 @@ fn main() {
     let sink = dead_letters.clone();
     let rt = RuntimeBuilder::new(Config::small(2, 1))
         .register::<Flaky>()
-        .on_dead_letter(move |f| sink.lock().unwrap().push(f.clone()))
+        .on_dead_letter(move |f| sink.lock().push(f.clone()))
         .build()
         .expect("boot");
 
@@ -97,7 +98,7 @@ fn main() {
         total.dead_decode,
     );
     assert_eq!(total.deaths_by_cause_total(), total.dead_parcels);
-    let letters = dead_letters.lock().unwrap();
+    let letters = dead_letters.lock();
     println!("dead-letter hook observed {} faults:", letters.len());
     for f in letters.iter() {
         println!("  - {f}");
