@@ -24,6 +24,14 @@
 //!   (serde-driven) reports it without its own field list. A counter
 //!   absent from `delta_from` reads as "this interval had none";
 //!   absent from `total` it vanishes from every bench artifact.
+//! - **Instrument coverage** (`core/src/metrics.rs` and
+//!   `bench/src/metrics_report.rs`): every `Instrument` variant must be
+//!   rendered by `render_instruments` (the `metrics_text` exposition
+//!   page) and carried by `metrics_rows` (the `BENCH_*.json` percentile
+//!   rows). Both functions spell out the variants by hand — instead of
+//!   looping `Instrument::ALL` — precisely so this check has a subject:
+//!   a variant missing from either silently drops the new histogram
+//!   from the exposition page or from every bench artifact.
 
 use crate::lexer::{TokKind, Token};
 use crate::segment::{matching_brace, next_sig, prev_sig};
@@ -34,13 +42,19 @@ pub fn check(ctxs: &[FileCtx], findings: &mut Vec<Finding>) {
     let error_ctx = ctxs.iter().find(|c| c.rel.ends_with("core/src/error.rs"));
     let stats_ctx = ctxs.iter().find(|c| c.rel.ends_with("core/src/stats.rs"));
     let wire_ctx = ctxs.iter().find(|c| c.rel.ends_with("wire/src/lib.rs"));
+    let metrics_ctx = ctxs.iter().find(|c| c.rel.ends_with("core/src/metrics.rs"));
+    let bench_ctx = ctxs
+        .iter()
+        .find(|c| c.rel.ends_with("bench/src/metrics_report.rs"));
 
-    // Analyzing the real core crate without its fault/stats files means
-    // the completeness checks would silently vacuously pass — refuse.
+    // Analyzing the real core crate without its fault/stats/metrics
+    // files means the completeness checks would silently vacuously
+    // pass — refuse.
     if ctxs.iter().any(|c| c.rel == "crates/core/src/lib.rs") {
         for (present, name) in [
             (error_ctx.is_some(), "error.rs"),
             (stats_ctx.is_some(), "stats.rs"),
+            (metrics_ctx.is_some(), "metrics.rs"),
         ] {
             if !present {
                 findings.push(Finding {
@@ -51,6 +65,17 @@ pub fn check(ctxs: &[FileCtx], findings: &mut Vec<Finding>) {
                 });
             }
         }
+    }
+    // Same refusal for the bench crate: its percentile rows are half of
+    // the Instrument coverage check.
+    if ctxs.iter().any(|c| c.rel == "crates/bench/src/lib.rs") && bench_ctx.is_none() {
+        findings.push(Finding {
+            file: "crates/bench/src/lib.rs".into(),
+            line: 1,
+            rule: "wire-stats",
+            msg: "bench/src/metrics_report.rs missing: Instrument coverage check has no subject"
+                .into(),
+        });
     }
 
     let variants =
@@ -66,6 +91,62 @@ pub fn check(ctxs: &[FileCtx], findings: &mut Vec<Finding>) {
     }
     if let Some(wctx) = wire_ctx {
         check_parcel_flags(wctx, findings);
+    }
+    if let Some(mctx) = metrics_ctx {
+        match enum_variants(&mctx.toks, "Instrument") {
+            Some((instruments, _)) => {
+                check_instrument_coverage(mctx, "render_instruments", &instruments, findings);
+                if let Some(bctx) = bench_ctx {
+                    check_instrument_coverage(bctx, "metrics_rows", &instruments, findings);
+                }
+            }
+            None => findings.push(Finding {
+                file: mctx.rel.clone(),
+                line: 1,
+                rule: "wire-stats",
+                msg: "metrics.rs has no `enum Instrument` — coverage check has no subject".into(),
+            }),
+        }
+    }
+}
+
+// -------------------------------------------------------------- Instrument
+
+/// Every `Instrument` variant must appear as an `Instrument::V` path in
+/// the named function — the renderer and the bench row builder are the
+/// two hand-written fan-outs where a new instrument can silently go
+/// missing (the registry itself is array-indexed and cannot drop one).
+fn check_instrument_coverage(
+    ctx: &FileCtx,
+    fn_name: &str,
+    variants: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    let Some(body) = fn_body(ctx, fn_name) else {
+        findings.push(Finding {
+            file: ctx.rel.clone(),
+            line: 1,
+            rule: "wire-stats",
+            msg: format!("no `fn {fn_name}` — Instrument coverage has no subject here"),
+        });
+        return;
+    };
+    let toks = &ctx.toks;
+    let used: Vec<String> = (body.0..body.1)
+        .filter_map(|i| enum_path(toks, i, "Instrument"))
+        .collect();
+    for v in variants {
+        if !used.iter().any(|u| u == v) {
+            findings.push(Finding {
+                file: ctx.rel.clone(),
+                line: toks[body.0].line,
+                rule: "wire-stats",
+                msg: format!(
+                    "Instrument::{v} is not carried through `{fn_name}` — its histogram \
+                     would vanish from the output"
+                ),
+            });
+        }
     }
 }
 
@@ -424,7 +505,12 @@ fn check_parcel_flags(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 
 /// `FaultCause::V` starting at `i` → `V`.
 fn fault_path(toks: &[Token], i: usize) -> Option<String> {
-    if toks.get(i)?.is_ident("FaultCause")
+    enum_path(toks, i, "FaultCause")
+}
+
+/// `<Enum>::V` starting at `i` → `V`.
+fn enum_path(toks: &[Token], i: usize, enum_name: &str) -> Option<String> {
+    if toks.get(i)?.is_ident(enum_name)
         && toks.get(i + 1)?.is_punct(':')
         && toks.get(i + 2)?.is_punct(':')
         && toks.get(i + 3)?.kind == TokKind::Ident
@@ -623,6 +709,19 @@ pub mod parcel_flags {
     pub const FAULT: u8 = 1 << 1;
     pub const KNOWN: u8 = STAGED | FAULT;
 }";
+    /// A minimal metrics.rs: the `Instrument` enum plus a renderer that
+    /// spells out every variant.
+    const GOOD_METRICS: &str = "\
+pub enum Instrument { QueueWait, NetRtt }
+pub fn render_instruments(snap: &MetricsSnapshot, out: &mut String) {
+    render_one(snap.get(Instrument::QueueWait), out);
+    render_one(snap.get(Instrument::NetRtt), out);
+}";
+    /// A minimal metrics_report.rs: the bench row builder's explicit list.
+    const GOOD_BENCH: &str = "\
+pub fn metrics_rows(snap: &MetricsSnapshot) -> Vec<MetricsRow> {
+    vec![row(snap, Instrument::QueueWait), row(snap, Instrument::NetRtt)]
+}";
 
     fn run(error: &str, stats: &str, wire: &str) -> Vec<String> {
         analyze_files(&[
@@ -729,6 +828,79 @@ pub mod parcel_flags {
         let found = run(GOOD_ERROR, &bad, GOOD_WIRE);
         assert!(
             found.iter().any(|m| m.contains("derive serde::Serialize")),
+            "{found:?}"
+        );
+    }
+
+    fn run_metrics(metrics: &str, bench: &str) -> Vec<String> {
+        analyze_files(&[
+            ("crates/core/src/metrics.rs".into(), metrics.into()),
+            ("crates/bench/src/metrics_report.rs".into(), bench.into()),
+        ])
+        .into_iter()
+        .filter(|f| f.rule == "wire-stats")
+        .map(|f| f.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn instrument_coverage_passes_when_both_fanouts_complete() {
+        let found = run_metrics(GOOD_METRICS, GOOD_BENCH);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn instrument_missing_from_renderer_or_bench_rows_caught() {
+        // Seed an instrument the exposition page forgot to render.
+        let bad = GOOD_METRICS.replace("    render_one(snap.get(Instrument::NetRtt), out);\n", "");
+        let found = run_metrics(&bad, GOOD_BENCH);
+        assert!(
+            found
+                .iter()
+                .any(|m| m
+                    .contains("Instrument::NetRtt is not carried through `render_instruments`")),
+            "{found:?}"
+        );
+        // Seed an instrument the bench JSON rows forgot to carry.
+        let bad = GOOD_BENCH.replace("row(snap, Instrument::NetRtt)", "");
+        let found = run_metrics(GOOD_METRICS, &bad);
+        assert!(
+            found
+                .iter()
+                .any(|m| m.contains("Instrument::NetRtt is not carried through `metrics_rows`")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn instrument_check_refuses_to_pass_vacuously() {
+        // The real core crate without metrics.rs: refused.
+        let found: Vec<String> = analyze_files(&[
+            ("crates/core/src/lib.rs".into(), "pub mod metrics;".into()),
+            ("crates/core/src/error.rs".into(), GOOD_ERROR.into()),
+            ("crates/core/src/stats.rs".into(), GOOD_STATS.into()),
+        ])
+        .into_iter()
+        .filter(|f| f.rule == "wire-stats")
+        .map(|f| f.to_string())
+        .collect();
+        assert!(
+            found.iter().any(|m| m.contains("metrics.rs missing")),
+            "{found:?}"
+        );
+        // The real bench crate without metrics_report.rs: refused.
+        let found: Vec<String> = analyze_files(&[(
+            "crates/bench/src/lib.rs".into(),
+            "pub mod metrics_report;".into(),
+        )])
+        .into_iter()
+        .filter(|f| f.rule == "wire-stats")
+        .map(|f| f.to_string())
+        .collect();
+        assert!(
+            found
+                .iter()
+                .any(|m| m.contains("metrics_report.rs missing")),
             "{found:?}"
         );
     }

@@ -39,6 +39,8 @@ fn scan_covers_the_product_crates() {
         "crates/core/src/trace.rs",
         "crates/core/src/error.rs",
         "crates/core/src/stats.rs",
+        "crates/core/src/metrics.rs",
+        "crates/bench/src/metrics_report.rs",
         "crates/wire/src/lib.rs",
     ] {
         assert!(

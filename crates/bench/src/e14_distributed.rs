@@ -50,6 +50,10 @@ const ADDRS_ENV: &str = "PX_E14_ADDRS";
 /// rank of the mesh records (a cross-rank trace is only as complete as
 /// the rings of the ranks it crossed).
 const TRACE_ENV: &str = "PX_E14_TRACE";
+/// Set on mesh children when the parent runs with `--metrics`, so the
+/// cluster pull has per-rank histograms to merge (a rank with metrics
+/// off answers the pull with empty histograms).
+const METRICS_ENV: &str = "PX_E14_METRICS";
 
 /// Experiment sizes (shrunk by `smoke`).
 #[derive(Debug, Clone, Copy)]
@@ -142,6 +146,9 @@ pub struct DistJson {
     pub tcp_pipelined_penalty: f64,
     /// Per-peer counters of the TCP run (rank 0's view).
     pub tcp_transport: TransportStats,
+    /// Cluster-merged latency percentiles of the TCP run, one row per
+    /// instrument (empty unless `--metrics`).
+    pub metrics: Vec<crate::metrics_report::MetricsRow>,
     /// N-rank mesh scaling (thread counts flat by design).
     pub mesh: Vec<MeshRow>,
 }
@@ -162,11 +169,15 @@ pub fn maybe_child() {
         // Relaxed: flag set during single-threaded child startup.
         crate::TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
     }
-    let cfg = crate::apply_trace(
+    if std::env::var(METRICS_ENV).is_ok() {
+        // Relaxed: flag set during single-threaded child startup.
+        crate::METRICS.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    let cfg = crate::apply_metrics(crate::apply_trace(
         Config::small(addrs.len(), 1)
             .with_tcp(rank, addrs)
             .with_max_batch_parcels(16),
-    );
+    ));
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
         .register::<Threads>()
@@ -247,7 +258,7 @@ fn inproc_rt(latency: Duration) -> Runtime {
     if !latency.is_zero() {
         cfg = cfg.with_latency(latency);
     }
-    RuntimeBuilder::new(crate::apply_trace(cfg))
+    RuntimeBuilder::new(crate::apply_metrics(crate::apply_trace(cfg)))
         .register::<Sq>()
         .build()
         .unwrap()
@@ -280,6 +291,9 @@ fn spawn_peers(addrs: &[String], child_args: &[&str]) -> Vec<std::process::Child
             if crate::trace_enabled() {
                 cmd.env(TRACE_ENV, "1");
             }
+            if crate::metrics_enabled() {
+                cmd.env(METRICS_ENV, "1");
+            }
             cmd.spawn().expect("spawn mesh peer")
         })
         .collect()
@@ -298,15 +312,19 @@ fn join_peers(peers: Vec<std::process::Child>) {
 }
 
 /// Run the TCP leg: reserve ports, re-execute ourselves as rank 1,
-/// measure, tear down. Returns the row plus rank 0's transport stats.
-fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
+/// measure, tear down. Returns the row, rank 0's transport stats, and
+/// the cluster-merged percentile rows (empty unless `--metrics`).
+fn tcp_leg(
+    p: Params,
+    child_args: &[&str],
+) -> (Row, TransportStats, Vec<crate::metrics_report::MetricsRow>) {
     let addrs = reserve_addrs(2);
     let peers = spawn_peers(&addrs, child_args);
-    let cfg = crate::apply_trace(
+    let cfg = crate::apply_metrics(crate::apply_trace(
         Config::small(2, 1)
             .with_tcp(0, addrs)
             .with_max_batch_parcels(16),
-    );
+    ));
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
         .build()
@@ -318,9 +336,30 @@ fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
         0,
         "healthy distributed run must lose nothing"
     );
+    // Pull while the peer is still serving: the merged histograms are
+    // the observability story of this experiment, and the pull itself
+    // exercises `__sys/metrics_pull` over a real socket.
+    let metrics = if crate::metrics_enabled() {
+        let cluster = rt
+            .cluster_metrics()
+            .expect("metrics pull over the control lane");
+        let per_rank_total: u64 = cluster.per_rank.iter().map(|(_, s)| s.total_count()).sum();
+        assert_eq!(
+            cluster.merged.total_count(),
+            per_rank_total,
+            "merge must be lossless across ranks"
+        );
+        let rows = crate::metrics_report::metrics_rows(&cluster.merged);
+        crate::metrics_report::print_metrics_table("tcp-2proc cluster-merged", &rows);
+        crate::metrics_report::check_metrics_text(&rt.metrics_text())
+            .expect("exposition page must stay machine-parseable");
+        rows
+    } else {
+        Vec::new()
+    };
     join_peers(peers);
     rt.shutdown();
-    (row, stats.transport)
+    (row, stats.transport, metrics)
 }
 
 /// Run one N-rank mesh leg: rank 0 (this process) plus `ranks - 1`
@@ -329,11 +368,11 @@ fn tcp_leg(p: Params, child_args: &[&str]) -> (Row, TransportStats) {
 fn mesh_leg(ranks: usize, p: Params, child_args: &[&str]) -> MeshRow {
     let addrs = reserve_addrs(ranks);
     let peers = spawn_peers(&addrs, child_args);
-    let cfg = crate::apply_trace(
+    let cfg = crate::apply_metrics(crate::apply_trace(
         Config::small(ranks, 1)
             .with_tcp(0, addrs)
             .with_max_batch_parcels(16),
-    );
+    ));
     let rt = RuntimeBuilder::new(cfg)
         .register::<Sq>()
         .register::<Threads>()
@@ -402,7 +441,7 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
         rows.push(measure(&rt, name, p));
         rt.shutdown();
     }
-    let (tcp_row, tcp_stats) = tcp_leg(p, &[]);
+    let (tcp_row, tcp_stats, tcp_metrics) = tcp_leg(p, &[]);
     rows.push(tcp_row);
     print_table(
         "E14 — distributed transport: spawn/await throughput and latency",
@@ -433,6 +472,7 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
             rows: rows.clone(),
             tcp_pipelined_penalty: penalty,
             tcp_transport: tcp_stats,
+            metrics: tcp_metrics,
             mesh,
         };
         let json = crate::json::to_json_pretty(&doc);
@@ -510,7 +550,7 @@ mod tests {
     #[test]
     fn tcp_leg_completes_and_counts() {
         let _gate = crate::TIMING_GATE.lock();
-        let (row, stats) = tcp_leg(
+        let (row, stats, _) = tcp_leg(
             Params {
                 msgs: 300,
                 serial: 20,

@@ -47,6 +47,7 @@ pub mod e7_modality;
 pub mod e8_irregular;
 pub mod e9_litlx_overhead;
 pub mod json;
+pub mod metrics_report;
 pub mod table;
 
 /// Serializes wall-clock experiments: unit tests run concurrently by
@@ -73,6 +74,28 @@ pub fn apply_trace(cfg: px_core::prelude::Config) -> px_core::prelude::Config {
     if trace_enabled() {
         cfg.with_trace_sampling(64)
             .with_trace_ring_capacity(1 << 16)
+    } else {
+        cfg
+    }
+}
+
+/// The global `--metrics` switch, set by `main` (or a mesh child's
+/// environment) before any experiment builds a runtime.
+pub static METRICS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// True when `--metrics` was passed: experiments enable the latency
+/// histograms, print percentile tables, and carry the rows into their
+/// `BENCH_*.json` artifacts.
+pub fn metrics_enabled() -> bool {
+    // Relaxed: a boolean flag written once during startup.
+    METRICS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Enable the metrics plane on a config when `--metrics` is on
+/// (`apply_trace`'s sibling — the off path stays the untouched config).
+pub fn apply_metrics(cfg: px_core::prelude::Config) -> px_core::prelude::Config {
+    if metrics_enabled() {
+        cfg.with_metrics(true)
     } else {
         cfg
     }

@@ -13,12 +13,18 @@
 //! `--trace` (combinable with `--smoke`; e12/e13/e14) enables sampled
 //! causal tracing and prints the slowest traced request's timeline.
 //!
+//! `--metrics` (combinable with `--smoke`; e14) enables the latency
+//! histograms: percentile tables are printed, the rows ride into the
+//! BENCH JSON artifact on full runs, and the smoke validates the
+//! `metrics_text` exposition format.
+//!
 //! E14 re-executes this binary as the other ranks of a TCP mesh
 //! (`PX_E14_RANK`); `maybe_child` routes those invocations.
 
 fn usage() -> ! {
     eprintln!(
-        "usage: px-bench [--smoke] [--trace] <experiment>\nexperiments: e11, e12, e13, e14, e14mesh"
+        "usage: px-bench [--smoke] [--trace] [--metrics] <experiment>\n\
+         experiments: e11, e12, e13, e14, e14mesh"
     );
     std::process::exit(2);
 }
@@ -30,6 +36,11 @@ fn main() {
         args.retain(|a| a != "--trace");
         // Relaxed: flag set in main before any runtime thread exists.
         px_bench::TRACE.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        args.retain(|a| a != "--metrics");
+        // Relaxed: flag set in main before any runtime thread exists.
+        px_bench::METRICS.store(true, std::sync::atomic::Ordering::Relaxed);
     }
     let (smoke, name) = match args.as_slice() {
         [name] => (false, name.as_str()),

@@ -211,6 +211,10 @@ enum LcoState {
 pub struct LcoCore {
     gid: Gid,
     state: LcoState,
+    /// Creation stamp for the spawn→resolution latency instrument; set by
+    /// the locality store at insert time only when metrics are on (`None`
+    /// otherwise), consumed once at resolution.
+    born: Option<std::time::Instant>,
 }
 
 impl std::fmt::Debug for LcoCore {
@@ -244,6 +248,24 @@ impl LcoCore {
                 waiters: Vec::new(),
                 body,
             },
+            born: None,
+        }
+    }
+
+    /// Stamp the creation time (metrics on; called by the locality store
+    /// right after construction, before the LCO is reachable).
+    pub(crate) fn set_born(&mut self, at: std::time::Instant) {
+        self.born = Some(at);
+    }
+
+    /// Consume the creation stamp if the LCO has resolved (fired or
+    /// poisoned): the spawn→resolution latency, measured once on this
+    /// locality's clock. `None` before resolution, after the first
+    /// harvest, or when metrics were off at creation.
+    pub(crate) fn take_resolve_latency(&mut self) -> Option<std::time::Duration> {
+        match self.state {
+            LcoState::Ready(_) | LcoState::Poisoned(_) => self.born.take().map(|b| b.elapsed()),
+            LcoState::Pending { .. } => None,
         }
     }
 
@@ -259,6 +281,7 @@ impl LcoCore {
             LcoCore {
                 gid,
                 state: LcoState::Ready(Value::unit()),
+                born: None,
             }
         } else {
             Self::pending(gid, LcoBody::AndGate { remaining: n })
@@ -279,6 +302,7 @@ impl LcoCore {
             return LcoCore {
                 gid,
                 state: LcoState::Ready(combine(&mut [])),
+                born: None,
             };
         }
         Self::pending(
@@ -297,6 +321,7 @@ impl LcoCore {
             LcoCore {
                 gid,
                 state: LcoState::Ready(seed),
+                born: None,
             }
         } else {
             Self::pending(

@@ -65,6 +65,7 @@ pub mod fxmap;
 pub mod gid;
 pub mod lco;
 pub mod locality;
+pub mod metrics;
 pub mod net;
 pub mod parcel;
 pub mod percolation;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::error::{Fault, FaultCause, PxError, PxResult};
     pub use crate::gid::{Gid, GidKind, LocalityId};
     pub use crate::lco::FutureRef;
+    pub use crate::metrics::{ClusterMetrics, Instrument, MetricsSnapshot};
     pub use crate::net::{BatchPolicy, TcpConfig, WireModel};
     pub use crate::parcel::{Continuation, Parcel};
     pub use crate::process::ProcessRef;

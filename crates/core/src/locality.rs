@@ -166,6 +166,9 @@ pub struct Locality {
     /// Causal-trace event ring; `None` unless `Config::trace` is enabled,
     /// so untraced runs pay one `Option` check per hook.
     pub(crate) trace: Option<Arc<crate::trace::TraceRing>>,
+    /// Latency-histogram registry; `None` unless `Config::with_metrics`
+    /// enabled metrics, so unmetered runs pay one `Option` check per hook.
+    pub(crate) metrics: Option<Arc<crate::metrics::MetricsRegistry>>,
     /// This locality's workers run in another OS process (TCP transport):
     /// the local struct is a routing stub and must not mint GIDs — two
     /// processes allocating from the same locality id would collide.
@@ -196,6 +199,7 @@ impl Locality {
             staged_priority,
             balance: None,
             trace: None,
+            metrics: None,
             remote_stub: false,
         }
     }
@@ -216,6 +220,35 @@ impl Locality {
     /// the locality is shared).
     pub(crate) fn enable_trace(&mut self, ring: Arc<crate::trace::TraceRing>) {
         self.trace = Some(ring);
+    }
+
+    /// Attach a latency-histogram registry (called by the builder, before
+    /// the locality is shared).
+    pub(crate) fn enable_metrics(&mut self, reg: Arc<crate::metrics::MetricsRegistry>) {
+        self.metrics = Some(reg);
+    }
+
+    /// `Some(now)` when metrics are on — the enqueue/submit stamp taken by
+    /// the producing side of a latency measurement. One pointer check when
+    /// metrics are off.
+    #[inline]
+    pub(crate) fn metrics_now(&self) -> Option<std::time::Instant> {
+        self.metrics.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Record the elapsed time since a [`Self::metrics_now`] stamp against
+    /// `inst`, if metrics are on and the stamp was taken. Both stamps come
+    /// from this process's monotonic clock — cross-rank spans are never
+    /// measured this way.
+    #[inline]
+    pub(crate) fn metric_elapsed(
+        &self,
+        inst: crate::metrics::Instrument,
+        since: Option<std::time::Instant>,
+    ) {
+        if let (Some(reg), Some(t)) = (&self.metrics, since) {
+            reg.record_elapsed(inst, t.elapsed());
+        }
     }
 
     /// Record one trace event here, if tracing is on and the parcel/task
@@ -252,23 +285,29 @@ impl Locality {
     // ---- task ingress ----------------------------------------------------
 
     /// Enqueue a task on the general run queue and wake a worker.
-    pub(crate) fn push_task(&self, task: Task) {
+    pub(crate) fn push_task(&self, mut task: Task) {
+        task.enqueued = self.metrics_now();
         self.injector.push(task);
         self.sleep.wake_one();
     }
 
     /// Enqueue a prestaged task on the staging buffer.
-    pub(crate) fn push_staged(&self, task: Task) {
+    pub(crate) fn push_staged(&self, mut task: Task) {
+        task.enqueued = self.metrics_now();
         self.staging.push(task);
         self.sleep.wake_one();
     }
 
-    /// Enqueue a control-plane task (balancer gossip), drained ahead of
-    /// all other queues. Falls back to the general queue if balancing is
-    /// off here (possible only for forged gossip parcels).
+    /// Enqueue a control-plane task (balancer gossip, metrics pulls),
+    /// drained ahead of all other queues. Falls back to the general queue
+    /// if balancing is off here (then its wait is accounted to the
+    /// queue-wait instrument rather than the control lane, matching the
+    /// queue it actually waited in).
     pub(crate) fn push_control(&self, task: Task) {
         match &self.balance {
             Some(b) => {
+                let mut task = task;
+                task.enqueued = self.metrics_now();
                 b.control.push(task);
                 self.sleep.wake_one();
             }
@@ -294,6 +333,13 @@ impl Locality {
         );
         let gid = self.alloc.alloc(kind);
         let obj = build(gid);
+        // Every LCO creation funnels through here, so this single stamp
+        // feeds the spawn→resolution instrument for all constructors.
+        if self.metrics.is_some() {
+            if let Stored::Lco(l) = &obj {
+                l.lock().set_born(std::time::Instant::now());
+            }
+        }
         self.store.write().insert(gid, obj);
         gid
     }

@@ -14,57 +14,86 @@ use crate::locality::Locality;
 use crate::sched::Task;
 use std::sync::Arc;
 
+/// A wire message plus its submit-time stamp for the `NetRtt`
+/// instrument (`None` when metrics are off). All localities share one
+/// OS process here, so the stamp never leaves the clock it was taken
+/// on even though it rides through the delay thread.
+struct Stamped {
+    msg: WireMsg,
+    submitted: Option<std::time::Instant>,
+}
+
 /// Queue-push transport with injectable latency (the default backend).
 pub(crate) struct InProcTransport {
-    line: DelayLine<WireMsg>,
+    line: DelayLine<Stamped>,
+    /// Sampled once at build (registries are attached pre-share), so the
+    /// metrics-off submit path pays a single bool check.
+    metrics_on: bool,
 }
 
 impl InProcTransport {
     /// Build the backend for `localities` under `model`.
     pub(crate) fn new(model: WireModel, localities: Arc<Vec<Arc<Locality>>>) -> InProcTransport {
-        let sink: Arc<dyn Fn(WireMsg) + Send + Sync> = Arc::new(move |msg| match msg {
-            WireMsg::Parcel {
-                dest,
-                staged,
-                bytes,
-            } => {
-                let loc = &localities[dest.0 as usize];
-                let task = Task::parcel_bytes(bytes);
-                if staged {
-                    loc.push_staged(task);
-                } else {
+        let metrics_on = localities.iter().any(|l| l.metrics.is_some());
+        let sink: Arc<dyn Fn(Stamped) + Send + Sync> = Arc::new(move |s| {
+            let Stamped { msg, submitted } = s;
+            match msg {
+                WireMsg::Parcel {
+                    dest,
+                    staged,
+                    bytes,
+                } => {
+                    let loc = &localities[dest.0 as usize];
+                    loc.metric_elapsed(crate::metrics::Instrument::NetRtt, submitted);
+                    let task = Task::parcel_bytes(bytes);
+                    if staged {
+                        loc.push_staged(task);
+                    } else {
+                        loc.push_task(task);
+                    }
+                }
+                WireMsg::Frame {
+                    dest,
+                    staged,
+                    bytes,
+                } => {
+                    let loc = &localities[dest.0 as usize];
+                    loc.metric_elapsed(crate::metrics::Instrument::NetRtt, submitted);
+                    let task = Task::parcel_frame(bytes);
+                    if staged {
+                        loc.push_staged(task);
+                    } else {
+                        loc.push_task(task);
+                    }
+                }
+                WireMsg::Task { dest, task } => {
+                    let loc = &localities[dest.0 as usize];
+                    loc.metric_elapsed(crate::metrics::Instrument::NetRtt, submitted);
                     loc.push_task(task);
                 }
-            }
-            WireMsg::Frame {
-                dest,
-                staged,
-                bytes,
-            } => {
-                let loc = &localities[dest.0 as usize];
-                let task = Task::parcel_frame(bytes);
-                if staged {
-                    loc.push_staged(task);
-                } else {
-                    loc.push_task(task);
+                WireMsg::Control { dest, bytes } => {
+                    let loc = &localities[dest.0 as usize];
+                    loc.metric_elapsed(crate::metrics::Instrument::NetRtt, submitted);
+                    loc.push_control(Task::parcel_bytes(bytes));
                 }
-            }
-            WireMsg::Task { dest, task } => {
-                localities[dest.0 as usize].push_task(task);
-            }
-            WireMsg::Control { dest, bytes } => {
-                localities[dest.0 as usize].push_control(Task::parcel_bytes(bytes));
             }
         });
         InProcTransport {
             line: DelayLine::new(model, sink),
+            metrics_on,
         }
+    }
+
+    #[inline]
+    fn stamp(metrics_on: bool) -> Option<std::time::Instant> {
+        metrics_on.then(std::time::Instant::now)
     }
 }
 
 impl Transport for InProcTransport {
     fn submit(&self, msg: WireMsg, bytes: usize) {
-        self.line.send(msg, bytes);
+        let submitted = Self::stamp(self.metrics_on);
+        self.line.send(Stamped { msg, submitted }, bytes);
     }
 
     fn submitter(&self) -> TransportSubmitter {
@@ -72,13 +101,18 @@ impl Transport for InProcTransport {
         // instant model) so the flusher shares the line's delay
         // arithmetic. The `LineSender` keeps the delay channel open; the
         // wire joins the flusher — the only holder — before `shutdown`.
+        let metrics_on = self.metrics_on;
         match self.line.sender() {
-            Some(sender) => {
-                Arc::new(move |msg, bytes| sender.send(msg, bytes)) as TransportSubmitter
-            }
+            Some(sender) => Arc::new(move |msg, bytes| {
+                let submitted = Self::stamp(metrics_on);
+                sender.send(Stamped { msg, submitted }, bytes)
+            }) as TransportSubmitter,
             None => {
                 let sink = self.line.sink();
-                Arc::new(move |msg, _bytes| sink(msg)) as TransportSubmitter
+                Arc::new(move |msg, _bytes| {
+                    let submitted = Self::stamp(metrics_on);
+                    sink(Stamped { msg, submitted })
+                }) as TransportSubmitter
             }
         }
     }

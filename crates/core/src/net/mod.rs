@@ -42,7 +42,12 @@
 //!    `staged`); `WireMsg::Control` lands in the priority control queue,
 //!    never coalesced and never behind data backlog; `WireMsg::Task` is
 //!    an in-memory closure handoff — backends that cross address spaces
-//!    must reject it loudly rather than pretend.
+//!    must reject it loudly rather than pretend. The control lane
+//!    carries balancer gossip *and* `__sys/metrics_pull` requests: both
+//!    are how a rank observes a struggling peer, so a backend may not
+//!    drop or delay them under data-lane backpressure — the moments the
+//!    data lane is saturated are exactly the moments the observability
+//!    plane must still answer.
 //! 3. **Submission is non-blocking-ish.** `submit` hands the message to
 //!    the backend and returns — it never performs I/O on the caller's
 //!    thread (the TCP backend queues and wakes its event loop; socket
@@ -259,7 +264,7 @@ pub(crate) enum WireMsg {
         /// The task to enqueue.
         task: Task,
     },
-    /// Control-plane parcel (balancer gossip): delivered into the
+    /// Control-plane parcel (balancer gossip, metrics pulls): delivered into the
     /// destination's control queue, drained ahead of all other work so a
     /// saturated locality still learns about idle peers promptly. Never
     /// coalesced — control traffic is latency-sensitive by nature.

@@ -176,6 +176,10 @@ struct PeerCounters {
 struct OutMsg {
     kind: u8,
     bytes: Vec<u8>,
+    /// Submit-time stamp feeding the `NetRtt` instrument — `None` when
+    /// metrics are off. Taken and read on this rank only (the stamp
+    /// never crosses the wire).
+    submitted: Option<Instant>,
 }
 
 /// The submit-side half of a peer: two queue lanes plus backpressure
@@ -358,6 +362,10 @@ impl TcpShared {
             return;
         }
         let control = kind == msg_kind::CONTROL;
+        // Stamped before the backpressure wait so NetRtt charges the
+        // full submit→drain latency, including time spent blocked on a
+        // slow peer's queue bound.
+        let submitted = self.own().metrics_now();
         let was_empty = {
             let mut q = slot.queue.lock();
             if !control {
@@ -380,7 +388,11 @@ impl TcpShared {
             q.queued_bytes += bytes.len();
             q.bytes_hwm = q.bytes_hwm.max(q.queued_bytes as u64);
             let lane = if control { &mut q.control } else { &mut q.data };
-            lane.push_back(OutMsg { kind, bytes });
+            lane.push_back(OutMsg {
+                kind,
+                bytes,
+                submitted,
+            });
             was_empty
         };
         // One wake per empty→non-empty transition, not per message: the
@@ -1228,10 +1240,15 @@ impl IoLoop {
                     false
                 } else {
                     let io = self.peers[j as usize].as_mut().expect("peer io");
+                    // Drain time closes the NetRtt window opened at
+                    // submit — both stamps from this rank's clock.
+                    let own = self.shared.own();
                     for m in q.control.drain(..) {
+                        own.metric_elapsed(crate::metrics::Instrument::NetRtt, m.submitted);
                         io.batch.push(m.kind, m.bytes);
                     }
                     for m in q.data.drain(..) {
+                        own.metric_elapsed(crate::metrics::Instrument::NetRtt, m.submitted);
                         io.batch.push(m.kind, m.bytes);
                     }
                     q.queued_bytes = 0;

@@ -79,6 +79,11 @@ pub struct Config {
     /// recorded, untraced parcels bit-identical on the wire). See
     /// [`crate::trace`] and the README's "Tracing & debugging".
     pub trace: crate::trace::TraceConfig,
+    /// Latency-histogram metrics (off by default: no registries
+    /// allocated, every hook is one `Option` check, task and parcel
+    /// encodings bit-identical). See [`crate::metrics`] and the README's
+    /// "Metrics & percentiles".
+    pub metrics: bool,
 }
 
 impl Default for Config {
@@ -92,6 +97,7 @@ impl Default for Config {
             accelerators: Vec::new(),
             balance: None,
             trace: crate::trace::TraceConfig::default(),
+            metrics: false,
         }
     }
 }
@@ -235,6 +241,16 @@ impl Config {
     /// style). Asking for a ring size does not by itself enable tracing.
     pub fn with_trace_ring_capacity(mut self, events: usize) -> Config {
         self.trace.ring_capacity = events;
+        self
+    }
+
+    /// Enable (or disable) the latency-histogram metrics plane (builder
+    /// style): per-locality lock-free histograms for queue wait, action
+    /// execute time, spawn→resolution latency, transport drain, and
+    /// control-lane delivery — queryable via [`Runtime::metrics_text`]
+    /// and merged cluster-wide by [`Runtime::cluster_metrics`].
+    pub fn with_metrics(mut self, enabled: bool) -> Config {
+        self.metrics = enabled;
         self
     }
 
@@ -438,6 +454,20 @@ impl RuntimeInner {
         crate::trace::TraceDump::new(events)
     }
 
+    /// Merge the metrics registries of every locality this process owns
+    /// (empty snapshot when metrics are off — remote stubs never have a
+    /// registry, so in a multi-process system this is *this rank's*
+    /// histograms only).
+    pub(crate) fn local_metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let mut merged = crate::metrics::MetricsSnapshot::default();
+        for loc in self.localities.iter() {
+            if let Some(reg) = &loc.metrics {
+                merged.merge(&reg.snapshot());
+            }
+        }
+        merged
+    }
+
     /// True when locality `id`'s workers run in this OS process.
     #[inline]
     pub(crate) fn owns(&self, id: LocalityId) -> bool {
@@ -543,6 +573,11 @@ impl RuntimeBuilder {
                                 epoch,
                             )));
                         }
+                    }
+                    // Registries only where workers will run, like trace
+                    // rings: a remote stub records nothing.
+                    if self.config.metrics && owned.is_none_or(|o| o == id) {
+                        loc.enable_metrics(Arc::new(crate::metrics::MetricsRegistry::default()));
                     }
                     // In a multi-process system the structs for other
                     // ranks are routing stubs: creating objects there
@@ -727,6 +762,184 @@ impl Runtime {
         p.trace = Some(trace);
         self.inner.send_parcel(self.inner.origin, p);
         Ok(())
+    }
+
+    // ---- metrics -----------------------------------------------------------
+
+    /// This rank's merged latency histograms (an empty snapshot when
+    /// metrics are off). In a multi-process system this is the local
+    /// slice only; [`Runtime::cluster_metrics`] merges every rank's.
+    pub fn local_metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.inner.local_metrics_snapshot()
+    }
+
+    /// Merge every locality's latency histograms into one
+    /// [`crate::metrics::ClusterMetrics`], callable from any rank.
+    ///
+    /// Single-process: snapshots each locality's registry directly.
+    /// Multi-process: sends one `__sys/metrics_pull` parcel per remote
+    /// rank over the control priority lane (the balancer-gossip path, so
+    /// a backpressured data lane cannot starve the pull) and blocks for
+    /// the replies. Only bucket *counts* cross the wire — each histogram
+    /// was recorded against its own rank's monotonic clock and merging
+    /// adds counts, so clocks are never compared cross-rank. A dead peer
+    /// surfaces as [`PxError::Fault`] through the usual dead-letter path
+    /// rather than a silent hang; for a bounded wait use
+    /// [`Runtime::cluster_metrics_timeout`].
+    pub fn cluster_metrics(&self) -> PxResult<crate::metrics::ClusterMetrics> {
+        Ok(self
+            .cluster_metrics_inner(None)?
+            .expect("unbounded metrics pull cannot time out"))
+    }
+
+    /// [`Runtime::cluster_metrics`] with a per-reply timeout: `Ok(None)`
+    /// when any rank's reply did not arrive in time.
+    pub fn cluster_metrics_timeout(
+        &self,
+        timeout: Duration,
+    ) -> PxResult<Option<crate::metrics::ClusterMetrics>> {
+        self.cluster_metrics_inner(Some(timeout))
+    }
+
+    fn cluster_metrics_inner(
+        &self,
+        timeout: Option<Duration>,
+    ) -> PxResult<Option<crate::metrics::ClusterMetrics>> {
+        let mut per_rank: Vec<(u16, crate::metrics::MetricsSnapshot)> = Vec::new();
+        if self.inner.distributed() {
+            let own = self.inner.origin;
+            per_rank.push((own.0, self.inner.local_metrics_snapshot()));
+            // Issue every pull before waiting on any reply so the pulls
+            // fan out concurrently: the total wait is one round trip,
+            // not one per rank.
+            let mut pending = Vec::new();
+            for i in 0..self.inner.localities.len() {
+                let id = LocalityId(i as u16);
+                if id == own {
+                    continue;
+                }
+                let gid = self.inner.locality(own).new_future_lco();
+                let p = Parcel::new(
+                    Gid::locality_root(id),
+                    sys::METRICS_PULL,
+                    Value::from_bytes(Vec::new()),
+                    Continuation::set(gid),
+                );
+                self.inner.send_parcel(own, p);
+                pending.push((id, gid));
+            }
+            for (id, gid) in pending {
+                let loc = self.inner.locality(own);
+                let lco = loc.get_lco(gid)?;
+                let slot = Arc::new(ExtSlot::default());
+                let acts = lco.lock().add_waiter(Waiter::External(slot.clone()));
+                self.inner.schedule_activations(loc, acts);
+                let v = match timeout {
+                    None => slot.wait()?,
+                    Some(t) => match slot.wait_timeout(t)? {
+                        Some(v) => v,
+                        None => return Ok(None),
+                    },
+                };
+                per_rank.push((id.0, crate::metrics::MetricsSnapshot::decode(v.bytes())?));
+            }
+            per_rank.sort_by_key(|&(r, _)| r);
+        } else {
+            for (i, loc) in self.inner.localities.iter().enumerate() {
+                let snap = match &loc.metrics {
+                    Some(reg) => reg.snapshot(),
+                    None => crate::metrics::MetricsSnapshot::default(),
+                };
+                per_rank.push((i as u16, snap));
+            }
+        }
+        let mut merged = crate::metrics::MetricsSnapshot::default();
+        for (_, s) in &per_rank {
+            merged.merge(s);
+        }
+        Ok(Some(crate::metrics::ClusterMetrics { per_rank, merged }))
+    }
+
+    /// Render the Prometheus-style text exposition page for this rank:
+    /// every [`crate::stats::StatsSnapshot`] total as a `name{} value`
+    /// line, the derived ratio gauges, then one histogram block per
+    /// metrics instrument (cumulative `_bucket{le="…"}` lines, `_sum`,
+    /// `_count`, and precomputed quantiles — empty-but-present blocks
+    /// when metrics are off). For a cluster-wide page, feed
+    /// [`Runtime::cluster_metrics`]'s merged snapshot through
+    /// [`crate::metrics::render_instruments`] instead.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let stats = self.stats();
+        let t = stats.total();
+        let mut out = String::new();
+        // Counter totals. The `{{}}` renders as a literal empty label set
+        // so every line parses uniformly as `name{labels} value`.
+        macro_rules! counter {
+            ($field:ident) => {
+                let _ = writeln!(out, concat!("px_", stringify!($field), "{{}} {}"), t.$field);
+            };
+        }
+        counter!(parcels_sent);
+        counter!(parcels_recv);
+        counter!(parcels_forwarded);
+        counter!(bytes_sent);
+        counter!(threads_executed);
+        counter!(resumes);
+        counter!(steals);
+        counter!(parks);
+        counter!(busy_ns);
+        counter!(idle_ns);
+        counter!(lco_events);
+        counter!(staged_executed);
+        counter!(agas_cache_hits);
+        counter!(agas_cache_misses);
+        counter!(agas_directory_lookups);
+        counter!(frames_sent);
+        counter!(frames_recv);
+        counter!(coalesced_parcels);
+        counter!(batch_flush_full);
+        counter!(batch_flush_timer);
+        counter!(dead_parcels);
+        counter!(dead_hop_cap);
+        counter!(dead_unknown_action);
+        counter!(dead_handler_error);
+        counter!(dead_panic);
+        counter!(dead_decode);
+        counter!(dead_cancelled);
+        counter!(dead_transport);
+        counter!(tasks_cancelled);
+        counter!(panics);
+        counter!(gossip_rounds);
+        counter!(gossip_parcels);
+        counter!(tasks_shed);
+        counter!(balance_pulls);
+        counter!(chase_hops_total);
+        counter!(chased_parcels);
+        counter!(chase_cap_violations);
+        counter!(trace_events_recorded);
+        counter!(trace_events_dropped);
+        let _ = writeln!(out, "px_migrations_manual{{}} {}", stats.migrations_manual);
+        let _ = writeln!(
+            out,
+            "px_migrations_balancer{{}} {}",
+            stats.migrations_balancer
+        );
+        let _ = writeln!(out, "px_processes_created{{}} {}", stats.processes_created);
+        let _ = writeln!(
+            out,
+            "px_processes_cancelled{{}} {}",
+            stats.processes_cancelled
+        );
+        let _ = writeln!(out, "px_processes_reaped{{}} {}", stats.processes_reaped);
+        // Ratio gauges: all 0.0-guarded on empty counters, so this page
+        // never prints NaN (pinned by the stats unit tests).
+        let _ = writeln!(out, "px_busy_fraction{{}} {}", t.busy_fraction());
+        let _ = writeln!(out, "px_parcels_per_frame{{}} {}", t.parcels_per_frame());
+        let _ = writeln!(out, "px_mean_chase_len{{}} {}", t.mean_chase_len());
+        let _ = writeln!(out, "px_agas_hit_rate{{}} {}", t.agas_hit_rate());
+        crate::metrics::render_instruments(&self.inner.local_metrics_snapshot(), &mut out);
+        out
     }
 
     /// Stop accepting work, wake and join all workers, stop the wire.
@@ -1540,6 +1753,60 @@ mod tests {
         assert_eq!(rt.num_localities(), 2);
         rt.shutdown();
         rt.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn metrics_off_is_empty_but_renders() {
+        let rt = RuntimeBuilder::new(Config::small(2, 1)).build().unwrap();
+        rt.run_blocking(LocalityId(0), |_| {});
+        assert_eq!(rt.local_metrics().total_count(), 0);
+        let cluster = rt.cluster_metrics().unwrap();
+        assert_eq!(cluster.per_rank.len(), 2);
+        assert_eq!(cluster.merged.total_count(), 0);
+        // The page still shows every instrument (all-zero blocks) and no
+        // line is NaN.
+        let text = rt.metrics_text();
+        assert!(text.contains("px_queue_wait_ns_bucket{le=\"+Inf\"} 0"));
+        assert!(!text.contains("NaN"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn metrics_record_and_cluster_merge_in_proc() {
+        let cfg = Config::small(2, 1).with_metrics(true);
+        let rt = RuntimeBuilder::new(cfg).build().unwrap();
+        for dest in [LocalityId(0), LocalityId(1)] {
+            for _ in 0..8 {
+                rt.run_blocking(dest, |_| {});
+            }
+        }
+        let cluster = rt.cluster_metrics().unwrap();
+        // Merged totals are exactly the per-rank sums, and quantiles are
+        // monotone for every instrument that saw samples.
+        let sum: u64 = cluster.per_rank.iter().map(|(_, s)| s.total_count()).sum();
+        assert_eq!(cluster.merged.total_count(), sum);
+        assert!(cluster.merged.total_count() > 0);
+        for inst in crate::metrics::Instrument::ALL {
+            let h = cluster.merged.get(inst);
+            assert!(h.quantile(0.5) <= h.quantile(0.99));
+            assert!(h.quantile(0.99) <= h.quantile(0.999));
+        }
+        // Queue wait is recorded for every executed task.
+        assert!(
+            cluster
+                .merged
+                .get(crate::metrics::Instrument::QueueWait)
+                .count
+                >= 16
+        );
+        let text = rt.metrics_text();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            // Every exposition line is `name{labels} value`.
+            let (name, value) = line.split_once(' ').expect("line has a value");
+            assert!(name.contains('{') && name.ends_with('}'), "{line}");
+            assert!(value.parse::<f64>().unwrap().is_finite(), "{line}");
+        }
+        rt.shutdown();
     }
 
     #[test]

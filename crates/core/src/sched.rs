@@ -67,6 +67,11 @@ pub mod sys {
     /// destination locality's view. Rides the ordinary (batched)
     /// transport like any other parcel.
     pub const BALANCE_GOSSIP: ActionId = ActionId::of("__sys/balance_gossip");
+    /// Metrics pull: reply the locality's encoded
+    /// [`crate::metrics::MetricsSnapshot`] to the continuation. Rides the
+    /// control priority lane (like gossip) so a saturated rank still
+    /// answers `Runtime::cluster_metrics` promptly.
+    pub const METRICS_PULL: ActionId = ActionId::of("__sys/metrics_pull");
 }
 
 /// Maximum forward hops before a parcel is declared dead (covers races
@@ -99,6 +104,10 @@ pub struct Task {
     /// Trace id this activation runs under (inherited by everything it
     /// sends or spawns; parcels carry their own id inside the bytes).
     pub(crate) trace: Option<u64>,
+    /// Queue-entry stamp for the queue-wait instruments; set by the
+    /// locality push hooks only when metrics are on (`None` otherwise —
+    /// the stamp never crosses an OS-process boundary).
+    pub(crate) enqueued: Option<Instant>,
 }
 
 impl std::fmt::Debug for Task {
@@ -121,6 +130,7 @@ impl Task {
             work: Work::Thread(Box::new(f)),
             process: None,
             trace: None,
+            enqueued: None,
         }
     }
 
@@ -130,6 +140,7 @@ impl Task {
             work: Work::Resume(f, v),
             process: None,
             trace: None,
+            enqueued: None,
         }
     }
 
@@ -139,6 +150,7 @@ impl Task {
             work: Work::ParcelBytes(bytes),
             process: None,
             trace: None,
+            enqueued: None,
         }
     }
 
@@ -148,6 +160,7 @@ impl Task {
             work: Work::ParcelFrame(bytes),
             process: None,
             trace: None,
+            enqueued: None,
         }
     }
 
@@ -178,6 +191,7 @@ impl Task {
             work: Work::Parcel(p),
             process: None,
             trace: None,
+            enqueued: None,
         }
     }
 
@@ -245,23 +259,25 @@ fn find_task(loc: &Locality, local: &Worker<Task>, worker_idx: usize) -> Option<
     // balancing is on, so the default discipline is untouched.
     if let Some(b) = &loc.balance {
         if let Steal::Success(t) = b.control.steal() {
-            return Some(t);
+            return Some(dequeued(loc, crate::metrics::Instrument::ControlLane, t));
         }
     }
     // Precious-resource localities drain prestaged work first (§2.2
     // percolation: the staged queue is what keeps the expensive unit busy).
     if loc.staged_priority {
         if let Steal::Success(t) = loc.staging.steal() {
-            return Some(t);
+            return Some(dequeued(loc, crate::metrics::Instrument::QueueWait, t));
         }
     }
     if let Some(t) = local.pop() {
-        return Some(t);
+        return Some(dequeued(loc, crate::metrics::Instrument::QueueWait, t));
     }
     // Injector: batch-steal amortizes queue contention.
     loop {
         match loc.injector.steal_batch_and_pop(local) {
-            Steal::Success(t) => return Some(t),
+            Steal::Success(t) => {
+                return Some(dequeued(loc, crate::metrics::Instrument::QueueWait, t))
+            }
             Steal::Empty => break,
             Steal::Retry => continue,
         }
@@ -277,7 +293,7 @@ fn find_task(loc: &Locality, local: &Worker<Task>, worker_idx: usize) -> Option<
                 match stealers[victim].steal() {
                     Steal::Success(t) => {
                         bump!(loc.counters.steals);
-                        return Some(t);
+                        return Some(dequeued(loc, crate::metrics::Instrument::QueueWait, t));
                     }
                     Steal::Empty => break,
                     Steal::Retry => continue,
@@ -289,10 +305,20 @@ fn find_task(loc: &Locality, local: &Worker<Task>, worker_idx: usize) -> Option<
     // Staging last for ordinary localities.
     if !loc.staged_priority {
         if let Steal::Success(t) = loc.staging.steal() {
-            return Some(t);
+            return Some(dequeued(loc, crate::metrics::Instrument::QueueWait, t));
         }
     }
     None
+}
+
+/// Record a task's queue-wait sample at its dequeue site. The instrument
+/// names the queue it actually waited in: the control lane gets its own
+/// histogram, everything else is general queue wait. One `Option` check
+/// when metrics are off (the stamp is `None` then, too).
+#[inline]
+fn dequeued(loc: &Locality, inst: crate::metrics::Instrument, mut t: Task) -> Task {
+    loc.metric_elapsed(inst, t.enqueued.take());
+    t
 }
 
 /// Execute one task on the current worker.
@@ -591,13 +617,54 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
     }
 
     // System actions first: they bypass the registry and use raw payload
-    // framing.
+    // framing. The stamp is recorded only when a sys arm consumed the
+    // parcel; user actions fall through to their own instrument.
+    let sys_start = loc.metrics_now();
+    let p = match try_run_sys(rt, loc, p) {
+        None => {
+            loc.metric_elapsed(crate::metrics::Instrument::ExecuteSys, sys_start);
+            return;
+        }
+        Some(p) => p,
+    };
+
+    // User action via the registry.
+    match rt.registry.get(a) {
+        Ok(handler) => {
+            let mut ctx = Ctx::new(rt, loc, Some(local), p.process, p.trace);
+            let handler = handler.clone();
+            let exec_start = loc.metrics_now();
+            let result = run_guarded(loc, || handler(&mut ctx, p.dest, p.payload.bytes()));
+            loc.metric_elapsed(crate::metrics::Instrument::ExecuteUser, exec_start);
+            bump!(loc.counters.threads_executed);
+            match result {
+                Ok(Ok(v)) => apply_continuation(rt, loc, p.cont, v, p.trace),
+                Ok(Err(e)) => {
+                    let cause = cause_of(&e);
+                    kill_parcel(rt, loc, p, cause, e.to_string());
+                }
+                Err(panic_msg) => kill_parcel(rt, loc, p, FaultCause::Panic, panic_msg),
+            }
+        }
+        Err(PxError::UnknownAction(id)) => {
+            let msg = format!("no handler registered for {id:?}");
+            kill_parcel(rt, loc, p, FaultCause::UnknownAction, msg);
+        }
+        Err(_) => unreachable!("registry returns only UnknownAction"),
+    }
+}
+
+/// Dispatch a system action (`__sys/*`), which bypasses the registry and
+/// uses raw payload framing. Returns `None` when the parcel was consumed
+/// here; gives the parcel back for registry dispatch otherwise.
+fn try_run_sys(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, p: Parcel) -> Option<Parcel> {
+    let a = p.action;
     if a == sys::NOOP {
         // px-analyze: allow(no-silent-loss): a NOOP parcel carries no payload or continuation — being dropped after dispatch accounting is its entire contract.
-        return;
+        return None;
     } else if a == sys::PING {
         apply_continuation(rt, loc, p.cont, p.payload, p.trace);
-        return;
+        return None;
     } else if a == sys::LCO_SET {
         // The ack must be honest: a rejected trigger (double-trigger of a
         // single-assignment LCO, wrong kind, missing object) sends the
@@ -609,7 +676,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             }
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
-        return;
+        return None;
     } else if a == sys::LCO_SET_SLOT {
         let bytes = p.payload.bytes();
         if bytes.len() >= 4 {
@@ -631,7 +698,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
                 "LCO_SET_SLOT payload shorter than the slot index".into(),
             );
         }
-        return;
+        return None;
     } else if a == sys::LCO_CONTRIBUTE {
         match lco_sys_op(rt, loc, p.dest, p.trace, |l| {
             l.contribute(p.payload.clone())
@@ -640,7 +707,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
         // px-analyze: allow(no-silent-loss): contributions are fire-and-forget by contract — the payload was delivered to the LCO (or the parcel killed) above; there is no ack continuation to resolve.
-        return;
+        return None;
     } else if a == sys::LCO_GET {
         if let Err(e) = lco_sys_op(rt, loc, p.dest, p.trace, |l| {
             Ok(l.add_waiter(Waiter::Cont(p.cont.clone())))
@@ -648,7 +715,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
         }
         // px-analyze: allow(no-silent-loss): on success the continuation lives on as the LCO's registered waiter — a handoff, not a loss; on error the parcel was killed above.
-        return;
+        return None;
     } else if a == sys::LCO_ACQUIRE {
         if let Err(e) = lco_sys_op(rt, loc, p.dest, p.trace, |l| {
             l.acquire(Waiter::Cont(p.cont.clone()))
@@ -656,13 +723,13 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             kill_parcel(rt, loc, p, cause_of(&e), e.to_string());
         }
         // px-analyze: allow(no-silent-loss): on success the continuation is queued as the semaphore's waiter (released or resumed later) — a handoff; on error the parcel was killed above.
-        return;
+        return None;
     } else if a == sys::LCO_RELEASE {
         match lco_sys_op(rt, loc, p.dest, p.trace, |l| Ok(l.release())) {
             Ok(()) => apply_continuation(rt, loc, p.cont, Value::unit(), p.trace),
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
-        return;
+        return None;
     } else if a == sys::DATA_GET {
         match loc.get_data(p.dest) {
             Ok(d) => {
@@ -677,7 +744,7 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
             Err(PxError::NoSuchObject(_)) => retry_after_migration(rt, loc, p),
             Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
         }
-        return;
+        return None;
     } else if a == sys::DATA_PUT {
         match p.payload.decode::<Vec<u8>>() {
             Err(e) => {
@@ -695,10 +762,10 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
                 Err(e) => kill_parcel(rt, loc, p, cause_of(&e), e.to_string()),
             },
         }
-        return;
+        return None;
     } else if a == sys::ECHO_UPDATE || a == sys::ECHO_PROP || a == sys::ECHO_VALIDATE {
         crate::echo::handle_sys(rt, loc, p);
-        return;
+        return None;
     } else if a == sys::BALANCE_GOSSIP {
         bump!(loc.counters.gossip_parcels);
         if let Some(b) = &loc.balance {
@@ -714,31 +781,21 @@ fn run_parcel(rt: &Arc<RuntimeInner>, loc: &Arc<Locality>, local: &Worker<Task>,
         // action name) the parcel is dropped by design: gossip is
         // advisory, carries no continuation, and was counted above.
         // px-analyze: allow(no-silent-loss): gossip is advisory control traffic with no continuation — on the decode path it merged or was killed above; the forged-action path drops a counted parcel by design.
-        return;
+        return None;
+    } else if a == sys::METRICS_PULL {
+        // Reply this locality's histograms to the continuation. A rank
+        // with metrics off answers with empty histograms rather than
+        // stalling the requester's merge gate.
+        let snap = match &loc.metrics {
+            Some(reg) => reg.snapshot(),
+            None => crate::metrics::MetricsSnapshot::default(),
+        };
+        let v = Value::from_bytes(snap.encode());
+        apply_continuation(rt, loc, p.cont, v, p.trace);
+        return None;
     }
 
-    // User action via the registry.
-    match rt.registry.get(a) {
-        Ok(handler) => {
-            let mut ctx = Ctx::new(rt, loc, Some(local), p.process, p.trace);
-            let handler = handler.clone();
-            let result = run_guarded(loc, || handler(&mut ctx, p.dest, p.payload.bytes()));
-            bump!(loc.counters.threads_executed);
-            match result {
-                Ok(Ok(v)) => apply_continuation(rt, loc, p.cont, v, p.trace),
-                Ok(Err(e)) => {
-                    let cause = cause_of(&e);
-                    kill_parcel(rt, loc, p, cause, e.to_string());
-                }
-                Err(panic_msg) => kill_parcel(rt, loc, p, FaultCause::Panic, panic_msg),
-            }
-        }
-        Err(PxError::UnknownAction(id)) => {
-            let msg = format!("no handler registered for {id:?}");
-            kill_parcel(rt, loc, p, FaultCause::UnknownAction, msg);
-        }
-        Err(_) => unreachable!("registry returns only UnknownAction"),
-    }
+    Some(p)
 }
 
 /// Re-route a parcel whose target object is absent from the locality the
@@ -798,10 +855,18 @@ pub(crate) fn lco_sys_op(
 ) -> crate::error::PxResult<()> {
     bump!(loc.counters.lco_events);
     let lco = loc.get_lco(gid)?;
-    let acts = {
+    let (acts, resolved) = {
         let mut g = lco.lock();
-        op(&mut g)
-    }?;
+        let r = op(&mut g);
+        // Harvest the creation stamp exactly once, at the event that
+        // resolved the LCO (fire or poison) — the spawn→resolution
+        // latency, on this locality's clock.
+        (r, g.take_resolve_latency())
+    };
+    if let (Some(reg), Some(d)) = (&loc.metrics, resolved) {
+        reg.record_elapsed(crate::metrics::Instrument::SpawnResolve, d);
+    }
+    let acts = acts?;
     if !acts.is_empty() {
         loc.trace_event(
             trace,
@@ -977,16 +1042,17 @@ impl RuntimeInner {
                 self.process_task_started(pg, owner);
             }
         }
-        // Balancer gossip bypasses the coalescing ports and lands in the
-        // destination's control queue: it must outrun the very backlog it
-        // reports on.
-        if p.action == sys::BALANCE_GOSSIP {
+        // Balancer gossip and metrics pulls bypass the coalescing ports
+        // and land in the destination's control queue: they must outrun
+        // the very backlog they report on, and may not be dropped or
+        // delayed under data-lane backpressure.
+        if p.action == sys::BALANCE_GOSSIP || p.action == sys::METRICS_PULL {
             let bytes = p.encode();
             let n = bytes.len();
             self.wire
                 .send(crate::net::WireMsg::Control { dest: owner, bytes }, n);
             bump!(from_loc.counters.bytes_sent, n as u64);
-            // px-analyze: allow(no-silent-loss): the encoded gossip frame is already on the wire (accounted above) — the in-memory parcel is spent, not lost.
+            // px-analyze: allow(no-silent-loss): the encoded control-lane frame is already on the wire (accounted above) — the in-memory parcel is spent, not lost.
             return;
         }
         // Parcel-borne process accounting: the receiving worker decrements
@@ -1086,6 +1152,7 @@ mod tests {
             sys::ECHO_PROP,
             sys::ECHO_VALIDATE,
             sys::BALANCE_GOSSIP,
+            sys::METRICS_PULL,
         ];
         let set: std::collections::HashSet<u64> = ids.iter().map(|i| i.0).collect();
         assert_eq!(set.len(), ids.len());

@@ -627,6 +627,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_delta_ratios_are_zero_not_nan() {
+        // A zero-length interval (or a freshly booted runtime) must
+        // yield 0.0 ratios, never NaN: the metrics text page prints
+        // these gauges verbatim and Prometheus-style parsers choke on
+        // NaN. Pinned here so a future rewrite of the helpers cannot
+        // quietly reintroduce 0/0.
+        let snap = StatsSnapshot {
+            localities: vec![LocalityStats::default(); 3],
+            ..Default::default()
+        };
+        let d = snap.delta_from(&snap);
+        assert_eq!(d.mean_busy_fraction(), 0.0);
+        let t = d.total();
+        for ratio in [
+            t.busy_fraction(),
+            t.parcels_per_frame(),
+            t.mean_chase_len(),
+            t.agas_hit_rate(),
+        ] {
+            assert_eq!(ratio, 0.0);
+            assert!(ratio.is_finite());
+        }
+        for l in &d.localities {
+            assert!(l.busy_fraction().is_finite());
+            assert!(l.parcels_per_frame().is_finite());
+            assert!(l.mean_chase_len().is_finite());
+            assert!(l.agas_hit_rate().is_finite());
+        }
+        // An empty snapshot (no localities at all) is also NaN-free.
+        assert_eq!(StatsSnapshot::default().mean_busy_fraction(), 0.0);
+    }
+
+    #[test]
     fn chase_len_mean() {
         let mut s = LocalityStats::default();
         assert_eq!(s.mean_chase_len(), 0.0);

@@ -1,0 +1,192 @@
+//! Wire encoding of latency histograms.
+//!
+//! The metrics plane in `px-core` keeps log-bucketed latency histograms
+//! per locality and merges them cluster-wide with `__sys/metrics_pull`
+//! parcels, so the bucket counts must cross the wire like any payload.
+//! The encoding is fixed here, next to the parcel payload format, because
+//! both sides of the pull — and any future peer implementation — must
+//! agree on it byte for byte.
+//!
+//! Layout (little-endian, matching the rest of the format):
+//!
+//! | Field | Encoding |
+//! |---|---|
+//! | `count` | `u64` — total recorded samples |
+//! | `sum` | `u64` — sum of recorded values (nanoseconds) |
+//! | cell count | LEB128 number of non-empty cells |
+//! | per cell | `u32` bucket index + `u64` bucket count |
+//!
+//! The cell list is **canonical**: indices strictly increasing, counts
+//! nonzero. The decoder rejects non-canonical input, so for every
+//! decodable byte string `decode ∘ encode` is the identity *and*
+//! `encode ∘ decode` is bit-identical — histograms survive frame batching
+//! and re-encoding without drift (proptested in
+//! `tests/histogram_proptest.rs`).
+
+use crate::buf::{WireReader, WireWriter};
+use crate::error::{WireError, WireResult};
+
+/// A histogram as it crosses the wire: sparse non-empty bucket cells plus
+/// the count/sum totals. The dense, atomic view lives in `px-core`
+/// (`metrics::Histogram`); this struct is the schema both sides agree on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (nanoseconds).
+    pub sum: u64,
+    /// Non-empty cells as `(bucket index, bucket count)`, indices strictly
+    /// increasing and counts nonzero (the canonical form).
+    pub cells: Vec<(u32, u64)>,
+}
+
+impl WireHistogram {
+    /// Encode to wire bytes (see the module docs for the layout table).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(8 + 8 + 1 + 12 * self.cells.len());
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode into a caller-provided buffer (frame-batched pulls append
+    /// several histograms into one payload).
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_varint(self.cells.len() as u64);
+        for &(idx, n) in &self.cells {
+            w.put_u32(idx);
+            w.put_u64(n);
+        }
+    }
+
+    /// Decode from a reader positioned at a histogram (several may be
+    /// concatenated in one pull payload). Rejects non-canonical cell
+    /// lists — out-of-order or duplicate indices, zero counts — so the
+    /// accepted byte set round-trips bit-identically.
+    pub fn decode_from(r: &mut WireReader<'_>) -> WireResult<WireHistogram> {
+        let count = r.get_u64()?;
+        let sum = r.get_u64()?;
+        let n = r.get_varint()? as usize;
+        let mut cells = Vec::with_capacity(n.min(4096));
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let idx = r.get_u32()?;
+            let c = r.get_u64()?;
+            if c == 0 {
+                return Err(WireError::Message("histogram cell with zero count".into()));
+            }
+            if prev.is_some_and(|p| p >= idx) {
+                return Err(WireError::Message(
+                    "histogram cell indices not strictly increasing".into(),
+                ));
+            }
+            prev = Some(idx);
+            cells.push((idx, c));
+        }
+        Ok(WireHistogram { count, sum, cells })
+    }
+
+    /// Decode from wire bytes holding exactly one histogram.
+    pub fn decode(bytes: &[u8]) -> WireResult<WireHistogram> {
+        let mut r = WireReader::new(bytes);
+        let h = WireHistogram::decode_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::Message("trailing bytes after histogram".into()));
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireHistogram {
+        WireHistogram {
+            count: 7,
+            sum: 123_456,
+            cells: vec![(0, 2), (17, 1), (400, 4)],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        assert_eq!(WireHistogram::decode(&h.encode()).unwrap(), h);
+        let empty = WireHistogram::default();
+        assert_eq!(WireHistogram::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    /// Acceptance pin: the byte layout is fixed — count, sum, cell count,
+    /// then `(u32 index, u64 count)` pairs, all little-endian. A drift
+    /// here would silently corrupt cross-version metrics pulls.
+    #[test]
+    fn golden_layout() {
+        let h = sample();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&7u64.to_le_bytes());
+        expected.extend_from_slice(&123_456u64.to_le_bytes());
+        expected.push(3); // cell count varint
+        expected.extend_from_slice(&0u32.to_le_bytes());
+        expected.extend_from_slice(&2u64.to_le_bytes());
+        expected.extend_from_slice(&17u32.to_le_bytes());
+        expected.extend_from_slice(&1u64.to_le_bytes());
+        expected.extend_from_slice(&400u32.to_le_bytes());
+        expected.extend_from_slice(&4u64.to_le_bytes());
+        assert_eq!(h.encode(), expected, "WireHistogram layout drifted");
+    }
+
+    #[test]
+    fn non_canonical_rejected() {
+        // Zero count.
+        let bad = WireHistogram {
+            count: 1,
+            sum: 1,
+            cells: vec![(3, 0)],
+        };
+        assert!(WireHistogram::decode(&bad.encode()).is_err());
+        // Out-of-order indices.
+        let bad = WireHistogram {
+            count: 2,
+            sum: 2,
+            cells: vec![(5, 1), (3, 1)],
+        };
+        assert!(WireHistogram::decode(&bad.encode()).is_err());
+        // Duplicate indices.
+        let bad = WireHistogram {
+            count: 2,
+            sum: 2,
+            cells: vec![(5, 1), (5, 1)],
+        };
+        assert!(WireHistogram::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = sample().encode();
+        assert!(WireHistogram::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(WireHistogram::decode(&[]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0xff);
+        assert!(WireHistogram::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn concatenated_histograms_decode_in_sequence() {
+        let a = sample();
+        let b = WireHistogram {
+            count: 1,
+            sum: 9,
+            cells: vec![(9, 1)],
+        };
+        let mut w = WireWriter::new();
+        a.encode_into(&mut w);
+        b.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(WireHistogram::decode_from(&mut r).unwrap(), a);
+        assert_eq!(WireHistogram::decode_from(&mut r).unwrap(), b);
+        assert_eq!(r.remaining(), 0);
+    }
+}

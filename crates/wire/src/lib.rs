@@ -49,6 +49,7 @@ mod de;
 mod error;
 mod fault;
 mod frame;
+mod histogram;
 mod ser;
 pub mod stream;
 
@@ -60,6 +61,7 @@ pub use frame::{
     frame_checksum, FrameBuf, FrameRecords, FrameView, FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
     FRAME_VERSION, FRAME_VERSION_CHECKSUM, RECORD_HEADER_LEN,
 };
+pub use histogram::WireHistogram;
 pub use ser::{to_bytes, to_writer, Serializer};
 
 /// Bit assignments of the parcel header *flags* byte.

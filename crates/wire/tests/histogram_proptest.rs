@@ -1,0 +1,122 @@
+//! Property tests for [`px_wire::WireHistogram`]: an encoded histogram
+//! must survive frame batching and arbitrary stream splits bit-identical
+//! — the bucket counts a rank ships are exactly the counts the
+//! aggregator decodes, and the canonical sparse form round-trips with no
+//! tolerance for re-encoding drift (merged cluster metrics are only
+//! trustworthy if the wire never perturbs a cell).
+
+use proptest::prelude::*;
+use px_wire::stream::{encode_msg_header, msg_kind, StreamAssembler};
+use px_wire::{FrameBuf, FrameView, WireHistogram, WireReader, WireWriter};
+
+/// Canonical sparse cells: strictly increasing indices, nonzero counts —
+/// the only form the decoder accepts, which is what makes encode∘decode
+/// bit-identical.
+fn arb_hist() -> impl Strategy<Value = WireHistogram> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((0u32..2048, 1u64..u64::MAX), 0..48),
+    )
+        .prop_map(|(count, sum, mut cells)| {
+            cells.sort_unstable_by_key(|&(idx, _)| idx);
+            cells.dedup_by_key(|&mut (idx, _)| idx);
+            WireHistogram { count, sum, cells }
+        })
+}
+
+/// Feed `bytes` to a [`StreamAssembler`] split at `cuts` and collect the
+/// reassembled messages.
+fn reassemble(bytes: &[u8], cuts: &[usize]) -> Vec<(u8, Vec<u8>)> {
+    let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries.push(bytes.len());
+    let mut a = StreamAssembler::new();
+    let mut out = Vec::new();
+    let mut start = 0;
+    for end in boundaries {
+        if end < start {
+            continue;
+        }
+        a.feed(&bytes[start..end]);
+        while let Some(msg) = a.next_msg().expect("valid stream never errors") {
+            out.push(msg);
+        }
+        start = end;
+    }
+    out
+}
+
+proptest! {
+    /// encode → decode → re-encode is byte-identical for any canonical
+    /// histogram, and the decoded struct equals the original.
+    #[test]
+    fn roundtrip_is_bit_identical(h in arb_hist()) {
+        let bytes = h.encode();
+        let back = WireHistogram::decode(&bytes).expect("canonical decodes");
+        prop_assert_eq!(&back, &h);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// A batch of histograms rides a frame and arbitrary stream splits
+    /// bit-identical: record boundaries and cell contents both survive.
+    #[test]
+    fn histograms_survive_batching_and_splits(
+        hists in proptest::collection::vec(arb_hist(), 1..12),
+        cuts in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let mut f = FrameBuf::new();
+        for h in &hists {
+            f.push_record(&h.encode());
+        }
+        let frame = f.take();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_msg_header(msg_kind::FRAME, frame.len() as u32));
+        stream.extend_from_slice(&frame);
+
+        let msgs = reassemble(&stream, &cuts);
+        prop_assert_eq!(msgs.len(), 1);
+        let (kind, body) = &msgs[0];
+        prop_assert_eq!(*kind, msg_kind::FRAME);
+        let view = FrameView::parse(body).expect("frame parses");
+        prop_assert_eq!(view.record_count() as usize, hists.len());
+        for (rec, h) in view.records().zip(&hists) {
+            let rec = rec.expect("record ok");
+            prop_assert_eq!(rec, h.encode().as_slice(), "bytes ride verbatim");
+            let back = WireHistogram::decode(rec).expect("decodes");
+            prop_assert_eq!(&back, h);
+        }
+    }
+
+    /// Several histograms concatenated in one buffer (the
+    /// `MetricsSnapshot` encoding) decode in sequence with no
+    /// inter-record drift: each `decode_from` consumes exactly its own
+    /// bytes.
+    #[test]
+    fn concatenated_histograms_decode_in_sequence(
+        hists in proptest::collection::vec(arb_hist(), 1..8),
+    ) {
+        let mut w = WireWriter::new();
+        for h in &hists {
+            h.encode_into(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        for h in &hists {
+            let back = WireHistogram::decode_from(&mut r).expect("decodes in place");
+            prop_assert_eq!(&back, h);
+        }
+        prop_assert_eq!(r.remaining(), 0, "no trailing bytes");
+    }
+
+    /// Truncating an encoded histogram anywhere strictly inside it must
+    /// error, never mis-decode: a short read cannot silently produce a
+    /// plausible-but-wrong merge input.
+    #[test]
+    fn truncation_errors_loudly(h in arb_hist(), cut in any::<usize>()) {
+        let bytes = h.encode();
+        let cut = cut % bytes.len(); // strictly shorter than the encoding
+        prop_assert!(WireHistogram::decode(&bytes[..cut]).is_err());
+    }
+}

@@ -49,7 +49,7 @@ impl Action for Slice {
     }
 }
 
-fn build_rt(rank: u16, addrs: Vec<String>, batched: bool, traced: bool) -> Runtime {
+fn build_rt(rank: u16, addrs: Vec<String>, batched: bool, traced: bool, metered: bool) -> Runtime {
     let mut cfg = Config::small(addrs.len(), 1).with_tcp(rank, addrs);
     if batched {
         // Batching exercises coalesced checksummed frames over the
@@ -62,6 +62,9 @@ fn build_rt(rank: u16, addrs: Vec<String>, batched: bool, traced: bool) -> Runti
     }
     if traced {
         cfg = cfg.with_trace_sampling(1);
+    }
+    if metered {
+        cfg = cfg.with_metrics(true);
     }
     RuntimeBuilder::new(cfg)
         .register::<Square>()
@@ -107,6 +110,7 @@ fn dist_child_entry() {
         addrs,
         mode.starts_with("serve"),
         mode == "serve-trace",
+        mode == "serve-metrics",
     );
     match mode.as_str() {
         // Vanish right after the barrier, without shutdown: sockets die
@@ -128,7 +132,7 @@ fn dist_child_entry() {
 fn two_process_spawn_await_workload_completes() {
     let addrs = free_addrs(2);
     let mut child = spawn_child("serve", &addrs);
-    let rt = build_rt(0, addrs, true, false);
+    let rt = build_rt(0, addrs, true, false, false);
     const N: u64 = 200;
     let futs: Vec<(u64, FutureRef<u64>)> = (0..N)
         .map(|i| {
@@ -180,6 +184,64 @@ fn two_process_spawn_await_workload_completes() {
     rt.shutdown();
 }
 
+/// Acceptance: `cluster_metrics()` across two real OS processes pulls
+/// rank 1's histograms over the control lane and merges them with rank
+/// 0's — the merged total equals the sum of the per-rank counts and the
+/// quantiles of every instrument are monotone. Clocks are never
+/// compared across ranks: each histogram holds durations measured on
+/// its own rank, and merging adds bucket counts, not timestamps.
+#[test]
+fn two_process_cluster_metrics_merges_per_rank_histograms() {
+    let addrs = free_addrs(2);
+    let mut child = spawn_child("serve-metrics", &addrs);
+    let rt = build_rt(0, addrs, true, false, true);
+    const N: u64 = 64;
+    for i in 0..N {
+        let fut = rt.new_future::<u64>(LocalityId(0));
+        rt.send_action::<Square>(
+            Gid::locality_root(LocalityId(1)),
+            i,
+            Continuation::set(fut.gid()),
+        )
+        .unwrap();
+        let got = rt
+            .wait_future_timeout(fut, BOUND)
+            .unwrap()
+            .expect("remote result within the bound");
+        assert_eq!(got, i * i);
+    }
+    let cluster = rt.cluster_metrics().expect("pull over the control lane");
+    assert_eq!(cluster.per_rank.len(), 2, "one snapshot per rank");
+    let per_rank_total: u64 = cluster
+        .per_rank
+        .iter()
+        .map(|(_, snap)| snap.total_count())
+        .sum();
+    assert_eq!(
+        cluster.merged.total_count(),
+        per_rank_total,
+        "the merge is lossless"
+    );
+    for (rank, snap) in &cluster.per_rank {
+        assert!(snap.total_count() > 0, "rank {rank} recorded nothing");
+    }
+    for inst in Instrument::ALL {
+        let h = cluster.merged.get(inst);
+        let (p50, p99, p999) = (h.quantile(0.50), h.quantile(0.99), h.quantile(0.999));
+        assert!(
+            p50 <= p99 && p99 <= p999,
+            "{}: p50={p50} p99={p99} p999={p999}",
+            inst.name()
+        );
+    }
+    // The remote rank executed every Square action under its own
+    // registry; the pull carried that across the wire.
+    assert!(cluster.merged.get(Instrument::ExecuteUser).count >= N);
+    drop(child.stdin.take());
+    assert!(child.wait().unwrap().success());
+    rt.shutdown();
+}
+
 /// Acceptance: killing one peer mid-flight resolves remote waiters with
 /// `PxError::Fault` (`FaultCause::Transport`) in bounded time.
 #[test]
@@ -188,7 +250,7 @@ fn killing_a_peer_resolves_waiters_with_fault_in_bounded_time() {
     let mut child = spawn_child("crash", &addrs);
     // The barrier passes (the child builds its runtime before exiting);
     // right after, the peer is gone.
-    let rt = build_rt(0, addrs, false, false);
+    let rt = build_rt(0, addrs, false, false, false);
     let deadline = Instant::now() + BOUND;
     let fault = loop {
         let fut = rt.new_future::<u64>(LocalityId(0));
@@ -244,7 +306,7 @@ fn thread_count_stays_flat_from_one_peer_to_seven() {
         let mut children: Vec<Child> = (1..ranks as u16)
             .map(|r| spawn_child_at("serve", &addrs, r))
             .collect();
-        let rt = build_rt(0, addrs, true, false);
+        let rt = build_rt(0, addrs, true, false, false);
         for r in 1..ranks as u16 {
             let fut = rt.new_future::<u64>(LocalityId(0));
             rt.send_action::<Square>(
@@ -323,7 +385,7 @@ fn remote_closure_spawn_dies_loudly() {
 fn killed_peer_leaves_a_causally_ordered_cross_rank_trace() {
     let addrs = free_addrs(2);
     let mut child = spawn_child("serve-trace", &addrs);
-    let rt = build_rt(0, addrs, false, true);
+    let rt = build_rt(0, addrs, false, true, false);
 
     // One explicitly traced request, answered by the remote rank.
     let trace = rt.new_trace_id().expect("tracing is on");

@@ -522,6 +522,64 @@ proptest! {
         }
     }
 
+    // ---- metrics histograms ----------------------------------------------
+
+    #[test]
+    fn histogram_merge_is_order_invariant_and_lossless(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        use parallex::core::metrics::{Histogram, HistogramSnapshot};
+        let (ha, hb) = (Histogram::default(), Histogram::default());
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+        let mut ab = HistogramSnapshot::default();
+        ab.merge(&sa);
+        ab.merge(&sb);
+        let mut ba = HistogramSnapshot::default();
+        ba.merge(&sb);
+        ba.merge(&sa);
+        // Commutative...
+        prop_assert_eq!(&ab, &ba);
+        // ...and lossless: every bucket count is the exact sum, no
+        // sample moved buckets and none vanished.
+        prop_assert_eq!(ab.count, (a.len() + b.len()) as u64);
+        for (i, &c) in ab.cells.iter().enumerate() {
+            prop_assert_eq!(c, sa.cells[i] + sb.cells[i], "cell {} drifted", i);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_recorded_values(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        q_milli in 0u32..1001,
+    ) {
+        use parallex::core::metrics::{bucket_bound, bucket_index, Histogram};
+        let q = f64::from(q_milli) / 1000.0;
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let reported = s.quantile(q);
+        // The reported quantile is some bucket's inclusive upper bound,
+        // and at least ceil(q * n) recorded values fall at or below it
+        // (the defining property of a percentile estimate that rounds up
+        // to its bucket boundary).
+        let rank = ((q * values.len() as f64).ceil() as u64).clamp(1, values.len() as u64);
+        let at_or_below = values.iter().filter(|&&v| v <= reported).count() as u64;
+        prop_assert!(at_or_below >= rank, "q={} reported={} covers {}/{}", q, reported, at_or_below, rank);
+        // And every recorded value sits within its own bucket's bound.
+        for &v in &values {
+            prop_assert!(v <= bucket_bound(bucket_index(v)));
+        }
+    }
+
     // ---- Data Vortex ----------------------------------------------------------------
 
     #[test]
