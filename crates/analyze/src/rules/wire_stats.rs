@@ -712,15 +712,20 @@ pub mod parcel_flags {
     /// A minimal metrics.rs: the `Instrument` enum plus a renderer that
     /// spells out every variant.
     const GOOD_METRICS: &str = "\
-pub enum Instrument { QueueWait, NetRtt }
+pub enum Instrument { QueueWait, NetRtt, DirLookup }
 pub fn render_instruments(snap: &MetricsSnapshot, out: &mut String) {
     render_one(snap.get(Instrument::QueueWait), out);
     render_one(snap.get(Instrument::NetRtt), out);
+    render_one(snap.get(Instrument::DirLookup), out);
 }";
     /// A minimal metrics_report.rs: the bench row builder's explicit list.
     const GOOD_BENCH: &str = "\
 pub fn metrics_rows(snap: &MetricsSnapshot) -> Vec<MetricsRow> {
-    vec![row(snap, Instrument::QueueWait), row(snap, Instrument::NetRtt)]
+    vec![
+        row(snap, Instrument::QueueWait),
+        row(snap, Instrument::NetRtt),
+        row(snap, Instrument::DirLookup),
+    ]
 }";
 
     fn run(error: &str, stats: &str, wire: &str) -> Vec<String> {
@@ -862,12 +867,25 @@ pub fn metrics_rows(snap: &MetricsSnapshot) -> Vec<MetricsRow> {
             "{found:?}"
         );
         // Seed an instrument the bench JSON rows forgot to carry.
-        let bad = GOOD_BENCH.replace("row(snap, Instrument::NetRtt)", "");
+        let bad = GOOD_BENCH.replace("row(snap, Instrument::NetRtt),", "");
         let found = run_metrics(GOOD_METRICS, &bad);
         assert!(
             found
                 .iter()
                 .any(|m| m.contains("Instrument::NetRtt is not carried through `metrics_rows`")),
+            "{found:?}"
+        );
+        // A late-added variant (the directory-lookup instrument shape) is
+        // held to the same standard in both fan-outs.
+        let bad = GOOD_METRICS.replace(
+            "    render_one(snap.get(Instrument::DirLookup), out);\n",
+            "",
+        );
+        let found = run_metrics(&bad, GOOD_BENCH);
+        assert!(
+            found.iter().any(|m| {
+                m.contains("Instrument::DirLookup is not carried through `render_instruments`")
+            }),
             "{found:?}"
         );
     }

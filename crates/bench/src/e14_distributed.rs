@@ -151,6 +151,9 @@ pub struct DistJson {
     pub metrics: Vec<crate::metrics_report::MetricsRow>,
     /// N-rank mesh scaling (thread counts flat by design).
     pub mesh: Vec<MeshRow>,
+    /// E12-over-TCP: the balancer across OS processes, adaptive vs off
+    /// at 2 and 4 ranks (see [`crate::e12_tcp`]).
+    pub e12_tcp: Vec<crate::e12_tcp::Row>,
 }
 
 /// If this process was spawned as a mesh peer (any rank ≥ 1), serve and
@@ -465,6 +468,7 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
             .map(|&ranks| mesh_leg(ranks, p, &[]))
             .collect::<Vec<_>>();
         print_mesh_table(&mesh);
+        let e12_tcp = crate::e12_tcp::run();
         let doc = DistJson {
             bench: "e14_distributed".into(),
             msgs: p.msgs,
@@ -474,6 +478,7 @@ fn run_with(p: Params, write: bool) -> Vec<Row> {
             tcp_transport: tcp_stats,
             metrics: tcp_metrics,
             mesh,
+            e12_tcp,
         };
         let json = crate::json::to_json_pretty(&doc);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");

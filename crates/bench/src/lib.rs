@@ -35,6 +35,7 @@
 pub mod e10_datavortex;
 pub mod e11_starvation;
 pub mod e12_balance;
+pub mod e12_tcp;
 pub mod e13_tenancy;
 pub mod e14_distributed;
 pub mod e1_design_point;

@@ -8,6 +8,8 @@
 //! px-bench e14            # full E14 run (writes BENCH_dist.json)
 //! px-bench --smoke e14    # scaled-down E14 (CI smoke; no JSON)
 //! px-bench --smoke e14mesh # 8-rank mesh smoke (CI; no JSON)
+//! px-bench e12tcp         # balancer over TCP, 2+4 ranks (table only)
+//! px-bench --smoke e12tcp # 2-rank balancer-on vs off (CI; no JSON)
 //! ```
 //!
 //! `--trace` (combinable with `--smoke`; e12/e13/e14) enables sampled
@@ -18,19 +20,22 @@
 //! BENCH JSON artifact on full runs, and the smoke validates the
 //! `metrics_text` exposition format.
 //!
-//! E14 re-executes this binary as the other ranks of a TCP mesh
-//! (`PX_E14_RANK`); `maybe_child` routes those invocations.
+//! E14 and E12tcp re-execute this binary as the other ranks of a TCP
+//! mesh (`PX_E14_RANK` / `PX_E12TCP_RANK`); the `maybe_child` calls
+//! route those invocations. The full E14 run embeds the E12tcp rows in
+//! `BENCH_dist.json`.
 
 fn usage() -> ! {
     eprintln!(
         "usage: px-bench [--smoke] [--trace] [--metrics] <experiment>\n\
-         experiments: e11, e12, e13, e14, e14mesh"
+         experiments: e11, e12, e12tcp, e13, e14, e14mesh"
     );
     std::process::exit(2);
 }
 
 fn main() {
     px_bench::e14_distributed::maybe_child();
+    px_bench::e12_tcp::maybe_child();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--trace") {
         args.retain(|a| a != "--trace");
@@ -53,6 +58,12 @@ fn main() {
         }
         ("e12", false) => {
             px_bench::e12_balance::run();
+        }
+        ("e12tcp", true) => {
+            px_bench::e12_tcp::smoke();
+        }
+        ("e12tcp", false) => {
+            px_bench::e12_tcp::run();
         }
         ("e13", true) => {
             px_bench::e13_tenancy::smoke();

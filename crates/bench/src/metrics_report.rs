@@ -54,6 +54,7 @@ pub fn metrics_rows(snap: &MetricsSnapshot) -> Vec<MetricsRow> {
         row(snap, Instrument::SpawnResolve),
         row(snap, Instrument::NetRtt),
         row(snap, Instrument::ControlLane),
+        row(snap, Instrument::DirLookup),
     ]
 }
 

@@ -16,9 +16,23 @@
 //!
 //! The symbolic name service ("hierarchical naming structure") maps
 //! path-style strings (`"/app/mesh/block7"`) to GIDs.
+//!
+//! ## Distributed operation
+//!
+//! Over TCP every OS process holds one `Agas` instance, but only the
+//! directory shards on a GID's **home rank** (its birthplace) are
+//! cluster-authoritative. Other ranks' directory shards and caches are
+//! advisory fast paths: they are filled by `__sys/dir_repair` hints and
+//! by migration acknowledgements, and a stale answer is always repaired
+//! by the same bounded forwarding chase used in-process (the chasing
+//! parcel carries its hop count; the home rank is consulted via
+//! `__sys/dir_lookup` on the control lane when the chase needs an
+//! authoritative answer). Cross-rank migrations additionally pin the
+//! moving GID in the [`Agas::begin_migration`] freeze set so the
+//! multi-RTT protocol never holds `migrate_lock` across the wire.
 
 use crate::error::{PxError, PxResult};
-use crate::fxmap::FxHashMap;
+use crate::fxmap::{FxHashMap, FxHashSet};
 use crate::gid::{Gid, LocalityId};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +48,15 @@ pub enum MigrationCause {
     Manual,
     /// Heat-driven pull by the `px-balance` balancer.
     Balancer,
+}
+
+/// State behind [`Agas::begin_migration`]/[`Agas::end_migration`]: which
+/// GIDs have a cross-rank migration protocol in flight, and the parcels
+/// parked against each until the protocol settles.
+#[derive(Default)]
+struct MigrationSync {
+    in_flight: FxHashSet<Gid>,
+    deferred: FxHashMap<Gid, Vec<crate::parcel::Parcel>>,
 }
 
 /// The AGAS service shared by all localities of a runtime.
@@ -57,6 +80,14 @@ pub struct Agas {
     /// Migrations are rare (manual calls + capped balancer pulls), so one
     /// global lock is cheaper than per-object machinery.
     migrate_lock: Mutex<()>,
+    /// Cross-rank migration synchronization. The distributed protocol
+    /// spans two remote RTTs (install at dest, then update the home
+    /// directory), so it cannot hold `migrate_lock` for its duration;
+    /// instead each migration pins its GID in `in_flight` for the whole
+    /// protocol and concurrent starters park their parcels in
+    /// `deferred`. The lock only guards set/map membership — it is
+    /// never held across a wire operation.
+    migration_sync: Mutex<MigrationSync>,
     /// Monotone count of migrations (diagnostics).
     migrations: AtomicU64,
     /// Migrations recorded with [`MigrationCause::Manual`].
@@ -86,6 +117,7 @@ impl Agas {
             heat: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
             names: RwLock::new(FxHashMap::default()),
             migrate_lock: Mutex::new(()),
+            migration_sync: Mutex::new(MigrationSync::default()),
             migrations: AtomicU64::new(0),
             migrations_manual: AtomicU64::new(0),
             migrations_balancer: AtomicU64::new(0),
@@ -149,6 +181,15 @@ impl Agas {
             MigrationCause::Manual => self.migrations_manual.fetch_add(1, Ordering::Relaxed),
             MigrationCause::Balancer => self.migrations_balancer.fetch_add(1, Ordering::Relaxed),
         };
+        self.note_owner(gid, to);
+    }
+
+    /// Directory write without migration accounting: the `__sys`
+    /// directory ops use this at the destination and home ranks (the
+    /// rank that *initiated* the move already counted the migration;
+    /// counting it again at every participating rank would inflate the
+    /// per-rank migration totals).
+    pub fn note_owner(&self, gid: Gid, to: LocalityId) {
         let mut shard = self.shard(gid).write();
         if to == gid.birthplace() {
             // Back home: the directory entry is redundant.
@@ -178,6 +219,53 @@ impl Agas {
     /// directory update (see `migrate_lock`).
     pub fn migration_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
         self.migrate_lock.lock()
+    }
+
+    /// Pin `gid` for a cross-rank migration. Returns `false` (and pins
+    /// nothing) when a migration of the same GID is already in flight —
+    /// the caller must park its request via
+    /// [`Agas::defer_during_migration`] rather than race the protocol.
+    /// Pair every `true` return with exactly one [`Agas::end_migration`],
+    /// including on every failure path.
+    pub fn begin_migration(&self, gid: Gid) -> bool {
+        self.migration_sync.lock().in_flight.insert(gid)
+    }
+
+    /// Release a pin taken by a successful [`Agas::begin_migration`] and
+    /// atomically take every parcel parked against it — the caller must
+    /// re-send each one (they re-resolve against the settled directory).
+    /// Unpinning and draining under one lock means a racing
+    /// [`Agas::defer_during_migration`] either parks before the drain
+    /// (and is returned here) or observes the pin gone and keeps its
+    /// parcel; nothing can park forever.
+    #[must_use = "re-send the parked parcels or their continuations hang"]
+    pub fn end_migration(&self, gid: Gid) -> Vec<crate::parcel::Parcel> {
+        let mut sync = self.migration_sync.lock();
+        let removed = sync.in_flight.remove(&gid);
+        debug_assert!(removed, "end_migration without begin_migration");
+        sync.deferred.remove(&gid).unwrap_or_default()
+    }
+
+    /// Park `p` until the in-flight migration of `gid` settles. Returns
+    /// the parcel back when no migration is in flight (the race resolved
+    /// before the lock was taken) — the caller re-sends it immediately.
+    pub fn defer_during_migration(
+        &self,
+        gid: Gid,
+        p: crate::parcel::Parcel,
+    ) -> Option<crate::parcel::Parcel> {
+        let mut sync = self.migration_sync.lock();
+        if sync.in_flight.contains(&gid) {
+            sync.deferred.entry(gid).or_default().push(p);
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Whether a cross-rank migration of `gid` is currently in flight.
+    pub fn migration_in_flight(&self, gid: Gid) -> bool {
+        self.migration_sync.lock().in_flight.contains(&gid)
     }
 
     /// Migrations split by cause: `(manual, balancer)`.
@@ -433,6 +521,42 @@ mod tests {
         // Out-of-range localities are a no-op, not a panic.
         agas.note_access(LocalityId(9), hot);
         assert!(agas.drain_heat(LocalityId(9)).is_empty());
+    }
+
+    #[test]
+    fn migration_freeze_set_is_exclusive_per_gid() {
+        let agas = Agas::new(2);
+        let a = gid_at(0, 1);
+        let b = gid_at(0, 2);
+        assert!(agas.begin_migration(a), "first pin wins");
+        assert!(!agas.begin_migration(a), "concurrent pin backs off");
+        assert!(agas.migration_in_flight(a));
+        assert!(agas.begin_migration(b), "other GIDs are independent");
+
+        // A parcel aimed at the pinned GID parks; one aimed at a free
+        // GID comes straight back.
+        let park = crate::parcel::Parcel::new(
+            a,
+            crate::action::ActionId::of("test/park"),
+            crate::action::Value::unit(),
+            crate::parcel::Continuation::none(),
+        );
+        assert!(agas.defer_during_migration(a, park).is_none());
+        let free = crate::parcel::Parcel::new(
+            gid_at(0, 3),
+            crate::action::ActionId::of("test/free"),
+            crate::action::Value::unit(),
+            crate::parcel::Continuation::none(),
+        );
+        assert!(agas.defer_during_migration(gid_at(0, 3), free).is_some());
+
+        let drained = agas.end_migration(a);
+        assert_eq!(drained.len(), 1, "unpin returns the parked parcels");
+        assert_eq!(drained[0].dest, a);
+        assert!(!agas.migration_in_flight(a));
+        assert!(agas.begin_migration(a), "pin reusable after release");
+        assert!(agas.end_migration(a).is_empty());
+        assert!(agas.end_migration(b).is_empty());
     }
 
     #[test]

@@ -72,17 +72,14 @@ pub(crate) fn balancer_main(rt: Arc<RuntimeInner>, stop: Receiver<()>) {
         sample_all(&rt, round, &mut last_parks);
         if n > 1 {
             gossip_round(&rt, round, n);
-            // In a multi-process system the pulse is telemetry-only:
-            // gossip rides the TCP control lane and every rank's view
-            // fills in, but the *actions* — shedding closure tasks,
-            // spawn redirection, heat pulls — all move work or objects
-            // across what is now an OS-process boundary. Closures do not
-            // serialize and the AGAS directory is per-process, so acting
-            // here would lose work; placement over TCP stays with the
-            // application until those land.
-            if !rt.distributed() {
-                act_round(&rt, &cfg, debug);
-            }
+            // Acting is live over TCP too: each rank decides for its own
+            // localities from the gossiped view. Cross-rank levers differ
+            // from in-process ones — sheds ship locality-root-addressed
+            // *parcels* (closures do not serialize), spawn redirects
+            // publish only owned targets, and heat pulls go through the
+            // split-phase `__sys/agas_migrate` protocol against the
+            // distributed home directory.
+            act_round(&rt, &cfg, debug);
         }
     }
 }
@@ -136,6 +133,10 @@ fn gossip_round(rt: &Arc<RuntimeInner>, round: u64, n: usize) {
 /// Run the policy for every locality: spawn redirect, shed, pulls.
 fn act_round(rt: &Arc<RuntimeInner>, cfg: &BalanceConfig, debug: bool) {
     for (i, loc) in rt.localities.iter().enumerate() {
+        if !rt.owns(LocalityId(i as u16)) {
+            // Another OS process's balancer decides for that locality.
+            continue;
+        }
         let Some(b) = &loc.balance else { continue };
         let (my_score, least) = {
             let peers = b.peers.lock();
@@ -161,7 +162,10 @@ fn act_round(rt: &Arc<RuntimeInner>, cfg: &BalanceConfig, debug: bool) {
             shed_ratio: cfg.shed_ratio,
             max_shed: cfg.max_shed_per_round,
         };
-        let target = if cfg.policy.redirect_spawn(&sq) {
+        // Redirected spawns are closures, so the published target must
+        // live in this OS process; an unowned least-loaded peer still
+        // receives work through parcel sheds below.
+        let target = if cfg.policy.redirect_spawn(&sq) && rt.owns(LocalityId(least_idx as u16)) {
             least_idx as u32
         } else {
             NO_SPAWN_TARGET
@@ -190,22 +194,51 @@ fn act_round(rt: &Arc<RuntimeInner>, cfg: &BalanceConfig, debug: bool) {
     }
 }
 
-/// Work diffusion: move up to `max` closure tasks from `loc`'s injector
-/// to `dest`. Parcel-bound tasks (addressed at objects resident here) and
-/// depleted-thread resumptions (their LCO state lives here) are put back.
-/// Returns the number shed.
+/// Work diffusion: move up to `max` tasks from `loc`'s injector to
+/// `dest`. In-process, closure tasks ship whole; across ranks only
+/// locality-root-addressed parcels without process-accounting tokens
+/// travel — a root-addressed parcel executes wherever it lands, so it is
+/// the one queue entry that moves between OS processes without closure
+/// serialization or a chase back. Parcel-bound tasks addressed at
+/// resident objects and depleted-thread resumptions (their LCO state
+/// lives here) are put back. Returns the number shed.
 pub(crate) fn shed_tasks(
     rt: &Arc<RuntimeInner>,
     loc: &Arc<Locality>,
     dest: LocalityId,
     max: u64,
 ) -> u64 {
+    let cross_rank = !rt.owns(dest);
     let mut shed = 0u64;
     let mut putback: Vec<Task> = Vec::new();
     while shed < max && putback.len() < PUTBACK_LIMIT {
         match loc.injector.steal() {
             Steal::Success(task) => {
-                if matches!(task.work, Work::Thread(_)) {
+                if cross_rank {
+                    let sheddable = matches!(
+                        &task.work,
+                        Work::Parcel(p) if p.dest.is_hardware() && p.process.is_none() && !p.staged
+                    );
+                    if sheddable {
+                        let trace = task.trace;
+                        let Work::Parcel(p) = task.work else {
+                            unreachable!("sheddable matched Work::Parcel")
+                        };
+                        bump!(loc.counters.tasks_shed);
+                        bump!(loc.counters.parcels_sent);
+                        loc.trace_event(
+                            trace,
+                            crate::trace::TraceEventKind::BalanceShed,
+                            0,
+                            u64::from(dest.0),
+                        );
+                        let n = rt.wire.send_parcel(dest, &p);
+                        bump!(loc.counters.bytes_sent, n as u64);
+                        shed += 1;
+                    } else {
+                        putback.push(task);
+                    }
+                } else if matches!(task.work, Work::Thread(_)) {
                     // Same transfer mechanism as a `spawn_at` closure —
                     // the task crosses the wire with the nominal header
                     // size. Process accounting moves with the task: it
@@ -272,9 +305,30 @@ fn pull_hot(
             local_score: my_score,
             owner_score,
         };
-        if cfg.policy.pull_data(&q)
-            && migrate_object(rt, gid, owner, loc.id, MigrationCause::Balancer).is_ok()
-        {
+        if !cfg.policy.pull_data(&q) {
+            continue;
+        }
+        if rt.owns(owner) {
+            if migrate_object(rt, gid, owner, loc.id, MigrationCause::Balancer).is_ok() {
+                bump!(loc.counters.balance_pulls);
+                pulls += 1;
+            }
+        } else {
+            // Data-to-work over TCP: ask the object's resident rank to
+            // run the split-phase migration protocol toward us. The
+            // parcel chases the object like any other, so a stale owner
+            // here still finds it.
+            let mut w = px_wire::WireWriter::new();
+            w.put_u16(loc.id.0);
+            w.put_u8(1); // cause: balancer
+            let p = Parcel::new(
+                gid,
+                sys::AGAS_MIGRATE,
+                Value::from_bytes(w.into_bytes()),
+                Continuation::none(),
+            );
+            // px-analyze: allow(no-silent-loss): the pull request is advisory fire-and-forget — a lost or refused pull only means the object stays put and heat re-accumulates next round.
+            rt.send_parcel(loc.id, p);
             bump!(loc.counters.balance_pulls);
             pulls += 1;
         }

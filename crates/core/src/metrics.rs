@@ -81,17 +81,21 @@ pub enum Instrument {
     NetRtt,
     /// Control-lane delivery: control-queue push → priority drain.
     ControlLane,
+    /// Remote directory lookup: `__sys/dir_lookup` request sent → owner
+    /// resolved at the asking rank. Local clock only.
+    DirLookup,
 }
 
 impl Instrument {
     /// Every instrument, in registry order.
-    pub const ALL: [Instrument; 6] = [
+    pub const ALL: [Instrument; 7] = [
         Instrument::QueueWait,
         Instrument::ExecuteUser,
         Instrument::ExecuteSys,
         Instrument::SpawnResolve,
         Instrument::NetRtt,
         Instrument::ControlLane,
+        Instrument::DirLookup,
     ];
 
     /// Registry slot of this instrument.
@@ -109,6 +113,7 @@ impl Instrument {
             Instrument::SpawnResolve => "px_spawn_resolve_ns",
             Instrument::NetRtt => "px_net_rtt_ns",
             Instrument::ControlLane => "px_control_lane_ns",
+            Instrument::DirLookup => "px_dir_lookup_ns",
         }
     }
 
@@ -121,6 +126,7 @@ impl Instrument {
             Instrument::SpawnResolve => "LCO creation to resolution (spawn to continuation)",
             Instrument::NetRtt => "transport submit to wire drain",
             Instrument::ControlLane => "control-lane delivery, push to priority drain",
+            Instrument::DirLookup => "remote directory lookup, request to owner resolution",
         }
     }
 }
@@ -421,6 +427,7 @@ pub fn render_instruments(snap: &MetricsSnapshot, out: &mut String) {
         Instrument::SpawnResolve,
         Instrument::NetRtt,
         Instrument::ControlLane,
+        Instrument::DirLookup,
     ] {
         render_histogram(inst.name(), inst.help(), snap.get(inst), out);
     }

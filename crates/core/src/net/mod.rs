@@ -47,7 +47,19 @@
 //!    are how a rank observes a struggling peer, so a backend may not
 //!    drop or delay them under data-lane backpressure — the moments the
 //!    data lane is saturated are exactly the moments the observability
-//!    plane must still answer.
+//!    plane must still answer. The distributed AGAS directory rides the
+//!    same lane (`__sys/dir_lookup`, `dir_update`, `dir_repair`,
+//!    `dir_commit` — see `sched::sys`): a chase that must ask an
+//!    object's home rank, the departure write that repoints the home
+//!    entry mid-migration, and the commit that unpins the destination
+//!    copy are all on the critical path of every parcel *stuck behind*
+//!    the data backlog, so queueing them with the data they unblock
+//!    would deadlock the hot path against its own repair traffic. The
+//!    directory ops are idempotent and individually small; what the
+//!    backend owes them is ordering-free prompt delivery and the same
+//!    loud-death rule — a lost `dir_update` is repaired by the next
+//!    chase, but only if the loss is *visible* (counted, continuation
+//!    faulted) rather than silent.
 //! 3. **Submission is non-blocking-ish.** `submit` hands the message to
 //!    the backend and returns — it never performs I/O on the caller's
 //!    thread (the TCP backend queues and wakes its event loop; socket

@@ -699,6 +699,17 @@ impl Transport for TcpTransport {
         }
         self.shared.poller.wake();
         if let Some(h) = self.io.take() {
+            // The I/O thread itself can be the one tearing the runtime
+            // down: `kill_undeliverable` upgrades the runtime weak, and
+            // when a peer dies during shutdown that temporary can be the
+            // *last* strong reference — its drop runs `Wire::drop` (and
+            // this shutdown) on the I/O thread. Joining would self-join
+            // and panic; skip it — the loop observes `shutting_down` and
+            // exits on its own (it only borrows `TcpShared`, which the
+            // detached thread keeps alive).
+            if h.thread().id() == std::thread::current().id() {
+                return;
+            }
             let _ = h.join();
         }
     }

@@ -19,7 +19,11 @@
 //! * **Scoped namespace** — names registered through the process land
 //!   under its AGAS prefix ([`ProcessRef::prefix`]) and are bulk
 //!   unregistered at exit (first quiescence or cancellation), closing the
-//!   name-table leak of long-running multi-tenant drivers.
+//!   name-table leak of long-running multi-tenant drivers. The prefix
+//!   embeds the process gid, so in a multi-process system `/proc/...`
+//!   names are *cluster-visible*: a lookup from another rank routes to
+//!   the process's home rank over the control lane
+//!   (`__sys/name_lookup`; see [`crate::runtime::Runtime::lookup_name`]).
 //! * **Cancellation** — [`ProcessRef::cancel`] kills the whole subtree
 //!   using the fault machinery: the done-future and every LCO the
 //!   process created are poisoned with [`FaultCause::Cancelled`],
@@ -446,9 +450,12 @@ impl ProcessRef {
         Ok(full)
     }
 
-    /// Resolve a name previously registered through this process.
+    /// Resolve a name previously registered through this process. Goes
+    /// through [`Runtime::lookup_name`], so in a multi-process system a
+    /// name registered at the process's home rank resolves from any
+    /// rank holding this `ProcessRef`'s gid (the path embeds the home).
     pub fn lookup_name(&self, rt: &Runtime, name: &str) -> PxResult<Gid> {
-        rt.inner().agas.lookup_name(&self.scoped(name))
+        rt.lookup_name(&self.scoped(name))
     }
 
     /// All names currently registered under this process's prefix.

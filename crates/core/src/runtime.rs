@@ -919,6 +919,10 @@ impl Runtime {
         counter!(chase_cap_violations);
         counter!(trace_events_recorded);
         counter!(trace_events_dropped);
+        counter!(dir_lookups_local);
+        counter!(dir_lookups_remote);
+        counter!(dir_forwards);
+        counter!(dir_repairs);
         let _ = writeln!(out, "px_migrations_manual{{}} {}", stats.migrations_manual);
         let _ = writeln!(
             out,
@@ -1102,11 +1106,30 @@ impl Runtime {
     }
 
     /// Read a data object wherever it lives (driver-side shortcut; inside
-    /// PX-threads use parcels or [`Ctx::fetch_data`]). Owner lookup and
-    /// store access happen under the migration guard, so a concurrent
-    /// migration (manual or balancer) cannot yield a spurious
-    /// `NoSuchObject` between the two.
+    /// PX-threads use parcels or [`Ctx::fetch_data`]). In-process, owner
+    /// lookup and store access happen under the migration guard, so a
+    /// concurrent migration (manual or balancer) cannot yield a spurious
+    /// `NoSuchObject` between the two. Across ranks the read is a
+    /// `DATA_GET` parcel round-trip instead — no lock is ever held across
+    /// the RTT, and the bounded chase (not the guard) absorbs races with
+    /// concurrent migrations.
     pub fn read_data(&self, gid: Gid) -> PxResult<Vec<u8>> {
+        if self.inner.distributed() {
+            let owner = self.inner.agas.authoritative_owner(gid);
+            if self.inner.owns(owner) {
+                let _guard = self.inner.agas.migration_guard();
+                let owner = self.inner.agas.authoritative_owner(gid);
+                if self.inner.owns(owner) {
+                    let d = self.inner.locality(owner).get_data(gid)?;
+                    let g = d.read();
+                    return Ok(g.bytes.clone());
+                }
+                // Re-homed between the two lookups: fall through to the
+                // parcel path (guard dropped first).
+            }
+            let v = self.sys_rpc(gid, sys::DATA_GET, Vec::new())?;
+            return v.decode::<Vec<u8>>();
+        }
         let _guard = self.inner.agas.migration_guard();
         let owner = self.inner.agas.authoritative_owner(gid);
         let d = self.inner.locality(owner).get_data(gid)?;
@@ -1114,21 +1137,58 @@ impl Runtime {
         Ok(g.bytes.clone())
     }
 
-    /// Migrate a data object to `to`. The object is inserted at the
-    /// destination before it is removed from the source (both stores
-    /// briefly alias the same `Arc`), so a racing parcel never finds it
-    /// nowhere; parcels routed on stale caches are forwarded (bounded
-    /// chase) by the scheduler.
+    /// Driver-side split-phase round trip: send a system parcel at `gid`
+    /// with a fresh future continuation and block the *driver* thread
+    /// (never a worker) on the reply. A dead peer resolves the future as
+    /// `Err(PxError::Fault)` through the transport dead-letter path.
+    fn sys_rpc(
+        &self,
+        gid: Gid,
+        action: crate::action::ActionId,
+        payload: Vec<u8>,
+    ) -> PxResult<Value> {
+        let own = self.inner.origin;
+        let loc = self.inner.locality(own);
+        let fut = loc.new_future_lco();
+        let mut p = Parcel::new(
+            gid,
+            action,
+            Value::from_bytes(payload),
+            Continuation::set(fut),
+        );
+        p.src = own;
+        self.inner.send_parcel(own, p);
+        let lco = loc.get_lco(fut)?;
+        let slot = Arc::new(ExtSlot::default());
+        let acts = lco.lock().add_waiter(Waiter::External(slot.clone()));
+        self.inner.schedule_activations(loc, acts);
+        slot.wait()
+    }
+
+    /// Migrate a data object to `to`. In-process, the object is inserted
+    /// at the destination before it is removed from the source (both
+    /// stores briefly alias the same `Arc`), so a racing parcel never
+    /// finds it nowhere; parcels routed on stale caches are forwarded
+    /// (bounded chase) by the scheduler. Across ranks the same no-window
+    /// ordering runs as a split-phase `__sys` protocol — install at dest,
+    /// flip the home directory, then remove at source — driven by an
+    /// `AGAS_MIGRATE` parcel that chases the object to its current
+    /// resident rank. A peer dying mid-protocol resolves this call as
+    /// `Err(PxError::Fault)` in bounded time; the object stays served at
+    /// the source.
     pub fn migrate_data(&self, gid: Gid, to: LocalityId) -> PxResult<()> {
         if gid.kind() != GidKind::Data {
             return Err(PxError::NotMigratable(gid));
         }
-        if self.inner.distributed() {
-            // The AGAS directory is per-process today: moving an object
-            // between ranks would leave the other processes routing on a
-            // stale home. Refuse loudly until the directory is
-            // distributed.
+        if to.0 as usize >= self.inner.localities.len() {
             return Err(PxError::NotMigratable(gid));
+        }
+        if self.inner.distributed() {
+            let mut w = px_wire::WireWriter::new();
+            w.put_u16(to.0);
+            w.put_u8(0); // cause: manual
+            self.sys_rpc(gid, sys::AGAS_MIGRATE, w.into_bytes())?;
+            return Ok(());
         }
         let from = self.inner.agas.authoritative_owner(gid);
         if from == to {
@@ -1150,9 +1210,33 @@ impl Runtime {
         self.inner.agas.register_name(name, gid)
     }
 
-    /// Resolve a symbolic name.
+    /// Resolve a symbolic name. Process-scoped names (`/proc/<gid>/...`)
+    /// are cluster-visible: on a local miss in a multi-process system,
+    /// the lookup is forwarded as a `__sys/name_lookup` RPC to the
+    /// owning process's home rank (the rank that registered them), so a
+    /// GID published under a process on one rank resolves from any
+    /// other. A dead home rank or an unbound name resolves as
+    /// `Err(PxError::Fault)` in bounded time rather than hanging.
     pub fn lookup_name(&self, name: &str) -> PxResult<Gid> {
-        self.inner.agas.lookup_name(name)
+        let local = self.inner.agas.lookup_name(name);
+        let (Err(PxError::UnknownName(_)), true) = (&local, self.inner.distributed()) else {
+            return local;
+        };
+        let Some(home) = process_name_home(name) else {
+            return local;
+        };
+        if self.inner.owns(home) {
+            return local;
+        }
+        let v = self.sys_rpc(
+            Gid::locality_root(home),
+            crate::sched::sys::NAME_LOOKUP,
+            name.as_bytes().to_vec(),
+        )?;
+        match v.bytes().try_into() {
+            Ok(raw) => Ok(Gid(u64::from_le_bytes(raw))),
+            Err(_) => local,
+        }
     }
 
     /// Create a (root) parallel process homed at `home`. Subprocesses are
@@ -1175,6 +1259,16 @@ impl Runtime {
     pub fn process_table_size(&self) -> usize {
         self.inner.process_table.read().len()
     }
+}
+
+/// The home rank of a process-scoped name (`/proc/<gid-hex>/...`): the
+/// embedded process gid's birthplace — the rank whose table holds every
+/// name registered through that process. `None` for non-process names.
+fn process_name_home(name: &str) -> Option<LocalityId> {
+    let rest = name.strip_prefix("/proc/")?;
+    let hex = rest.split('/').next()?;
+    let raw = u64::from_str_radix(hex, 16).ok()?;
+    Some(Gid(raw).birthplace())
 }
 
 impl Drop for Runtime {
@@ -1270,7 +1364,11 @@ impl<'a> Ctx<'a> {
             // Relaxed: advisory redirect hint republished every balancer
             // round; a stale read routes one spawn suboptimally.
             let t = b.spawn_target.load(std::sync::atomic::Ordering::Relaxed);
+            // Closures do not serialize, so a redirect may only target a
+            // locality in this OS process; the balancer publishes only
+            // owned targets, but the hint is advisory and re-checked here.
             if t != crate::locality::NO_SPAWN_TARGET
+                && self.rt.owns(LocalityId(t as u16))
                 && b.spawn_seq
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                     & 1

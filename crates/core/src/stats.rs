@@ -109,6 +109,18 @@ pub struct LocalityCounters {
     /// Trace events lost to ring overwrite — a non-zero value means the
     /// ring is too small for the sampling rate and dump cadence.
     pub trace_events_dropped: AtomicU64,
+    /// Directory lookups answered by this rank's own home shards (the
+    /// queried GID was born here, so no wire round-trip was needed).
+    pub dir_lookups_local: AtomicU64,
+    /// Directory lookups sent to a remote home rank as `__sys/dir_lookup`
+    /// parcels (request counted at the asking rank).
+    pub dir_lookups_remote: AtomicU64,
+    /// Parcels forwarded because the local resolution named a rank that
+    /// was not this one (the cross-rank share of `parcels_forwarded`).
+    pub dir_forwards: AtomicU64,
+    /// Cache-repair hints applied here (`__sys/dir_repair` deliveries
+    /// plus in-process chase repairs).
+    pub dir_repairs: AtomicU64,
 }
 
 macro_rules! bump {
@@ -183,6 +195,10 @@ impl LocalityCounters {
             chase_cap_violations: self.chase_cap_violations.load(Ordering::Relaxed),
             trace_events_recorded: self.trace_events_recorded.load(Ordering::Relaxed),
             trace_events_dropped: self.trace_events_dropped.load(Ordering::Relaxed),
+            dir_lookups_local: self.dir_lookups_local.load(Ordering::Relaxed),
+            dir_lookups_remote: self.dir_lookups_remote.load(Ordering::Relaxed),
+            dir_forwards: self.dir_forwards.load(Ordering::Relaxed),
+            dir_repairs: self.dir_repairs.load(Ordering::Relaxed),
         }
     }
 }
@@ -230,6 +246,10 @@ pub struct LocalityStats {
     pub chase_cap_violations: u64,
     pub trace_events_recorded: u64,
     pub trace_events_dropped: u64,
+    pub dir_lookups_local: u64,
+    pub dir_lookups_remote: u64,
+    pub dir_forwards: u64,
+    pub dir_repairs: u64,
 }
 
 impl LocalityStats {
@@ -332,6 +352,10 @@ impl LocalityStats {
             chase_cap_violations: self.chase_cap_violations - earlier.chase_cap_violations,
             trace_events_recorded: self.trace_events_recorded - earlier.trace_events_recorded,
             trace_events_dropped: self.trace_events_dropped - earlier.trace_events_dropped,
+            dir_lookups_local: self.dir_lookups_local - earlier.dir_lookups_local,
+            dir_lookups_remote: self.dir_lookups_remote - earlier.dir_lookups_remote,
+            dir_forwards: self.dir_forwards - earlier.dir_forwards,
+            dir_repairs: self.dir_repairs - earlier.dir_repairs,
         }
     }
 }
@@ -442,6 +466,10 @@ impl StatsSnapshot {
             t.chase_cap_violations += l.chase_cap_violations;
             t.trace_events_recorded += l.trace_events_recorded;
             t.trace_events_dropped += l.trace_events_dropped;
+            t.dir_lookups_local += l.dir_lookups_local;
+            t.dir_lookups_remote += l.dir_lookups_remote;
+            t.dir_forwards += l.dir_forwards;
+            t.dir_repairs += l.dir_repairs;
         }
         t
     }

@@ -474,6 +474,66 @@ proptest! {
         prop_assert_eq!(r.owner, expected);
     }
 
+    /// Home-based convergence across simulated ranks: one `Agas`
+    /// instance per rank, written exactly as the cross-rank protocol
+    /// writes them — destination at install, source at finalize, the
+    /// home rank via `DIR_UPDATE`, random bystanders via repair hints.
+    /// From any rank, the chase (first hop on the sender's cached
+    /// resolution, then each rank's directory; a rank that believes
+    /// itself owner without holding the object asks the home rank)
+    /// reaches the true owner in at most one hop per rank — every
+    /// directory entry points at the owner as of its own write time, so
+    /// the chain only moves forward through the migration history.
+    #[test]
+    fn home_based_directory_converges_from_any_rank(
+        moves in proptest::collection::vec(
+            (0u16..6, proptest::collection::vec(any::<bool>(), 6..7)),
+            1..24,
+        ),
+    ) {
+        const RANKS: u16 = 6;
+        let home = 2u16;
+        let ranks: Vec<Agas> = (0..RANKS).map(|_| Agas::new(RANKS as usize)).collect();
+        let g = Gid::new(LocalityId(home), GidKind::Data, 9);
+        let mut owner = home;
+        for (to, hints) in moves {
+            if to != owner {
+                ranks[to as usize].note_owner(g, LocalityId(to)); // install
+                ranks[owner as usize].note_owner(g, LocalityId(to)); // finalize
+                ranks[home as usize].note_owner(g, LocalityId(to)); // DIR_UPDATE
+                owner = to;
+            }
+            for (r, hint) in hints.iter().enumerate() {
+                if *hint {
+                    ranks[r].repair_cache(LocalityId(r as u16), g, LocalityId(owner));
+                }
+            }
+        }
+        // The home rank's entry is cluster-authoritative at all times.
+        prop_assert_eq!(ranks[home as usize].authoritative_owner(g), LocalityId(owner));
+        for start in 0..RANKS {
+            // Sender side: route on the cached resolution.
+            let mut cur = ranks[start as usize].resolve(LocalityId(start), g).owner.0;
+            let mut hops = 0u32;
+            while cur != owner {
+                // Receiver side: the object is absent, forward on this
+                // rank's directory — or ask home when the rank believes
+                // the object should be here (`remote_dir_lookup`).
+                let view = ranks[cur as usize].authoritative_owner(g).0;
+                cur = if view == cur {
+                    ranks[home as usize].authoritative_owner(g).0
+                } else {
+                    view
+                };
+                hops += 1;
+                prop_assert!(
+                    hops <= u32::from(RANKS),
+                    "chase from rank {} did not converge", start
+                );
+            }
+        }
+    }
+
     // ---- histogram -----------------------------------------------------------
 
     #[test]
